@@ -1,0 +1,77 @@
+// Ablation: distinct-value estimation under sampling (the paper's
+// "sampling assumption", Section 2). On integer domains the per-bucket
+// integer-span cap masks the estimator choice, so this ablation uses a
+// *continuous* attribute (TPC-H-lite account balances joined through the
+// skewed customer-orders join), where the estimators genuinely diverge.
+//
+// The distinct counts matter twice: for equality estimates on the SIT
+// itself and — more importantly — when an intermediate SIT feeds the next
+// m-Oracle in a chain (dv appears in the denominator of the containment
+// formula).
+
+#include <cstdio>
+
+#include "datagen/tpch_lite.h"
+#include "estimator/accuracy.h"
+#include "sit/creator.h"
+
+int main() {
+  using namespace sitstats;  // NOLINT
+  TpchLiteSpec spec;
+  spec.num_customers = 4'000;
+  spec.num_orders = 25'000;
+  spec.seed = 11;
+  std::unique_ptr<Catalog> catalog = MakeTpchLiteDatabase(spec).ValueOrDie();
+  GeneratingQuery query =
+      GeneratingQuery::Create(
+          {"customer", "orders"},
+          {JoinPredicate{ColumnRef{"customer", "c_custkey"},
+                         ColumnRef{"orders", "o_custkey"}}})
+          .ValueOrDie();
+  ColumnRef attribute{"customer", "c_acctbal"};
+  TrueDistribution truth =
+      TrueDistribution::Compute(*catalog, query, attribute).ValueOrDie();
+  double true_distinct = 0.0;
+  {
+    // Distinct c_acctbal values reaching the join: bounded by customers.
+    true_distinct = 4'000.0;
+  }
+  std::printf(
+      "=== Ablation: distinct estimation under sampling (continuous "
+      "attribute) ===\n|join|=%.0f, base distinct <= %.0f\n\n",
+      truth.total_cardinality(), true_distinct);
+  std::printf("%-12s %10s %14s %14s %14s\n", "estimator", "rate",
+              "SIT distinct", "mean err %", "median err %");
+  for (DistinctEstimator estimator :
+       {DistinctEstimator::kSampleCount, DistinctEstimator::kLinearScale,
+        DistinctEstimator::kGee}) {
+    for (double rate : {0.01, 0.1}) {
+      BaseStatsCache stats;
+      SitBuildOptions options;
+      options.variant = SweepVariant::kSweep;
+      options.sampling_rate = rate;
+      options.histogram_spec.distinct_estimator = estimator;
+      Sit sit = CreateSit(catalog.get(), &stats,
+                          SitDescriptor(attribute, query), options)
+                    .ValueOrDie();
+      Rng rng(99);
+      AccuracyOptions aopts;
+      aopts.num_queries = 500;
+      aopts.min_actual_fraction = 0.001;
+      AccuracyReport report =
+          EvaluateHistogramAccuracy(truth, sit.histogram, aopts, &rng);
+      std::printf("%-12s %10.2f %14.0f %14.1f %14.1f\n",
+                  DistinctEstimatorToString(estimator), rate,
+                  sit.histogram.TotalDistinct(),
+                  100.0 * report.mean_relative_error,
+                  100.0 * report.median_relative_error);
+    }
+  }
+  std::printf(
+      "\nExpected: the naive sample count under-states distincts at low "
+      "rates (it\nsees only sampled values); linear scaling over-corrects; "
+      "GEE sits between.\nRange-query accuracy is mostly driven by "
+      "frequencies, so the error columns\nmove less than the distinct "
+      "column.\n");
+  return 0;
+}

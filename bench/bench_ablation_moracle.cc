@@ -1,0 +1,77 @@
+// Ablation for DESIGN.md note 1: the paper's literal containment formula
+// f_R / max(dv_R, dv_S) vs our density-normalized variant that restricts
+// both distinct counts to the buckets' overlap (the formulas coincide for
+// aligned buckets). The raw formula systematically under-counts join
+// multiplicities because MaxDiff buckets from two different columns never
+// align; the bias shows up both in the estimated |join| and in the SIT's
+// range-query accuracy.
+
+#include <cstdio>
+
+#include "datagen/synthetic_db.h"
+#include "estimator/accuracy.h"
+#include "exec/query_executor.h"
+#include "sit/creator.h"
+
+namespace sitstats {
+namespace {
+
+void Run(const char* label, double z, AttributeCorrelation correlation) {
+  ChainDbSpec spec;
+  spec.num_tables = 2;
+  spec.table_rows = {20'000, 20'000};
+  spec.join_domain = 1'000;
+  spec.zipf_z = z;
+  spec.correlation = correlation;
+  spec.seed = 7;
+  ChainDatabase db = MakeChainJoinDatabase(spec).ValueOrDie();
+  double true_card =
+      ExactJoinCardinality(*db.catalog, db.query).ValueOrDie();
+  TrueDistribution truth =
+      TrueDistribution::Compute(*db.catalog, db.query, db.sit_attribute)
+          .ValueOrDie();
+  std::printf("\n%s (true |join| = %.3g)\n", label, true_card);
+  for (ContainmentMode mode :
+       {ContainmentMode::kPaperRaw, ContainmentMode::kDensityNormalized}) {
+    BaseStatsCache stats;
+    SitBuildOptions options;
+    options.variant = SweepVariant::kSweepFull;  // isolate the oracle
+    options.containment_mode = mode;
+    Sit sit = CreateSit(db.catalog.get(), &stats,
+                        SitDescriptor(db.sit_attribute, db.query), options)
+                  .ValueOrDie();
+    Rng rng(1234);
+    AccuracyOptions aopts;
+    aopts.num_queries = 1'000;
+    aopts.min_actual_fraction = 0.001;
+    AccuracyReport report =
+        EvaluateHistogramAccuracy(truth, sit.histogram, aopts, &rng);
+    std::printf(
+        "  %-18s est|join|=%12.4g (%+6.1f%%)   SIT mean err=%6.1f%%\n",
+        mode == ContainmentMode::kPaperRaw ? "paper-raw" : "density-norm",
+        sit.estimated_cardinality,
+        100.0 * (sit.estimated_cardinality - true_card) / true_card,
+        100.0 * report.mean_relative_error);
+  }
+}
+
+}  // namespace
+}  // namespace sitstats
+
+int main() {
+  std::printf(
+      "=== Ablation: containment formula bucket alignment (SweepFull, "
+      "2-way join) ===\n");
+  sitstats::Run("uniform independent keys", 0.0,
+                sitstats::AttributeCorrelation::kIndependent);
+  sitstats::Run("zipf(0.5) correlated", 0.5,
+                sitstats::AttributeCorrelation::kCorrelated);
+  sitstats::Run("zipf(1.0) correlated", 1.0,
+                sitstats::AttributeCorrelation::kCorrelated);
+  std::printf(
+      "\nExpected: the raw formula under-estimates the join by ~20-30%% "
+      "whenever\nbucket boundaries differ; density normalization removes "
+      "the bias at\nidentical cost (the formulas agree when buckets "
+      "align).\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Extension experiment (Section 3.2's "multidimensional histograms",
+// sketched but not evaluated in the paper): SITs over composite equality
+// joins R ⋈_{x1=y1 ∧ x2=y2} S whose two key columns are correlated.
+//
+// Classic optimizers multiply the per-predicate selectivities
+// (independence *between predicates*); the 2D grid m-Oracle models the
+// joint key distribution. The sweep below varies how strongly the two
+// keys correlate: at width w the second key lies within ±w of the first,
+// so w = domain reproduces independent predicates and w = 0 makes the
+// second predicate redundant.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.h"
+#include "exec/query_executor.h"
+#include "sit/creator.h"
+
+namespace sitstats {
+namespace {
+
+struct Db {
+  Catalog catalog;
+  GeneratingQuery query;
+  ColumnRef attribute;
+};
+
+Db MakeDb(int64_t correlation_width, size_t rows, uint64_t seed) {
+  Catalog catalog;
+  Rng rng(seed);
+  const int64_t domain = 50;
+  Schema rs;
+  rs.AddColumn("x1", ValueType::kInt64);
+  rs.AddColumn("x2", ValueType::kInt64);
+  Table* r = catalog.CreateTable("R", rs).ValueOrDie();
+  Schema ss;
+  ss.AddColumn("y1", ValueType::kInt64);
+  ss.AddColumn("y2", ValueType::kInt64);
+  ss.AddColumn("a", ValueType::kInt64);
+  Table* s = catalog.CreateTable("S", ss).ValueOrDie();
+  auto second_key = [&](int64_t first) {
+    if (correlation_width >= domain) return rng.UniformInt(1, domain);
+    return std::clamp<int64_t>(
+        first + rng.UniformInt(-correlation_width, correlation_width), 1,
+        domain);
+  };
+  for (size_t i = 0; i < rows; ++i) {
+    int64_t x1 = rng.UniformInt(1, domain);
+    SITSTATS_CHECK_OK(r->AppendRow({Value(x1), Value(second_key(x1))}));
+    int64_t y1 = rng.UniformInt(1, domain);
+    SITSTATS_CHECK_OK(s->AppendRow(
+        {Value(y1), Value(second_key(y1)),
+         Value((y1 * 3) % domain + 1)}));
+  }
+  GeneratingQuery query =
+      GeneratingQuery::Create(
+          {"R", "S"},
+          {JoinPredicate{ColumnRef{"R", "x1"}, ColumnRef{"S", "y1"}},
+           JoinPredicate{ColumnRef{"R", "x2"}, ColumnRef{"S", "y2"}}})
+          .ValueOrDie();
+  return Db{std::move(catalog), std::move(query), ColumnRef{"S", "a"}};
+}
+
+}  // namespace
+}  // namespace sitstats
+
+int main() {
+  using namespace sitstats;  // NOLINT
+  std::printf(
+      "=== Extension: composite join predicates (R x1=y1 AND x2=y2 S) "
+      "===\n"
+      "(|join| estimates; width = key correlation, smaller = more "
+      "correlated)\n\n");
+  std::printf("%-8s %14s %16s %18s %16s\n", "width", "true |join|",
+              "Sweep (2D grid)", "Hist-SIT (indep.)", "SweepExact");
+  for (int64_t width : {0, 1, 2, 5, 10, 50}) {
+    Db db = MakeDb(width, 10'000, 7);
+    double truth = ExactJoinCardinality(db.catalog, db.query).ValueOrDie();
+    auto estimate = [&](SweepVariant variant) {
+      BaseStatsCache stats;
+      SitBuildOptions options;
+      options.variant = variant;
+      return CreateSit(&db.catalog, &stats,
+                       SitDescriptor(db.attribute, db.query), options)
+          .ValueOrDie()
+          .estimated_cardinality;
+    };
+    double sweep = estimate(SweepVariant::kSweep);
+    double hist = estimate(SweepVariant::kHistSit);
+    double exact = estimate(SweepVariant::kSweepExact);
+    std::printf(
+        "%-8lld %14.0f %9.0f (%+4.0f%%) %11.0f (%+4.0f%%) %9.0f (%+4.0f%%)\n",
+        static_cast<long long>(width), truth, sweep,
+        100.0 * (sweep - truth) / truth, hist,
+        100.0 * (hist - truth) / truth, exact,
+        100.0 * (exact - truth) / truth);
+  }
+  std::printf(
+      "\nExpected: at small widths the independent-predicate estimate "
+      "under-counts\nby an order of magnitude while the joint 2D grid "
+      "stays within ~20%%; at\nwidth = domain (independent keys) the two "
+      "agree.\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Reproduces Figure 7 (a,b,c): accuracy of SIT-creation techniques over
+// 2-, 3- and 4-way chain-join generating queries with skewed (zipf z = 1),
+// correlated join attributes, for several histogram sizes.
+//
+// Paper setting (Section 5.1): synthetic tables of 10k-100k tuples,
+// MaxDiff histograms (default 100 buckets), Sweep sampling rate 10%,
+// 1,000 random range queries per SIT, metric = relative error between
+// actual and estimated cardinalities. Expected shape: Hist-SIT is far
+// worse than every Sweep variant and the gap grows with the number of
+// joins; Sweep is slightly worse than SweepFull/SweepIndex; SweepExact is
+// the most accurate.
+
+#include <cstdio>
+#include <vector>
+
+#include "datagen/synthetic_db.h"
+#include "estimator/accuracy.h"
+#include "sit/creator.h"
+
+namespace sitstats {
+namespace {
+
+constexpr int kSeeds[] = {7, 21, 42};
+constexpr int kBuckets[] = {50, 100, 200};
+constexpr SweepVariant kVariants[] = {
+    SweepVariant::kHistSit, SweepVariant::kSweep, SweepVariant::kSweepIndex,
+    SweepVariant::kSweepFull, SweepVariant::kSweepExact};
+
+struct Cell {
+  double mean = 0.0;
+  double median = 0.0;
+};
+
+Cell RunOne(int num_tables, int num_buckets, uint64_t seed,
+            SweepVariant variant) {
+  ChainDbSpec spec;
+  spec.num_tables = num_tables;
+  spec.table_rows.assign(static_cast<size_t>(num_tables), 20'000);
+  spec.join_domain = 1'000;
+  spec.zipf_z = 1.0;
+  spec.seed = seed;
+  ChainDatabase db = MakeChainJoinDatabase(spec).ValueOrDie();
+  TrueDistribution truth =
+      TrueDistribution::Compute(*db.catalog, db.query, db.sit_attribute)
+          .ValueOrDie();
+  BaseStatsCache stats(BaseStatsOptions{
+      HistogramSpec{HistogramType::kMaxDiff, num_buckets,
+                    DistinctEstimator::kGee},
+      false, 0.1});
+  SitBuildOptions options;
+  options.variant = variant;
+  options.sampling_rate = 0.1;
+  options.histogram_spec.num_buckets = num_buckets;
+  Sit sit = CreateSit(db.catalog.get(), &stats,
+                      SitDescriptor(db.sit_attribute, db.query), options)
+                .ValueOrDie();
+  Rng rng(1234);
+  AccuracyOptions aopts;
+  aopts.num_queries = 1'000;
+  aopts.min_actual_fraction = 0.001;
+  AccuracyReport report =
+      EvaluateHistogramAccuracy(truth, sit.histogram, aopts, &rng);
+  return Cell{report.mean_relative_error, report.median_relative_error};
+}
+
+void RunFigure(char label, int num_tables) {
+  std::printf("\nFigure 7(%c): %d-way chain join, zipf z=1 join attributes\n",
+              label, num_tables);
+  std::printf("%-11s", "technique");
+  for (int nb : kBuckets) {
+    std::printf("   nb=%-4d mean(med) %%", nb);
+  }
+  std::printf("\n");
+  for (SweepVariant variant : kVariants) {
+    std::printf("%-11s", SweepVariantToString(variant));
+    for (int nb : kBuckets) {
+      double mean = 0.0;
+      double median = 0.0;
+      for (int seed : kSeeds) {
+        Cell cell = RunOne(num_tables, nb, static_cast<uint64_t>(seed),
+                           variant);
+        mean += cell.mean;
+        median += cell.median;
+      }
+      mean /= std::size(kSeeds);
+      median /= std::size(kSeeds);
+      std::printf("   %9.1f (%6.1f)", 100.0 * mean, 100.0 * median);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace sitstats
+
+int main() {
+  std::printf(
+      "=== Figure 7: creating SITs with skewed distributions in the join "
+      "attributes ===\n"
+      "(avg relative error over 1000 random range queries; %zu seeds per "
+      "cell)\n",
+      std::size(sitstats::kSeeds));
+  sitstats::RunFigure('a', 2);
+  sitstats::RunFigure('b', 3);
+  sitstats::RunFigure('c', 4);
+  std::printf(
+      "\nExpected shape (paper): Hist-SIT >> Sweep family at every nb; the "
+      "gap grows\nwith the join count; Sweep/SweepIndex (sampling) are "
+      "slightly worse than\nSweepFull, and SweepExact is the most "
+      "accurate.\n");
+  return 0;
+}

@@ -1,0 +1,159 @@
+// Microbenchmarks (google-benchmark) for the performance-critical
+// primitives: histogram construction, reservoir sampling (including the
+// skip-ahead path for huge runs), m-Oracle lookups, join-cardinality
+// estimation, one full Sweep scan, and the schedule solvers.
+
+#include <benchmark/benchmark.h>
+
+#include "common/logging.h"
+#include "datagen/distributions.h"
+#include "datagen/synthetic_db.h"
+#include "histogram/builder.h"
+#include "histogram/join_estimate.h"
+#include "sampling/reservoir.h"
+#include "scheduler/instance_generator.h"
+#include "scheduler/solver.h"
+#include "sit/m_oracle.h"
+#include "sit/creator.h"
+
+namespace sitstats {
+namespace {
+
+std::vector<double> ZipfValues(size_t n, double z, uint64_t domain) {
+  Rng rng(7);
+  ZipfDistribution dist(domain, z);
+  std::vector<double> values;
+  values.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    values.push_back(static_cast<double>(dist.Sample(&rng)));
+  }
+  return values;
+}
+
+void BM_BuildMaxDiff(benchmark::State& state) {
+  std::vector<double> values =
+      ZipfValues(static_cast<size_t>(state.range(0)), 1.0, 10'000);
+  HistogramSpec spec;
+  for (auto _ : state) {
+    auto h = BuildHistogram(values, spec);
+    benchmark::DoNotOptimize(h);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BuildMaxDiff)->Arg(10'000)->Arg(100'000);
+
+void BM_BuildEquiDepth(benchmark::State& state) {
+  std::vector<double> values =
+      ZipfValues(static_cast<size_t>(state.range(0)), 1.0, 10'000);
+  HistogramSpec spec;
+  spec.type = HistogramType::kEquiDepth;
+  for (auto _ : state) {
+    auto h = BuildHistogram(values, spec);
+    benchmark::DoNotOptimize(h);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BuildEquiDepth)->Arg(100'000);
+
+void BM_ReservoirAdd(benchmark::State& state) {
+  Rng rng(3);
+  for (auto _ : state) {
+    ReservoirSampler sampler(2'000, &rng);
+    for (int i = 0; i < 100'000; ++i) {
+      sampler.Add(static_cast<double>(i));
+    }
+    benchmark::DoNotOptimize(sampler.sample());
+  }
+  state.SetItemsProcessed(state.iterations() * 100'000);
+}
+BENCHMARK(BM_ReservoirAdd);
+
+void BM_ReservoirAddRepeatedHuge(benchmark::State& state) {
+  // One billion logical elements per iteration via skip sampling.
+  Rng rng(3);
+  for (auto _ : state) {
+    ReservoirSampler sampler(2'000, &rng);
+    for (int i = 0; i < 1'000; ++i) {
+      sampler.AddRepeated(static_cast<double>(i), 1'000'000);
+    }
+    benchmark::DoNotOptimize(sampler.sample());
+  }
+}
+BENCHMARK(BM_ReservoirAddRepeatedHuge);
+
+void BM_MOracleLookup(benchmark::State& state) {
+  std::vector<double> r = ZipfValues(100'000, 1.0, 10'000);
+  std::vector<double> s = ZipfValues(100'000, 1.0, 10'000);
+  HistogramSpec spec;
+  HistogramMOracle oracle(BuildHistogram(r, spec).ValueOrDie(),
+                          BuildHistogram(s, spec).ValueOrDie());
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oracle.Multiplicity(s[i % s.size()]));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MOracleLookup);
+
+void BM_EstimateJoinCardinality(benchmark::State& state) {
+  HistogramSpec spec;
+  Histogram a =
+      BuildHistogram(ZipfValues(100'000, 1.0, 10'000), spec).ValueOrDie();
+  Histogram b =
+      BuildHistogram(ZipfValues(100'000, 0.5, 10'000), spec).ValueOrDie();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EstimateJoinCardinality(a, b));
+  }
+}
+BENCHMARK(BM_EstimateJoinCardinality);
+
+void BM_SweepSingleJoin(benchmark::State& state) {
+  ChainDbSpec spec;
+  spec.num_tables = 2;
+  spec.table_rows = {static_cast<size_t>(state.range(0)),
+                     static_cast<size_t>(state.range(0))};
+  spec.join_domain = 1'000;
+  ChainDatabase db = MakeChainJoinDatabase(spec).ValueOrDie();
+  BaseStatsCache stats;
+  SitDescriptor desc(db.sit_attribute, db.query);
+  for (auto _ : state) {
+    SitBuildOptions options;
+    Sit sit = CreateSit(db.catalog.get(), &stats, desc, options)
+                  .ValueOrDie();
+    benchmark::DoNotOptimize(sit);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SweepSingleJoin)->Arg(20'000)->Arg(100'000);
+
+void BM_SolverGreedy(benchmark::State& state) {
+  Rng rng(11);
+  InstanceSpec spec;
+  spec.num_sits = static_cast<int>(state.range(0));
+  SchedulingProblem problem = MakeRandomInstance(spec, &rng).ValueOrDie();
+  for (auto _ : state) {
+    SolverOptions options;
+    options.kind = SolverKind::kGreedy;
+    benchmark::DoNotOptimize(SolveSchedule(problem, options).ValueOrDie());
+  }
+}
+BENCHMARK(BM_SolverGreedy)->Arg(10)->Arg(20);
+
+void BM_SolverOptimalSmall(benchmark::State& state) {
+  Rng rng(11);
+  InstanceSpec spec;
+  spec.num_sits = static_cast<int>(state.range(0));
+  SchedulingProblem problem = MakeRandomInstance(spec, &rng).ValueOrDie();
+  for (auto _ : state) {
+    SolverOptions options;
+    options.kind = SolverKind::kOptimal;
+    benchmark::DoNotOptimize(SolveSchedule(problem, options).ValueOrDie());
+  }
+}
+BENCHMARK(BM_SolverOptimalSmall)->Arg(5)->Arg(8);
+
+}  // namespace
+}  // namespace sitstats
+
+BENCHMARK_MAIN();

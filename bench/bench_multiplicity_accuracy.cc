@@ -1,0 +1,74 @@
+// Backs the Section 3.1.1 claim that the histogram-based getMultiplicity
+// routine is an accurate (and extremely cheap) estimator of multiplicity
+// values: for each tuple of S, compare the m-Oracle's expected multiplicity
+// in R against the exact count, under uniform and zipfian key
+// distributions.
+
+#include <cstdio>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "datagen/distributions.h"
+#include "histogram/builder.h"
+#include "sit/m_oracle.h"
+
+namespace sitstats {
+namespace {
+
+void Run(const char* label, double z, size_t rows, uint64_t domain) {
+  Rng rng(7);
+  ZipfDistribution dist(domain, z);
+  std::vector<double> r_keys;
+  std::vector<double> s_keys;
+  for (size_t i = 0; i < rows; ++i) {
+    r_keys.push_back(static_cast<double>(dist.Sample(&rng)));
+    s_keys.push_back(static_cast<double>(dist.Sample(&rng)));
+  }
+  std::unordered_map<double, double> exact;
+  for (double k : r_keys) exact[k] += 1.0;
+
+  HistogramSpec spec;
+  Histogram h_r = BuildHistogram(r_keys, spec).ValueOrDie();
+  Histogram h_s = BuildHistogram(s_keys, spec).ValueOrDie();
+  HistogramMOracle oracle(h_r, h_s);
+
+  double total_exact = 0.0;
+  double total_est = 0.0;
+  double abs_err = 0.0;
+  double rel_err = 0.0;
+  for (double y : s_keys) {
+    auto it = exact.find(y);
+    double truth = it == exact.end() ? 0.0 : it->second;
+    double est = oracle.Multiplicity(y);
+    total_exact += truth;
+    total_est += est;
+    abs_err += std::fabs(est - truth);
+    rel_err += std::fabs(est - truth) / std::max(truth, 1.0);
+  }
+  double n = static_cast<double>(s_keys.size());
+  std::printf(
+      "%-18s avg exact m=%8.2f  avg est m=%8.2f  MAE=%7.2f  "
+      "mean rel err=%5.1f%%  |join| err=%+5.1f%%\n",
+      label, total_exact / n, total_est / n, abs_err / n,
+      100.0 * rel_err / n,
+      100.0 * (total_est - total_exact) / total_exact);
+}
+
+}  // namespace
+}  // namespace sitstats
+
+int main() {
+  std::printf(
+      "=== Section 3.1.1: accuracy of the histogram-based m-Oracle ===\n"
+      "(expected multiplicity f_R / max-density vs exact counts; "
+      "100-bucket MaxDiff)\n\n");
+  sitstats::Run("uniform d=1000", 0.0, 50'000, 1'000);
+  sitstats::Run("zipf 0.5 d=1000", 0.5, 50'000, 1'000);
+  sitstats::Run("zipf 1.0 d=1000", 1.0, 50'000, 1'000);
+  sitstats::Run("zipf 1.0 d=10000", 1.0, 50'000, 10'000);
+  std::printf(
+      "\nExpected: per-tuple estimates track the exact counts closely and "
+      "the\naggregated join size error stays within a few percent.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+#ifndef SITSTATS_BENCH_SCHEDULER_BENCH_UTIL_H_
+#define SITSTATS_BENCH_SCHEDULER_BENCH_UTIL_H_
+
+// Shared driver for the Section 5.2 scheduling experiments (Figures
+// 8-10): generate `num_instances` random instances for a spec, optimize
+// each with every strategy, and average estimated schedule cost and
+// optimization time. Instances where Opt exceeds its expansion budget are
+// dropped from *all* strategies' averages so the comparison stays paired.
+
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "scheduler/instance_generator.h"
+#include "scheduler/solver.h"
+
+namespace sitstats {
+
+struct StrategyStats {
+  double total_cost = 0.0;
+  double total_seconds = 0.0;
+  int instances = 0;
+
+  double AvgCost() const {
+    return instances > 0 ? total_cost / instances : 0.0;
+  }
+  double AvgMillis() const {
+    return instances > 0 ? 1e3 * total_seconds / instances : 0.0;
+  }
+};
+
+struct SweepPoint {
+  StrategyStats naive, opt, greedy, hybrid;
+  int skipped = 0;  // instances where Opt blew the expansion budget
+};
+
+inline SweepPoint RunSchedulingPoint(const InstanceSpec& spec,
+                                     int num_instances, uint64_t seed,
+                                     uint64_t opt_max_expansions = 3'000'000) {
+  SweepPoint point;
+  Rng rng(seed);
+  for (int i = 0; i < num_instances; ++i) {
+    SchedulingProblem problem = MakeRandomInstance(spec, &rng).ValueOrDie();
+
+    SolverOptions opt_options;
+    opt_options.kind = SolverKind::kOptimal;
+    opt_options.max_expansions = opt_max_expansions;
+    Result<SolverResult> opt = SolveSchedule(problem, opt_options);
+    if (!opt.ok()) {
+      point.skipped += 1;
+      continue;
+    }
+    auto run = [&problem](SolverKind kind) {
+      SolverOptions options;
+      options.kind = kind;
+      return SolveSchedule(problem, options).ValueOrDie();
+    };
+    SolverResult naive = run(SolverKind::kNaive);
+    SolverResult greedy = run(SolverKind::kGreedy);
+    SolverResult hybrid = run(SolverKind::kHybrid);
+
+    auto add = [](StrategyStats* stats, const SolverResult& r) {
+      stats->total_cost += r.schedule.cost;
+      stats->total_seconds += r.optimization_seconds;
+      stats->instances += 1;
+    };
+    add(&point.naive, naive);
+    add(&point.opt, *opt);
+    add(&point.greedy, greedy);
+    add(&point.hybrid, hybrid);
+  }
+  return point;
+}
+
+inline void PrintPointRow(const char* x_label, double x,
+                          const SweepPoint& point) {
+  std::printf(
+      "%s=%-6.4g | cost: Naive=%7.0f Opt=%7.0f Greedy=%7.0f Hybrid=%7.0f"
+      " | time ms: Opt=%9.1f Greedy=%6.2f Hybrid=%8.1f | n=%d skipped=%d\n",
+      x_label, x, point.naive.AvgCost(), point.opt.AvgCost(),
+      point.greedy.AvgCost(), point.hybrid.AvgCost(), point.opt.AvgMillis(),
+      point.greedy.AvgMillis(), point.hybrid.AvgMillis(),
+      point.opt.instances, point.skipped);
+}
+
+}  // namespace sitstats
+
+#endif  // SITSTATS_BENCH_SCHEDULER_BENCH_UTIL_H_

@@ -1,0 +1,139 @@
+// Multiple-SIT creation (Section 4): given a batch of SITs to build,
+// derive their dependency sequences, find schedules with every strategy,
+// and actually execute the optimal schedule with shared sequential scans.
+//
+// Mirrors Example 3 of the paper on a 5-table schema: several SITs whose
+// generating queries overlap on intermediate tables, so sharing scans
+// roughly halves the I/O of the naive one-at-a-time approach.
+
+#include <cstdio>
+
+#include "common/logging.h"
+#include "datagen/distributions.h"
+#include "scheduler/executor.h"
+#include "scheduler/solver.h"
+
+using namespace sitstats;  // NOLINT: example brevity
+
+namespace {
+
+JoinPredicate Join(const std::string& lt, const std::string& lc,
+                   const std::string& rt, const std::string& rc) {
+  return JoinPredicate{ColumnRef{lt, lc}, ColumnRef{rt, rc}};
+}
+
+/// Five tables A..E, each with a couple of join keys and a payload.
+Catalog MakeDatabase(uint64_t seed) {
+  Catalog catalog;
+  Rng rng(seed);
+  ZipfDistribution keys(200, 0.8);
+  const size_t rows[] = {8'000, 12'000, 6'000, 10'000, 4'000};
+  const char* names[] = {"A", "B", "C", "D", "E"};
+  for (int t = 0; t < 5; ++t) {
+    Schema schema;
+    schema.AddColumn("k1", ValueType::kInt64);
+    schema.AddColumn("k2", ValueType::kInt64);
+    schema.AddColumn("payload", ValueType::kInt64);
+    Table* table = catalog.CreateTable(names[t], schema).ValueOrDie();
+    table->Reserve(rows[t]);
+    for (size_t r = 0; r < rows[t]; ++r) {
+      int64_t k1 = keys.Sample(&rng);
+      SITSTATS_CHECK_OK(table->AppendRow(
+          {Value(k1), Value(keys.Sample(&rng)),
+           Value((k1 * 7) % 200 + 1)}));
+    }
+  }
+  return catalog;
+}
+
+}  // namespace
+
+int main() {
+  Catalog catalog = MakeDatabase(11);
+
+  // Four SITs with overlapping generating queries (all chains).
+  std::vector<SitDescriptor> sits;
+  sits.emplace_back(
+      ColumnRef{"C", "payload"},
+      GeneratingQuery::Create({"A", "B", "C"},
+                              {Join("A", "k1", "B", "k2"),
+                               Join("B", "k1", "C", "k1")})
+          .ValueOrDie());
+  sits.emplace_back(
+      ColumnRef{"B", "payload"},
+      GeneratingQuery::Create({"A", "B"}, {Join("A", "k1", "B", "k2")})
+          .ValueOrDie());
+  sits.emplace_back(
+      ColumnRef{"C", "payload"},
+      GeneratingQuery::Create({"D", "C"}, {Join("D", "k2", "C", "k2")})
+          .ValueOrDie());
+  sits.emplace_back(
+      ColumnRef{"E", "payload"},
+      GeneratingQuery::Create({"B", "C", "E"},
+                              {Join("B", "k1", "C", "k1"),
+                               Join("C", "k2", "E", "k1")})
+          .ValueOrDie());
+
+  std::printf("SITs to create:\n");
+  for (const SitDescriptor& sit : sits) {
+    std::printf("  %s\n", sit.ToString().c_str());
+  }
+
+  SitProblemOptions poptions;
+  poptions.memory_limit = 5'000;  // forces some scans to split
+  SitSchedulingProblem problem =
+      BuildSitSchedulingProblem(catalog, sits, poptions).ValueOrDie();
+  std::printf("\n%zu dependency sequences over %zu tables, M=%.0f\n",
+              problem.problem.num_sequences(), problem.problem.num_tables(),
+              problem.problem.memory_limit());
+  for (size_t i = 0; i < problem.problem.num_sequences(); ++i) {
+    std::printf("  seq %zu (SIT %zu):", i, problem.sequence_sit[i]);
+    for (int id : problem.problem.sequence(i)) {
+      std::printf(" %s", problem.problem.table_name(id).c_str());
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nschedules:\n");
+  Schedule best;
+  for (SolverKind kind : {SolverKind::kNaive, SolverKind::kGreedy,
+                          SolverKind::kHybrid, SolverKind::kOptimal}) {
+    SolverOptions options;
+    options.kind = kind;
+    SolverResult result =
+        SolveSchedule(problem.problem, options).ValueOrDie();
+    std::printf("  %-7s cost=%5.1f  steps=%zu  time=%.1f ms%s\n",
+                SolverKindToString(kind), result.schedule.cost,
+                result.schedule.steps.size(),
+                1e3 * result.optimization_seconds,
+                result.proved_optimal ? "  (optimal)" : "");
+    if (kind == SolverKind::kOptimal) best = result.schedule;
+  }
+
+  // Execute the optimal schedule for real, sharing scans.
+  BaseStatsCache stats;
+  ScheduleExecutionOptions eoptions;
+  ScheduleExecutionResult executed =
+      ExecuteSitSchedule(&catalog, &stats, sits, problem, best, eoptions)
+          .ValueOrDie();
+  std::printf("\nexecuted optimal schedule: %s\n",
+              executed.total_stats.ToString().c_str());
+  for (const Sit& sit : executed.sits) {
+    std::printf("  built %-55s est|Q|=%12.0f  (%zu buckets)\n",
+                sit.descriptor.ToString().c_str(),
+                sit.estimated_cardinality, sit.histogram.num_buckets());
+  }
+  std::printf(
+      "\nNote: the naive approach would perform %zu scans; the shared "
+      "schedule did %llu.\n",
+      [&] {
+        size_t scans = 0;
+        for (size_t i = 0; i < problem.problem.num_sequences(); ++i) {
+          scans += problem.problem.sequence(i).size();
+        }
+        return scans;
+      }(),
+      static_cast<unsigned long long>(
+          executed.total_stats.sequential_scans));
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Quickstart: build a SIT over a join expression and see why it beats
+// base-table histogram propagation.
+//
+// The scenario mirrors Example 1 / Figure 1 of the paper: a two-table join
+// R1 ⋈ R2 with skewed, correlated attributes, and range predicates over
+// R2.a evaluated on top of the join. We build statistics over the join
+// result with every technique in the paper and compare their accuracy
+// against the true distribution.
+
+#include <cstdio>
+
+#include "datagen/synthetic_db.h"
+#include "estimator/accuracy.h"
+#include "sit/creator.h"
+
+using namespace sitstats;  // NOLINT: example brevity
+
+int main() {
+  // 1. Generate a small skewed database: R1(jn, a, ...) ⋈ R2(jp, a, ...)
+  //    on R1.jn = R2.jp, with zipf(1) join keys and R2.a correlated with
+  //    R2.jp (so the independence assumption is badly wrong).
+  ChainDbSpec spec;
+  spec.num_tables = 2;
+  spec.table_rows = {30'000, 30'000};
+  spec.join_domain = 1'000;
+  spec.zipf_z = 1.0;
+  spec.correlation = AttributeCorrelation::kCorrelated;
+  spec.seed = 7;
+  Result<ChainDatabase> db = MakeChainJoinDatabase(spec);
+  if (!db.ok()) {
+    std::fprintf(stderr, "datagen failed: %s\n",
+                 db.status().ToString().c_str());
+    return 1;
+  }
+  Catalog* catalog = db->catalog.get();
+
+  // 2. Ground truth: the exact distribution of R2.a over R1 ⋈ R2.
+  Result<TrueDistribution> truth =
+      TrueDistribution::Compute(*catalog, db->query, db->sit_attribute);
+  if (!truth.ok()) {
+    std::fprintf(stderr, "ground truth failed: %s\n",
+                 truth.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("join |R1 x R2| = %.0f tuples\n", truth->total_cardinality());
+
+  // 3. Build SIT(R2.a | R1 ⋈ R2) with every technique and measure the
+  //    error of 1,000 random range queries, exactly like Section 5.1.
+  BaseStatsCache base_stats;
+  SitDescriptor descriptor(db->sit_attribute, db->query);
+  std::printf("\n%-12s %18s %18s %14s\n", "technique", "mean rel. error",
+              "median rel. error", "est. |join|");
+  for (SweepVariant variant :
+       {SweepVariant::kHistSit, SweepVariant::kSweep,
+        SweepVariant::kSweepIndex, SweepVariant::kSweepFull,
+        SweepVariant::kSweepExact}) {
+    SitBuildOptions options;
+    options.variant = variant;
+    options.sampling_rate = 0.1;
+    Result<Sit> sit = CreateSit(catalog, &base_stats, descriptor, options);
+    if (!sit.ok()) {
+      std::fprintf(stderr, "CreateSit failed: %s\n",
+                   sit.status().ToString().c_str());
+      return 1;
+    }
+    Rng rng(1234);  // same queries for every technique
+    AccuracyOptions aopts;
+    aopts.num_queries = 1'000;
+    aopts.min_actual_fraction = 0.001;  // skip near-empty deep-tail ranges
+    AccuracyReport report =
+        EvaluateHistogramAccuracy(*truth, sit->histogram, aopts, &rng);
+    std::printf("%-12s %17.1f%% %17.1f%% %14.0f\n",
+                SweepVariantToString(variant),
+                100.0 * report.mean_relative_error,
+                100.0 * report.median_relative_error,
+                sit->estimated_cardinality);
+  }
+  std::printf(
+      "\nSweep needs one sequential scan of R2; Hist-SIT needs none but\n"
+      "relies on the independence assumption, which this data violates.\n");
+  return 0;
+}

@@ -1,0 +1,14 @@
+#include "advisor/workload.h"
+
+#include <sstream>
+
+namespace sitstats {
+
+std::string WorkloadQuery::ToString() const {
+  std::ostringstream os;
+  os << "sigma_{" << lo << " <= " << attribute.ToString() << " <= " << hi
+     << "}(" << query.ToString() << ") w=" << weight;
+  return os.str();
+}
+
+}  // namespace sitstats

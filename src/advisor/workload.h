@@ -1,0 +1,32 @@
+#ifndef SITSTATS_ADVISOR_WORKLOAD_H_
+#define SITSTATS_ADVISOR_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "query/column_ref.h"
+#include "query/generating_query.h"
+
+namespace sitstats {
+
+/// One SPJ workload query: a range predicate over an attribute of a join
+/// result — exactly the plan shape whose cardinality estimate SITs
+/// improve (σ_{lo <= attr <= hi}(Q)).
+struct WorkloadQuery {
+  GeneratingQuery query;
+  ColumnRef attribute;
+  double lo = 0.0;
+  double hi = 0.0;
+  /// Relative weight (e.g. execution frequency) of this query in the
+  /// workload.
+  double weight = 1.0;
+
+  std::string ToString() const;
+};
+
+/// A workload is a weighted bag of SPJ queries.
+using Workload = std::vector<WorkloadQuery>;
+
+}  // namespace sitstats
+
+#endif  // SITSTATS_ADVISOR_WORKLOAD_H_

@@ -1,0 +1,69 @@
+#ifndef SITSTATS_COMMON_LOGGING_H_
+#define SITSTATS_COMMON_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace sitstats {
+
+/// Severity levels for the lightweight logger.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are discarded.
+/// Defaults to kInfo. Not thread-safe by design (single-threaded library).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  bool fatal_ = false;
+  std::ostringstream stream_;
+
+  friend class FatalLogMessage;
+};
+
+/// Like LogMessage but aborts the process after emitting.
+class FatalLogMessage : public LogMessage {
+ public:
+  FatalLogMessage(const char* file, int line);
+};
+
+}  // namespace internal
+}  // namespace sitstats
+
+#define SITSTATS_LOG(level)                                      \
+  ::sitstats::internal::LogMessage(::sitstats::LogLevel::level,  \
+                                   __FILE__, __LINE__)
+
+/// Asserts an invariant; aborts with a message when violated. Active in all
+/// build types: statistics code silently producing garbage is worse than a
+/// crash.
+#define SITSTATS_CHECK(condition)                                     \
+  if (!(condition))                                                   \
+  ::sitstats::internal::FatalLogMessage(__FILE__, __LINE__)           \
+      << "Check failed: " #condition " "
+
+#define SITSTATS_CHECK_OK(expr)                                       \
+  if (::sitstats::Status _st = (expr); !_st.ok())                     \
+  ::sitstats::internal::FatalLogMessage(__FILE__, __LINE__)           \
+      << "Status not OK: " << _st.ToString()
+
+#endif  // SITSTATS_COMMON_LOGGING_H_

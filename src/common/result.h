@@ -1,0 +1,92 @@
+#ifndef SITSTATS_COMMON_RESULT_H_
+#define SITSTATS_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace sitstats {
+
+/// Either a value of type T or a non-OK Status explaining why the value
+/// could not be produced. Mirrors arrow::Result / absl::StatusOr.
+///
+/// Usage:
+///   Result<Histogram> r = BuildHistogram(...);
+///   if (!r.ok()) return r.status();
+///   Histogram h = std::move(r).ValueOrDie();
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (failure). Constructing a
+  /// Result from an OK status is a programming error and aborts.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(repr_).ok()) {
+      std::cerr << "Result constructed from OK status" << std::endl;
+      std::abort();
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The error status, or OK when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  /// Returns the held value; aborts with the status message if this is an
+  /// error. Use only after checking ok(), or when failure is a logic error.
+  const T& ValueOrDie() const& {
+    DieIfError();
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    DieIfError();
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    DieIfError();
+    return std::move(std::get<T>(repr_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  void DieIfError() const {
+    if (!ok()) {
+      std::cerr << "Result::ValueOrDie on error: "
+                << std::get<Status>(repr_).ToString() << std::endl;
+      std::abort();
+    }
+  }
+
+  std::variant<T, Status> repr_;
+};
+
+/// Evaluates `expr` (a Result<T>); on error returns the status, otherwise
+/// assigns the value to `lhs`.
+#define SITSTATS_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                   \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).ValueOrDie()
+
+#define SITSTATS_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define SITSTATS_ASSIGN_OR_RETURN_NAME(a, b) \
+  SITSTATS_ASSIGN_OR_RETURN_CONCAT(a, b)
+
+#define SITSTATS_ASSIGN_OR_RETURN(lhs, expr)                                  \
+  SITSTATS_ASSIGN_OR_RETURN_IMPL(                                             \
+      SITSTATS_ASSIGN_OR_RETURN_NAME(_result_tmp_, __LINE__), lhs, expr)
+
+}  // namespace sitstats
+
+#endif  // SITSTATS_COMMON_RESULT_H_

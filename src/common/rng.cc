@@ -1,0 +1,25 @@
+#include "common/rng.h"
+
+#include "common/logging.h"
+
+namespace sitstats {
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  SITSTATS_CHECK(lo <= hi) << "UniformInt with lo=" << lo << " hi=" << hi;
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+}  // namespace sitstats

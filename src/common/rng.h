@@ -1,0 +1,45 @@
+#ifndef SITSTATS_COMMON_RNG_H_
+#define SITSTATS_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+
+namespace sitstats {
+
+/// Deterministic pseudo-random number generator used throughout the library.
+///
+/// Every randomized component (data generation, sampling, workload
+/// generation) takes an explicit Rng so experiments are reproducible from a
+/// single seed. Wraps std::mt19937_64.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return UniformDouble(0.0, 1.0); }
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p);
+
+  /// Raw 64-bit output (for seeding child generators).
+  uint64_t NextUint64() { return engine_(); }
+
+  /// Forks an independent child generator; advancing the child does not
+  /// perturb the parent beyond the single draw used to seed it.
+  Rng Fork() { return Rng(NextUint64()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace sitstats
+
+#endif  // SITSTATS_COMMON_RNG_H_

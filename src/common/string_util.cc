@@ -1,0 +1,39 @@
+#include "common/string_util.h"
+
+#include <sstream>
+
+namespace sitstats {
+
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string result;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) result += sep;
+    result += parts[i];
+  }
+  return result;
+}
+
+std::vector<std::string> Split(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  std::string current;
+  for (char c : s) {
+    if (c == sep) {
+      parts.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  parts.push_back(current);
+  return parts;
+}
+
+std::string FormatDouble(double value, int precision) {
+  std::ostringstream os;
+  os.precision(precision);
+  os << std::fixed << value;
+  return os.str();
+}
+
+}  // namespace sitstats

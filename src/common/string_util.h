@@ -1,0 +1,21 @@
+#ifndef SITSTATS_COMMON_STRING_UTIL_H_
+#define SITSTATS_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace sitstats {
+
+/// Joins `parts` with `sep` ("a", "b" -> "a,b").
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// Splits `s` on the character `sep`; no trimming, empty fields preserved.
+std::vector<std::string> Split(const std::string& s, char sep);
+
+/// Formats a double with `precision` significant decimal digits.
+std::string FormatDouble(double value, int precision = 4);
+
+}  // namespace sitstats
+
+#endif  // SITSTATS_COMMON_STRING_UTIL_H_

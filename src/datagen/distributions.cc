@@ -1,0 +1,63 @@
+#include "datagen/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace sitstats {
+
+ZipfDistribution::ZipfDistribution(uint64_t domain_size, double z)
+    : domain_size_(domain_size), z_(z) {
+  SITSTATS_CHECK(domain_size_ > 0) << "zipf domain must be non-empty";
+  SITSTATS_CHECK(z_ >= 0.0) << "zipf parameter must be non-negative";
+  cdf_.resize(domain_size_);
+  double acc = 0.0;
+  for (uint64_t k = 1; k <= domain_size_; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k), z_);
+    cdf_[k - 1] = acc;
+  }
+  for (double& c : cdf_) c /= acc;
+}
+
+int64_t ZipfDistribution::Sample(Rng* rng) const {
+  double u = rng->NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<int64_t>(it - cdf_.begin()) + 1;
+}
+
+std::vector<int64_t> ZipfDistribution::SampleMany(size_t count,
+                                                  Rng* rng) const {
+  std::vector<int64_t> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) out.push_back(Sample(rng));
+  return out;
+}
+
+double ZipfDistribution::Probability(int64_t k) const {
+  if (k < 1 || static_cast<uint64_t>(k) > domain_size_) return 0.0;
+  size_t idx = static_cast<size_t>(k - 1);
+  double prev = idx == 0 ? 0.0 : cdf_[idx - 1];
+  return cdf_[idx] - prev;
+}
+
+std::vector<int64_t> UniformInts(size_t count, int64_t lo, int64_t hi,
+                                 Rng* rng) {
+  std::vector<int64_t> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) out.push_back(rng->UniformInt(lo, hi));
+  return out;
+}
+
+std::vector<double> UniformDoubles(size_t count, double lo, double hi,
+                                   Rng* rng) {
+  std::vector<double> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back(rng->UniformDouble(lo, hi));
+  }
+  return out;
+}
+
+}  // namespace sitstats

@@ -1,0 +1,122 @@
+#include "datagen/tpch_lite.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.h"
+#include "datagen/distributions.h"
+
+namespace sitstats {
+
+Result<std::unique_ptr<Catalog>> MakeTpchLiteDatabase(
+    const TpchLiteSpec& spec) {
+  if (spec.num_nations == 0 || spec.num_customers == 0 ||
+      spec.num_orders == 0 || spec.avg_lineitems_per_order < 1) {
+    return Status::InvalidArgument("TPC-H-lite spec sizes must be positive");
+  }
+  Rng rng(spec.seed);
+  auto catalog = std::make_unique<Catalog>();
+
+  // nation(n_nationkey, n_regionkey): 5 regions.
+  {
+    Schema schema;
+    schema.AddColumn("n_nationkey", ValueType::kInt64);
+    schema.AddColumn("n_regionkey", ValueType::kInt64);
+    SITSTATS_ASSIGN_OR_RETURN(Table * nation,
+                              catalog->CreateTable("nation", schema));
+    for (size_t n = 0; n < spec.num_nations; ++n) {
+      SITSTATS_RETURN_IF_ERROR(nation->AppendRow(
+          {Value(static_cast<int64_t>(n + 1)),
+           Value(static_cast<int64_t>(n % 5 + 1))}));
+    }
+  }
+
+  // customer(c_custkey, c_nationkey, c_mktsegment, c_acctbal).
+  std::vector<double> acctbal(spec.num_customers);
+  {
+    Schema schema;
+    schema.AddColumn("c_custkey", ValueType::kInt64);
+    schema.AddColumn("c_nationkey", ValueType::kInt64);
+    schema.AddColumn("c_mktsegment", ValueType::kInt64);
+    schema.AddColumn("c_acctbal", ValueType::kDouble);
+    SITSTATS_ASSIGN_OR_RETURN(Table * customer,
+                              catalog->CreateTable("customer", schema));
+    customer->Reserve(spec.num_customers);
+    for (size_t c = 0; c < spec.num_customers; ++c) {
+      acctbal[c] = rng.UniformDouble(0.0, 10'000.0);
+      SITSTATS_RETURN_IF_ERROR(customer->AppendRow(
+          {Value(static_cast<int64_t>(c + 1)),
+           Value(rng.UniformInt(1, static_cast<int64_t>(spec.num_nations))),
+           Value(rng.UniformInt(1, 5)), Value(acctbal[c])}));
+    }
+  }
+
+  // Rank customers by balance (descending): rank r gets zipf weight
+  // 1/(r+1)^z, so wealthy customers place many more orders.
+  std::vector<size_t> by_balance(spec.num_customers);
+  std::iota(by_balance.begin(), by_balance.end(), 0);
+  std::sort(by_balance.begin(), by_balance.end(),
+            [&acctbal](size_t a, size_t b) {
+              return acctbal[a] > acctbal[b];
+            });
+  ZipfDistribution order_dist(spec.num_customers, spec.order_skew_z);
+
+  // orders(o_orderkey, o_custkey, o_orderdate, o_totalprice).
+  std::vector<double> totalprice(spec.num_orders);
+  {
+    Schema schema;
+    schema.AddColumn("o_orderkey", ValueType::kInt64);
+    schema.AddColumn("o_custkey", ValueType::kInt64);
+    schema.AddColumn("o_orderdate", ValueType::kInt64);
+    schema.AddColumn("o_totalprice", ValueType::kDouble);
+    SITSTATS_ASSIGN_OR_RETURN(Table * orders,
+                              catalog->CreateTable("orders", schema));
+    orders->Reserve(spec.num_orders);
+    for (size_t o = 0; o < spec.num_orders; ++o) {
+      size_t rank = static_cast<size_t>(order_dist.Sample(&rng)) - 1;
+      size_t cust = by_balance[rank];
+      // Order value tracks the customer's balance (strong correlation).
+      totalprice[o] =
+          0.05 * acctbal[cust] + rng.UniformDouble(0.0, 100.0);
+      SITSTATS_RETURN_IF_ERROR(orders->AppendRow(
+          {Value(static_cast<int64_t>(o + 1)),
+           Value(static_cast<int64_t>(cust + 1)),
+           Value(rng.UniformInt(1, 2'400)), Value(totalprice[o])}));
+    }
+  }
+
+  // lineitem(l_orderkey, l_linenumber, l_quantity, l_extendedprice).
+  {
+    Schema schema;
+    schema.AddColumn("l_orderkey", ValueType::kInt64);
+    schema.AddColumn("l_linenumber", ValueType::kInt64);
+    schema.AddColumn("l_quantity", ValueType::kInt64);
+    schema.AddColumn("l_extendedprice", ValueType::kDouble);
+    SITSTATS_ASSIGN_OR_RETURN(Table * lineitem,
+                              catalog->CreateTable("lineitem", schema));
+    const int max_lines = 2 * spec.avg_lineitems_per_order - 1;
+    // Larger orders carry more line items (correlated, with jitter), so
+    // the join orders ⋈ lineitem amplifies expensive orders.
+    double max_price = 0.0;
+    for (double p : totalprice) max_price = std::max(max_price, p);
+    for (size_t o = 0; o < spec.num_orders; ++o) {
+      int base_lines = 1 + static_cast<int>((totalprice[o] / max_price) *
+                                            (max_lines - 1));
+      int lines = base_lines + static_cast<int>(rng.UniformInt(-1, 1));
+      if (lines < 1) lines = 1;
+      if (lines > max_lines) lines = max_lines;
+      for (int l = 0; l < lines; ++l) {
+        double price = totalprice[o] / lines +
+                       rng.UniformDouble(-5.0, 5.0);
+        SITSTATS_RETURN_IF_ERROR(lineitem->AppendRow(
+            {Value(static_cast<int64_t>(o + 1)),
+             Value(static_cast<int64_t>(l + 1)),
+             Value(rng.UniformInt(1, 50)), Value(std::max(price, 0.0))}));
+      }
+    }
+  }
+
+  return catalog;
+}
+
+}  // namespace sitstats

@@ -1,0 +1,46 @@
+#ifndef SITSTATS_DATAGEN_TPCH_LITE_H_
+#define SITSTATS_DATAGEN_TPCH_LITE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/result.h"
+#include "storage/catalog.h"
+
+namespace sitstats {
+
+/// Parameters of the TPC-H-lite generator: a scaled-down, integer-keyed
+/// subset of the TPC-H schema (nation / customer / orders / lineitem)
+/// with *deliberate* key skew and cross-table correlation — the regime
+/// that motivates SITs. This substitutes for the full 1GB dbgen dataset:
+/// the examples only need a realistic foreign-key join schema whose
+/// joined attribute distributions differ from the base ones.
+struct TpchLiteSpec {
+  size_t num_nations = 25;
+  size_t num_customers = 5'000;
+  size_t num_orders = 30'000;
+  /// Lineitems per order are uniform in [1, 2*avg-1].
+  int avg_lineitems_per_order = 4;
+  /// Skew of orders across customers (zipf over customers ranked by
+  /// account balance: wealthy customers place many more orders).
+  double order_skew_z = 1.0;
+  uint64_t seed = 42;
+};
+
+/// Generated tables:
+///   nation(n_nationkey, n_regionkey)
+///   customer(c_custkey, c_nationkey, c_mktsegment, c_acctbal)
+///   orders(o_orderkey, o_custkey, o_orderdate, o_totalprice)
+///   lineitem(l_orderkey, l_linenumber, l_quantity, l_extendedprice)
+///
+/// Correlations baked in: order volume is zipf-skewed towards customers
+/// with high c_acctbal, and o_totalprice tracks the owning customer's
+/// balance — so the distribution of o_totalprice over customer ⋈ orders
+/// (or of l_extendedprice over orders ⋈ lineitem) differs sharply from
+/// the base-table distribution, defeating the independence assumption.
+Result<std::unique_ptr<Catalog>> MakeTpchLiteDatabase(
+    const TpchLiteSpec& spec);
+
+}  // namespace sitstats
+
+#endif  // SITSTATS_DATAGEN_TPCH_LITE_H_

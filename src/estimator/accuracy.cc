@@ -1,0 +1,109 @@
+#include "estimator/accuracy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/logging.h"
+#include "exec/query_executor.h"
+
+namespace sitstats {
+
+Result<TrueDistribution> TrueDistribution::Compute(
+    const Catalog& catalog, const GeneratingQuery& query,
+    const ColumnRef& attribute) {
+  SITSTATS_ASSIGN_OR_RETURN(std::vector<WeightedValue> weighted,
+                            ExecuteProjection(catalog, query, attribute));
+  std::map<double, double> by_value;
+  for (const WeightedValue& wv : weighted) {
+    by_value[wv.value] += static_cast<double>(wv.weight);
+  }
+  TrueDistribution dist;
+  dist.values_.reserve(by_value.size());
+  dist.cumulative_.reserve(by_value.size());
+  double acc = 0.0;
+  for (const auto& [value, weight] : by_value) {
+    acc += weight;
+    dist.values_.push_back(value);
+    dist.cumulative_.push_back(acc);
+  }
+  dist.total_ = acc;
+  return dist;
+}
+
+double TrueDistribution::RangeCardinality(double lo, double hi) const {
+  if (values_.empty() || hi < lo) return 0.0;
+  // Cumulative weight of values <= x.
+  auto cum_at = [this](double x) {
+    auto it = std::upper_bound(values_.begin(), values_.end(), x);
+    if (it == values_.begin()) return 0.0;
+    return cumulative_[static_cast<size_t>(it - values_.begin()) - 1];
+  };
+  double below_lo = 0.0;
+  {
+    auto it = std::lower_bound(values_.begin(), values_.end(), lo);
+    if (it != values_.begin()) {
+      below_lo = cumulative_[static_cast<size_t>(it - values_.begin()) - 1];
+    }
+  }
+  return cum_at(hi) - below_lo;
+}
+
+double TrueDistribution::min_value() const {
+  SITSTATS_CHECK(!values_.empty());
+  return values_.front();
+}
+
+double TrueDistribution::max_value() const {
+  SITSTATS_CHECK(!values_.empty());
+  return values_.back();
+}
+
+AccuracyReport EvaluateHistogramAccuracy(const TrueDistribution& truth,
+                                         const Histogram& histogram,
+                                         const AccuracyOptions& options,
+                                         Rng* rng) {
+  AccuracyReport report;
+  if (truth.empty() || options.num_queries <= 0) return report;
+  double domain_lo = truth.min_value();
+  double domain_hi = truth.max_value();
+  double min_actual = options.min_actual_fraction * truth.total_cardinality();
+  std::vector<double> errors;
+  errors.reserve(static_cast<size_t>(options.num_queries));
+  for (int q = 0; q < options.num_queries; ++q) {
+    double actual = 0.0;
+    double a = domain_lo;
+    double b = domain_hi;
+    // Re-draw deep-tail ranges; after the retry budget keep the last draw
+    // so the loop always terminates.
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      a = rng->UniformDouble(domain_lo, domain_hi);
+      b = rng->UniformDouble(domain_lo, domain_hi);
+      if (a > b) std::swap(a, b);
+      actual = truth.RangeCardinality(a, b);
+      if (actual >= min_actual) break;
+    }
+    double estimated = histogram.EstimateRange(a, b);
+    double error = std::fabs(estimated - actual) / std::max(actual, 1.0);
+    errors.push_back(error);
+  }
+  std::sort(errors.begin(), errors.end());
+  double sum = 0.0;
+  for (double e : errors) sum += e;
+  report.num_queries = errors.size();
+  report.mean_relative_error = sum / static_cast<double>(errors.size());
+  report.median_relative_error = errors[errors.size() / 2];
+  report.p90_relative_error = errors[(errors.size() * 9) / 10];
+  report.max_relative_error = errors.back();
+  return report;
+}
+
+AccuracyReport EvaluateHistogramAccuracy(const TrueDistribution& truth,
+                                         const Histogram& histogram,
+                                         int num_queries, Rng* rng) {
+  AccuracyOptions options;
+  options.num_queries = num_queries;
+  return EvaluateHistogramAccuracy(truth, histogram, options, rng);
+}
+
+}  // namespace sitstats

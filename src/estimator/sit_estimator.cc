@@ -1,0 +1,145 @@
+#include "estimator/sit_estimator.h"
+
+#include <algorithm>
+#include <set>
+
+namespace sitstats {
+
+namespace {
+
+/// True if `sub` is a subexpression of `query`: its tables and join
+/// predicates are subsets (sub is already validated as connected and
+/// acyclic by construction).
+bool IsSubexpression(const GeneratingQuery& sub,
+                     const GeneratingQuery& query) {
+  std::set<std::string> tables(query.tables().begin(),
+                               query.tables().end());
+  for (const std::string& t : sub.tables()) {
+    if (tables.count(t) == 0) return false;
+  }
+  for (const JoinPredicate& join : sub.joins()) {
+    bool found = false;
+    for (const JoinPredicate& candidate : query.joins()) {
+      if (join == candidate) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* ProvenanceToString(
+    CardinalityEstimator::Provenance provenance) {
+  switch (provenance) {
+    case CardinalityEstimator::Provenance::kSit:
+      return "sit";
+    case CardinalityEstimator::Provenance::kPartialSit:
+      return "partial-sit";
+    case CardinalityEstimator::Provenance::kPropagation:
+      return "propagation";
+  }
+  return "?";
+}
+
+const Sit* CardinalityEstimator::FindBestSubexpressionSit(
+    const GeneratingQuery& query, const ColumnRef& attribute) const {
+  if (sits_ == nullptr) return nullptr;
+  const Sit* best = nullptr;
+  for (const Sit& sit : sits_->sits()) {
+    if (sit.descriptor.attribute() != attribute) continue;
+    const GeneratingQuery& sub = sit.descriptor.query();
+    if (!IsSubexpression(sub, query)) continue;
+    if (best == nullptr ||
+        sub.num_tables() > best->descriptor.query().num_tables()) {
+      best = &sit;
+    }
+  }
+  return best;
+}
+
+Result<CardinalityEstimator::Estimate>
+CardinalityEstimator::EstimateRangeQuery(const GeneratingQuery& query,
+                                         const ColumnRef& attribute,
+                                         double lo, double hi) {
+  // Tier 1: exact match.
+  if (sits_ != nullptr) {
+    const Sit* sit = sits_->Find(attribute, query);
+    if (sit != nullptr) {
+      return Estimate{sit->histogram.EstimateRange(lo, hi),
+                      Provenance::kSit, true};
+    }
+  }
+
+  SitBuildOptions hist_options;
+  hist_options.variant = SweepVariant::kHistSit;
+
+  // Tier 2: partial match — rescale the SIT's accurate subexpression
+  // distribution by the propagation estimate of the remaining joins.
+  const Sit* partial = FindBestSubexpressionSit(query, attribute);
+  if (partial != nullptr &&
+      partial->descriptor.query().num_tables() < query.num_tables()) {
+    SITSTATS_ASSIGN_OR_RETURN(
+        Sit full_prop,
+        CreateSit(catalog_, base_stats_, SitDescriptor(attribute, query),
+                  hist_options));
+    SITSTATS_ASSIGN_OR_RETURN(
+        Sit sub_prop,
+        CreateSit(catalog_, base_stats_,
+                  SitDescriptor(attribute, partial->descriptor.query()),
+                  hist_options));
+    double expansion = sub_prop.estimated_cardinality > 0.0
+                           ? full_prop.estimated_cardinality /
+                                 sub_prop.estimated_cardinality
+                           : 0.0;
+    double target = partial->estimated_cardinality * expansion;
+    Histogram rescaled = partial->histogram.ScaledToTotal(target);
+    return Estimate{rescaled.EstimateRange(lo, hi),
+                    Provenance::kPartialSit, true};
+  }
+  if (partial != nullptr) {
+    // Subexpression covering every table: equivalent modulo predicate
+    // order; use it directly.
+    return Estimate{partial->histogram.EstimateRange(lo, hi),
+                    Provenance::kSit, true};
+  }
+
+  // Tier 3: classic propagation.
+  SITSTATS_ASSIGN_OR_RETURN(
+      Sit hist_sit,
+      CreateSit(catalog_, base_stats_, SitDescriptor(attribute, query),
+                hist_options));
+  return Estimate{hist_sit.histogram.EstimateRange(lo, hi),
+                  Provenance::kPropagation, false};
+}
+
+Result<double> CardinalityEstimator::EstimateJoinCardinality(
+    const GeneratingQuery& query) {
+  if (query.IsBaseTable()) {
+    SITSTATS_ASSIGN_OR_RETURN(const Table* table,
+                              catalog_->GetTable(query.tables().front()));
+    return static_cast<double>(table->num_rows());
+  }
+  // Propagate using any table's numeric attribute as the carrier; the
+  // cardinality does not depend on the carrier attribute.
+  const std::string& root = query.tables().front();
+  SITSTATS_ASSIGN_OR_RETURN(const Table* table, catalog_->GetTable(root));
+  for (size_t c = 0; c < table->num_columns(); ++c) {
+    if (table->column(c).type() == ValueType::kString) continue;
+    SitBuildOptions options;
+    options.variant = SweepVariant::kHistSit;
+    SITSTATS_ASSIGN_OR_RETURN(
+        Sit hist_sit,
+        CreateSit(catalog_, base_stats_,
+                  SitDescriptor(ColumnRef{root, table->column(c).name()},
+                                query),
+                  options));
+    return hist_sit.estimated_cardinality;
+  }
+  return Status::InvalidArgument("table " + root + " has no numeric column");
+}
+
+}  // namespace sitstats

@@ -1,0 +1,71 @@
+#ifndef SITSTATS_ESTIMATOR_SIT_ESTIMATOR_H_
+#define SITSTATS_ESTIMATOR_SIT_ESTIMATOR_H_
+
+#include "common/result.h"
+#include "sit/base_stats.h"
+#include "sit/creator.h"
+#include "sit/sit_catalog.h"
+#include "storage/catalog.h"
+
+namespace sitstats {
+
+/// The cardinality-estimation wrapper of Section 2.2: when asked to
+/// estimate an SPJ sub-plan σ_{lo<=attr<=hi}(Q), it rewrites the plan
+/// against the SIT catalog before falling back to traditional
+/// propagation. Three tiers:
+///
+///  1. exact match — a SIT over attr whose generating query is equivalent
+///     to Q: used directly, no assumptions;
+///  2. partial match — a SIT over attr whose generating query Q' is a
+///     *subexpression* of Q (tables and join predicates are subsets):
+///     the SIT's accurate distribution over Q' is rescaled by the
+///     propagation-estimated expansion factor of the remaining joins,
+///     est(Q)/est(Q'). Only the residual joins rely on the independence
+///     assumption;
+///  3. fallback — full base-histogram propagation (Hist-SIT).
+class CardinalityEstimator {
+ public:
+  /// How an estimate was produced, most accurate first.
+  enum class Provenance { kSit, kPartialSit, kPropagation };
+
+  /// One estimate, with provenance for diagnostics.
+  struct Estimate {
+    double cardinality = 0.0;
+    Provenance provenance = Provenance::kPropagation;
+    /// True when a SIT was matched (exactly or partially).
+    bool used_sit = false;
+  };
+
+  /// `sits` may be null (pure-propagation estimator). All pointers are
+  /// borrowed and must outlive the estimator. `catalog` is mutable only
+  /// because base statistics are built lazily.
+  CardinalityEstimator(Catalog* catalog, BaseStatsCache* base_stats,
+                       const SitCatalog* sits)
+      : catalog_(catalog), base_stats_(base_stats), sits_(sits) {}
+
+  /// Cardinality of σ_{lo <= attr <= hi}(query).
+  Result<Estimate> EstimateRangeQuery(const GeneratingQuery& query,
+                                      const ColumnRef& attribute, double lo,
+                                      double hi);
+
+  /// Cardinality of the bare join `query` via histogram propagation.
+  Result<double> EstimateJoinCardinality(const GeneratingQuery& query);
+
+  /// The best partial match in the catalog: a SIT over `attribute` whose
+  /// generating query is a strict or non-strict subexpression of `query`,
+  /// maximizing covered tables. Returns nullptr when none applies.
+  /// Exposed for testing and diagnostics.
+  const Sit* FindBestSubexpressionSit(const GeneratingQuery& query,
+                                      const ColumnRef& attribute) const;
+
+ private:
+  Catalog* catalog_;
+  BaseStatsCache* base_stats_;
+  const SitCatalog* sits_;
+};
+
+const char* ProvenanceToString(CardinalityEstimator::Provenance provenance);
+
+}  // namespace sitstats
+
+#endif  // SITSTATS_ESTIMATOR_SIT_ESTIMATOR_H_

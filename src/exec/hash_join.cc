@@ -1,0 +1,69 @@
+#include "exec/hash_join.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace sitstats {
+
+namespace {
+
+/// "T.col" unless the name is already qualified (join of joins).
+std::string Qualify(const std::string& table, const std::string& column) {
+  if (column.find('.') != std::string::npos) return column;
+  return table + "." + column;
+}
+
+}  // namespace
+
+Result<Table> HashJoinTables(const Table& left, const Table& right,
+                             const std::string& left_column,
+                             const std::string& right_column) {
+  SITSTATS_ASSIGN_OR_RETURN(const Column* lcol, left.GetColumn(left_column));
+  SITSTATS_ASSIGN_OR_RETURN(const Column* rcol, right.GetColumn(right_column));
+  if (lcol->type() == ValueType::kString ||
+      rcol->type() == ValueType::kString) {
+    return Status::InvalidArgument("hash join on string columns");
+  }
+
+  // Build side: smaller input.
+  const bool build_left = left.num_rows() <= right.num_rows();
+  const Table& build = build_left ? left : right;
+  const Table& probe = build_left ? right : left;
+  const Column* build_key = build_left ? lcol : rcol;
+  const Column* probe_key = build_left ? rcol : lcol;
+
+  std::unordered_map<double, std::vector<uint32_t>> hash_table;
+  hash_table.reserve(build.num_rows());
+  for (size_t row = 0; row < build.num_rows(); ++row) {
+    hash_table[build_key->GetNumeric(row)].push_back(
+        static_cast<uint32_t>(row));
+  }
+
+  Schema out_schema;
+  for (const ColumnDef& def : left.schema().columns()) {
+    out_schema.AddColumn(Qualify(left.name(), def.name), def.type);
+  }
+  for (const ColumnDef& def : right.schema().columns()) {
+    out_schema.AddColumn(Qualify(right.name(), def.name), def.type);
+  }
+  Table out(left.name() + "_" + right.name(), out_schema);
+
+  const size_t left_cols = left.num_columns();
+  for (size_t probe_row = 0; probe_row < probe.num_rows(); ++probe_row) {
+    auto it = hash_table.find(probe_key->GetNumeric(probe_row));
+    if (it == hash_table.end()) continue;
+    for (uint32_t build_row : it->second) {
+      size_t lrow = build_left ? build_row : probe_row;
+      size_t rrow = build_left ? probe_row : build_row;
+      for (size_t c = 0; c < left.num_columns(); ++c) {
+        out.column(c).Append(left.column(c).Get(lrow));
+      }
+      for (size_t c = 0; c < right.num_columns(); ++c) {
+        out.column(left_cols + c).Append(right.column(c).Get(rrow));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace sitstats

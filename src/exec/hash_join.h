@@ -1,0 +1,24 @@
+#ifndef SITSTATS_EXEC_HASH_JOIN_H_
+#define SITSTATS_EXEC_HASH_JOIN_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace sitstats {
+
+/// Materializing equality hash join of two tables on numeric columns.
+///
+/// The output table carries every column of both inputs; column names are
+/// qualified as "T.col" unless they already contain a '.' (i.e. the input
+/// is itself a join result). Intended for ground-truth computation and for
+/// validating the streaming evaluator on small inputs — it materializes
+/// the full result, so it is exponential on pathological join chains.
+Result<Table> HashJoinTables(const Table& left, const Table& right,
+                             const std::string& left_column,
+                             const std::string& right_column);
+
+}  // namespace sitstats
+
+#endif  // SITSTATS_EXEC_HASH_JOIN_H_

@@ -1,0 +1,14 @@
+#include "histogram/bucket.h"
+
+#include <sstream>
+
+namespace sitstats {
+
+std::string Bucket::ToString() const {
+  std::ostringstream os;
+  os << "[" << lo << ", " << hi << "] f=" << frequency
+     << " dv=" << distinct_values;
+  return os.str();
+}
+
+}  // namespace sitstats

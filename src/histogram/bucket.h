@@ -1,0 +1,41 @@
+#ifndef SITSTATS_HISTOGRAM_BUCKET_H_
+#define SITSTATS_HISTOGRAM_BUCKET_H_
+
+#include <string>
+
+namespace sitstats {
+
+/// One histogram bucket over a closed value range [lo, hi].
+///
+/// Semantics follow the MaxDiff histograms of Poosala et al. (SIGMOD'96),
+/// which the paper uses (Section 5.1): each bucket records the total tuple
+/// frequency and the number of distinct values it covers, and intra-bucket
+/// tuples are assumed uniformly spread over the distinct values (the
+/// "uniform spread" assumption).
+///
+/// `frequency` and `distinct_values` are doubles rather than integers
+/// because histogram *propagation* (the independence assumption) scales
+/// them fractionally.
+struct Bucket {
+  double lo = 0.0;
+  double hi = 0.0;
+  double frequency = 0.0;
+  double distinct_values = 0.0;
+
+  /// True if `v` falls inside this bucket's closed range.
+  bool Contains(double v) const { return v >= lo && v <= hi; }
+
+  /// Width of the value range (0 for singleton buckets).
+  double Width() const { return hi - lo; }
+
+  /// Average tuples per distinct value (frequency if no distinct info).
+  double TuplesPerDistinct() const {
+    return distinct_values > 0.0 ? frequency / distinct_values : frequency;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace sitstats
+
+#endif  // SITSTATS_HISTOGRAM_BUCKET_H_

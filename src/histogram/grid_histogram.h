@@ -1,0 +1,70 @@
+#ifndef SITSTATS_HISTOGRAM_GRID_HISTOGRAM_H_
+#define SITSTATS_HISTOGRAM_GRID_HISTOGRAM_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace sitstats {
+
+/// A two-dimensional equi-width grid histogram over pairs of numeric
+/// values. This is the "multidimensional histogram" Section 3.2 calls for
+/// when a table pair is joined by two predicates
+/// (R ⋈_{R.w=S.x ∧ R.y=S.z} S): the m-Oracle then needs the joint
+/// distribution of the two join columns, since treating the predicates
+/// independently multiplies their selectivities (the very assumption SITs
+/// exist to avoid).
+///
+/// Cells carry a frequency and an exact distinct-pair count. Two grids
+/// built with the same GridBounds are cell-aligned, so the paper's
+/// containment formula applies per cell without alignment corrections.
+class GridHistogram2D {
+ public:
+  struct Cell {
+    double frequency = 0.0;
+    double distinct_pairs = 0.0;
+  };
+
+  /// Covering ranges and resolution of a grid.
+  struct Bounds {
+    double x_lo = 0.0, x_hi = 0.0;
+    double y_lo = 0.0, y_hi = 0.0;
+    int nx = 10, ny = 10;
+  };
+
+  /// Bounds that cover `points` with the given resolution.
+  static Result<Bounds> FitBounds(
+      const std::vector<std::pair<double, double>>& points, int nx, int ny);
+
+  /// Builds a grid over `points` with explicit bounds (points outside the
+  /// bounds are clamped into the border cells).
+  static Result<GridHistogram2D> Build(
+      const std::vector<std::pair<double, double>>& points,
+      const Bounds& bounds);
+
+  const Bounds& bounds() const { return bounds_; }
+  size_t num_cells() const { return cells_.size(); }
+
+  /// The cell containing (x, y), or nullptr when outside the bounds.
+  const Cell* FindCell(double x, double y) const;
+
+  double TotalFrequency() const;
+  double TotalDistinctPairs() const;
+
+  /// Estimated number of tuples with first == x and second == y (uniform
+  /// spread over the cell's distinct pairs); 0 outside the bounds.
+  double EstimateEquals(double x, double y) const;
+
+ private:
+  explicit GridHistogram2D(Bounds bounds) : bounds_(bounds) {}
+
+  int CellIndex(double x, double y) const;  // -1 outside
+
+  Bounds bounds_;
+  std::vector<Cell> cells_;  // row-major: iy * nx + ix
+};
+
+}  // namespace sitstats
+
+#endif  // SITSTATS_HISTOGRAM_GRID_HISTOGRAM_H_

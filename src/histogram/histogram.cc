@@ -1,0 +1,131 @@
+#include "histogram/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace sitstats {
+
+Histogram::Histogram(std::vector<Bucket> buckets)
+    : buckets_(std::move(buckets)) {}
+
+double Histogram::MinValue() const {
+  SITSTATS_CHECK(!buckets_.empty()) << "MinValue of empty histogram";
+  return buckets_.front().lo;
+}
+
+double Histogram::MaxValue() const {
+  SITSTATS_CHECK(!buckets_.empty()) << "MaxValue of empty histogram";
+  return buckets_.back().hi;
+}
+
+double Histogram::TotalFrequency() const {
+  double total = 0.0;
+  for (const Bucket& b : buckets_) total += b.frequency;
+  return total;
+}
+
+double Histogram::TotalDistinct() const {
+  double total = 0.0;
+  for (const Bucket& b : buckets_) total += b.distinct_values;
+  return total;
+}
+
+int Histogram::FindBucket(double v) const {
+  // First bucket whose hi >= v; it contains v iff its lo <= v.
+  auto it = std::lower_bound(
+      buckets_.begin(), buckets_.end(), v,
+      [](const Bucket& b, double value) { return b.hi < value; });
+  if (it == buckets_.end() || !it->Contains(v)) return -1;
+  return static_cast<int>(it - buckets_.begin());
+}
+
+double Histogram::EstimateEquals(double v) const {
+  int idx = FindBucket(v);
+  if (idx < 0) return 0.0;
+  return buckets_[static_cast<size_t>(idx)].TuplesPerDistinct();
+}
+
+double Histogram::EstimateRange(double lo, double hi) const {
+  if (hi < lo) return 0.0;
+  double total = 0.0;
+  for (const Bucket& b : buckets_) {
+    if (b.hi < lo || b.lo > hi) continue;
+    // Uniform-spread model (Poosala et al.): the bucket holds dv distinct
+    // values evenly spaced across [lo, hi], each carrying f/dv tuples. The
+    // expected number of value positions inside the overlap is
+    // overlap/spacing + 1, capped at dv.
+    if (b.Width() == 0.0 || b.distinct_values <= 1.0) {
+      // One value position (or a degenerate range): the overlap contains
+      // it whenever it is non-empty.
+      total += b.frequency;
+      continue;
+    }
+    double overlap_lo = std::max(lo, b.lo);
+    double overlap_hi = std::min(hi, b.hi);
+    double spacing = b.Width() / (b.distinct_values - 1.0);
+    // Count the value grid points lo + k*spacing falling in the overlap.
+    double k_min = std::ceil((overlap_lo - b.lo) / spacing - 1e-9);
+    double k_max = std::floor((overlap_hi - b.lo) / spacing + 1e-9);
+    if (k_min < 0.0) k_min = 0.0;
+    if (k_max > b.distinct_values - 1.0) k_max = b.distinct_values - 1.0;
+    double count = k_max - k_min + 1.0;
+    if (count <= 0.0) continue;
+    total += b.frequency * count / b.distinct_values;
+  }
+  return total;
+}
+
+Histogram Histogram::ScaledToTotal(double new_total) const {
+  double current = TotalFrequency();
+  std::vector<Bucket> scaled = buckets_;
+  if (current <= 0.0) {
+    return Histogram(std::move(scaled));
+  }
+  double factor = new_total / current;
+  for (Bucket& b : scaled) {
+    b.frequency *= factor;
+    if (b.distinct_values > b.frequency) {
+      b.distinct_values = b.frequency;
+    }
+  }
+  return Histogram(std::move(scaled));
+}
+
+Status Histogram::CheckValid() const {
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    const Bucket& b = buckets_[i];
+    if (b.hi < b.lo) {
+      return Status::Internal("bucket " + std::to_string(i) + " has hi < lo");
+    }
+    if (b.frequency < 0.0) {
+      return Status::Internal("bucket " + std::to_string(i) +
+                              " has negative frequency");
+    }
+    if (b.distinct_values < 0.0) {
+      return Status::Internal("bucket " + std::to_string(i) +
+                              " has negative distinct count");
+    }
+    if (b.frequency > 0.0 && b.distinct_values <= 0.0) {
+      return Status::Internal("bucket " + std::to_string(i) +
+                              " has tuples but no distinct values");
+    }
+    if (i > 0 && buckets_[i - 1].hi >= b.lo) {
+      return Status::Internal("buckets " + std::to_string(i - 1) + " and " +
+                              std::to_string(i) + " overlap or touch");
+    }
+  }
+  return Status::OK();
+}
+
+std::string Histogram::ToString() const {
+  std::ostringstream os;
+  os << "Histogram{" << buckets_.size() << " buckets, total="
+     << TotalFrequency() << ", distinct=" << TotalDistinct();
+  os << "}";
+  return os.str();
+}
+
+}  // namespace sitstats

@@ -1,0 +1,70 @@
+#ifndef SITSTATS_HISTOGRAM_HISTOGRAM_H_
+#define SITSTATS_HISTOGRAM_HISTOGRAM_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "histogram/bucket.h"
+
+namespace sitstats {
+
+/// A one-dimensional histogram: an ordered list of non-overlapping buckets.
+/// This is the representation used both for base-table statistics and for
+/// SITs (a SIT is a histogram whose population is the result of a query
+/// expression rather than a base table).
+class Histogram {
+ public:
+  Histogram() = default;
+  explicit Histogram(std::vector<Bucket> buckets);
+
+  size_t num_buckets() const { return buckets_.size(); }
+  bool empty() const { return buckets_.empty(); }
+  const Bucket& bucket(size_t i) const { return buckets_[i]; }
+  const std::vector<Bucket>& buckets() const { return buckets_; }
+
+  /// Smallest / largest covered value. Must not be called on an empty
+  /// histogram (checked).
+  double MinValue() const;
+  double MaxValue() const;
+
+  /// Sum of bucket frequencies (the population size the histogram models).
+  double TotalFrequency() const;
+
+  /// Sum of bucket distinct-value counts.
+  double TotalDistinct() const;
+
+  /// Index of the bucket containing `v`, or -1 when `v` lies outside every
+  /// bucket (before the first, after the last, or in a gap between two
+  /// buckets). O(log #buckets).
+  int FindBucket(double v) const;
+
+  /// Estimated number of tuples equal to `v`: frequency/distinct of the
+  /// containing bucket (uniform spread), 0 when uncovered.
+  double EstimateEquals(double v) const;
+
+  /// Estimated number of tuples in the closed range [lo, hi], interpolating
+  /// partially-overlapped buckets by fractional width.
+  double EstimateRange(double lo, double hi) const;
+
+  /// Returns a copy whose bucket frequencies are uniformly scaled so they
+  /// sum to `new_total` (the histogram-propagation step behind the
+  /// independence assumption). Distinct counts are capped at the scaled
+  /// frequency so a bucket never claims more distinct values than tuples.
+  Histogram ScaledToTotal(double new_total) const;
+
+  /// Structural invariants: buckets ordered, non-overlapping, lo <= hi,
+  /// non-negative frequencies, distinct >= 0 and distinct only positive
+  /// when frequency is.
+  Status CheckValid() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Bucket> buckets_;
+};
+
+}  // namespace sitstats
+
+#endif  // SITSTATS_HISTOGRAM_HISTOGRAM_H_

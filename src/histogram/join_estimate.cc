@@ -1,0 +1,80 @@
+#include "histogram/join_estimate.h"
+
+#include <algorithm>
+
+namespace sitstats {
+
+namespace {
+
+/// Frequency and distinct mass of `b` restricted to the closed interval
+/// [lo, hi], assuming uniform spread inside the bucket. Point overlaps on a
+/// non-singleton bucket contribute a single distinct-value group.
+struct BucketFragment {
+  double frequency = 0.0;
+  double distinct = 0.0;
+};
+
+BucketFragment Restrict(const Bucket& b, double lo, double hi) {
+  BucketFragment frag;
+  double a = std::max(b.lo, lo);
+  double z = std::min(b.hi, hi);
+  if (z < a || b.frequency <= 0.0) return frag;
+  if (b.Width() == 0.0) {
+    frag.frequency = b.frequency;
+    frag.distinct = std::max(b.distinct_values, 1.0);
+    return frag;
+  }
+  if (z == a) {
+    // Point overlap: one distinct-value group's worth of tuples.
+    frag.frequency = b.TuplesPerDistinct();
+    frag.distinct = 1.0;
+    return frag;
+  }
+  double fraction = (z - a) / b.Width();
+  frag.frequency = b.frequency * fraction;
+  // Never model less than one group for a fragment that has tuples: a
+  // sub-one distinct count would inflate f/dv beyond any real group.
+  frag.distinct =
+      std::max(b.distinct_values * fraction, std::min(1.0, b.distinct_values));
+  return frag;
+}
+
+}  // namespace
+
+double EstimateJoinCardinality(const Histogram& r, const Histogram& s) {
+  if (r.empty() || s.empty()) return 0.0;
+  double total = 0.0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < r.num_buckets() && j < s.num_buckets()) {
+    const Bucket& br = r.bucket(i);
+    const Bucket& bs = s.bucket(j);
+    double lo = std::max(br.lo, bs.lo);
+    double hi = std::min(br.hi, bs.hi);
+    if (lo <= hi) {
+      BucketFragment fr = Restrict(br, lo, hi);
+      BucketFragment fs = Restrict(bs, lo, hi);
+      double max_dv = std::max(fr.distinct, fs.distinct);
+      if (max_dv > 0.0) {
+        total += fr.frequency * fs.frequency / max_dv;
+      }
+    }
+    // Advance the bucket that ends first.
+    if (br.hi < bs.hi) {
+      ++i;
+    } else if (bs.hi < br.hi) {
+      ++j;
+    } else {
+      ++i;
+      ++j;
+    }
+  }
+  return total;
+}
+
+Histogram PropagateThroughJoin(const Histogram& attribute_histogram,
+                               double join_cardinality) {
+  return attribute_histogram.ScaledToTotal(join_cardinality);
+}
+
+}  // namespace sitstats

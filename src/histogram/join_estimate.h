@@ -1,0 +1,25 @@
+#ifndef SITSTATS_HISTOGRAM_JOIN_ESTIMATE_H_
+#define SITSTATS_HISTOGRAM_JOIN_ESTIMATE_H_
+
+#include "histogram/histogram.h"
+
+namespace sitstats {
+
+/// Estimates |R ⋈ S| on an equality predicate from histograms over the two
+/// join columns, under the *containment assumption* (Section 2): buckets
+/// are aligned, and within each aligned fragment every distinct-value group
+/// on the side with fewer groups joins with some group on the other side,
+/// giving the per-fragment estimate f_R * f_S / max(dv_R, dv_S).
+double EstimateJoinCardinality(const Histogram& r, const Histogram& s);
+
+/// The classic optimizer propagation step (independence assumption): given
+/// the histogram over attribute `a` of table S and the estimated
+/// cardinality of a join involving S, returns the histogram modelling `a`
+/// on the join result — bucket frequencies uniformly rescaled to
+/// `join_cardinality`.
+Histogram PropagateThroughJoin(const Histogram& attribute_histogram,
+                               double join_cardinality);
+
+}  // namespace sitstats
+
+#endif  // SITSTATS_HISTOGRAM_JOIN_ESTIMATE_H_

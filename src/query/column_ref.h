@@ -1,0 +1,58 @@
+#ifndef SITSTATS_QUERY_COLUMN_REF_H_
+#define SITSTATS_QUERY_COLUMN_REF_H_
+
+#include <string>
+
+namespace sitstats {
+
+/// A qualified column reference, e.g. { "S", "a" } for S.a.
+struct ColumnRef {
+  std::string table;
+  std::string column;
+
+  std::string ToString() const { return table + "." + column; }
+
+  bool operator==(const ColumnRef& other) const {
+    return table == other.table && column == other.column;
+  }
+  bool operator!=(const ColumnRef& other) const { return !(*this == other); }
+  bool operator<(const ColumnRef& other) const {
+    if (table != other.table) return table < other.table;
+    return column < other.column;
+  }
+};
+
+/// An equality join predicate: left.column = right.column.
+struct JoinPredicate {
+  ColumnRef left;
+  ColumnRef right;
+
+  std::string ToString() const {
+    return left.ToString() + " = " + right.ToString();
+  }
+
+  bool operator==(const JoinPredicate& other) const {
+    return (left == other.left && right == other.right) ||
+           (left == other.right && right == other.left);
+  }
+
+  /// True if the predicate references `table` on either side.
+  bool References(const std::string& table) const {
+    return left.table == table || right.table == table;
+  }
+
+  /// The column of this predicate belonging to `table`. Requires
+  /// References(table).
+  const ColumnRef& SideOf(const std::string& table) const {
+    return left.table == table ? left : right;
+  }
+
+  /// The column of this predicate on the other side of `table`.
+  const ColumnRef& OtherSideOf(const std::string& table) const {
+    return left.table == table ? right : left;
+  }
+};
+
+}  // namespace sitstats
+
+#endif  // SITSTATS_QUERY_COLUMN_REF_H_

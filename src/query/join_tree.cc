@@ -1,0 +1,146 @@
+#include "query/join_tree.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/logging.h"
+
+namespace sitstats {
+
+Result<JoinTree> JoinTree::Build(const GeneratingQuery& query,
+                                 const std::string& root_table) {
+  if (!query.ReferencesTable(root_table)) {
+    return Status::InvalidArgument("root table " + root_table +
+                                   " is not referenced by " +
+                                   query.ToString());
+  }
+  JoinGraph graph = query.MakeJoinGraph();
+  JoinTree tree;
+  Node root;
+  root.table = root_table;
+  tree.nodes_.push_back(root);
+
+  std::set<std::string> visited = {root_table};
+  // BFS so sibling order matches predicate order deterministically.
+  std::vector<int> frontier = {0};
+  while (!frontier.empty()) {
+    std::vector<int> next_frontier;
+    for (int idx : frontier) {
+      const std::string table = tree.nodes_[static_cast<size_t>(idx)].table;
+      // Group the incident predicates by neighbour table so parallel
+      // predicates land on one composite edge.
+      std::map<std::string, std::vector<JoinPredicate>> by_neighbor;
+      std::vector<std::string> neighbor_order;
+      for (const JoinPredicate& join : graph.IncidentJoins(table)) {
+        const std::string& other = join.OtherSideOf(table).table;
+        if (visited.count(other) > 0) continue;
+        if (by_neighbor.find(other) == by_neighbor.end()) {
+          neighbor_order.push_back(other);
+        }
+        by_neighbor[other].push_back(join);
+      }
+      for (const std::string& other : neighbor_order) {
+        visited.insert(other);
+        Node child;
+        child.table = other;
+        child.parent = idx;
+        for (const JoinPredicate& join : by_neighbor[other]) {
+          child.columns_to_parent.push_back(join.SideOf(other).column);
+          child.parent_columns.push_back(join.SideOf(table).column);
+        }
+        int child_idx = static_cast<int>(tree.nodes_.size());
+        tree.nodes_.push_back(child);
+        tree.nodes_[static_cast<size_t>(idx)].children.push_back(child_idx);
+        next_frontier.push_back(child_idx);
+      }
+    }
+    frontier = std::move(next_frontier);
+  }
+  if (visited.size() != query.num_tables()) {
+    return Status::Internal("join tree did not reach every table of " +
+                            query.ToString());
+  }
+  return tree;
+}
+
+namespace {
+void PostOrderVisit(const JoinTree& tree, int node, std::vector<int>* out) {
+  for (int child : tree.node(node).children) {
+    PostOrderVisit(tree, child, out);
+  }
+  out->push_back(node);
+}
+}  // namespace
+
+std::vector<int> JoinTree::PostOrder() const {
+  std::vector<int> order;
+  order.reserve(nodes_.size());
+  PostOrderVisit(*this, root(), &order);
+  return order;
+}
+
+size_t JoinTree::Height() const {
+  std::vector<size_t> depth(nodes_.size(), 0);
+  size_t height = 0;
+  // Parents precede children in nodes_ (BFS construction), so one pass.
+  for (size_t i = 1; i < nodes_.size(); ++i) {
+    depth[i] = depth[static_cast<size_t>(nodes_[i].parent)] + 1;
+    height = std::max(height, depth[i]);
+  }
+  return height;
+}
+
+std::vector<std::vector<std::string>> JoinTree::DependencySequences() const {
+  std::vector<std::vector<std::string>> sequences;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (!nodes_[i].children.empty()) continue;  // not a leaf
+    // Walk leaf -> root, dropping the leaf itself; the resulting list is
+    // already in scan order (deepest internal node first).
+    std::vector<std::string> seq;
+    int current = nodes_[i].parent;
+    while (current >= 0) {
+      seq.push_back(nodes_[static_cast<size_t>(current)].table);
+      current = nodes_[static_cast<size_t>(current)].parent;
+    }
+    if (!seq.empty()) sequences.push_back(std::move(seq));
+  }
+  return sequences;
+}
+
+std::vector<std::string> JoinTree::SubtreeTables(int node_index) const {
+  std::vector<std::string> tables;
+  std::vector<int> stack = {node_index};
+  while (!stack.empty()) {
+    int idx = stack.back();
+    stack.pop_back();
+    tables.push_back(nodes_[static_cast<size_t>(idx)].table);
+    for (int child : nodes_[static_cast<size_t>(idx)].children) {
+      stack.push_back(child);
+    }
+  }
+  std::sort(tables.begin(), tables.end());
+  return tables;
+}
+
+Result<GeneratingQuery> JoinTree::SubtreeQuery(int node_index) const {
+  std::vector<std::string> tables = SubtreeTables(node_index);
+  std::set<std::string> table_set(tables.begin(), tables.end());
+  std::vector<JoinPredicate> joins;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    if (n.parent < 0) continue;
+    const Node& p = nodes_[static_cast<size_t>(n.parent)];
+    if (table_set.count(n.table) > 0 && table_set.count(p.table) > 0) {
+      for (size_t j = 0; j < n.columns_to_parent.size(); ++j) {
+        JoinPredicate join;
+        join.left = ColumnRef{n.table, n.columns_to_parent[j]};
+        join.right = ColumnRef{p.table, n.parent_columns[j]};
+        joins.push_back(join);
+      }
+    }
+  }
+  return GeneratingQuery::Create(std::move(tables), std::move(joins));
+}
+
+}  // namespace sitstats

@@ -1,0 +1,29 @@
+#include "sampling/bernoulli.h"
+
+#include "sampling/reservoir.h"
+
+namespace sitstats {
+
+std::vector<double> BernoulliSample(const std::vector<double>& values,
+                                    double rate, Rng* rng) {
+  std::vector<double> out;
+  if (rate <= 0.0) return out;
+  if (rate >= 1.0) return values;
+  out.reserve(static_cast<size_t>(static_cast<double>(values.size()) * rate) +
+              16);
+  for (double v : values) {
+    if (rng->Bernoulli(rate)) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<double> SampleWithoutReplacement(const std::vector<double>& values,
+                                             size_t k, Rng* rng) {
+  if (k == 0) return {};
+  if (k >= values.size()) return values;
+  ReservoirSampler sampler(k, rng);
+  for (double v : values) sampler.Add(v);
+  return sampler.sample();
+}
+
+}  // namespace sitstats

@@ -1,0 +1,23 @@
+#ifndef SITSTATS_SAMPLING_BERNOULLI_H_
+#define SITSTATS_SAMPLING_BERNOULLI_H_
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace sitstats {
+
+/// Row-level Bernoulli sampling: each element of `values` is kept
+/// independently with probability `rate`. Used to build approximate
+/// base-table histograms (the "sampling assumption" context).
+std::vector<double> BernoulliSample(const std::vector<double>& values,
+                                    double rate, Rng* rng);
+
+/// Draws a uniform sample *without replacement* of exactly
+/// min(k, values.size()) elements via a single reservoir pass.
+std::vector<double> SampleWithoutReplacement(const std::vector<double>& values,
+                                             size_t k, Rng* rng);
+
+}  // namespace sitstats
+
+#endif  // SITSTATS_SAMPLING_BERNOULLI_H_

@@ -1,0 +1,130 @@
+#include "sampling/reservoir.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace sitstats {
+
+ReservoirSampler::ReservoirSampler(size_t capacity, Rng* rng)
+    : capacity_(capacity), rng_(rng) {
+  SITSTATS_CHECK(capacity_ > 0) << "reservoir capacity must be positive";
+  SITSTATS_CHECK(rng_ != nullptr);
+  sample_.reserve(capacity_);
+}
+
+void ReservoirSampler::Add(double value) {
+  ++stream_size_;
+  if (sample_.size() < capacity_) {
+    sample_.push_back(value);
+    return;
+  }
+  // Element i (1-based) replaces a random slot with probability k/i.
+  uint64_t pos = static_cast<uint64_t>(
+      rng_->UniformInt(0, static_cast<int64_t>(stream_size_) - 1));
+  if (pos < capacity_) {
+    sample_[static_cast<size_t>(pos)] = value;
+  }
+}
+
+void ReservoirSampler::AddRepeated(double value, uint64_t count) {
+  // Fill phase: plain adds until the reservoir is full.
+  while (count > 0 && sample_.size() < capacity_) {
+    Add(value);
+    --count;
+  }
+  if (count == 0) return;
+
+  if (count <= 64) {
+    // Short runs: per-element Bernoulli is cheaper than skip sampling.
+    for (uint64_t j = 0; j < count; ++j) {
+      ++stream_size_;
+      double p = static_cast<double>(capacity_) /
+                 static_cast<double>(stream_size_);
+      if (rng_->Bernoulli(p)) {
+        int64_t slot =
+            rng_->UniformInt(0, static_cast<int64_t>(capacity_) - 1);
+        sample_[static_cast<size_t>(slot)] = value;
+      }
+    }
+    return;
+  }
+
+  // Long runs (join multiplicities can reach billions): jump directly from
+  // one replacement event to the next. With the reservoir full at stream
+  // position t, the probability that none of the next s elements replaces
+  // a slot is
+  //   Q(s) = prod_{i=t+1}^{t+s} (1 - c/i)
+  //        = exp( lgamma(t+s+1-c) - lgamma(t+1-c)
+  //             - lgamma(t+s+1)   + lgamma(t+1) ),
+  // so the skip length is found by binary-searching the smallest s with
+  // Q(s) < u for u ~ U(0,1). Expected replacements for a run of n elements
+  // are c * ln((t+n)/t), independent of n's magnitude.
+  const double c = static_cast<double>(capacity_);
+  uint64_t remaining = count;
+  while (remaining > 0) {
+    const double t = static_cast<double>(stream_size_);
+    double u = rng_->NextDouble();
+    if (u <= 0.0) u = 1e-300;
+    const double log_u = std::log(u);
+
+    uint64_t next = 0;  // offset (1-based) of the next replacement, 0 = none
+    if (t >= 64.0 * c) {
+      // Large positions: the exact lgamma formula below suffers
+      // catastrophic cancellation (its terms reach ~1e15 while the answer
+      // is O(1)), so invert the continuous approximation
+      //   log Q(s) = -c * ln((t+s-c+.5)/(t-c+.5))        (error O(c/t))
+      // in closed form.
+      double base = t - c + 0.5;
+      double s_real = base * std::expm1(-log_u / c);
+      if (s_real >= static_cast<double>(remaining)) {
+        next = 0;
+      } else {
+        next = static_cast<uint64_t>(std::floor(s_real)) + 1;
+        if (next > remaining) next = 0;
+      }
+    } else {
+      // Small positions: exact inversion of
+      //   Q(s) = prod_{i=t+1}^{t+s} (1 - c/i)
+      //        = exp(lg(t+s+1-c) - lg(t+1-c) - lg(t+s+1) + lg(t+1)).
+      auto log_q = [&](uint64_t s) {
+        double sd = static_cast<double>(s);
+        return std::lgamma(t + sd + 1.0 - c) - std::lgamma(t + 1.0 - c) -
+               std::lgamma(t + sd + 1.0) + std::lgamma(t + 1.0);
+      };
+      if (log_q(remaining) >= log_u) {
+        next = 0;
+      } else {
+        // Smallest s in [1, remaining] with log Q(s) < log u.
+        uint64_t lo = 0;
+        uint64_t hi = remaining;  // log_q(hi) < log_u established above
+        while (lo < hi) {
+          uint64_t mid = lo + (hi - lo) / 2;
+          if (log_q(mid) < log_u) {
+            hi = mid;
+          } else {
+            lo = mid + 1;
+          }
+        }
+        next = lo;
+      }
+    }
+
+    if (next == 0) {
+      // No replacement in the rest of the run.
+      stream_size_ += remaining;
+      return;
+    }
+    stream_size_ += next;  // next-1 skipped elements + the replacing one
+    remaining -= next;
+    int64_t slot = rng_->UniformInt(0, static_cast<int64_t>(capacity_) - 1);
+    sample_[static_cast<size_t>(slot)] = value;
+  }
+}
+
+void ReservoirSampler::Reset() {
+  sample_.clear();
+  stream_size_ = 0;
+}
+
+}  // namespace sitstats

@@ -1,0 +1,50 @@
+#ifndef SITSTATS_SAMPLING_RESERVOIR_H_
+#define SITSTATS_SAMPLING_RESERVOIR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace sitstats {
+
+/// One-pass uniform reservoir sampler (Vitter's Algorithm R, [19]).
+///
+/// Sweep streams the approximated join projection — conceptually "n copies
+/// of a_i" per scanned tuple — through one of these (step 4 in Figure 2 of
+/// the paper), so the temporary table is never materialized. AddRepeated
+/// processes a run of equal values in O(expected replacements) instead of
+/// n individual offers.
+class ReservoirSampler {
+ public:
+  /// `capacity`: maximum sample size (> 0). `rng` is borrowed and must
+  /// outlive the sampler.
+  ReservoirSampler(size_t capacity, Rng* rng);
+
+  /// Offers one stream element.
+  void Add(double value);
+
+  /// Offers `count` consecutive copies of `value` (equivalent to calling
+  /// Add(value) `count` times, with identical distribution).
+  void AddRepeated(double value, uint64_t count);
+
+  /// Number of stream elements offered so far.
+  uint64_t stream_size() const { return stream_size_; }
+
+  /// The current sample (size = min(capacity, stream_size)).
+  const std::vector<double>& sample() const { return sample_; }
+  size_t capacity() const { return capacity_; }
+
+  /// Clears the sample and stream counter for reuse.
+  void Reset();
+
+ private:
+  size_t capacity_;
+  Rng* rng_;
+  std::vector<double> sample_;
+  uint64_t stream_size_ = 0;
+};
+
+}  // namespace sitstats
+
+#endif  // SITSTATS_SAMPLING_RESERVOIR_H_

@@ -1,0 +1,198 @@
+#include "scheduler/executor.h"
+
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "query/join_tree.h"
+#include "sit/oracle_factory.h"
+#include "sit/sweep_scan.h"
+
+namespace sitstats {
+
+namespace {
+
+bool UsesSampling(SweepVariant variant) {
+  return variant == SweepVariant::kSweep ||
+         variant == SweepVariant::kSweepIndex;
+}
+
+bool UsesExactOracle(SweepVariant variant) {
+  return variant == SweepVariant::kSweepIndex ||
+         variant == SweepVariant::kSweepExact;
+}
+
+/// Per-SIT execution state: the join tree, its internal nodes in scan
+/// order, how many scans have completed, and the last scan's output.
+struct SitState {
+  std::optional<JoinTree> tree;
+  std::vector<int> scan_nodes;  // internal nodes, post-order
+  size_t next_scan = 0;
+  std::optional<SweepOutput> last_output;
+  bool done = false;
+};
+
+}  // namespace
+
+Result<ScheduleExecutionResult> ExecuteSitSchedule(
+    Catalog* catalog, BaseStatsCache* base_stats,
+    const std::vector<SitDescriptor>& sits,
+    const SitSchedulingProblem& mapping, const Schedule& schedule,
+    const ScheduleExecutionOptions& options) {
+  if (options.variant == SweepVariant::kHistSit) {
+    return Status::InvalidArgument(
+        "schedules execute Sweep-family variants, not Hist-SIT");
+  }
+  const bool exact_oracle = UsesExactOracle(options.variant);
+  Rng rng(options.seed);
+  IoStats before = catalog->io_stats();
+
+  // Sequence index -> SIT index, and per-SIT state. Chains only: at most
+  // one sequence per SIT.
+  std::vector<int> sit_of_sequence(mapping.problem.num_sequences(), -1);
+  std::vector<SitState> states(sits.size());
+  std::vector<bool> has_sequence(sits.size(), false);
+  for (size_t seq = 0; seq < mapping.sequence_sit.size(); ++seq) {
+    size_t s = mapping.sequence_sit[seq];
+    if (s >= sits.size()) {
+      return Status::InvalidArgument("mapping references unknown SIT");
+    }
+    if (has_sequence[s]) {
+      return Status::NotImplemented(
+          "shared-scan execution supports chain generating queries only "
+          "(SIT " + sits[s].ToString() + " has multiple dependency paths)");
+    }
+    has_sequence[s] = true;
+    sit_of_sequence[seq] = static_cast<int>(s);
+  }
+  for (size_t s = 0; s < sits.size(); ++s) {
+    SITSTATS_ASSIGN_OR_RETURN(
+        JoinTree tree,
+        JoinTree::Build(sits[s].query(), sits[s].attribute().table));
+    SitState& state = states[s];
+    for (int node : tree.PostOrder()) {
+      if (!tree.IsLeaf(node)) state.scan_nodes.push_back(node);
+    }
+    state.tree = std::move(tree);
+    if (!has_sequence[s] && !state.scan_nodes.empty()) {
+      return Status::InvalidArgument("SIT " + sits[s].ToString() +
+                                     " is missing from the mapping");
+    }
+  }
+
+  ScheduleExecutionResult result;
+  result.sits.reserve(sits.size());
+
+  for (size_t step_idx = 0; step_idx < schedule.steps.size(); ++step_idx) {
+    const ScheduleStep& step = schedule.steps[step_idx];
+    const std::string& table = mapping.problem.table_name(step.table);
+
+    SweepScanSpec spec;
+    spec.table = table;
+    spec.sampling_rate = options.sampling_rate;
+    spec.min_sample_size = options.min_sample_size;
+    spec.use_sampling = UsesSampling(options.variant);
+    spec.histogram_spec = options.histogram_spec;
+
+    std::vector<std::unique_ptr<MultiplicityOracle>> oracles;
+    std::vector<size_t> target_sit;  // SIT per target, aligned with targets
+    for (size_t seq : step.advanced) {
+      int s = sit_of_sequence[static_cast<size_t>(seq)];
+      if (s < 0) {
+        return Status::InvalidArgument("schedule advances unmapped sequence");
+      }
+      SitState& state = states[static_cast<size_t>(s)];
+      if (state.next_scan >= state.scan_nodes.size()) {
+        return Status::InvalidArgument(
+            "schedule advances SIT past its last scan: " +
+            sits[static_cast<size_t>(s)].ToString());
+      }
+      int node_index = state.scan_nodes[state.next_scan];
+      const JoinTree& tree = *state.tree;
+      const JoinTree::Node& node = tree.node(node_index);
+      if (node.table != table) {
+        return Status::InvalidArgument(
+            "schedule step scans " + table + " but SIT " +
+            sits[static_cast<size_t>(s)].ToString() + " expects " +
+            node.table);
+      }
+      if (node.children.size() != 1) {
+        return Status::NotImplemented(
+            "shared-scan execution supports chain generating queries only");
+      }
+      const bool is_root_scan = node_index == tree.root();
+      if (!is_root_scan && node.HasCompositeParentEdge()) {
+        return Status::NotImplemented(
+            "composite join predicates between intermediate results are "
+            "not supported");
+      }
+      int child_index = node.children[0];
+      SweepOutput* child_output =
+          state.last_output.has_value() ? &*state.last_output : nullptr;
+      SITSTATS_ASSIGN_OR_RETURN(
+          std::unique_ptr<MultiplicityOracle> oracle,
+          MakeChildOracle(catalog, base_stats, tree, node_index, child_index,
+                          child_output, exact_oracle, &rng));
+      SweepTarget target;
+      const bool is_root = node_index == tree.root();
+      target.attribute = is_root
+                             ? sits[static_cast<size_t>(s)].attribute().column
+                             : node.column_to_parent();
+      target.build_exact_map = exact_oracle && !is_root;
+      target.join_indices = {spec.joins.size()};
+      spec.joins.push_back(SweepJoin{
+          tree.node(child_index).parent_columns, oracle.get()});
+      oracles.push_back(std::move(oracle));
+      spec.targets.push_back(std::move(target));
+      target_sit.push_back(static_cast<size_t>(s));
+    }
+
+    SITSTATS_ASSIGN_OR_RETURN(std::vector<SweepOutput> outputs,
+                              SweepScanTable(catalog, spec, &rng));
+    for (size_t t = 0; t < outputs.size(); ++t) {
+      SitState& state = states[target_sit[t]];
+      state.last_output = std::move(outputs[t]);
+      state.next_scan += 1;
+      if (state.next_scan == state.scan_nodes.size()) state.done = true;
+    }
+  }
+
+  // Assemble results (and build base-table SITs, which need no scan).
+  IoStats after = catalog->io_stats();
+  IoStats total;
+  total.sequential_scans = after.sequential_scans - before.sequential_scans;
+  total.rows_scanned = after.rows_scanned - before.rows_scanned;
+  total.index_lookups = after.index_lookups - before.index_lookups;
+  total.histogram_lookups =
+      after.histogram_lookups - before.histogram_lookups;
+  total.temp_rows_spilled =
+      after.temp_rows_spilled - before.temp_rows_spilled;
+  result.total_stats = total;
+
+  for (size_t s = 0; s < sits.size(); ++s) {
+    SitState& state = states[s];
+    if (state.scan_nodes.empty()) {
+      SitBuildOptions build;
+      build.variant = options.variant;
+      build.sampling_rate = options.sampling_rate;
+      build.min_sample_size = options.min_sample_size;
+      build.histogram_spec = options.histogram_spec;
+      build.seed = options.seed;
+      SITSTATS_ASSIGN_OR_RETURN(
+          Sit sit, CreateSit(catalog, base_stats, sits[s], build));
+      result.sits.push_back(std::move(sit));
+      continue;
+    }
+    if (!state.done || !state.last_output.has_value()) {
+      return Status::InvalidArgument("schedule did not complete SIT " +
+                                     sits[s].ToString());
+    }
+    Sit sit{sits[s], std::move(state.last_output->histogram),
+            options.variant, state.last_output->estimated_cardinality,
+            IoStats{}};
+    result.sits.push_back(std::move(sit));
+  }
+  return result;
+}
+
+}  // namespace sitstats

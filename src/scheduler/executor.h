@@ -1,0 +1,52 @@
+#ifndef SITSTATS_SCHEDULER_EXECUTOR_H_
+#define SITSTATS_SCHEDULER_EXECUTOR_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "scheduler/problem.h"
+#include "scheduler/sit_problem.h"
+#include "sit/base_stats.h"
+#include "sit/creator.h"
+#include "sit/sit.h"
+#include "storage/catalog.h"
+
+namespace sitstats {
+
+/// Options for executing a schedule (mirrors SitBuildOptions; the variant
+/// must be a Sweep-family member, not kHistSit).
+struct ScheduleExecutionOptions {
+  SweepVariant variant = SweepVariant::kSweep;
+  double sampling_rate = 0.1;
+  size_t min_sample_size = 100;
+  HistogramSpec histogram_spec;
+  uint64_t seed = 42;
+};
+
+struct ScheduleExecutionResult {
+  /// One built SIT per input descriptor, in input order.
+  std::vector<Sit> sits;
+  /// Physical work of the whole execution (scans are shared, so per-SIT
+  /// attribution is not meaningful).
+  IoStats total_stats;
+};
+
+/// Executes `schedule` (computed by SolveSchedule over
+/// `mapping.problem`), actually creating every SIT and *sharing* each
+/// scheduled scan among the SITs it advances (Example 3 / Example 6 of the
+/// paper): one SweepScanTable call per schedule step, with one target per
+/// advancing SIT.
+///
+/// Restriction: every generating query must be a chain (one dependency
+/// sequence per SIT) or a base table; acyclic tree queries should be built
+/// one at a time via CreateSit. This matches the paper's Section 5.2
+/// evaluation, which schedules chain dependency sequences.
+Result<ScheduleExecutionResult> ExecuteSitSchedule(
+    Catalog* catalog, BaseStatsCache* base_stats,
+    const std::vector<SitDescriptor>& sits,
+    const SitSchedulingProblem& mapping, const Schedule& schedule,
+    const ScheduleExecutionOptions& options);
+
+}  // namespace sitstats
+
+#endif  // SITSTATS_SCHEDULER_EXECUTOR_H_

@@ -1,0 +1,60 @@
+#include "scheduler/instance_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace sitstats {
+
+Result<SchedulingProblem> MakeRandomInstance(const InstanceSpec& spec,
+                                             Rng* rng) {
+  if (spec.num_tables < 1 || spec.num_sits < 1) {
+    return Status::InvalidArgument("instance needs tables and SITs");
+  }
+  if (spec.min_seq_len < 1 || spec.max_seq_len < spec.min_seq_len) {
+    return Status::InvalidArgument("invalid sequence length range");
+  }
+  SchedulingProblem problem;
+  // Zipfian table sizes normalized to total_rows, assigned to tables in a
+  // random rank order so T1 is not always the largest.
+  std::vector<double> weights(static_cast<size_t>(spec.num_tables));
+  for (size_t k = 0; k < weights.size(); ++k) {
+    weights[k] = 1.0 / std::pow(static_cast<double>(k + 1),
+                                spec.table_size_zipf_z);
+  }
+  double weight_sum = std::accumulate(weights.begin(), weights.end(), 0.0);
+  std::vector<size_t> rank(weights.size());
+  std::iota(rank.begin(), rank.end(), 0);
+  std::shuffle(rank.begin(), rank.end(), rng->engine());
+  for (int t = 0; t < spec.num_tables; ++t) {
+    double rows = spec.total_rows *
+                  weights[rank[static_cast<size_t>(t)]] / weight_sum;
+    double cost = std::max(rows / 1000.0, 1.0);
+    double sample = spec.sampling_rate * rows;
+    problem.AddTable("T" + std::to_string(t + 1), cost, sample);
+  }
+  problem.set_memory_limit(spec.memory_limit);
+
+  const int max_len = std::min(spec.max_seq_len, spec.num_tables);
+  const int min_len = std::min(spec.min_seq_len, max_len);
+  for (int i = 0; i < spec.num_sits; ++i) {
+    int len = static_cast<int>(rng->UniformInt(min_len, max_len));
+    // Distinct random tables: shuffle ids and take a prefix.
+    std::vector<int> ids(static_cast<size_t>(spec.num_tables));
+    std::iota(ids.begin(), ids.end(), 0);
+    std::shuffle(ids.begin(), ids.end(), rng->engine());
+    ids.resize(static_cast<size_t>(len));
+    SITSTATS_RETURN_IF_ERROR(problem.AddSequenceIds(std::move(ids)).status());
+  }
+  return problem;
+}
+
+double LargestSampleSize(const SchedulingProblem& problem) {
+  double largest = 0.0;
+  for (size_t t = 0; t < problem.num_tables(); ++t) {
+    largest = std::max(largest, problem.sample_size(static_cast<int>(t)));
+  }
+  return largest;
+}
+
+}  // namespace sitstats

@@ -1,0 +1,42 @@
+#ifndef SITSTATS_SCHEDULER_INSTANCE_GENERATOR_H_
+#define SITSTATS_SCHEDULER_INSTANCE_GENERATOR_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "scheduler/problem.h"
+
+namespace sitstats {
+
+/// Parameters of the random scheduling instances of Section 5.2. Default
+/// values are the paper's: numSITs = 10, lenSITs = 5, nt = 10, s = 10%,
+/// combined table size 1,000,000, table sizes zipf(1), Cost(T) = |T|/1000,
+/// SampleSize(T) = s * |T|, M = 50,000.
+struct InstanceSpec {
+  int num_tables = 10;   // nt
+  int num_sits = 10;     // numSITs
+  int max_seq_len = 5;   // lenSITs (each sequence has length 2..lenSITs)
+  int min_seq_len = 2;
+  double sampling_rate = 0.1;  // s
+  double total_rows = 1'000'000;
+  double table_size_zipf_z = 1.0;
+  double memory_limit = 50'000;
+};
+
+/// Generates one random instance. Table k (1-based rank, randomly
+/// permuted) gets |T| proportional to 1/k^z with the sizes normalized to
+/// spec.total_rows; each dependency sequence draws its length uniformly in
+/// [min_seq_len, max_seq_len] (clamped to nt) and lists that many distinct
+/// random tables.
+Result<SchedulingProblem> MakeRandomInstance(const InstanceSpec& spec,
+                                             Rng* rng);
+
+/// Sample size of the largest table in `problem` — the minimum feasible
+/// memory limit of any strategy (used as the low end of the Figure 10
+/// sweep).
+double LargestSampleSize(const SchedulingProblem& problem);
+
+}  // namespace sitstats
+
+#endif  // SITSTATS_SCHEDULER_INSTANCE_GENERATOR_H_

@@ -1,0 +1,150 @@
+#include "scheduler/problem.h"
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+namespace sitstats {
+
+int SchedulingProblem::AddTable(const std::string& name, double scan_cost,
+                                double sample_size) {
+  int existing = FindTable(name);
+  if (existing >= 0) {
+    scan_cost_[static_cast<size_t>(existing)] = scan_cost;
+    sample_size_[static_cast<size_t>(existing)] = sample_size;
+    return existing;
+  }
+  table_names_.push_back(name);
+  scan_cost_.push_back(scan_cost);
+  sample_size_.push_back(sample_size);
+  return static_cast<int>(table_names_.size()) - 1;
+}
+
+int SchedulingProblem::FindTable(const std::string& name) const {
+  for (size_t i = 0; i < table_names_.size(); ++i) {
+    if (table_names_[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Result<size_t> SchedulingProblem::AddSequence(
+    const std::vector<std::string>& tables) {
+  std::vector<int> ids;
+  ids.reserve(tables.size());
+  for (const std::string& name : tables) {
+    int id = FindTable(name);
+    if (id < 0) {
+      return Status::InvalidArgument("sequence references unknown table " +
+                                     name);
+    }
+    ids.push_back(id);
+  }
+  return AddSequenceIds(std::move(ids));
+}
+
+Result<size_t> SchedulingProblem::AddSequenceIds(std::vector<int> ids) {
+  if (ids.empty()) {
+    return Status::InvalidArgument("empty dependency sequence");
+  }
+  for (int id : ids) {
+    if (id < 0 || static_cast<size_t>(id) >= table_names_.size()) {
+      return Status::InvalidArgument("sequence references invalid table id");
+    }
+  }
+  sequences_.push_back(std::move(ids));
+  return sequences_.size() - 1;
+}
+
+Status SchedulingProblem::Validate() const {
+  if (memory_limit_ <= 0.0) {
+    return Status::InvalidArgument("memory limit must be positive");
+  }
+  for (size_t t = 0; t < table_names_.size(); ++t) {
+    if (scan_cost_[t] < 0.0) {
+      return Status::InvalidArgument("negative scan cost for table " +
+                                     table_names_[t]);
+    }
+    if (sample_size_[t] < 0.0) {
+      return Status::InvalidArgument("negative sample size for table " +
+                                     table_names_[t]);
+    }
+  }
+  std::set<int> used;
+  for (const std::vector<int>& seq : sequences_) {
+    if (seq.empty()) {
+      return Status::InvalidArgument("empty dependency sequence");
+    }
+    used.insert(seq.begin(), seq.end());
+  }
+  for (int id : used) {
+    if (sample_size_[static_cast<size_t>(id)] > memory_limit_) {
+      return Status::InvalidArgument(
+          "memory limit cannot hold a single sample of table " +
+          table_names_[static_cast<size_t>(id)]);
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateSchedule(const SchedulingProblem& problem,
+                        const Schedule& schedule) {
+  std::vector<size_t> pos(problem.num_sequences(), 0);
+  double cost = 0.0;
+  for (size_t s = 0; s < schedule.steps.size(); ++s) {
+    const ScheduleStep& step = schedule.steps[s];
+    if (step.table < 0 ||
+        static_cast<size_t>(step.table) >= problem.num_tables()) {
+      return Status::InvalidArgument("step " + std::to_string(s) +
+                                     " has invalid table id");
+    }
+    if (step.advanced.empty()) {
+      return Status::InvalidArgument("step " + std::to_string(s) +
+                                     " advances no sequence");
+    }
+    double memory =
+        static_cast<double>(step.advanced.size()) *
+        problem.sample_size(step.table);
+    if (memory > problem.memory_limit() * (1.0 + 1e-9)) {
+      std::ostringstream os;
+      os << "step " << s << " needs " << memory << " memory, limit is "
+         << problem.memory_limit();
+      return Status::InvalidArgument(os.str());
+    }
+    std::set<size_t> seen;
+    for (size_t i : step.advanced) {
+      if (i >= problem.num_sequences()) {
+        return Status::InvalidArgument("step advances unknown sequence");
+      }
+      if (!seen.insert(i).second) {
+        return Status::InvalidArgument("step advances a sequence twice");
+      }
+      const std::vector<int>& seq = problem.sequence(i);
+      if (pos[i] >= seq.size() || seq[pos[i]] != step.table) {
+        std::ostringstream os;
+        os << "step " << s << " scans " << problem.table_name(step.table)
+           << " but sequence " << i << " expects "
+           << (pos[i] < seq.size()
+                   ? problem.table_name(seq[pos[i]])
+                   : std::string("nothing (already complete)"));
+        return Status::InvalidArgument(os.str());
+      }
+      ++pos[i];
+    }
+    cost += problem.scan_cost(step.table);
+  }
+  for (size_t i = 0; i < problem.num_sequences(); ++i) {
+    if (pos[i] != problem.sequence(i).size()) {
+      return Status::InvalidArgument("sequence " + std::to_string(i) +
+                                     " is not completed by the schedule");
+    }
+  }
+  if (std::fabs(cost - schedule.cost) > 1e-6 * std::max(1.0, cost)) {
+    std::ostringstream os;
+    os << "schedule cost " << schedule.cost << " does not match steps ("
+       << cost << ")";
+    return Status::InvalidArgument(os.str());
+  }
+  return Status::OK();
+}
+
+}  // namespace sitstats

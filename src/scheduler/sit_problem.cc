@@ -1,0 +1,39 @@
+#include "scheduler/sit_problem.h"
+
+#include "query/join_tree.h"
+
+namespace sitstats {
+
+Result<SitSchedulingProblem> BuildSitSchedulingProblem(
+    const Catalog& catalog, const std::vector<SitDescriptor>& sits,
+    const SitProblemOptions& options) {
+  SitSchedulingProblem out;
+  out.problem.set_memory_limit(options.memory_limit);
+  for (size_t s = 0; s < sits.size(); ++s) {
+    const SitDescriptor& sit = sits[s];
+    SITSTATS_ASSIGN_OR_RETURN(
+        JoinTree tree,
+        JoinTree::Build(sit.query(), sit.attribute().table));
+    std::vector<std::vector<std::string>> sequences =
+        tree.DependencySequences();
+    for (size_t p = 0; p < sequences.size(); ++p) {
+      for (const std::string& table : sequences[p]) {
+        if (out.problem.FindTable(table) < 0) {
+          SITSTATS_ASSIGN_OR_RETURN(const Table* t,
+                                    catalog.GetTable(table));
+          out.problem.AddTable(
+              table, options.cost_model.SequentialScanCost(t->num_rows()),
+              static_cast<double>(options.cost_model.SampleSize(
+                  t->num_rows(), options.sampling_rate)));
+        }
+      }
+      SITSTATS_RETURN_IF_ERROR(
+          out.problem.AddSequence(sequences[p]).status());
+      out.sequence_sit.push_back(s);
+      out.sequence_path.push_back(p);
+    }
+  }
+  return out;
+}
+
+}  // namespace sitstats

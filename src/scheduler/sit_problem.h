@@ -1,0 +1,44 @@
+#ifndef SITSTATS_SCHEDULER_SIT_PROBLEM_H_
+#define SITSTATS_SCHEDULER_SIT_PROBLEM_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "scheduler/problem.h"
+#include "sit/sit.h"
+#include "storage/catalog.h"
+#include "storage/cost_model.h"
+
+namespace sitstats {
+
+/// Options for turning a set of SITs to create into a scheduling problem.
+struct SitProblemOptions {
+  CostModel cost_model;
+  /// Sampling rate s: SampleSize(T) = s * |T| values.
+  double sampling_rate = 0.1;
+  /// Available memory M in values; infinity = unbounded.
+  double memory_limit = std::numeric_limits<double>::infinity();
+};
+
+/// A scheduling problem derived from concrete SITs, with the bookkeeping
+/// needed to execute the resulting schedule: sequence i of the problem
+/// came from SIT `sequence_sit[i]` (dependency path `sequence_path[i]` of
+/// that SIT's join tree).
+struct SitSchedulingProblem {
+  SchedulingProblem problem;
+  std::vector<size_t> sequence_sit;
+  std::vector<size_t> sequence_path;
+};
+
+/// Builds the weighted SCS instance for creating `sits` against `catalog`:
+/// one input sequence per dependency sequence of each SIT's join tree
+/// (rooted at its attribute's table), Cost(T) from the cost model and
+/// SampleSize(T) = rate * |T|. Base-table SITs contribute no sequences
+/// (they need no Sweep scan).
+Result<SitSchedulingProblem> BuildSitSchedulingProblem(
+    const Catalog& catalog, const std::vector<SitDescriptor>& sits,
+    const SitProblemOptions& options);
+
+}  // namespace sitstats
+
+#endif  // SITSTATS_SCHEDULER_SIT_PROBLEM_H_

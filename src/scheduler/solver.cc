@@ -1,0 +1,341 @@
+#include "scheduler/solver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/timer.h"
+
+namespace sitstats {
+
+const char* SolverKindToString(SolverKind kind) {
+  switch (kind) {
+    case SolverKind::kNaive:
+      return "Naive";
+    case SolverKind::kOptimal:
+      return "Opt";
+    case SolverKind::kGreedy:
+      return "Greedy";
+    case SolverKind::kHybrid:
+      return "Hybrid";
+  }
+  return "?";
+}
+
+namespace {
+
+using State = std::vector<uint16_t>;
+
+/// The Naive strategy: create each SIT separately, scanning its
+/// dependency sequence front to back.
+Result<SolverResult> SolveNaive(const SchedulingProblem& problem) {
+  Timer timer;
+  SolverResult result;
+  for (size_t i = 0; i < problem.num_sequences(); ++i) {
+    for (int table : problem.sequence(i)) {
+      ScheduleStep step;
+      step.table = table;
+      step.advanced = {i};
+      result.schedule.steps.push_back(std::move(step));
+      result.schedule.cost += problem.scan_cost(table);
+    }
+  }
+  result.optimization_seconds = timer.ElapsedSeconds();
+  result.nodes_expanded = 0;
+  result.proved_optimal = false;
+  return result;
+}
+
+/// Precomputed occurrence counts: occ[i][p][t] = how many times table t
+/// appears in sequence i from position p on. Drives the admissible
+/// heuristic h(u) = sum_t Cost(t) * max_i occ[i][u_i][t].
+std::vector<std::vector<std::vector<uint16_t>>> SuffixOccurrences(
+    const SchedulingProblem& problem) {
+  const size_t num_tables = problem.num_tables();
+  std::vector<std::vector<std::vector<uint16_t>>> occ(
+      problem.num_sequences());
+  for (size_t i = 0; i < problem.num_sequences(); ++i) {
+    const std::vector<int>& seq = problem.sequence(i);
+    occ[i].assign(seq.size() + 1,
+                  std::vector<uint16_t>(num_tables, 0));
+    for (size_t p = seq.size(); p-- > 0;) {
+      occ[i][p] = occ[i][p + 1];
+      occ[i][p][static_cast<size_t>(seq[p])] += 1;
+    }
+  }
+  return occ;
+}
+
+class AStarSolver {
+ public:
+  AStarSolver(const SchedulingProblem& problem, const SolverOptions& options)
+      : problem_(problem),
+        options_(options),
+        occ_(SuffixOccurrences(problem)) {
+    // Per-scan advancing capacity of each table under the memory limit
+    // (how many sequences one scan of t can serve).
+    caps_.resize(problem_.num_tables(),
+                 std::numeric_limits<double>::infinity());
+    if (std::isfinite(problem_.memory_limit())) {
+      for (size_t t = 0; t < problem_.num_tables(); ++t) {
+        double sample = problem_.sample_size(static_cast<int>(t));
+        if (sample > 0.0) {
+          caps_[t] = std::floor(problem_.memory_limit() / sample + 1e-9);
+        }
+      }
+    }
+  }
+
+  Result<SolverResult> Run() {
+    Timer timer;
+    const size_t n = problem_.num_sequences();
+    State start(n, 0);
+    State goal(n);
+    for (size_t i = 0; i < n; ++i) {
+      goal[i] = static_cast<uint16_t>(problem_.sequence(i).size());
+    }
+
+    greedy_mode_ = options_.kind == SolverKind::kGreedy;
+    bool switched = false;
+
+    int start_id = Intern(start);
+    int goal_id = -1;  // resolved lazily when first generated
+    g_[static_cast<size_t>(start_id)] = 0.0;
+    open_.push(Entry{h_[static_cast<size_t>(start_id)], 0.0, start_id});
+    uint64_t expanded = 0;
+
+    while (!open_.empty()) {
+      Entry best = open_.top();
+      open_.pop();
+      size_t best_idx = static_cast<size_t>(best.state_id);
+      if (best.g > g_[best_idx] + 1e-12) {
+        continue;  // stale queue entry
+      }
+      if (states_[best_idx] == goal) {
+        goal_id = best.state_id;
+        SolverResult result;
+        result.schedule = Reconstruct(goal_id, start_id);
+        result.optimization_seconds = timer.ElapsedSeconds();
+        result.nodes_expanded = expanded;
+        result.proved_optimal =
+            options_.kind == SolverKind::kOptimal ||
+            (options_.kind == SolverKind::kHybrid && !switched);
+        return result;
+      }
+      ++expanded;
+      if (options_.max_expansions > 0 &&
+          expanded > options_.max_expansions) {
+        return Status::ResourceExhausted(
+            "A* exceeded max_expansions = " +
+            std::to_string(options_.max_expansions));
+      }
+      if (options_.kind == SolverKind::kHybrid && !greedy_mode_) {
+        bool time_up =
+            timer.ElapsedSeconds() > options_.hybrid_switch_seconds;
+        bool memory_up = options_.hybrid_switch_states > 0 &&
+                         states_.size() > options_.hybrid_switch_states;
+        if (time_up || memory_up) {
+          greedy_mode_ = true;
+          switched = true;
+        }
+      }
+      if (greedy_mode_) {
+        // Greedy keeps only the successors of the node just expanded.
+        open_ = {};
+      }
+      ExpandNode(best.state_id, g_[best_idx]);
+    }
+    return Status::Internal("A* exhausted the search space without a goal");
+  }
+
+ private:
+  struct Entry {
+    double f;
+    double g;
+    int state_id;
+    bool operator>(const Entry& other) const {
+      if (f != other.f) return f > other.f;
+      return g < other.g;  // prefer deeper nodes on ties
+    }
+  };
+
+  struct StateHash {
+    size_t operator()(const State& s) const {
+      // FNV-1a over the position bytes.
+      size_t h = 1469598103934665603ull;
+      for (uint16_t v : s) {
+        h ^= v;
+        h *= 1099511628211ull;
+      }
+      return h;
+    }
+  };
+
+  /// Returns the dense id of `state`, creating it if new (g = +inf).
+  /// The heuristic depends only on the state, so it is computed once here.
+  int Intern(const State& state) {
+    auto [it, inserted] =
+        ids_.emplace(state, static_cast<int>(states_.size()));
+    if (inserted) {
+      states_.push_back(state);
+      g_.push_back(std::numeric_limits<double>::infinity());
+      h_.push_back(Heuristic(state));
+      came_from_.push_back({-1, ScheduleStep{}});
+    }
+    return it->second;
+  }
+
+  /// Admissible lower bound on the remaining cost. Every common
+  /// supersequence of the remaining suffixes must scan table t at least
+  ///   max( max_i occ_i(t),                  -- some sequence needs it
+  ///        ceil( sum_i occ_i(t) / cap_t ) ) -- one scan serves <= cap_t
+  /// times; both bounds are exact counts of mandatory scans, so their max
+  /// weighted by Cost(t) never overestimates.
+  double Heuristic(const State& state) const {
+    const size_t num_tables = problem_.num_tables();
+    std::vector<uint16_t> needed(num_tables, 0);
+    std::vector<double> total(num_tables, 0.0);
+    for (size_t i = 0; i < state.size(); ++i) {
+      const std::vector<uint16_t>& counts = occ_[i][state[i]];
+      for (size_t t = 0; t < num_tables; ++t) {
+        needed[t] = std::max(needed[t], counts[t]);
+        total[t] += counts[t];
+      }
+    }
+    double h = 0.0;
+    for (size_t t = 0; t < num_tables; ++t) {
+      double scans = needed[t];
+      if (std::isfinite(caps_[t]) && caps_[t] >= 1.0) {
+        scans = std::max(scans, std::ceil(total[t] / caps_[t] - 1e-9));
+      }
+      h += scans * problem_.scan_cost(static_cast<int>(t));
+    }
+    return h;
+  }
+
+  /// generateSuccessors (Section 4.3.1): for each scannable table, try
+  /// every feasible advancing set. Advancing a superset dominates a
+  /// subset at equal cost, so only maximum-cardinality subsets under the
+  /// memory limit are generated.
+  void ExpandNode(int state_id, double g) {
+    const State state = states_[static_cast<size_t>(state_id)];
+    std::map<int, std::vector<size_t>> candidates;
+    for (size_t i = 0; i < state.size(); ++i) {
+      const std::vector<int>& seq = problem_.sequence(i);
+      if (state[i] < seq.size()) {
+        candidates[seq[state[i]]].push_back(i);
+      }
+    }
+    for (const auto& [table, cand] : candidates) {
+      double sample = problem_.sample_size(table);
+      size_t cap = cand.size();
+      if (sample > 0.0 && std::isfinite(problem_.memory_limit())) {
+        cap = static_cast<size_t>(
+            std::floor(problem_.memory_limit() / sample + 1e-9));
+      }
+      size_t k = std::min(cand.size(), cap);
+      if (k == 0) continue;  // cannot scan this table at all
+      double g_new = g + problem_.scan_cost(table);
+      // Enumerate all size-k subsets of cand.
+      std::vector<size_t> pick(k);
+      for (size_t i = 0; i < k; ++i) pick[i] = i;
+      while (true) {
+        State next = state;
+        ScheduleStep step;
+        step.table = table;
+        for (size_t idx : pick) {
+          next[cand[idx]] += 1;
+          step.advanced.push_back(cand[idx]);
+        }
+        Relax(state_id, next, g_new, std::move(step));
+        // Next combination.
+        size_t j = k;
+        while (j > 0) {
+          --j;
+          if (pick[j] != j + cand.size() - k) break;
+          if (j == 0) {
+            j = SIZE_MAX;
+            break;
+          }
+        }
+        if (j == SIZE_MAX) break;
+        ++pick[j];
+        for (size_t l = j + 1; l < k; ++l) pick[l] = pick[l - 1] + 1;
+      }
+    }
+  }
+
+  void Relax(int from_id, const State& next, double g_new,
+             ScheduleStep step) {
+    int next_id = Intern(next);
+    size_t idx = static_cast<size_t>(next_id);
+    if (g_[idx] <= g_new + 1e-12) {
+      // Not an improvement. In greedy mode OPEN was just cleared, so the
+      // state must still be re-offered (with its best-known g and the
+      // already-recorded path) or the search would dead-end.
+      if (greedy_mode_) {
+        open_.push(Entry{g_[idx] + h_[idx], g_[idx], next_id});
+      }
+      return;
+    }
+    g_[idx] = g_new;
+    came_from_[idx] = {from_id, std::move(step)};
+    open_.push(Entry{g_new + h_[idx], g_new, next_id});
+  }
+
+  Schedule Reconstruct(int goal_id, int start_id) const {
+    Schedule schedule;
+    int current = goal_id;
+    std::vector<ScheduleStep> reversed;
+    while (current != start_id) {
+      const auto& [prev, step] = came_from_[static_cast<size_t>(current)];
+      reversed.push_back(step);
+      schedule.cost += problem_.scan_cost(step.table);
+      current = prev;
+    }
+    schedule.steps.assign(reversed.rbegin(), reversed.rend());
+    return schedule;
+  }
+
+  const SchedulingProblem& problem_;
+  const SolverOptions& options_;
+  bool greedy_mode_ = false;
+  std::vector<std::vector<std::vector<uint16_t>>> occ_;
+  std::vector<double> caps_;
+  std::unordered_map<State, int, StateHash> ids_;
+  std::vector<State> states_;
+  std::vector<double> g_;
+  std::vector<double> h_;
+  std::vector<std::pair<int, ScheduleStep>> came_from_;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> open_;
+};
+
+}  // namespace
+
+Result<SolverResult> SolveSchedule(const SchedulingProblem& problem,
+                                   const SolverOptions& options) {
+  SITSTATS_RETURN_IF_ERROR(problem.Validate());
+  if (problem.num_sequences() == 0) {
+    SolverResult empty;
+    empty.proved_optimal = true;
+    return empty;
+  }
+  for (size_t i = 0; i < problem.num_sequences(); ++i) {
+    if (problem.sequence(i).size() > 65'000) {
+      return Status::InvalidArgument("dependency sequence too long");
+    }
+  }
+  Result<SolverResult> result =
+      options.kind == SolverKind::kNaive
+          ? SolveNaive(problem)
+          : AStarSolver(problem, options).Run();
+  if (!result.ok()) return result.status();
+  SITSTATS_RETURN_IF_ERROR(ValidateSchedule(problem, result->schedule));
+  return result;
+}
+
+}  // namespace sitstats

@@ -1,0 +1,42 @@
+#include "sit/base_stats.h"
+
+#include "sampling/bernoulli.h"
+
+namespace sitstats {
+
+Result<const Histogram*> BaseStatsCache::GetOrBuild(const Catalog& catalog,
+                                                    const std::string& table,
+                                                    const std::string& column,
+                                                    Rng* rng) {
+  auto key = std::make_pair(table, column);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return &it->second;
+
+  SITSTATS_ASSIGN_OR_RETURN(const Table* t, catalog.GetTable(table));
+  SITSTATS_ASSIGN_OR_RETURN(const Column* col, t->GetColumn(column));
+  if (col->type() == ValueType::kString) {
+    return Status::InvalidArgument("histogram over string column " + table +
+                                   "." + column);
+  }
+  std::vector<double> values = col->ToNumericVector();
+  Histogram histogram;
+  if (options_.sample && !values.empty()) {
+    std::vector<double> sample =
+        BernoulliSample(values, options_.sampling_rate, rng);
+    if (sample.empty()) sample.push_back(values.front());
+    SITSTATS_ASSIGN_OR_RETURN(
+        histogram,
+        BuildHistogramFromSample(std::move(sample),
+                                 static_cast<double>(values.size()),
+                                 options_.histogram_spec));
+  } else {
+    SITSTATS_ASSIGN_OR_RETURN(
+        histogram,
+        BuildHistogram(std::move(values), options_.histogram_spec));
+  }
+  auto [pos, inserted] = cache_.emplace(key, std::move(histogram));
+  (void)inserted;
+  return &pos->second;
+}
+
+}  // namespace sitstats

@@ -1,0 +1,52 @@
+#ifndef SITSTATS_SIT_BASE_STATS_H_
+#define SITSTATS_SIT_BASE_STATS_H_
+
+#include <map>
+#include <string>
+#include <utility>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "histogram/builder.h"
+#include "storage/catalog.h"
+
+namespace sitstats {
+
+/// How base-table histograms are constructed.
+struct BaseStatsOptions {
+  HistogramSpec histogram_spec;
+  /// If true, base histograms are built from a row sample of the column
+  /// (the usual practice in commercial systems — the paper's "sampling
+  /// assumption"); otherwise from a full column read.
+  bool sample = false;
+  double sampling_rate = 0.1;
+};
+
+/// Cache of base-table histograms keyed by (table, column). Sweep consults
+/// base statistics for every join column of every scanned table; building
+/// them once per experiment mirrors a real system's statistics store.
+class BaseStatsCache {
+ public:
+  explicit BaseStatsCache(BaseStatsOptions options = {})
+      : options_(std::move(options)) {}
+
+  /// The histogram over table.column, building (and caching) it on first
+  /// request.
+  Result<const Histogram*> GetOrBuild(const Catalog& catalog,
+                                      const std::string& table,
+                                      const std::string& column, Rng* rng);
+
+  /// Drops every cached histogram.
+  void Clear() { cache_.clear(); }
+
+  size_t size() const { return cache_.size(); }
+  const BaseStatsOptions& options() const { return options_; }
+
+ private:
+  BaseStatsOptions options_;
+  std::map<std::pair<std::string, std::string>, Histogram> cache_;
+};
+
+}  // namespace sitstats
+
+#endif  // SITSTATS_SIT_BASE_STATS_H_

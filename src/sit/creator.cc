@@ -1,0 +1,205 @@
+#include "sit/creator.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "histogram/join_estimate.h"
+#include "query/join_tree.h"
+#include "sit/oracle_factory.h"
+#include "sit/sweep_scan.h"
+
+namespace sitstats {
+
+namespace {
+
+bool UsesSampling(SweepVariant variant) {
+  return variant == SweepVariant::kSweep ||
+         variant == SweepVariant::kSweepIndex;
+}
+
+bool UsesExactOracle(SweepVariant variant) {
+  return variant == SweepVariant::kSweepIndex ||
+         variant == SweepVariant::kSweepExact;
+}
+
+/// The Sweep family: post-order traversal of the join tree (Section 3.2).
+Result<Sit> CreateSitWithSweep(Catalog* catalog, BaseStatsCache* base_stats,
+                               const SitDescriptor& descriptor,
+                               const SitBuildOptions& options) {
+  const ColumnRef& attribute = descriptor.attribute();
+  SITSTATS_ASSIGN_OR_RETURN(
+      JoinTree tree, JoinTree::Build(descriptor.query(), attribute.table));
+  Rng rng(options.seed);
+  IoStats before = catalog->io_stats();
+
+  // Base-table query: the "SIT" is just a base histogram.
+  if (descriptor.query().IsBaseTable()) {
+    SITSTATS_ASSIGN_OR_RETURN(
+        const Histogram* hist,
+        base_stats->GetOrBuild(*catalog, attribute.table, attribute.column,
+                               &rng));
+    SITSTATS_ASSIGN_OR_RETURN(const Table* table,
+                              catalog->GetTable(attribute.table));
+    Sit sit{descriptor, *hist, options.variant,
+            static_cast<double>(table->num_rows()), IoStats{}};
+    return sit;
+  }
+
+  const bool exact_oracle = UsesExactOracle(options.variant);
+  std::map<int, SweepOutput> node_outputs;
+
+  for (int node_index : tree.PostOrder()) {
+    if (tree.IsLeaf(node_index)) continue;  // leaves contribute base stats
+    const JoinTree::Node& node = tree.node(node_index);
+
+    SweepScanSpec spec;
+    spec.table = node.table;
+    spec.sampling_rate = options.sampling_rate;
+    spec.min_sample_size = options.min_sample_size;
+    spec.use_sampling = UsesSampling(options.variant);
+    spec.histogram_spec = options.histogram_spec;
+
+    // Oracles must outlive the scan; owned locally per node.
+    std::vector<std::unique_ptr<MultiplicityOracle>> oracles;
+    SweepTarget target;
+    for (int child_index : node.children) {
+      const JoinTree::Node& child = tree.node(child_index);
+      SweepOutput* child_output = nullptr;
+      auto it = node_outputs.find(child_index);
+      if (it != node_outputs.end()) child_output = &it->second;
+      SITSTATS_ASSIGN_OR_RETURN(
+          std::unique_ptr<MultiplicityOracle> oracle,
+          MakeChildOracle(catalog, base_stats, tree, node_index, child_index,
+                          child_output, exact_oracle, &rng,
+                          options.containment_mode));
+      target.join_indices.push_back(spec.joins.size());
+      spec.joins.push_back(SweepJoin{child.parent_columns, oracle.get()});
+      oracles.push_back(std::move(oracle));
+    }
+
+    const bool is_root = node_index == tree.root();
+    if (!is_root && node.HasCompositeParentEdge()) {
+      // The intermediate SIT this scan would produce must describe the
+      // joint distribution of several columns; 1D intermediate statistics
+      // cannot carry that. (Composite predicates towards *leaf* children
+      // are fully supported.)
+      return Status::NotImplemented(
+          "composite join predicates between intermediate results are not "
+          "supported (node " + node.table + ")");
+    }
+    target.attribute = is_root ? attribute.column : node.column_to_parent();
+    target.build_exact_map = exact_oracle && !is_root;
+    spec.targets.push_back(std::move(target));
+
+    SITSTATS_ASSIGN_OR_RETURN(std::vector<SweepOutput> outputs,
+                              SweepScanTable(catalog, spec, &rng));
+    node_outputs[node_index] = std::move(outputs[0]);
+  }
+
+  SweepOutput& root_output = node_outputs[tree.root()];
+  IoStats after = catalog->io_stats();
+  IoStats delta;
+  delta.sequential_scans = after.sequential_scans - before.sequential_scans;
+  delta.rows_scanned = after.rows_scanned - before.rows_scanned;
+  delta.index_lookups = after.index_lookups - before.index_lookups;
+  delta.histogram_lookups =
+      after.histogram_lookups - before.histogram_lookups;
+  delta.temp_rows_spilled =
+      after.temp_rows_spilled - before.temp_rows_spilled;
+  Sit sit{descriptor, std::move(root_output.histogram), options.variant,
+          root_output.estimated_cardinality, delta};
+  return sit;
+}
+
+/// The Hist-SIT baseline: propagate base histograms through the join tree
+/// without touching the data.
+Result<Sit> CreateHistSit(Catalog* catalog, BaseStatsCache* base_stats,
+                          const SitDescriptor& descriptor,
+                          const SitBuildOptions& options) {
+  const ColumnRef& attribute = descriptor.attribute();
+  SITSTATS_ASSIGN_OR_RETURN(
+      JoinTree tree, JoinTree::Build(descriptor.query(), attribute.table));
+  Rng rng(options.seed);
+
+  // Estimated cardinality of each node's subtree join, bottom-up. For a
+  // node with children c1..ck the optimizer folds the children in one at a
+  // time: card = |T|, then for each child,
+  //   card = EstimateJoin(scale(H_base(node.key_ci), card), H_key(ci)).
+  std::map<int, double> subtree_card;
+  std::map<int, Histogram> subtree_key_hist;
+  for (int node_index : tree.PostOrder()) {
+    const JoinTree::Node& node = tree.node(node_index);
+    if (node_index != tree.root() && node.HasCompositeParentEdge() &&
+        !tree.IsLeaf(node_index)) {
+      return Status::NotImplemented(
+          "composite join predicates between intermediate results are not "
+          "supported (node " + node.table + ")");
+    }
+    SITSTATS_ASSIGN_OR_RETURN(const Table* table,
+                              catalog->GetTable(node.table));
+    double card = static_cast<double>(table->num_rows());
+    for (int child_index : node.children) {
+      const JoinTree::Node& child = tree.node(child_index);
+      double child_card = subtree_card[child_index];
+      // Fold the child's predicates in with the classic independence-
+      // between-predicates rule: sel(p1 ∧ p2 ∧ ...) = Π sel(p_i).
+      double selectivity = 1.0;
+      for (size_t j = 0; j < child.columns_to_parent.size(); ++j) {
+        SITSTATS_ASSIGN_OR_RETURN(
+            const Histogram* own_key,
+            base_stats->GetOrBuild(*catalog, node.table,
+                                   child.parent_columns[j], &rng));
+        Histogram scaled = own_key->ScaledToTotal(card);
+        Histogram child_key;
+        if (j == 0 && !tree.IsLeaf(child_index)) {
+          child_key = subtree_key_hist[child_index];
+        } else {
+          SITSTATS_ASSIGN_OR_RETURN(
+              const Histogram* child_base,
+              base_stats->GetOrBuild(*catalog, child.table,
+                                     child.columns_to_parent[j], &rng));
+          child_key = child_base->ScaledToTotal(child_card);
+        }
+        double join_est = EstimateJoinCardinality(scaled, child_key);
+        selectivity *= join_est / std::max(card * child_card, 1.0);
+      }
+      card = card * child_card * selectivity;
+    }
+    subtree_card[node_index] = card;
+    const bool is_root = node_index == tree.root();
+    const std::string& key_column =
+        is_root ? attribute.column : node.column_to_parent();
+    SITSTATS_ASSIGN_OR_RETURN(
+        const Histogram* key_hist,
+        base_stats->GetOrBuild(*catalog, node.table, key_column, &rng));
+    subtree_key_hist[node_index] = key_hist->ScaledToTotal(card);
+  }
+
+  Sit sit{descriptor, std::move(subtree_key_hist[tree.root()]),
+          SweepVariant::kHistSit, subtree_card[tree.root()], IoStats{}};
+  return sit;
+}
+
+}  // namespace
+
+Result<Sit> CreateSit(Catalog* catalog, BaseStatsCache* base_stats,
+                      const SitDescriptor& descriptor,
+                      const SitBuildOptions& options) {
+  if (!descriptor.query().ReferencesTable(descriptor.attribute().table)) {
+    return Status::InvalidArgument(
+        "SIT attribute table is not part of the generating query: " +
+        descriptor.ToString());
+  }
+  if (options.sampling_rate <= 0.0 || options.sampling_rate > 1.0) {
+    return Status::InvalidArgument("sampling_rate must be in (0, 1]");
+  }
+  if (options.variant == SweepVariant::kHistSit) {
+    return CreateHistSit(catalog, base_stats, descriptor, options);
+  }
+  return CreateSitWithSweep(catalog, base_stats, descriptor, options);
+}
+
+}  // namespace sitstats

@@ -1,0 +1,52 @@
+#ifndef SITSTATS_SIT_CREATOR_H_
+#define SITSTATS_SIT_CREATOR_H_
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "sit/base_stats.h"
+#include "sit/m_oracle.h"
+#include "sit/sit.h"
+#include "storage/catalog.h"
+
+namespace sitstats {
+
+/// Options controlling how a SIT is created.
+struct SitBuildOptions {
+  SweepVariant variant = SweepVariant::kSweep;
+  /// Reservoir sampling rate relative to the scanned table's size (the
+  /// paper uses 10%). Ignored by the no-sampling variants.
+  double sampling_rate = 0.1;
+  size_t min_sample_size = 100;
+  /// Bucketing of the produced SIT and of intermediate SITs.
+  HistogramSpec histogram_spec;
+  /// Bucket-alignment handling of the histogram m-Oracle (ablation knob;
+  /// keep the default for accurate results).
+  ContainmentMode containment_mode = ContainmentMode::kDensityNormalized;
+  /// Seed for sampling and randomized rounding.
+  uint64_t seed = 42;
+};
+
+/// Creates one SIT over an acyclic-join generating query, dispatching on
+/// options.variant:
+///
+///  - kSweep / kSweepIndex / kSweepFull / kSweepExact run the post-order
+///    join-tree algorithm of Section 3.2: leaves contribute base-table
+///    statistics (histograms for the approximating oracles, indexes for
+///    the exact ones), every internal node is one sequential scan that
+///    produces the intermediate SIT over its parent-join column, and the
+///    root scan produces the requested SIT.
+///  - kHistSit performs no scans at all: it propagates base-table
+///    histograms through the join using the containment assumption for
+///    join cardinalities and the independence assumption for scaling —
+///    the traditional optimizer estimate that SITs are designed to
+///    replace.
+///
+/// `base_stats` supplies (and caches) base-table histograms; `catalog` is
+/// mutable because the exact variants may build indexes on demand.
+Result<Sit> CreateSit(Catalog* catalog, BaseStatsCache* base_stats,
+                      const SitDescriptor& descriptor,
+                      const SitBuildOptions& options);
+
+}  // namespace sitstats
+
+#endif  // SITSTATS_SIT_CREATOR_H_

@@ -1,0 +1,44 @@
+#ifndef SITSTATS_SIT_SERIALIZATION_H_
+#define SITSTATS_SIT_SERIALIZATION_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "histogram/histogram.h"
+#include "sit/sit.h"
+#include "sit/sit_catalog.h"
+
+namespace sitstats {
+
+/// Text serialization of statistics, so a SIT catalog built by an offline
+/// job can be persisted and reloaded by the optimizer process — the
+/// deployment model the paper assumes (SITs are created by a statistics
+/// utility, consumed during optimization).
+///
+/// The format is a line-oriented UTF-8 text format with full double
+/// precision (round-trips bit-exactly); see SerializeHistogram for the
+/// grammar.
+
+/// "histogram <n>\n" followed by n lines "lo hi frequency distinct".
+std::string SerializeHistogram(const Histogram& histogram);
+Result<Histogram> DeserializeHistogram(const std::string& text);
+
+/// One SIT: descriptor (attribute, tables, join predicates), variant,
+/// estimated cardinality, histogram.
+std::string SerializeSit(const Sit& sit);
+Result<Sit> DeserializeSit(const std::string& text);
+
+/// Whole catalog: "sitcatalog <n>" header plus n serialized SITs.
+std::string SerializeSitCatalog(const SitCatalog& catalog);
+Result<SitCatalog> DeserializeSitCatalog(const std::string& text);
+
+/// File round-trip helpers.
+Status SaveSitCatalog(const SitCatalog& catalog, const std::string& path);
+Result<SitCatalog> LoadSitCatalog(const std::string& path);
+
+/// Parses the name produced by SweepVariantToString.
+Result<SweepVariant> SweepVariantFromString(const std::string& name);
+
+}  // namespace sitstats
+
+#endif  // SITSTATS_SIT_SERIALIZATION_H_

@@ -1,0 +1,21 @@
+#include "sit/sit.h"
+
+namespace sitstats {
+
+const char* SweepVariantToString(SweepVariant variant) {
+  switch (variant) {
+    case SweepVariant::kSweep:
+      return "Sweep";
+    case SweepVariant::kSweepIndex:
+      return "SweepIndex";
+    case SweepVariant::kSweepFull:
+      return "SweepFull";
+    case SweepVariant::kSweepExact:
+      return "SweepExact";
+    case SweepVariant::kHistSit:
+      return "Hist-SIT";
+  }
+  return "?";
+}
+
+}  // namespace sitstats

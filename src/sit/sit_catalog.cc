@@ -1,0 +1,26 @@
+#include "sit/sit_catalog.h"
+
+namespace sitstats {
+
+void SitCatalog::Add(Sit sit) {
+  for (Sit& existing : sits_) {
+    if (existing.descriptor.EquivalentTo(sit.descriptor)) {
+      existing = std::move(sit);
+      return;
+    }
+  }
+  sits_.push_back(std::move(sit));
+}
+
+const Sit* SitCatalog::Find(const ColumnRef& attribute,
+                            const GeneratingQuery& query) const {
+  for (const Sit& sit : sits_) {
+    if (sit.descriptor.attribute() == attribute &&
+        sit.descriptor.query().EquivalentTo(query)) {
+      return &sit;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace sitstats

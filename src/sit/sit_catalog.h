@@ -1,0 +1,37 @@
+#ifndef SITSTATS_SIT_SIT_CATALOG_H_
+#define SITSTATS_SIT_SIT_CATALOG_H_
+
+#include <vector>
+
+#include "sit/sit.h"
+
+namespace sitstats {
+
+/// The statistics store for SITs. The cardinality-estimation wrapper
+/// (Section 2.2) consults it to rewrite sub-plans whose generating query
+/// matches an available SIT.
+class SitCatalog {
+ public:
+  /// Registers a SIT. A SIT equivalent to an existing one replaces it.
+  void Add(Sit sit);
+
+  /// The SIT over `attribute` whose generating query is equivalent to
+  /// `query`, or nullptr.
+  const Sit* Find(const ColumnRef& attribute,
+                  const GeneratingQuery& query) const;
+
+  const Sit* Find(const SitDescriptor& descriptor) const {
+    return Find(descriptor.attribute(), descriptor.query());
+  }
+
+  size_t size() const { return sits_.size(); }
+  const std::vector<Sit>& sits() const { return sits_; }
+  void Clear() { sits_.clear(); }
+
+ private:
+  std::vector<Sit> sits_;
+};
+
+}  // namespace sitstats
+
+#endif  // SITSTATS_SIT_SIT_CATALOG_H_

@@ -1,0 +1,166 @@
+#include "sit/sweep_scan.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sampling/reservoir.h"
+#include "storage/scan.h"
+#include "storage/temp_store.h"
+
+namespace sitstats {
+
+namespace {
+
+/// Per-target accumulation state during the scan.
+struct TargetState {
+  size_t attribute_slot = 0;           // index into the scan projection
+  ReservoirSampler* reservoir = nullptr;  // sampling path
+  TempValueStore* store = nullptr;        // full path
+  double fractional_cardinality = 0.0;
+  std::unordered_map<double, double> exact_map;
+};
+
+}  // namespace
+
+Result<std::vector<SweepOutput>> SweepScanTable(Catalog* catalog,
+                                                const SweepScanSpec& spec,
+                                                Rng* rng) {
+  if (spec.targets.empty()) {
+    return Status::InvalidArgument("sweep scan with no targets");
+  }
+  for (const SweepJoin& join : spec.joins) {
+    if (join.oracle == nullptr) {
+      return Status::InvalidArgument("sweep join without an oracle");
+    }
+    if (join.scan_columns.empty()) {
+      return Status::InvalidArgument("sweep join without scan columns");
+    }
+    if (join.oracle->num_columns() != join.scan_columns.size()) {
+      return Status::InvalidArgument(
+          "sweep join column count does not match its oracle");
+    }
+  }
+  for (const SweepTarget& target : spec.targets) {
+    for (size_t idx : target.join_indices) {
+      if (idx >= spec.joins.size()) {
+        return Status::InvalidArgument("sweep target join index out of range");
+      }
+    }
+  }
+  SITSTATS_ASSIGN_OR_RETURN(const Table* table,
+                            catalog->GetTable(spec.table));
+
+  // Projection: all join columns, then all target attributes (deduplicated
+  // by the column list; slots may alias the same column).
+  std::vector<std::string> projection;
+  auto slot_of = [&projection](const std::string& column) {
+    for (size_t i = 0; i < projection.size(); ++i) {
+      if (projection[i] == column) return i;
+    }
+    projection.push_back(column);
+    return projection.size() - 1;
+  };
+  std::vector<std::vector<size_t>> join_slots;
+  join_slots.reserve(spec.joins.size());
+  for (const SweepJoin& join : spec.joins) {
+    std::vector<size_t> slots;
+    for (const std::string& column : join.scan_columns) {
+      slots.push_back(slot_of(column));
+    }
+    join_slots.push_back(std::move(slots));
+  }
+
+  size_t capacity = std::max(
+      spec.min_sample_size,
+      static_cast<size_t>(std::ceil(static_cast<double>(table->num_rows()) *
+                                    spec.sampling_rate)));
+
+  std::vector<TargetState> states(spec.targets.size());
+  std::vector<ReservoirSampler> reservoirs;
+  std::vector<TempValueStore> stores;
+  reservoirs.reserve(spec.targets.size());
+  stores.reserve(spec.targets.size());
+  for (size_t t = 0; t < spec.targets.size(); ++t) {
+    states[t].attribute_slot = slot_of(spec.targets[t].attribute);
+    if (spec.use_sampling) {
+      reservoirs.emplace_back(capacity, rng);
+      states[t].reservoir = &reservoirs.back();
+    } else {
+      stores.emplace_back();
+      states[t].store = &stores.back();
+    }
+  }
+
+  // Step 1: the (single, shared) sequential scan.
+  SITSTATS_ASSIGN_OR_RETURN(
+      SequentialScan scan,
+      SequentialScan::Open(catalog, spec.table, projection));
+  std::vector<double> join_multiplicities(spec.joins.size(), 0.0);
+  std::vector<double> join_values;
+  while (scan.Next()) {
+    // Step 2: one oracle call per distinct join, shared across targets.
+    for (size_t j = 0; j < spec.joins.size(); ++j) {
+      join_values.clear();
+      for (size_t slot : join_slots[j]) {
+        join_values.push_back(scan.value(slot));
+      }
+      join_multiplicities[j] = spec.joins[j].oracle->MultiplicityN(
+          join_values.data(), join_values.size());
+    }
+    for (size_t t = 0; t < spec.targets.size(); ++t) {
+      const SweepTarget& target = spec.targets[t];
+      TargetState& state = states[t];
+      double multiplicity = 1.0;
+      for (size_t idx : target.join_indices) {
+        multiplicity *= join_multiplicities[idx];
+        if (multiplicity == 0.0) break;
+      }
+      if (multiplicity <= 0.0) continue;
+      double attr_value = scan.value(state.attribute_slot);
+      state.fractional_cardinality += multiplicity;
+      if (target.build_exact_map) {
+        state.exact_map[attr_value] += multiplicity;
+      }
+      // Steps 3-4: append `multiplicity` copies of the attribute value to
+      // the conceptual temporary table.
+      if (spec.use_sampling) {
+        // Unbiased randomized rounding of the fractional multiplicity.
+        double floor_m = std::floor(multiplicity);
+        uint64_t copies = static_cast<uint64_t>(floor_m);
+        if (rng->Bernoulli(multiplicity - floor_m)) ++copies;
+        if (copies > 0) state.reservoir->AddRepeated(attr_value, copies);
+      } else {
+        SITSTATS_RETURN_IF_ERROR(
+            state.store->Append(attr_value, multiplicity));
+      }
+    }
+  }
+
+  // Step 5: build the statistic per target.
+  std::vector<SweepOutput> outputs;
+  outputs.reserve(spec.targets.size());
+  for (size_t t = 0; t < spec.targets.size(); ++t) {
+    TargetState& state = states[t];
+    SweepOutput out;
+    out.estimated_cardinality = state.fractional_cardinality;
+    if (spec.use_sampling) {
+      SITSTATS_ASSIGN_OR_RETURN(
+          out.histogram,
+          BuildHistogramFromSample(state.reservoir->sample(),
+                                   state.fractional_cardinality,
+                                   spec.histogram_spec));
+    } else {
+      std::vector<std::pair<double, double>> runs;
+      SITSTATS_RETURN_IF_ERROR(state.store->ReadAll(&runs));
+      catalog->io_stats().temp_rows_spilled += state.store->runs_spilled();
+      SITSTATS_ASSIGN_OR_RETURN(
+          out.histogram,
+          BuildHistogramWeighted(std::move(runs), spec.histogram_spec));
+    }
+    out.exact_map = std::move(state.exact_map);
+    outputs.push_back(std::move(out));
+  }
+  return outputs;
+}
+
+}  // namespace sitstats

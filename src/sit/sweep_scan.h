@@ -1,0 +1,78 @@
+#ifndef SITSTATS_SIT_SWEEP_SCAN_H_
+#define SITSTATS_SIT_SWEEP_SCAN_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "histogram/builder.h"
+#include "sit/m_oracle.h"
+#include "storage/catalog.h"
+
+namespace sitstats {
+
+/// One join edge evaluated during a sweep scan: the scanned table's join
+/// column(s), plus the oracle answering "how many tuples on the other side
+/// match these values". Composite equality joins list one column per
+/// predicate and require an oracle with a matching num_columns().
+struct SweepJoin {
+  std::vector<std::string> scan_columns;
+  const MultiplicityOracle* oracle = nullptr;
+};
+
+/// One statistic to produce from a shared scan. Different targets may use
+/// different subsets of the joins (Example 3: a scan of S builds
+/// SIT(S.b | R ⋈_{r2=s2} S) and SIT(S.s3 | R ⋈_{r1=s1} S) simultaneously,
+/// each with its own join).
+struct SweepTarget {
+  /// Column of the scanned table whose distribution is collected.
+  std::string attribute;
+  /// Indices into SweepScanSpec::joins that apply to this target. The
+  /// tuple multiplicity is the product of the joins' multiplicities
+  /// (Section 3.2's multi-way rule; acyclicity makes the product exact).
+  std::vector<size_t> join_indices;
+  /// Also accumulate the exact (weighted) multiplicity map over
+  /// `attribute` — needed when the *next* sweep step wants an exact
+  /// m-Oracle over this intermediate result (SweepIndex / SweepExact).
+  bool build_exact_map = false;
+};
+
+/// Parameters of one sequential scan shared by one or more targets.
+struct SweepScanSpec {
+  std::string table;
+  std::vector<SweepJoin> joins;
+  std::vector<SweepTarget> targets;
+  /// Reservoir capacity = max(min_sample_size, sampling_rate * |table|).
+  double sampling_rate = 0.1;
+  size_t min_sample_size = 100;
+  /// false => stream the full weighted projection through a spillable
+  /// temporary store instead of sampling (SweepFull / SweepExact).
+  bool use_sampling = true;
+  HistogramSpec histogram_spec;
+};
+
+/// Result of one target of a sweep scan.
+struct SweepOutput {
+  /// The SIT statistic over the target attribute.
+  Histogram histogram;
+  /// Estimated |generating query| — the total (fractional) weight of the
+  /// approximated stream.
+  double estimated_cardinality = 0.0;
+  /// Exact weighted multiplicity map (only if build_exact_map was set).
+  std::unordered_map<double, double> exact_map;
+};
+
+/// Performs one sequential scan over spec.table and builds every target
+/// (steps 1-5 of Figure 2, generalized to shared scans and multi-way
+/// joins). Fractional expected multiplicities are converted to integral
+/// stream copies by unbiased randomized rounding when sampling; the
+/// no-sampling path keeps exact fractional weights.
+Result<std::vector<SweepOutput>> SweepScanTable(Catalog* catalog,
+                                                const SweepScanSpec& spec,
+                                                Rng* rng);
+
+}  // namespace sitstats
+
+#endif  // SITSTATS_SIT_SWEEP_SCAN_H_

@@ -1,0 +1,81 @@
+#include "storage/catalog.h"
+
+#include "common/string_util.h"
+
+namespace sitstats {
+
+Status Catalog::AddTable(std::unique_ptr<Table> table) {
+  const std::string& name = table->name();
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists("table " + name);
+  }
+  tables_[name] = std::move(table);
+  return Status::OK();
+}
+
+Result<Table*> Catalog::CreateTable(const std::string& name,
+                                    const Schema& schema) {
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists("table " + name);
+  }
+  auto table = std::make_unique<Table>(name, schema);
+  Table* raw = table.get();
+  tables_[name] = std::move(table);
+  return raw;
+}
+
+Result<const Table*> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("table " + name);
+  return static_cast<const Table*>(it->second.get());
+}
+
+Result<Table*> Catalog::GetMutableTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("table " + name);
+  return it->second.get();
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
+Status Catalog::BuildIndex(const std::string& table_name,
+                           const std::string& column_name) {
+  SITSTATS_ASSIGN_OR_RETURN(const Table* table, GetTable(table_name));
+  SITSTATS_ASSIGN_OR_RETURN(SortedIndex index,
+                            SortedIndex::Build(*table, column_name));
+  indexes_.insert_or_assign({table_name, column_name}, std::move(index));
+  return Status::OK();
+}
+
+Result<const SortedIndex*> Catalog::GetIndex(
+    const std::string& table_name, const std::string& column_name) const {
+  auto it = indexes_.find({table_name, column_name});
+  if (it == indexes_.end()) {
+    return Status::NotFound("index on " + table_name + "." + column_name);
+  }
+  return &it->second;
+}
+
+bool Catalog::HasIndex(const std::string& table_name,
+                       const std::string& column_name) const {
+  return indexes_.count({table_name, column_name}) > 0;
+}
+
+Result<std::pair<const Table*, const Column*>> Catalog::ResolveColumn(
+    const std::string& qualified_name) const {
+  std::vector<std::string> parts = Split(qualified_name, '.');
+  if (parts.size() != 2 || parts[0].empty() || parts[1].empty()) {
+    return Status::InvalidArgument("expected Table.column, got " +
+                                   qualified_name);
+  }
+  SITSTATS_ASSIGN_OR_RETURN(const Table* table, GetTable(parts[0]));
+  SITSTATS_ASSIGN_OR_RETURN(const Column* column, table->GetColumn(parts[1]));
+  return std::make_pair(table, column);
+}
+
+}  // namespace sitstats

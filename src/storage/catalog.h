@@ -1,0 +1,69 @@
+#ifndef SITSTATS_STORAGE_CATALOG_H_
+#define SITSTATS_STORAGE_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/index.h"
+#include "storage/io_stats.h"
+#include "storage/table.h"
+
+namespace sitstats {
+
+/// The database: owns tables and secondary indexes, and tracks I/O
+/// statistics. Column references are resolved through the catalog using
+/// "Table.column" qualified names.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+  Catalog(Catalog&&) = default;
+  Catalog& operator=(Catalog&&) = default;
+
+  /// Registers a table; the name must be unique.
+  Status AddTable(std::unique_ptr<Table> table);
+
+  /// Creates, registers and returns an empty table with the given schema.
+  Result<Table*> CreateTable(const std::string& name, const Schema& schema);
+
+  Result<const Table*> GetTable(const std::string& name) const;
+  Result<Table*> GetMutableTable(const std::string& name);
+  bool HasTable(const std::string& name) const {
+    return tables_.count(name) > 0;
+  }
+
+  std::vector<std::string> TableNames() const;
+  size_t num_tables() const { return tables_.size(); }
+
+  /// Builds (or rebuilds) a sorted secondary index over table.column.
+  Status BuildIndex(const std::string& table_name,
+                    const std::string& column_name);
+
+  /// The index over table.column, or NotFound.
+  Result<const SortedIndex*> GetIndex(const std::string& table_name,
+                                      const std::string& column_name) const;
+  bool HasIndex(const std::string& table_name,
+                const std::string& column_name) const;
+
+  /// Resolves "Table.column"; returns (table, column) or an error.
+  Result<std::pair<const Table*, const Column*>> ResolveColumn(
+      const std::string& qualified_name) const;
+
+  IoStats& io_stats() { return io_stats_; }
+  const IoStats& io_stats() const { return io_stats_; }
+
+ private:
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+  std::map<std::pair<std::string, std::string>, SortedIndex> indexes_;
+  IoStats io_stats_;
+};
+
+}  // namespace sitstats
+
+#endif  // SITSTATS_STORAGE_CATALOG_H_

@@ -1,0 +1,131 @@
+#include "storage/column.h"
+
+#include "common/logging.h"
+
+namespace sitstats {
+
+Column::Column(std::string name, ValueType type)
+    : name_(std::move(name)), type_(type) {
+  switch (type_) {
+    case ValueType::kInt64:
+      data_ = std::vector<int64_t>();
+      break;
+    case ValueType::kDouble:
+      data_ = std::vector<double>();
+      break;
+    case ValueType::kString:
+      data_ = std::vector<std::string>();
+      break;
+  }
+}
+
+size_t Column::size() const {
+  return std::visit([](const auto& v) { return v.size(); }, data_);
+}
+
+void Column::AppendInt64(int64_t v) {
+  SITSTATS_CHECK(type_ == ValueType::kInt64)
+      << "AppendInt64 on " << ValueTypeToString(type_) << " column " << name_;
+  std::get<std::vector<int64_t>>(data_).push_back(v);
+}
+
+void Column::AppendDouble(double v) {
+  SITSTATS_CHECK(type_ == ValueType::kDouble)
+      << "AppendDouble on " << ValueTypeToString(type_) << " column "
+      << name_;
+  std::get<std::vector<double>>(data_).push_back(v);
+}
+
+void Column::AppendString(std::string v) {
+  SITSTATS_CHECK(type_ == ValueType::kString)
+      << "AppendString on " << ValueTypeToString(type_) << " column "
+      << name_;
+  std::get<std::vector<std::string>>(data_).push_back(std::move(v));
+}
+
+void Column::Append(const Value& v) {
+  switch (type_) {
+    case ValueType::kInt64:
+      AppendInt64(v.int64());
+      break;
+    case ValueType::kDouble:
+      AppendDouble(v.dbl());
+      break;
+    case ValueType::kString:
+      AppendString(v.str());
+      break;
+  }
+}
+
+void Column::Reserve(size_t n) {
+  std::visit([n](auto& v) { v.reserve(n); }, data_);
+}
+
+Value Column::Get(size_t row) const {
+  SITSTATS_CHECK(row < size()) << "row " << row << " out of range in column "
+                               << name_;
+  switch (type_) {
+    case ValueType::kInt64:
+      return Value(std::get<std::vector<int64_t>>(data_)[row]);
+    case ValueType::kDouble:
+      return Value(std::get<std::vector<double>>(data_)[row]);
+    case ValueType::kString:
+      return Value(std::get<std::vector<std::string>>(data_)[row]);
+  }
+  return Value();
+}
+
+double Column::GetNumeric(size_t row) const {
+  SITSTATS_CHECK(row < size()) << "row " << row << " out of range in column "
+                               << name_;
+  switch (type_) {
+    case ValueType::kInt64:
+      return static_cast<double>(std::get<std::vector<int64_t>>(data_)[row]);
+    case ValueType::kDouble:
+      return std::get<std::vector<double>>(data_)[row];
+    case ValueType::kString:
+      SITSTATS_CHECK(false) << "GetNumeric on string column " << name_;
+  }
+  return 0.0;
+}
+
+const std::vector<int64_t>& Column::int64_data() const {
+  return std::get<std::vector<int64_t>>(data_);
+}
+
+const std::vector<double>& Column::double_data() const {
+  return std::get<std::vector<double>>(data_);
+}
+
+const std::vector<std::string>& Column::string_data() const {
+  return std::get<std::vector<std::string>>(data_);
+}
+
+std::vector<double> Column::ToNumericVector() const {
+  std::vector<double> out;
+  out.reserve(size());
+  switch (type_) {
+    case ValueType::kInt64:
+      for (int64_t v : int64_data()) out.push_back(static_cast<double>(v));
+      break;
+    case ValueType::kDouble:
+      out = double_data();
+      break;
+    case ValueType::kString:
+      SITSTATS_CHECK(false) << "ToNumericVector on string column " << name_;
+  }
+  return out;
+}
+
+size_t Column::CellWidthBytes() const {
+  switch (type_) {
+    case ValueType::kInt64:
+    case ValueType::kDouble:
+      return 8;
+    case ValueType::kString:
+      return 24;  // rough average including small-string payload
+  }
+  return 8;
+}
+
+}  // namespace sitstats

@@ -1,0 +1,59 @@
+#ifndef SITSTATS_STORAGE_COLUMN_H_
+#define SITSTATS_STORAGE_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace sitstats {
+
+/// A named, typed column of values stored contiguously (column-oriented
+/// layout). Bulk readers should use the typed accessors (int64_data() /
+/// double_data()) rather than per-cell Get() in hot loops.
+class Column {
+ public:
+  Column(std::string name, ValueType type);
+
+  const std::string& name() const { return name_; }
+  ValueType type() const { return type_; }
+  size_t size() const;
+
+  void AppendInt64(int64_t v);
+  void AppendDouble(double v);
+  void AppendString(std::string v);
+  void Append(const Value& v);
+
+  /// Reserves storage for `n` rows.
+  void Reserve(size_t n);
+
+  Value Get(size_t row) const;
+
+  /// Numeric view of one cell (int64 widened). Checked against strings.
+  double GetNumeric(size_t row) const;
+
+  const std::vector<int64_t>& int64_data() const;
+  const std::vector<double>& double_data() const;
+  const std::vector<std::string>& string_data() const;
+
+  /// Copies all cells into a vector of doubles (int64 widened). Fails on
+  /// string columns via SITSTATS_CHECK; statistics are numeric-only.
+  std::vector<double> ToNumericVector() const;
+
+  /// Approximate in-memory width of one cell in bytes (used by the cost
+  /// model to derive page counts).
+  size_t CellWidthBytes() const;
+
+ private:
+  std::string name_;
+  ValueType type_;
+  std::variant<std::vector<int64_t>, std::vector<double>,
+               std::vector<std::string>>
+      data_;
+};
+
+}  // namespace sitstats
+
+#endif  // SITSTATS_STORAGE_COLUMN_H_

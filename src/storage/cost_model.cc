@@ -1,0 +1,24 @@
+#include "storage/cost_model.h"
+
+#include <cmath>
+
+namespace sitstats {
+
+double CostModel::SequentialScanCost(uint64_t num_rows) const {
+  if (num_rows == 0) return 0.0;
+  double cost = static_cast<double>(num_rows) / rows_per_cost_unit;
+  return cost < 1.0 ? 1.0 : cost;
+}
+
+uint64_t CostModel::SequentialScanPages(const Table& table) const {
+  uint64_t bytes = table.SizeBytes();
+  if (bytes == 0) return 0;
+  return (bytes + page_size_bytes - 1) / page_size_bytes;
+}
+
+uint64_t CostModel::SampleSize(uint64_t num_rows, double rate) const {
+  double size = std::ceil(static_cast<double>(num_rows) * rate);
+  return size < 0 ? 0 : static_cast<uint64_t>(size);
+}
+
+}  // namespace sitstats

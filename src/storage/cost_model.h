@@ -1,0 +1,39 @@
+#ifndef SITSTATS_STORAGE_COST_MODEL_H_
+#define SITSTATS_STORAGE_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "storage/table.h"
+
+namespace sitstats {
+
+/// Cost model used by the multi-SIT scheduler (Section 4 of the paper).
+///
+/// The paper charges Cost(T) = |T| / 1000 abstract units per sequential scan
+/// (cost proportional to input size) and SampleSize(T) = s * |T| values of
+/// memory per in-flight sample set. This struct also exposes a page-based
+/// variant for users who prefer I/O units.
+struct CostModel {
+  /// Rows per abstract cost unit (the paper's 1000).
+  double rows_per_cost_unit = 1000.0;
+
+  /// Page size for the page-based variant.
+  uint64_t page_size_bytes = 8192;
+
+  /// Paper-style scan cost: |T| / rows_per_cost_unit, never below 1 for a
+  /// non-empty table.
+  double SequentialScanCost(uint64_t num_rows) const;
+  double SequentialScanCost(const Table& table) const {
+    return SequentialScanCost(table.num_rows());
+  }
+
+  /// Page-based scan cost: ceil(bytes / page_size).
+  uint64_t SequentialScanPages(const Table& table) const;
+
+  /// Memory (in values) for one sample set at sampling rate `rate`.
+  uint64_t SampleSize(uint64_t num_rows, double rate) const;
+};
+
+}  // namespace sitstats
+
+#endif  // SITSTATS_STORAGE_COST_MODEL_H_

@@ -1,0 +1,56 @@
+#include "storage/index.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace sitstats {
+
+Result<SortedIndex> SortedIndex::Build(const Table& table,
+                                       const std::string& column_name) {
+  SITSTATS_ASSIGN_OR_RETURN(const Column* col, table.GetColumn(column_name));
+  if (col->type() == ValueType::kString) {
+    return Status::InvalidArgument("cannot index string column " +
+                                   column_name);
+  }
+  SortedIndex index(table.name(), column_name);
+  const size_t n = col->size();
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> values = col->ToNumericVector();
+  std::sort(order.begin(), order.end(), [&values](uint32_t a, uint32_t b) {
+    return values[a] < values[b];
+  });
+  index.keys_.reserve(n);
+  index.row_ids_.reserve(n);
+  for (uint32_t row : order) {
+    index.keys_.push_back(values[row]);
+    index.row_ids_.push_back(row);
+  }
+  return index;
+}
+
+size_t SortedIndex::Multiplicity(double key) const {
+  ++lookup_count_;
+  auto range = std::equal_range(keys_.begin(), keys_.end(), key);
+  return static_cast<size_t>(range.second - range.first);
+}
+
+std::vector<uint32_t> SortedIndex::LookupRange(double lo, double hi) const {
+  ++lookup_count_;
+  std::vector<uint32_t> out;
+  auto begin = std::lower_bound(keys_.begin(), keys_.end(), lo);
+  auto end = std::upper_bound(keys_.begin(), keys_.end(), hi);
+  for (auto it = begin; it != end; ++it) {
+    out.push_back(row_ids_[static_cast<size_t>(it - keys_.begin())]);
+  }
+  return out;
+}
+
+size_t SortedIndex::CountRange(double lo, double hi) const {
+  ++lookup_count_;
+  auto begin = std::lower_bound(keys_.begin(), keys_.end(), lo);
+  auto end = std::upper_bound(keys_.begin(), keys_.end(), hi);
+  return static_cast<size_t>(end - begin);
+}
+
+}  // namespace sitstats

@@ -1,0 +1,55 @@
+#ifndef SITSTATS_STORAGE_INDEX_H_
+#define SITSTATS_STORAGE_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace sitstats {
+
+/// Secondary index over one numeric column: a sorted array of
+/// (key, row id) pairs, the in-memory equivalent of a clustered B+-tree
+/// leaf level. SweepIndex uses Multiplicity() as its exact m-Oracle.
+class SortedIndex {
+ public:
+  /// Builds an index over `table`.`column_name`. Fails on string columns
+  /// or unknown columns.
+  static Result<SortedIndex> Build(const Table& table,
+                                   const std::string& column_name);
+
+  const std::string& table_name() const { return table_name_; }
+  const std::string& column_name() const { return column_name_; }
+  size_t num_entries() const { return keys_.size(); }
+
+  /// Number of rows whose key equals `key` (exact multiplicity).
+  /// O(log n) binary search.
+  size_t Multiplicity(double key) const;
+
+  /// Row ids whose key lies in [lo, hi] (inclusive), in key order.
+  std::vector<uint32_t> LookupRange(double lo, double hi) const;
+
+  /// Number of rows whose key lies in [lo, hi] (inclusive).
+  size_t CountRange(double lo, double hi) const;
+
+  /// Total point/range lookups served since construction (mutable
+  /// bookkeeping; an index lookup is physical work the experiments track).
+  uint64_t lookup_count() const { return lookup_count_; }
+
+ private:
+  SortedIndex(std::string table_name, std::string column_name)
+      : table_name_(std::move(table_name)),
+        column_name_(std::move(column_name)) {}
+
+  std::string table_name_;
+  std::string column_name_;
+  std::vector<double> keys_;      // sorted
+  std::vector<uint32_t> row_ids_;  // aligned with keys_
+  mutable uint64_t lookup_count_ = 0;
+};
+
+}  // namespace sitstats
+
+#endif  // SITSTATS_STORAGE_INDEX_H_

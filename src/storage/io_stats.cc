@@ -1,0 +1,16 @@
+#include "storage/io_stats.h"
+
+#include <sstream>
+
+namespace sitstats {
+
+std::string IoStats::ToString() const {
+  std::ostringstream os;
+  os << "seq_scans=" << sequential_scans << " rows_scanned=" << rows_scanned
+     << " index_lookups=" << index_lookups
+     << " histogram_lookups=" << histogram_lookups
+     << " temp_rows_spilled=" << temp_rows_spilled;
+  return os.str();
+}
+
+}  // namespace sitstats

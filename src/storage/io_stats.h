@@ -1,0 +1,27 @@
+#ifndef SITSTATS_STORAGE_IO_STATS_H_
+#define SITSTATS_STORAGE_IO_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace sitstats {
+
+/// Counters for the physical work performed by the engine. SIT-creation
+/// experiments use these to compare the I/O footprint of techniques (e.g.
+/// how many sequential scans a schedule really performed, or how many index
+/// lookups SweepIndex issued).
+struct IoStats {
+  uint64_t sequential_scans = 0;
+  uint64_t rows_scanned = 0;
+  uint64_t index_lookups = 0;
+  uint64_t histogram_lookups = 0;
+  uint64_t temp_rows_spilled = 0;
+
+  void Reset() { *this = IoStats{}; }
+
+  std::string ToString() const;
+};
+
+}  // namespace sitstats
+
+#endif  // SITSTATS_STORAGE_IO_STATS_H_

@@ -1,0 +1,36 @@
+#include "storage/scan.h"
+
+namespace sitstats {
+
+Result<SequentialScan> SequentialScan::Open(
+    Catalog* catalog, const std::string& table_name,
+    const std::vector<std::string>& columns) {
+  SITSTATS_ASSIGN_OR_RETURN(const Table* table, catalog->GetTable(table_name));
+  SequentialScan scan;
+  scan.table_name_ = table_name;
+  scan.num_rows_ = table->num_rows();
+  scan.io_stats_ = &catalog->io_stats();
+  for (const std::string& name : columns) {
+    SITSTATS_ASSIGN_OR_RETURN(const Column* col, table->GetColumn(name));
+    if (col->type() == ValueType::kString) {
+      return Status::InvalidArgument("scan projection over string column " +
+                                     table_name + "." + name);
+    }
+    scan.columns_.push_back(col);
+  }
+  scan.current_.resize(scan.columns_.size());
+  scan.io_stats_->sequential_scans += 1;
+  return scan;
+}
+
+bool SequentialScan::Next() {
+  if (next_row_ >= num_rows_) return false;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    current_[i] = columns_[i]->GetNumeric(next_row_);
+  }
+  ++next_row_;
+  io_stats_->rows_scanned += 1;
+  return true;
+}
+
+}  // namespace sitstats

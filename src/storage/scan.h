@@ -1,0 +1,54 @@
+#ifndef SITSTATS_STORAGE_SCAN_H_
+#define SITSTATS_STORAGE_SCAN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/catalog.h"
+#include "storage/table.h"
+
+namespace sitstats {
+
+/// Cursor for one sequential scan over a table, restricted to a projection
+/// of numeric columns. This is the physical operation Sweep performs once
+/// per (non-root) table; opening a scan bumps the catalog's I/O counters.
+///
+///   SITSTATS_ASSIGN_OR_RETURN(SequentialScan scan,
+///       SequentialScan::Open(&catalog, "S", {"y", "a"}));
+///   while (scan.Next()) {
+///     double y = scan.value(0), a = scan.value(1);
+///   }
+class SequentialScan {
+ public:
+  /// Opens a scan over `columns` of `table_name`. All projected columns
+  /// must be numeric.
+  static Result<SequentialScan> Open(Catalog* catalog,
+                                     const std::string& table_name,
+                                     const std::vector<std::string>& columns);
+
+  /// Advances to the next row; false once the input is exhausted.
+  bool Next();
+
+  /// Value of the i-th projected column in the current row. Only valid
+  /// after Next() returned true.
+  double value(size_t i) const { return current_[i]; }
+
+  size_t num_columns() const { return columns_.size(); }
+  size_t num_rows() const { return num_rows_; }
+  const std::string& table_name() const { return table_name_; }
+
+ private:
+  SequentialScan() = default;
+
+  std::string table_name_;
+  std::vector<const Column*> columns_;
+  std::vector<double> current_;
+  size_t num_rows_ = 0;
+  size_t next_row_ = 0;
+  IoStats* io_stats_ = nullptr;
+};
+
+}  // namespace sitstats
+
+#endif  // SITSTATS_STORAGE_SCAN_H_

@@ -1,0 +1,25 @@
+#include "storage/schema.h"
+
+#include <sstream>
+
+namespace sitstats {
+
+std::optional<size_t> Schema::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream os;
+  os << "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << columns_[i].name << " " << ValueTypeToString(columns_[i].type);
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace sitstats

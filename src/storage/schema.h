@@ -1,0 +1,49 @@
+#ifndef SITSTATS_STORAGE_SCHEMA_H_
+#define SITSTATS_STORAGE_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace sitstats {
+
+/// Description of one column: name and type.
+struct ColumnDef {
+  std::string name;
+  ValueType type;
+};
+
+/// Ordered list of column definitions for a table.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns)
+      : columns_(std::move(columns)) {}
+
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  void AddColumn(std::string name, ValueType type) {
+    columns_.push_back(ColumnDef{std::move(name), type});
+  }
+
+  /// Index of the column named `name`, or nullopt.
+  std::optional<size_t> FindColumn(const std::string& name) const;
+
+  /// True if a column named `name` exists.
+  bool HasColumn(const std::string& name) const {
+    return FindColumn(name).has_value();
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+};
+
+}  // namespace sitstats
+
+#endif  // SITSTATS_STORAGE_SCHEMA_H_

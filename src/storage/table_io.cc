@@ -1,0 +1,174 @@
+#include "storage/table_io.h"
+
+#include <cstdio>
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace sitstats {
+
+namespace {
+
+std::string FormatExact(double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+  return buffer;
+}
+
+Result<ValueType> TypeFromName(const std::string& name) {
+  if (name == "int64") return ValueType::kInt64;
+  if (name == "double") return ValueType::kDouble;
+  if (name == "string") return ValueType::kString;
+  return Status::InvalidArgument("unknown column type '" + name + "'");
+}
+
+}  // namespace
+
+Status WriteTableCsv(const Table& table, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  // Header.
+  std::vector<std::string> header;
+  for (const ColumnDef& def : table.schema().columns()) {
+    if (def.name.find(',') != std::string::npos ||
+        def.name.find(':') != std::string::npos) {
+      return Status::InvalidArgument("column name '" + def.name +
+                                     "' cannot be written to CSV");
+    }
+    header.push_back(def.name + ":" + ValueTypeToString(def.type));
+  }
+  out << Join(header, ",") << "\n";
+  // Rows.
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) out << ',';
+      const Column& col = table.column(c);
+      switch (col.type()) {
+        case ValueType::kInt64:
+          out << col.int64_data()[row];
+          break;
+        case ValueType::kDouble:
+          out << FormatExact(col.double_data()[row]);
+          break;
+        case ValueType::kString: {
+          const std::string& s = col.string_data()[row];
+          if (s.find(',') != std::string::npos ||
+              s.find('\n') != std::string::npos) {
+            return Status::InvalidArgument(
+                "string cell contains a separator; cannot write CSV");
+          }
+          out << s;
+          break;
+        }
+      }
+    }
+    out << '\n';
+  }
+  out.flush();
+  if (!out) return Status::IOError("write to " + path + " failed");
+  return Status::OK();
+}
+
+Result<Table> ReadTableCsv(const std::string& table_name,
+                           const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path + " for reading");
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument(path + " is empty (no header)");
+  }
+  Schema schema;
+  for (const std::string& field : Split(line, ',')) {
+    std::vector<std::string> parts = Split(field, ':');
+    if (parts.size() != 2 || parts[0].empty()) {
+      return Status::InvalidArgument("bad CSV header field '" + field +
+                                     "' in " + path);
+    }
+    SITSTATS_ASSIGN_OR_RETURN(ValueType type, TypeFromName(parts[1]));
+    schema.AddColumn(parts[0], type);
+  }
+  Table table(table_name, schema);
+  size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    std::vector<std::string> fields = Split(line, ',');
+    if (fields.size() != schema.num_columns()) {
+      return Status::InvalidArgument(
+          path + ":" + std::to_string(line_number) + ": expected " +
+          std::to_string(schema.num_columns()) + " fields, got " +
+          std::to_string(fields.size()));
+    }
+    std::vector<Value> row;
+    row.reserve(fields.size());
+    for (size_t c = 0; c < fields.size(); ++c) {
+      switch (schema.column(c).type) {
+        case ValueType::kInt64: {
+          char* end = nullptr;
+          long long v = std::strtoll(fields[c].c_str(), &end, 10);
+          if (end == fields[c].c_str() || *end != '\0') {
+            return Status::InvalidArgument(
+                path + ":" + std::to_string(line_number) +
+                ": bad int64 '" + fields[c] + "'");
+          }
+          row.emplace_back(static_cast<int64_t>(v));
+          break;
+        }
+        case ValueType::kDouble: {
+          char* end = nullptr;
+          double v = std::strtod(fields[c].c_str(), &end);
+          if (end == fields[c].c_str() || *end != '\0') {
+            return Status::InvalidArgument(
+                path + ":" + std::to_string(line_number) +
+                ": bad double '" + fields[c] + "'");
+          }
+          row.emplace_back(v);
+          break;
+        }
+        case ValueType::kString:
+          row.emplace_back(fields[c]);
+          break;
+      }
+    }
+    SITSTATS_RETURN_IF_ERROR(table.AppendRow(row));
+  }
+  return table;
+}
+
+Status SaveCatalogCsv(const Catalog& catalog, const std::string& dir) {
+  std::ofstream manifest(dir + "/MANIFEST", std::ios::trunc);
+  if (!manifest) {
+    return Status::IOError("cannot write " + dir +
+                           "/MANIFEST (does the directory exist?)");
+  }
+  for (const std::string& name : catalog.TableNames()) {
+    SITSTATS_ASSIGN_OR_RETURN(const Table* table, catalog.GetTable(name));
+    SITSTATS_RETURN_IF_ERROR(
+        WriteTableCsv(*table, dir + "/" + name + ".csv"));
+    manifest << name << "\n";
+  }
+  manifest.flush();
+  if (!manifest) return Status::IOError("write to MANIFEST failed");
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Catalog>> LoadCatalogCsv(const std::string& dir) {
+  std::ifstream manifest(dir + "/MANIFEST");
+  if (!manifest) {
+    return Status::IOError("cannot open " + dir + "/MANIFEST");
+  }
+  auto catalog = std::make_unique<Catalog>();
+  std::string name;
+  while (std::getline(manifest, name)) {
+    if (name.empty()) continue;
+    SITSTATS_ASSIGN_OR_RETURN(
+        Table table, ReadTableCsv(name, dir + "/" + name + ".csv"));
+    SITSTATS_RETURN_IF_ERROR(
+        catalog->AddTable(std::make_unique<Table>(std::move(table))));
+  }
+  return catalog;
+}
+
+}  // namespace sitstats

@@ -1,0 +1,37 @@
+#ifndef SITSTATS_STORAGE_TABLE_IO_H_
+#define SITSTATS_STORAGE_TABLE_IO_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "storage/catalog.h"
+#include "storage/table.h"
+
+namespace sitstats {
+
+/// CSV persistence for tables and catalogs, so that generated databases
+/// can be inspected, shipped, and reloaded (and so the CLI can operate on
+/// data that outlives a process).
+///
+/// Format: first line `column:type,column:type,...` (types int64 | double
+/// | string), then one comma-separated row per line. Strings must not
+/// contain commas or newlines (validated on write).
+
+Status WriteTableCsv(const Table& table, const std::string& path);
+
+/// Reads a table named `table_name` from `path`, inferring the schema
+/// from the header line.
+Result<Table> ReadTableCsv(const std::string& table_name,
+                           const std::string& path);
+
+/// Writes every table of `catalog` as `<dir>/<table>.csv` plus a
+/// `<dir>/MANIFEST` listing the table names. `dir` must exist.
+Status SaveCatalogCsv(const Catalog& catalog, const std::string& dir);
+
+/// Loads a catalog previously written by SaveCatalogCsv.
+Result<std::unique_ptr<Catalog>> LoadCatalogCsv(const std::string& dir);
+
+}  // namespace sitstats
+
+#endif  // SITSTATS_STORAGE_TABLE_IO_H_

@@ -1,0 +1,128 @@
+#include "storage/temp_store.h"
+
+#include <cstdlib>
+
+#include <algorithm>
+#include <atomic>
+
+namespace sitstats {
+
+namespace {
+std::atomic<uint64_t> g_temp_file_counter{0};
+
+std::string NextTempPath() {
+  const char* dir = std::getenv("TMPDIR");
+  std::string base = (dir != nullptr && *dir != '\0') ? dir : "/tmp";
+  return base + "/sitstats_spill_" +
+         std::to_string(g_temp_file_counter.fetch_add(1)) + "_" +
+         std::to_string(reinterpret_cast<uintptr_t>(&g_temp_file_counter));
+}
+}  // namespace
+
+TempValueStore::TempValueStore(size_t memory_budget_runs)
+    : memory_budget_(std::max<size_t>(memory_budget_runs, 1)) {}
+
+TempValueStore::~TempValueStore() { CloseFile(); }
+
+TempValueStore::TempValueStore(TempValueStore&& other) noexcept
+    : memory_budget_(other.memory_budget_),
+      buffer_(std::move(other.buffer_)),
+      file_(other.file_),
+      file_path_(std::move(other.file_path_)),
+      spilled_runs_(other.spilled_runs_),
+      total_runs_(other.total_runs_),
+      total_weight_(other.total_weight_) {
+  other.file_ = nullptr;
+  other.spilled_runs_ = 0;
+  other.total_runs_ = 0;
+  other.total_weight_ = 0.0;
+}
+
+TempValueStore& TempValueStore::operator=(TempValueStore&& other) noexcept {
+  if (this != &other) {
+    CloseFile();
+    memory_budget_ = other.memory_budget_;
+    buffer_ = std::move(other.buffer_);
+    file_ = other.file_;
+    file_path_ = std::move(other.file_path_);
+    spilled_runs_ = other.spilled_runs_;
+    total_runs_ = other.total_runs_;
+    total_weight_ = other.total_weight_;
+    other.file_ = nullptr;
+    other.spilled_runs_ = 0;
+    other.total_runs_ = 0;
+    other.total_weight_ = 0.0;
+  }
+  return *this;
+}
+
+void TempValueStore::CloseFile() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    std::remove(file_path_.c_str());
+    file_ = nullptr;
+  }
+}
+
+Status TempValueStore::Append(double value, double weight) {
+  if (weight <= 0.0) return Status::OK();
+  total_weight_ += weight;
+  if (!buffer_.empty() && buffer_.back().first == value) {
+    buffer_.back().second += weight;
+    return Status::OK();
+  }
+  buffer_.emplace_back(value, weight);
+  ++total_runs_;
+  if (buffer_.size() > memory_budget_) {
+    SITSTATS_RETURN_IF_ERROR(SpillBuffer());
+  }
+  return Status::OK();
+}
+
+Status TempValueStore::SpillBuffer() {
+  if (file_ == nullptr) {
+    file_path_ = NextTempPath();
+    file_ = std::fopen(file_path_.c_str(), "w+b");
+    if (file_ == nullptr) {
+      return Status::IOError("cannot create spill file " + file_path_);
+    }
+  }
+  if (std::fseek(file_, 0, SEEK_END) != 0) {
+    return Status::IOError("seek failed on spill file " + file_path_);
+  }
+  size_t written = std::fwrite(buffer_.data(), sizeof(buffer_[0]),
+                               buffer_.size(), file_);
+  if (written != buffer_.size()) {
+    return Status::IOError("short write to spill file " + file_path_);
+  }
+  spilled_runs_ += buffer_.size();
+  buffer_.clear();
+  return Status::OK();
+}
+
+Status TempValueStore::ReadAll(
+    std::vector<std::pair<double, double>>* out) const {
+  out->clear();
+  out->reserve(total_runs_);
+  if (file_ != nullptr) {
+    if (std::fseek(file_, 0, SEEK_SET) != 0) {
+      return Status::IOError("seek failed on spill file " + file_path_);
+    }
+    std::vector<std::pair<double, double>> chunk(64 * 1024);
+    size_t remaining = spilled_runs_;
+    while (remaining > 0) {
+      size_t want = std::min(remaining, chunk.size());
+      size_t got = std::fread(chunk.data(), sizeof(chunk[0]), want, file_);
+      if (got != want) {
+        return Status::IOError("short read from spill file " + file_path_);
+      }
+      out->insert(out->end(), chunk.begin(),
+                  chunk.begin() + static_cast<ptrdiff_t>(got));
+      remaining -= got;
+    }
+  }
+  out->insert(out->end(), buffer_.begin(), buffer_.end());
+  return Status::OK();
+}
+
+}  // namespace sitstats

@@ -1,0 +1,37 @@
+#include "storage/value.h"
+
+#include "common/logging.h"
+
+namespace sitstats {
+
+const char* ValueTypeToString(ValueType type) {
+  switch (type) {
+    case ValueType::kInt64:
+      return "int64";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+ValueType Value::type() const {
+  if (is_int64()) return ValueType::kInt64;
+  if (is_double()) return ValueType::kDouble;
+  return ValueType::kString;
+}
+
+double Value::AsNumeric() const {
+  if (is_int64()) return static_cast<double>(int64());
+  SITSTATS_CHECK(is_double()) << "AsNumeric on string value";
+  return dbl();
+}
+
+std::string Value::ToString() const {
+  if (is_int64()) return std::to_string(int64());
+  if (is_double()) return std::to_string(dbl());
+  return str();
+}
+
+}  // namespace sitstats

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "storage/catalog.h"
+#include "storage/cost_model.h"
+#include "storage/index.h"
+#include "storage/scan.h"
+#include "storage/temp_store.h"
+
+namespace sitstats {
+namespace {
+
+Catalog MakeCatalog() {
+  Catalog catalog;
+  Schema schema;
+  schema.AddColumn("k", ValueType::kInt64);
+  schema.AddColumn("v", ValueType::kDouble);
+  schema.AddColumn("s", ValueType::kString);
+  Table* t = catalog.CreateTable("T", schema).ValueOrDie();
+  for (int i = 0; i < 10; ++i) {
+    SITSTATS_CHECK_OK(t->AppendRow({Value(int64_t{i % 3}),
+                                    Value(static_cast<double>(i)),
+                                    Value(std::string("x"))}));
+  }
+  return catalog;
+}
+
+TEST(SortedIndexTest, MultiplicityAndRanges) {
+  Catalog catalog = MakeCatalog();
+  const Table* t = catalog.GetTable("T").ValueOrDie();
+  SortedIndex index = SortedIndex::Build(*t, "k").ValueOrDie();
+  EXPECT_EQ(index.num_entries(), 10u);
+  // keys: 0,1,2 repeating over 10 rows -> 0 appears 4 times, 1 and 2 thrice.
+  EXPECT_EQ(index.Multiplicity(0.0), 4u);
+  EXPECT_EQ(index.Multiplicity(1.0), 3u);
+  EXPECT_EQ(index.Multiplicity(2.0), 3u);
+  EXPECT_EQ(index.Multiplicity(9.0), 0u);
+  EXPECT_EQ(index.CountRange(1.0, 2.0), 6u);
+  EXPECT_EQ(index.CountRange(-5.0, 5.0), 10u);
+  EXPECT_EQ(index.CountRange(3.0, 5.0), 0u);
+  EXPECT_EQ(index.LookupRange(0.0, 0.0).size(), 4u);
+  EXPECT_GT(index.lookup_count(), 0u);
+}
+
+TEST(SortedIndexTest, RejectsStringColumn) {
+  Catalog catalog = MakeCatalog();
+  const Table* t = catalog.GetTable("T").ValueOrDie();
+  EXPECT_EQ(SortedIndex::Build(*t, "s").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(SortedIndex::Build(*t, "zz").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(SequentialScanTest, ProjectsColumnsInOrder) {
+  Catalog catalog = MakeCatalog();
+  SequentialScan scan =
+      SequentialScan::Open(&catalog, "T", {"v", "k"}).ValueOrDie();
+  EXPECT_EQ(scan.num_rows(), 10u);
+  int rows = 0;
+  while (scan.Next()) {
+    EXPECT_DOUBLE_EQ(scan.value(0), static_cast<double>(rows));
+    EXPECT_DOUBLE_EQ(scan.value(1), static_cast<double>(rows % 3));
+    ++rows;
+  }
+  EXPECT_EQ(rows, 10);
+  EXPECT_FALSE(scan.Next());  // stays exhausted
+}
+
+TEST(SequentialScanTest, CountsIoWork) {
+  Catalog catalog = MakeCatalog();
+  {
+    SequentialScan scan =
+        SequentialScan::Open(&catalog, "T", {"k"}).ValueOrDie();
+    while (scan.Next()) {
+    }
+  }
+  EXPECT_EQ(catalog.io_stats().sequential_scans, 1u);
+  EXPECT_EQ(catalog.io_stats().rows_scanned, 10u);
+}
+
+TEST(SequentialScanTest, Errors) {
+  Catalog catalog = MakeCatalog();
+  EXPECT_EQ(
+      SequentialScan::Open(&catalog, "U", {"k"}).status().code(),
+      StatusCode::kNotFound);
+  EXPECT_EQ(
+      SequentialScan::Open(&catalog, "T", {"s"}).status().code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      SequentialScan::Open(&catalog, "T", {"nope"}).status().code(),
+      StatusCode::kNotFound);
+}
+
+TEST(TempValueStoreTest, InMemoryRoundTrip) {
+  TempValueStore store;
+  ASSERT_TRUE(store.Append(1.0, 2.0).ok());
+  ASSERT_TRUE(store.Append(1.0, 3.0).ok());  // merges with previous run
+  ASSERT_TRUE(store.Append(2.0, 1.0).ok());
+  EXPECT_DOUBLE_EQ(store.total_weight(), 6.0);
+  EXPECT_EQ(store.num_runs(), 2u);
+  EXPECT_FALSE(store.spilled());
+  std::vector<std::pair<double, double>> runs;
+  ASSERT_TRUE(store.ReadAll(&runs).ok());
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_DOUBLE_EQ(runs[0].first, 1.0);
+  EXPECT_DOUBLE_EQ(runs[0].second, 5.0);
+  EXPECT_DOUBLE_EQ(runs[1].first, 2.0);
+}
+
+TEST(TempValueStoreTest, IgnoresNonPositiveWeights) {
+  TempValueStore store;
+  ASSERT_TRUE(store.Append(1.0, 0.0).ok());
+  ASSERT_TRUE(store.Append(1.0, -2.0).ok());
+  EXPECT_EQ(store.num_runs(), 0u);
+  EXPECT_DOUBLE_EQ(store.total_weight(), 0.0);
+}
+
+TEST(TempValueStoreTest, SpillsToDiskAndReadsBack) {
+  TempValueStore store(/*memory_budget_runs=*/4);
+  const int n = 100;
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(store.Append(static_cast<double>(i), 1.0).ok());
+  }
+  EXPECT_TRUE(store.spilled());
+  EXPECT_GT(store.runs_spilled(), 0u);
+  std::vector<std::pair<double, double>> runs;
+  ASSERT_TRUE(store.ReadAll(&runs).ok());
+  ASSERT_EQ(runs.size(), static_cast<size_t>(n));
+  double total = 0;
+  for (int i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(runs[static_cast<size_t>(i)].first,
+                     static_cast<double>(i));
+    total += runs[static_cast<size_t>(i)].second;
+  }
+  EXPECT_DOUBLE_EQ(total, store.total_weight());
+  // The store stays appendable and re-readable after ReadAll.
+  ASSERT_TRUE(store.Append(999.0, 2.0).ok());
+  ASSERT_TRUE(store.ReadAll(&runs).ok());
+  EXPECT_EQ(runs.size(), static_cast<size_t>(n + 1));
+}
+
+TEST(TempValueStoreTest, MoveTransfersOwnership) {
+  TempValueStore a(2);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(a.Append(static_cast<double>(i)).ok());
+  }
+  TempValueStore b = std::move(a);
+  std::vector<std::pair<double, double>> runs;
+  ASSERT_TRUE(b.ReadAll(&runs).ok());
+  EXPECT_EQ(runs.size(), 10u);
+}
+
+TEST(CostModelTest, PaperCostUnits) {
+  CostModel model;
+  EXPECT_DOUBLE_EQ(model.SequentialScanCost(uint64_t{100'000}), 100.0);
+  EXPECT_DOUBLE_EQ(model.SequentialScanCost(uint64_t{500}), 1.0);  // floor
+  EXPECT_DOUBLE_EQ(model.SequentialScanCost(uint64_t{0}), 0.0);
+}
+
+TEST(CostModelTest, SampleSize) {
+  CostModel model;
+  EXPECT_EQ(model.SampleSize(100'000, 0.1), 10'000u);
+  EXPECT_EQ(model.SampleSize(5, 0.1), 1u);  // ceil
+  EXPECT_EQ(model.SampleSize(0, 0.1), 0u);
+}
+
+TEST(CostModelTest, PageCost) {
+  CostModel model;
+  Schema schema;
+  schema.AddColumn("k", ValueType::kInt64);
+  Table t("T", schema);
+  for (int i = 0; i < 2000; ++i) {
+    SITSTATS_CHECK_OK(t.AppendRow({Value(int64_t{i})}));
+  }
+  // 2000 rows * 8 bytes = 16000 bytes -> 2 pages of 8192.
+  EXPECT_EQ(model.SequentialScanPages(t), 2u);
+}
+
+}  // namespace
+}  // namespace sitstats

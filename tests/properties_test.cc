@@ -1,0 +1,232 @@
+// Cross-cutting property tests: invariants that must hold for every
+// histogram type, data distribution, and Sweep variant, checked over
+// parameterized sweeps rather than hand-picked cases.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+#include "common/logging.h"
+#include "datagen/distributions.h"
+#include "datagen/synthetic_db.h"
+#include "estimator/accuracy.h"
+#include "exec/query_executor.h"
+#include "histogram/builder.h"
+#include "sit/creator.h"
+
+namespace sitstats {
+namespace {
+
+// ---------------------------------------------------------------------
+// Histogram invariants across (type, bucket count, distribution).
+// ---------------------------------------------------------------------
+
+using HistogramCase = std::tuple<HistogramType, int, double /*zipf z*/>;
+
+class HistogramInvariants
+    : public ::testing::TestWithParam<HistogramCase> {};
+
+TEST_P(HistogramInvariants, TotalsBoundsAndMonotonicity) {
+  auto [type, nb, z] = GetParam();
+  Rng rng(101);
+  ZipfDistribution dist(500, z);
+  std::vector<double> values;
+  for (int i = 0; i < 10'000; ++i) {
+    values.push_back(static_cast<double>(dist.Sample(&rng)));
+  }
+  HistogramSpec spec;
+  spec.type = type;
+  spec.num_buckets = nb;
+  Histogram h = BuildHistogram(values, spec).ValueOrDie();
+
+  // Structural validity and exact totals.
+  EXPECT_TRUE(h.CheckValid().ok());
+  EXPECT_LE(h.num_buckets(), static_cast<size_t>(nb));
+  EXPECT_NEAR(h.TotalFrequency(), 10'000.0, 1e-6);
+
+  // Full-domain range query is exact.
+  EXPECT_NEAR(h.EstimateRange(h.MinValue(), h.MaxValue()), 10'000.0, 1e-6);
+
+  // Range estimates are monotone in range inclusion and bounded by the
+  // total.
+  Rng qrng(7);
+  for (int q = 0; q < 50; ++q) {
+    double a = qrng.UniformDouble(0, 510);
+    double b = qrng.UniformDouble(0, 510);
+    if (a > b) std::swap(a, b);
+    double inner = h.EstimateRange(a, b);
+    double outer = h.EstimateRange(a - 5, b + 5);
+    EXPECT_GE(inner, 0.0);
+    EXPECT_LE(inner, outer + 1e-9);
+    EXPECT_LE(outer, h.TotalFrequency() + 1e-9);
+  }
+
+  // Summing equality estimates over all buckets' distinct counts gives
+  // back the total frequency.
+  double total = 0.0;
+  for (size_t i = 0; i < h.num_buckets(); ++i) {
+    total += h.bucket(i).TuplesPerDistinct() * h.bucket(i).distinct_values;
+  }
+  EXPECT_NEAR(total, h.TotalFrequency(), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HistogramInvariants,
+    ::testing::Combine(::testing::Values(HistogramType::kEquiWidth,
+                                         HistogramType::kEquiDepth,
+                                         HistogramType::kMaxDiff,
+                                         HistogramType::kVOptimal),
+                       ::testing::Values(1, 10, 100),
+                       ::testing::Values(0.0, 0.5, 1.0)),
+    [](const auto& info) {
+      return std::string(HistogramTypeToString(std::get<0>(info.param))) +
+             "_nb" + std::to_string(std::get<1>(info.param)) + "_z" +
+             std::to_string(static_cast<int>(std::get<2>(info.param) * 10));
+    });
+
+// ---------------------------------------------------------------------
+// Sweep-variant invariants across query shapes.
+// ---------------------------------------------------------------------
+
+using VariantCase = std::tuple<SweepVariant, int /*tables*/>;
+
+class SweepVariantInvariants
+    : public ::testing::TestWithParam<VariantCase> {};
+
+TEST_P(SweepVariantInvariants, HistogramIsWellFormedAndScaled) {
+  auto [variant, tables] = GetParam();
+  ChainDbSpec spec;
+  spec.num_tables = tables;
+  spec.table_rows.assign(static_cast<size_t>(tables), 3'000);
+  spec.join_domain = 150;
+  spec.zipf_z = 0.8;
+  spec.seed = 17;
+  ChainDatabase db = MakeChainJoinDatabase(spec).ValueOrDie();
+  BaseStatsCache stats;
+  SitBuildOptions options;
+  options.variant = variant;
+  Sit sit = CreateSit(db.catalog.get(), &stats,
+                      SitDescriptor(db.sit_attribute, db.query), options)
+                .ValueOrDie();
+
+  EXPECT_TRUE(sit.histogram.CheckValid().ok());
+  EXPECT_GT(sit.estimated_cardinality, 0.0);
+  // The histogram's mass models the estimated join size (exactly for the
+  // full variants; within rounding noise for sampling, where frequencies
+  // are scaled to the fractional stream weight).
+  EXPECT_NEAR(sit.histogram.TotalFrequency(), sit.estimated_cardinality,
+              1e-6 * sit.estimated_cardinality + 1e-6);
+  // The SIT's value domain lies inside the attribute domain.
+  EXPECT_GE(sit.histogram.MinValue(), 1.0);
+  EXPECT_LE(sit.histogram.MaxValue(), 150.0);
+
+  // Exact-oracle variants reproduce the true cardinality exactly.
+  if (variant == SweepVariant::kSweepIndex ||
+      variant == SweepVariant::kSweepExact) {
+    double truth =
+        ExactJoinCardinality(*db.catalog, db.query).ValueOrDie();
+    EXPECT_DOUBLE_EQ(sit.estimated_cardinality, truth);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SweepVariantInvariants,
+    ::testing::Combine(::testing::Values(SweepVariant::kSweep,
+                                         SweepVariant::kSweepIndex,
+                                         SweepVariant::kSweepFull,
+                                         SweepVariant::kSweepExact),
+                       ::testing::Values(2, 3, 4)),
+    [](const auto& info) {
+      std::string name = SweepVariantToString(std::get<0>(info.param));
+      name.erase(std::remove(name.begin(), name.end(), '-'), name.end());
+      return name + "_" + std::to_string(std::get<1>(info.param)) + "way";
+    });
+
+// ---------------------------------------------------------------------
+// Random star/tree queries: SweepExact == executing the query.
+// ---------------------------------------------------------------------
+
+class RandomTreeShapeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomTreeShapeTest, SweepExactMatchesExecutor) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 131);
+  // Random acyclic query over 3-5 tables: build a random tree.
+  int n = static_cast<int>(rng.UniformInt(3, 5));
+  Catalog catalog;
+  std::vector<std::string> names;
+  for (int t = 0; t < n; ++t) {
+    std::string name = "T" + std::to_string(t);
+    names.push_back(name);
+    Schema schema;
+    schema.AddColumn("k0", ValueType::kInt64);
+    schema.AddColumn("k1", ValueType::kInt64);
+    schema.AddColumn("k2", ValueType::kInt64);
+    schema.AddColumn("a", ValueType::kInt64);
+    Table* table = catalog.CreateTable(name, schema).ValueOrDie();
+    size_t rows = static_cast<size_t>(rng.UniformInt(500, 2'000));
+    for (size_t r = 0; r < rows; ++r) {
+      SITSTATS_CHECK_OK(table->AppendRow({Value(rng.UniformInt(1, 40)),
+                                          Value(rng.UniformInt(1, 40)),
+                                          Value(rng.UniformInt(1, 40)),
+                                          Value(rng.UniformInt(1, 100))}));
+    }
+  }
+  // Random tree: node t attaches to a random earlier node via random
+  // columns.
+  std::vector<JoinPredicate> joins;
+  for (int t = 1; t < n; ++t) {
+    int parent = static_cast<int>(rng.UniformInt(0, t - 1));
+    std::string pc = "k" + std::to_string(rng.UniformInt(0, 2));
+    std::string cc = "k" + std::to_string(rng.UniformInt(0, 2));
+    joins.push_back(JoinPredicate{
+        ColumnRef{names[static_cast<size_t>(t)], cc},
+        ColumnRef{names[static_cast<size_t>(parent)], pc}});
+  }
+  GeneratingQuery query =
+      GeneratingQuery::Create(names, joins).ValueOrDie();
+  ColumnRef attribute{names[0], "a"};
+
+  BaseStatsCache stats;
+  SitBuildOptions options;
+  options.variant = SweepVariant::kSweepExact;
+  Sit sit =
+      CreateSit(&catalog, &stats, SitDescriptor(attribute, query), options)
+          .ValueOrDie();
+  double truth = ExactJoinCardinality(catalog, query).ValueOrDie();
+  EXPECT_DOUBLE_EQ(sit.estimated_cardinality, truth) << query.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTreeShapeTest,
+                         ::testing::Range(1, 11));
+
+// ---------------------------------------------------------------------
+// Ground-truth consistency: the accuracy harness against the executor.
+// ---------------------------------------------------------------------
+
+TEST(GroundTruthConsistency, TrueDistributionMatchesExactRangeCardinality) {
+  ChainDbSpec spec;
+  spec.num_tables = 2;
+  spec.table_rows = {2'000, 2'000};
+  spec.join_domain = 100;
+  spec.seed = 23;
+  ChainDatabase db = MakeChainJoinDatabase(spec).ValueOrDie();
+  TrueDistribution dist =
+      TrueDistribution::Compute(*db.catalog, db.query, db.sit_attribute)
+          .ValueOrDie();
+  Rng rng(3);
+  for (int q = 0; q < 40; ++q) {
+    double a = rng.UniformDouble(0, 110);
+    double b = rng.UniformDouble(0, 110);
+    if (a > b) std::swap(a, b);
+    double via_dist = dist.RangeCardinality(a, b);
+    double via_exec = ExactRangeCardinality(*db.catalog, db.query,
+                                            db.sit_attribute, a, b)
+                          .ValueOrDie();
+    EXPECT_DOUBLE_EQ(via_dist, via_exec);
+  }
+}
+
+}  // namespace
+}  // namespace sitstats

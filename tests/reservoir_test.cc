@@ -1,0 +1,156 @@
+#include "sampling/reservoir.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+
+#include "sampling/bernoulli.h"
+
+namespace sitstats {
+namespace {
+
+TEST(ReservoirTest, KeepsEverythingBelowCapacity) {
+  Rng rng(1);
+  ReservoirSampler sampler(10, &rng);
+  for (int i = 0; i < 5; ++i) sampler.Add(i);
+  EXPECT_EQ(sampler.sample().size(), 5u);
+  EXPECT_EQ(sampler.stream_size(), 5u);
+}
+
+TEST(ReservoirTest, CapsAtCapacity) {
+  Rng rng(2);
+  ReservoirSampler sampler(10, &rng);
+  for (int i = 0; i < 1000; ++i) sampler.Add(i);
+  EXPECT_EQ(sampler.sample().size(), 10u);
+  EXPECT_EQ(sampler.stream_size(), 1000u);
+}
+
+TEST(ReservoirTest, ResetClears) {
+  Rng rng(3);
+  ReservoirSampler sampler(4, &rng);
+  for (int i = 0; i < 100; ++i) sampler.Add(i);
+  sampler.Reset();
+  EXPECT_EQ(sampler.sample().size(), 0u);
+  EXPECT_EQ(sampler.stream_size(), 0u);
+}
+
+TEST(ReservoirTest, UniformInclusionProbability) {
+  // Each of 200 stream elements should land in a size-20 reservoir with
+  // probability 0.1; average inclusion counts over many trials.
+  const int kStream = 200;
+  const int kCap = 20;
+  const int kTrials = 3'000;
+  std::vector<int> included(kStream, 0);
+  Rng rng(7);
+  for (int t = 0; t < kTrials; ++t) {
+    ReservoirSampler sampler(kCap, &rng);
+    for (int i = 0; i < kStream; ++i) {
+      sampler.Add(static_cast<double>(i));
+    }
+    for (double v : sampler.sample()) {
+      included[static_cast<size_t>(v)] += 1;
+    }
+  }
+  for (int i = 0; i < kStream; ++i) {
+    double rate = static_cast<double>(included[static_cast<size_t>(i)]) /
+                  kTrials;
+    EXPECT_NEAR(rate, 0.1, 0.03) << "element " << i;
+  }
+}
+
+TEST(ReservoirTest, AddRepeatedMatchesIndividualAddsDistribution) {
+  // The fraction of the sample holding the repeated value must match its
+  // stream share whether added via Add or AddRepeated.
+  const uint64_t kRun = 5'000;
+  const int kCap = 500;
+  Rng rng1(11);
+  Rng rng2(12);
+  ReservoirSampler a(kCap, &rng1);
+  ReservoirSampler b(kCap, &rng2);
+  for (int i = 0; i < 5'000; ++i) {
+    a.Add(1.0);
+    b.Add(1.0);
+  }
+  for (uint64_t i = 0; i < kRun; ++i) a.Add(2.0);
+  b.AddRepeated(2.0, kRun);
+  EXPECT_EQ(a.stream_size(), b.stream_size());
+  auto share = [](const ReservoirSampler& s, double v) {
+    double hits = 0;
+    for (double x : s.sample()) {
+      if (x == v) hits += 1;
+    }
+    return hits / static_cast<double>(s.sample().size());
+  };
+  EXPECT_NEAR(share(a, 2.0), 0.5, 0.07);
+  EXPECT_NEAR(share(b, 2.0), 0.5, 0.07);
+}
+
+TEST(ReservoirTest, HugeRunsUseSkipSamplingAndStayUnbiased) {
+  // Stream: 1e9 copies of A, then 1e9 copies of B, then 2e9 copies of C.
+  // Expected sample shares: 25% / 25% / 50%. Must complete fast (skip
+  // sampling) and unbiased despite positions ~1e9.
+  Rng rng(13);
+  ReservoirSampler sampler(2'000, &rng);
+  sampler.AddRepeated(1.0, 1'000'000'000ull);
+  sampler.AddRepeated(2.0, 1'000'000'000ull);
+  sampler.AddRepeated(3.0, 2'000'000'000ull);
+  EXPECT_EQ(sampler.stream_size(), 4'000'000'000ull);
+  std::map<double, int> counts;
+  for (double v : sampler.sample()) counts[v] += 1;
+  double n = static_cast<double>(sampler.sample().size());
+  EXPECT_NEAR(counts[1.0] / n, 0.25, 0.04);
+  EXPECT_NEAR(counts[2.0] / n, 0.25, 0.04);
+  EXPECT_NEAR(counts[3.0] / n, 0.50, 0.04);
+}
+
+TEST(ReservoirTest, ManyInterleavedRunsKeepProportions) {
+  // Alternating runs of two values with 1:3 weight ratio.
+  Rng rng(17);
+  ReservoirSampler sampler(1'000, &rng);
+  for (int i = 0; i < 200; ++i) {
+    sampler.AddRepeated(1.0, 10'000);
+    sampler.AddRepeated(2.0, 30'000);
+  }
+  double ones = 0;
+  for (double v : sampler.sample()) {
+    if (v == 1.0) ones += 1;
+  }
+  EXPECT_NEAR(ones / 1'000.0, 0.25, 0.05);
+}
+
+TEST(BernoulliSampleTest, RateZeroAndOne) {
+  Rng rng(19);
+  std::vector<double> values(100, 1.0);
+  EXPECT_TRUE(BernoulliSample(values, 0.0, &rng).empty());
+  EXPECT_EQ(BernoulliSample(values, 1.0, &rng).size(), 100u);
+}
+
+TEST(BernoulliSampleTest, ApproximatesRate) {
+  Rng rng(23);
+  std::vector<double> values(100'000, 1.0);
+  std::vector<double> sample = BernoulliSample(values, 0.2, &rng);
+  EXPECT_NEAR(static_cast<double>(sample.size()), 20'000.0, 1'500.0);
+}
+
+TEST(SampleWithoutReplacementTest, ExactSize) {
+  Rng rng(29);
+  std::vector<double> values;
+  for (int i = 0; i < 1'000; ++i) values.push_back(i);
+  std::vector<double> sample = SampleWithoutReplacement(values, 50, &rng);
+  EXPECT_EQ(sample.size(), 50u);
+  // No duplicates (values were distinct).
+  std::vector<double> sorted = sample;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+}
+
+TEST(SampleWithoutReplacementTest, KLargerThanInput) {
+  Rng rng(31);
+  std::vector<double> values = {1, 2, 3};
+  EXPECT_EQ(SampleWithoutReplacement(values, 50, &rng).size(), 3u);
+  EXPECT_TRUE(SampleWithoutReplacement(values, 0, &rng).empty());
+}
+
+}  // namespace
+}  // namespace sitstats

@@ -1,0 +1,291 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/logging.h"
+#include "scheduler/instance_generator.h"
+#include "scheduler/problem.h"
+#include "scheduler/solver.h"
+
+namespace sitstats {
+namespace {
+
+/// The paper's Example 6 problem: Cost(R)=Cost(S)=10,
+/// Cost(T)=Cost(U)=Cost(V)=20, three dependency sequences.
+SchedulingProblem Example6(double sample_size = 10'000) {
+  SchedulingProblem p;
+  p.AddTable("R", 10, sample_size);
+  p.AddTable("S", 10, sample_size);
+  p.AddTable("T", 20, sample_size);
+  p.AddTable("U", 20, sample_size);
+  p.AddTable("V", 20, sample_size);
+  SITSTATS_CHECK_OK(p.AddSequence({"T", "S", "R"}).status());  // fig 6(a)
+  SITSTATS_CHECK_OK(p.AddSequence({"S", "R"}).status());       // fig 6(b)/S
+  SITSTATS_CHECK_OK(p.AddSequence({"U", "R"}).status());       // fig 6(b)/U
+  return p;
+}
+
+TEST(ProblemTest, TableInterning) {
+  SchedulingProblem p;
+  int a = p.AddTable("A", 1, 2);
+  int b = p.AddTable("B", 3, 4);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(p.FindTable("A"), a);
+  EXPECT_EQ(p.FindTable("C"), -1);
+  // Re-adding updates costs, keeps id.
+  EXPECT_EQ(p.AddTable("A", 9, 9), a);
+  EXPECT_DOUBLE_EQ(p.scan_cost(a), 9.0);
+  EXPECT_DOUBLE_EQ(p.sample_size(a), 9.0);
+}
+
+TEST(ProblemTest, SequenceValidation) {
+  SchedulingProblem p;
+  p.AddTable("A", 1, 1);
+  EXPECT_FALSE(p.AddSequence({"A", "Z"}).ok());
+  EXPECT_FALSE(p.AddSequenceIds({}).ok());
+  EXPECT_FALSE(p.AddSequenceIds({7}).ok());
+  EXPECT_TRUE(p.AddSequence({"A"}).ok());
+}
+
+TEST(ProblemTest, ValidateCatchesInfeasibleMemory) {
+  SchedulingProblem p;
+  p.AddTable("A", 1, 100);
+  SITSTATS_CHECK_OK(p.AddSequence({"A"}).status());
+  p.set_memory_limit(50);  // cannot hold even one sample of A
+  EXPECT_FALSE(p.Validate().ok());
+  p.set_memory_limit(100);
+  EXPECT_TRUE(p.Validate().ok());
+  p.set_memory_limit(0);
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(ValidateScheduleTest, AcceptsAndRejects) {
+  SchedulingProblem p;
+  p.AddTable("A", 5, 10);
+  p.AddTable("B", 7, 10);
+  SITSTATS_CHECK_OK(p.AddSequence({"A", "B"}).status());
+  SITSTATS_CHECK_OK(p.AddSequence({"A"}).status());
+
+  Schedule good;
+  good.steps = {ScheduleStep{0, {0, 1}}, ScheduleStep{1, {0}}};
+  good.cost = 12;
+  EXPECT_TRUE(ValidateSchedule(p, good).ok());
+
+  // Wrong order for sequence 0.
+  Schedule bad_order;
+  bad_order.steps = {ScheduleStep{1, {0}}, ScheduleStep{0, {0, 1}}};
+  bad_order.cost = 12;
+  EXPECT_FALSE(ValidateSchedule(p, bad_order).ok());
+
+  // Incomplete.
+  Schedule incomplete;
+  incomplete.steps = {ScheduleStep{0, {0, 1}}};
+  incomplete.cost = 5;
+  EXPECT_FALSE(ValidateSchedule(p, incomplete).ok());
+
+  // Cost mismatch.
+  Schedule wrong_cost = good;
+  wrong_cost.cost = 99;
+  EXPECT_FALSE(ValidateSchedule(p, wrong_cost).ok());
+
+  // Memory violation: two samples of A exceed M=15.
+  p.set_memory_limit(15);
+  EXPECT_FALSE(ValidateSchedule(p, good).ok());
+}
+
+TEST(SolverTest, PaperExample6OptimalCost) {
+  SchedulingProblem p = Example6();
+  SolverOptions options;
+  options.kind = SolverKind::kOptimal;
+  SolverResult result = SolveSchedule(p, options).ValueOrDie();
+  // The paper: "a shortest weighted common supersequence with cost 60 is
+  // (U,T,S,R)".
+  EXPECT_DOUBLE_EQ(result.schedule.cost, 60.0);
+  EXPECT_TRUE(result.proved_optimal);
+  EXPECT_EQ(result.schedule.steps.size(), 4u);
+}
+
+TEST(SolverTest, NaiveIsSumOfSequenceCosts) {
+  SchedulingProblem p = Example6();
+  SolverOptions options;
+  options.kind = SolverKind::kNaive;
+  SolverResult result = SolveSchedule(p, options).ValueOrDie();
+  // (20+10+10) + (10+10) + (20+10) = 90.
+  EXPECT_DOUBLE_EQ(result.schedule.cost, 90.0);
+}
+
+TEST(SolverTest, MemoryLimitForcesSplitScans) {
+  // M below 2 samples: the shared scans of S and R must split.
+  SchedulingProblem p = Example6();
+  p.set_memory_limit(15'000);  // sample size is 10'000 per table
+  SolverOptions options;
+  options.kind = SolverKind::kOptimal;
+  SolverResult result = SolveSchedule(p, options).ValueOrDie();
+  EXPECT_GT(result.schedule.cost, 60.0);
+  // Unbounded again matches 60.
+  p.set_memory_limit(1e18);
+  EXPECT_DOUBLE_EQ(
+      SolveSchedule(p, options).ValueOrDie().schedule.cost, 60.0);
+}
+
+TEST(SolverTest, SingleSequenceCostsItsTables) {
+  SchedulingProblem p;
+  p.AddTable("A", 3, 1);
+  p.AddTable("B", 4, 1);
+  SITSTATS_CHECK_OK(p.AddSequence({"A", "B"}).status());
+  for (SolverKind kind :
+       {SolverKind::kNaive, SolverKind::kOptimal, SolverKind::kGreedy,
+        SolverKind::kHybrid}) {
+    SolverOptions options;
+    options.kind = kind;
+    EXPECT_DOUBLE_EQ(SolveSchedule(p, options).ValueOrDie().schedule.cost,
+                     7.0)
+        << SolverKindToString(kind);
+  }
+}
+
+TEST(SolverTest, IdenticalSequencesShareEverything) {
+  SchedulingProblem p;
+  p.AddTable("A", 3, 1);
+  p.AddTable("B", 4, 1);
+  for (int i = 0; i < 5; ++i) {
+    SITSTATS_CHECK_OK(p.AddSequence({"A", "B"}).status());
+  }
+  SolverOptions options;
+  options.kind = SolverKind::kOptimal;
+  EXPECT_DOUBLE_EQ(SolveSchedule(p, options).ValueOrDie().schedule.cost,
+                   7.0);
+}
+
+TEST(SolverTest, DisjointSequencesGetNoSharing) {
+  SchedulingProblem p;
+  p.AddTable("A", 3, 1);
+  p.AddTable("B", 4, 1);
+  p.AddTable("C", 5, 1);
+  p.AddTable("D", 6, 1);
+  SITSTATS_CHECK_OK(p.AddSequence({"A", "B"}).status());
+  SITSTATS_CHECK_OK(p.AddSequence({"C", "D"}).status());
+  SolverOptions opt;
+  opt.kind = SolverKind::kOptimal;
+  SolverOptions naive;
+  naive.kind = SolverKind::kNaive;
+  EXPECT_DOUBLE_EQ(SolveSchedule(p, opt).ValueOrDie().schedule.cost,
+                   SolveSchedule(p, naive).ValueOrDie().schedule.cost);
+}
+
+TEST(SolverTest, RepeatedTableWithinSequence) {
+  // SCS semantics: "ABA" needs two scans of A.
+  SchedulingProblem p;
+  p.AddTable("A", 1, 1);
+  p.AddTable("B", 1, 1);
+  SITSTATS_CHECK_OK(p.AddSequence({"A", "B", "A"}).status());
+  SolverOptions options;
+  options.kind = SolverKind::kOptimal;
+  EXPECT_DOUBLE_EQ(SolveSchedule(p, options).ValueOrDie().schedule.cost,
+                   3.0);
+}
+
+TEST(SolverTest, ClassicScsExamplePaper) {
+  // Example 4: SCS({abdc, bca}) = abdca (length 5) with unit costs.
+  SchedulingProblem p;
+  for (const char* t : {"a", "b", "c", "d"}) p.AddTable(t, 1, 1);
+  SITSTATS_CHECK_OK(p.AddSequence({"a", "b", "d", "c"}).status());
+  SITSTATS_CHECK_OK(p.AddSequence({"b", "c", "a"}).status());
+  SolverOptions options;
+  options.kind = SolverKind::kOptimal;
+  SolverResult result = SolveSchedule(p, options).ValueOrDie();
+  EXPECT_DOUBLE_EQ(result.schedule.cost, 5.0);
+}
+
+TEST(SolverTest, EmptyProblem) {
+  SchedulingProblem p;
+  SolverOptions options;
+  options.kind = SolverKind::kOptimal;
+  SolverResult result = SolveSchedule(p, options).ValueOrDie();
+  EXPECT_TRUE(result.schedule.steps.empty());
+  EXPECT_DOUBLE_EQ(result.schedule.cost, 0.0);
+}
+
+TEST(SolverTest, MaxExpansionsGuard) {
+  Rng rng(5);
+  InstanceSpec spec;
+  spec.num_sits = 12;
+  SchedulingProblem p = MakeRandomInstance(spec, &rng).ValueOrDie();
+  SolverOptions options;
+  options.kind = SolverKind::kOptimal;
+  options.max_expansions = 10;
+  EXPECT_EQ(SolveSchedule(p, options).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+class RandomInstanceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomInstanceTest, OptimalNeverWorseAndAlwaysValid) {
+  // Property sweep: Opt <= Greedy <= (roughly) Naive; Hybrid <= Naive;
+  // every schedule validates.
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  InstanceSpec spec;
+  spec.num_sits = 6;
+  spec.num_tables = 8;
+  SchedulingProblem p = MakeRandomInstance(spec, &rng).ValueOrDie();
+
+  SolverOptions options;
+  options.kind = SolverKind::kOptimal;
+  double opt = SolveSchedule(p, options).ValueOrDie().schedule.cost;
+  options.kind = SolverKind::kGreedy;
+  double greedy = SolveSchedule(p, options).ValueOrDie().schedule.cost;
+  options.kind = SolverKind::kHybrid;
+  double hybrid = SolveSchedule(p, options).ValueOrDie().schedule.cost;
+  options.kind = SolverKind::kNaive;
+  double naive = SolveSchedule(p, options).ValueOrDie().schedule.cost;
+
+  EXPECT_LE(opt, greedy + 1e-9);
+  EXPECT_LE(opt, hybrid + 1e-9);
+  EXPECT_LE(opt, naive + 1e-9);
+  EXPECT_LE(greedy, naive + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomInstanceTest, ::testing::Range(1, 13));
+
+TEST(InstanceGeneratorTest, RespectsSpec) {
+  Rng rng(9);
+  InstanceSpec spec;
+  spec.num_tables = 7;
+  spec.num_sits = 11;
+  spec.max_seq_len = 4;
+  spec.total_rows = 500'000;
+  SchedulingProblem p = MakeRandomInstance(spec, &rng).ValueOrDie();
+  EXPECT_EQ(p.num_tables(), 7u);
+  EXPECT_EQ(p.num_sequences(), 11u);
+  double total_rows = 0.0;
+  for (size_t t = 0; t < p.num_tables(); ++t) {
+    // Cost(T) = max(|T|/1000, 1); SampleSize(T) = 0.1 |T|.
+    double rows = p.sample_size(static_cast<int>(t)) / spec.sampling_rate;
+    total_rows += rows;
+    EXPECT_NEAR(p.scan_cost(static_cast<int>(t)),
+                std::max(rows / 1000.0, 1.0), 1e-6);
+  }
+  EXPECT_NEAR(total_rows, 500'000.0, 1.0);
+  for (size_t i = 0; i < p.num_sequences(); ++i) {
+    EXPECT_GE(p.sequence(i).size(), 2u);
+    EXPECT_LE(p.sequence(i).size(), 4u);
+    // Distinct tables within a sequence.
+    std::set<int> seen(p.sequence(i).begin(), p.sequence(i).end());
+    EXPECT_EQ(seen.size(), p.sequence(i).size());
+  }
+  EXPECT_GT(LargestSampleSize(p), 0.0);
+}
+
+TEST(InstanceGeneratorTest, RejectsBadSpecs) {
+  Rng rng(1);
+  InstanceSpec spec;
+  spec.num_tables = 0;
+  EXPECT_FALSE(MakeRandomInstance(spec, &rng).ok());
+  spec.num_tables = 5;
+  spec.min_seq_len = 3;
+  spec.max_seq_len = 2;
+  EXPECT_FALSE(MakeRandomInstance(spec, &rng).ok());
+}
+
+}  // namespace
+}  // namespace sitstats

@@ -1,0 +1,140 @@
+#include "sit/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "datagen/synthetic_db.h"
+#include "sit/creator.h"
+
+namespace sitstats {
+namespace {
+
+Histogram SampleHistogram() {
+  return Histogram({Bucket{0.5, 9.25, 100.125, 10},
+                    Bucket{10, 19, 50, 5},
+                    Bucket{30.0000001, 30.0000001, 7.75, 1}});
+}
+
+TEST(SerializationTest, HistogramRoundTripIsExact) {
+  Histogram h = SampleHistogram();
+  std::string text = SerializeHistogram(h);
+  Histogram back = DeserializeHistogram(text).ValueOrDie();
+  ASSERT_EQ(back.num_buckets(), h.num_buckets());
+  for (size_t i = 0; i < h.num_buckets(); ++i) {
+    EXPECT_EQ(back.bucket(i).lo, h.bucket(i).lo);
+    EXPECT_EQ(back.bucket(i).hi, h.bucket(i).hi);
+    EXPECT_EQ(back.bucket(i).frequency, h.bucket(i).frequency);
+    EXPECT_EQ(back.bucket(i).distinct_values, h.bucket(i).distinct_values);
+  }
+}
+
+TEST(SerializationTest, EmptyHistogram) {
+  Histogram back = DeserializeHistogram(SerializeHistogram(Histogram()))
+                       .ValueOrDie();
+  EXPECT_TRUE(back.empty());
+}
+
+TEST(SerializationTest, RejectsMalformedHistogram) {
+  EXPECT_FALSE(DeserializeHistogram("").ok());
+  EXPECT_FALSE(DeserializeHistogram("garbage\n").ok());
+  EXPECT_FALSE(DeserializeHistogram("histogram x\n").ok());
+  EXPECT_FALSE(DeserializeHistogram("histogram 2\n1 2 3 4\n").ok());  // EOF
+  EXPECT_FALSE(DeserializeHistogram("histogram 1\n1 2 3\n").ok());
+  EXPECT_FALSE(DeserializeHistogram("histogram 1\n1 2 3 zz\n").ok());
+  // Structurally invalid (hi < lo) is rejected by CheckValid.
+  EXPECT_FALSE(DeserializeHistogram("histogram 1\n5 4 3 1\n").ok());
+}
+
+TEST(SerializationTest, SweepVariantNamesRoundTrip) {
+  for (SweepVariant variant :
+       {SweepVariant::kSweep, SweepVariant::kSweepIndex,
+        SweepVariant::kSweepFull, SweepVariant::kSweepExact,
+        SweepVariant::kHistSit}) {
+    EXPECT_EQ(
+        SweepVariantFromString(SweepVariantToString(variant)).ValueOrDie(),
+        variant);
+  }
+  EXPECT_FALSE(SweepVariantFromString("NotAVariant").ok());
+}
+
+Sit MakeRealSit() {
+  ChainDbSpec spec;
+  spec.num_tables = 3;
+  spec.table_rows = {1'000, 1'000, 1'000};
+  spec.join_domain = 50;
+  ChainDatabase db = MakeChainJoinDatabase(spec).ValueOrDie();
+  BaseStatsCache stats;
+  SitBuildOptions options;
+  return CreateSit(db.catalog.get(), &stats,
+                   SitDescriptor(db.sit_attribute, db.query), options)
+      .ValueOrDie();
+}
+
+TEST(SerializationTest, SitRoundTrip) {
+  Sit sit = MakeRealSit();
+  Sit back = DeserializeSit(SerializeSit(sit)).ValueOrDie();
+  EXPECT_TRUE(back.descriptor.EquivalentTo(sit.descriptor));
+  EXPECT_EQ(back.variant, sit.variant);
+  EXPECT_EQ(back.estimated_cardinality, sit.estimated_cardinality);
+  ASSERT_EQ(back.histogram.num_buckets(), sit.histogram.num_buckets());
+  EXPECT_EQ(back.histogram.TotalFrequency(),
+            sit.histogram.TotalFrequency());
+}
+
+TEST(SerializationTest, CatalogRoundTripAndFileIo) {
+  SitCatalog catalog;
+  Sit sit = MakeRealSit();
+  catalog.Add(sit);
+  // A second SIT over a different attribute.
+  Sit other = sit;
+  other.descriptor = SitDescriptor(ColumnRef{"R2", "b0"},
+                                   sit.descriptor.query());
+  other.variant = SweepVariant::kSweepExact;
+  catalog.Add(other);
+
+  SitCatalog back =
+      DeserializeSitCatalog(SerializeSitCatalog(catalog)).ValueOrDie();
+  EXPECT_EQ(back.size(), 2u);
+  EXPECT_NE(back.Find(sit.descriptor), nullptr);
+  EXPECT_NE(back.Find(other.descriptor), nullptr);
+  EXPECT_EQ(back.Find(other.descriptor)->variant,
+            SweepVariant::kSweepExact);
+
+  std::string path = "/tmp/sitstats_catalog_test.txt";
+  ASSERT_TRUE(SaveSitCatalog(catalog, path).ok());
+  SitCatalog loaded = LoadSitCatalog(path).ValueOrDie();
+  EXPECT_EQ(loaded.size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, LoadMissingFileFails) {
+  EXPECT_EQ(LoadSitCatalog("/nonexistent/dir/file.txt").status().code(),
+            StatusCode::kIOError);
+}
+
+TEST(SerializationTest, RejectsMalformedSit) {
+  EXPECT_FALSE(DeserializeSit("not a sit").ok());
+  EXPECT_FALSE(DeserializeSit("sit v1\nattribute only_one\n").ok());
+  EXPECT_FALSE(
+      DeserializeSit("sit v1\nattribute T a\ntables T\njoins 0\n"
+                     "variant Bogus\ncardinality 1\nhistogram 0\n")
+          .ok());
+  // Query validation still applies (disconnected tables).
+  EXPECT_FALSE(
+      DeserializeSit("sit v1\nattribute T a\ntables T U\njoins 0\n"
+                     "variant Sweep\ncardinality 1\nhistogram 0\n")
+          .ok());
+}
+
+TEST(SerializationTest, BaseTableSitSerializes) {
+  Sit sit{SitDescriptor(ColumnRef{"T", "a"},
+                        GeneratingQuery::BaseTable("T")),
+          SampleHistogram(), SweepVariant::kHistSit, 42.0, IoStats{}};
+  Sit back = DeserializeSit(SerializeSit(sit)).ValueOrDie();
+  EXPECT_TRUE(back.descriptor.query().IsBaseTable());
+  EXPECT_EQ(back.estimated_cardinality, 42.0);
+}
+
+}  // namespace
+}  // namespace sitstats

@@ -1,0 +1,111 @@
+// Cross-validates the A* scheduler against an exhaustive brute-force
+// search on small random instances: the A* result must match the true
+// optimum exactly, under unbounded and bounded memory alike.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <map>
+
+#include "scheduler/instance_generator.h"
+#include "scheduler/solver.h"
+
+namespace sitstats {
+namespace {
+
+using State = std::vector<size_t>;
+
+/// Exponential-time exact optimum by memoized DFS over position states,
+/// with a *different* successor rule than the solver (all non-empty
+/// feasible subsets, not only maximal ones) so a dominance bug in the
+/// solver would be caught.
+class BruteForce {
+ public:
+  explicit BruteForce(const SchedulingProblem& problem)
+      : problem_(problem) {}
+
+  double Optimum() {
+    State start(problem_.num_sequences(), 0);
+    return Solve(start);
+  }
+
+ private:
+  double Solve(const State& state) {
+    bool done = true;
+    for (size_t i = 0; i < state.size(); ++i) {
+      if (state[i] < problem_.sequence(i).size()) done = false;
+    }
+    if (done) return 0.0;
+    auto it = memo_.find(state);
+    if (it != memo_.end()) return it->second;
+
+    double best = std::numeric_limits<double>::infinity();
+    std::map<int, std::vector<size_t>> candidates;
+    for (size_t i = 0; i < state.size(); ++i) {
+      const std::vector<int>& seq = problem_.sequence(i);
+      if (state[i] < seq.size()) candidates[seq[state[i]]].push_back(i);
+    }
+    for (const auto& [table, cand] : candidates) {
+      double sample = problem_.sample_size(table);
+      // Enumerate every non-empty subset of candidates.
+      for (uint64_t mask = 1; mask < (1ull << cand.size()); ++mask) {
+        size_t count = static_cast<size_t>(__builtin_popcountll(mask));
+        if (sample > 0.0 &&
+            static_cast<double>(count) * sample >
+                problem_.memory_limit() * (1 + 1e-12)) {
+          continue;
+        }
+        State next = state;
+        for (size_t b = 0; b < cand.size(); ++b) {
+          if (mask & (1ull << b)) next[cand[b]] += 1;
+        }
+        best = std::min(best,
+                        problem_.scan_cost(table) + Solve(next));
+      }
+    }
+    memo_[state] = best;
+    return best;
+  }
+
+  const SchedulingProblem& problem_;
+  std::map<State, double> memo_;
+};
+
+class BruteForceCrossCheck : public ::testing::TestWithParam<int> {};
+
+TEST_P(BruteForceCrossCheck, AStarMatchesExhaustiveOptimum) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7919);
+  InstanceSpec spec;
+  spec.num_tables = 4;
+  spec.num_sits = 4;
+  spec.max_seq_len = 3;
+  SchedulingProblem problem = MakeRandomInstance(spec, &rng).ValueOrDie();
+
+  // Unbounded memory.
+  problem.set_memory_limit(std::numeric_limits<double>::infinity());
+  SolverOptions options;
+  options.kind = SolverKind::kOptimal;
+  double astar = SolveSchedule(problem, options).ValueOrDie().schedule.cost;
+  double brute = BruteForce(problem).Optimum();
+  EXPECT_NEAR(astar, brute, 1e-9) << "unbounded memory";
+
+  // Memory that fits exactly two samples of the largest table: subsets
+  // matter now.
+  double largest = LargestSampleSize(problem);
+  problem.set_memory_limit(2.0 * largest);
+  astar = SolveSchedule(problem, options).ValueOrDie().schedule.cost;
+  brute = BruteForce(problem).Optimum();
+  EXPECT_NEAR(astar, brute, 1e-9) << "M = 2 largest samples";
+
+  // Minimal memory: one sample of the largest table.
+  problem.set_memory_limit(largest);
+  astar = SolveSchedule(problem, options).ValueOrDie().schedule.cost;
+  brute = BruteForce(problem).Optimum();
+  EXPECT_NEAR(astar, brute, 1e-9) << "M = 1 largest sample";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BruteForceCrossCheck,
+                         ::testing::Range(1, 16));
+
+}  // namespace
+}  // namespace sitstats

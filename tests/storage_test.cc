@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "storage/catalog.h"
+#include "storage/column.h"
+#include "storage/schema.h"
+#include "storage/table.h"
+#include "storage/value.h"
+
+namespace sitstats {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  Value i(int64_t{42});
+  Value d(3.5);
+  Value s(std::string("hi"));
+  EXPECT_EQ(i.type(), ValueType::kInt64);
+  EXPECT_EQ(d.type(), ValueType::kDouble);
+  EXPECT_EQ(s.type(), ValueType::kString);
+  EXPECT_EQ(i.int64(), 42);
+  EXPECT_EQ(d.dbl(), 3.5);
+  EXPECT_EQ(s.str(), "hi");
+}
+
+TEST(ValueTest, AsNumericWidensInt) {
+  EXPECT_DOUBLE_EQ(Value(int64_t{7}).AsNumeric(), 7.0);
+  EXPECT_DOUBLE_EQ(Value(2.25).AsNumeric(), 2.25);
+}
+
+TEST(ValueTest, Equality) {
+  EXPECT_EQ(Value(int64_t{1}), Value(int64_t{1}));
+  EXPECT_NE(Value(int64_t{1}), Value(1.0));  // int64 != double repr
+  EXPECT_NE(Value(int64_t{1}), Value(int64_t{2}));
+  EXPECT_EQ(Value(std::string("x")), Value(std::string("x")));
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value(int64_t{5}).ToString(), "5");
+  EXPECT_EQ(Value(std::string("abc")).ToString(), "abc");
+}
+
+TEST(ColumnTest, AppendAndGet) {
+  Column c("x", ValueType::kInt64);
+  c.AppendInt64(1);
+  c.AppendInt64(2);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.Get(0).int64(), 1);
+  EXPECT_EQ(c.Get(1).int64(), 2);
+  EXPECT_DOUBLE_EQ(c.GetNumeric(1), 2.0);
+}
+
+TEST(ColumnTest, ToNumericVector) {
+  Column c("x", ValueType::kInt64);
+  for (int64_t v : {3, 1, 2}) c.AppendInt64(v);
+  std::vector<double> nums = c.ToNumericVector();
+  ASSERT_EQ(nums.size(), 3u);
+  EXPECT_DOUBLE_EQ(nums[0], 3.0);
+  EXPECT_DOUBLE_EQ(nums[2], 2.0);
+}
+
+TEST(ColumnTest, DoubleColumn) {
+  Column c("y", ValueType::kDouble);
+  c.AppendDouble(1.5);
+  c.Append(Value(2.5));
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_DOUBLE_EQ(c.double_data()[1], 2.5);
+}
+
+TEST(ColumnTest, StringColumn) {
+  Column c("s", ValueType::kString);
+  c.AppendString("a");
+  c.AppendString("b");
+  EXPECT_EQ(c.string_data()[0], "a");
+  EXPECT_EQ(c.CellWidthBytes(), 24u);
+}
+
+TEST(SchemaTest, FindColumn) {
+  Schema s;
+  s.AddColumn("a", ValueType::kInt64);
+  s.AddColumn("b", ValueType::kDouble);
+  EXPECT_TRUE(s.HasColumn("a"));
+  EXPECT_FALSE(s.HasColumn("c"));
+  EXPECT_EQ(*s.FindColumn("b"), 1u);
+  EXPECT_EQ(s.num_columns(), 2u);
+  EXPECT_NE(s.ToString().find("a int64"), std::string::npos);
+}
+
+Schema TwoColumnSchema() {
+  Schema s;
+  s.AddColumn("k", ValueType::kInt64);
+  s.AddColumn("v", ValueType::kDouble);
+  return s;
+}
+
+TEST(TableTest, AppendRowTypeChecked) {
+  Table t("T", TwoColumnSchema());
+  EXPECT_TRUE(t.AppendRow({Value(int64_t{1}), Value(0.5)}).ok());
+  // Wrong arity.
+  EXPECT_EQ(t.AppendRow({Value(int64_t{1})}).code(),
+            StatusCode::kInvalidArgument);
+  // Wrong type.
+  EXPECT_EQ(t.AppendRow({Value(0.5), Value(0.5)}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_TRUE(t.CheckConsistent().ok());
+}
+
+TEST(TableTest, GetColumn) {
+  Table t("T", TwoColumnSchema());
+  ASSERT_TRUE(t.GetColumn("k").ok());
+  EXPECT_EQ(t.GetColumn("missing").status().code(), StatusCode::kNotFound);
+}
+
+TEST(TableTest, RowWidthAndSize) {
+  Table t("T", TwoColumnSchema());
+  EXPECT_EQ(t.RowWidthBytes(), 16u);
+  ASSERT_TRUE(t.AppendRow({Value(int64_t{1}), Value(0.5)}).ok());
+  EXPECT_EQ(t.SizeBytes(), 16u);
+}
+
+TEST(CatalogTest, CreateAndLookup) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateTable("T", TwoColumnSchema()).ok());
+  EXPECT_TRUE(catalog.HasTable("T"));
+  EXPECT_FALSE(catalog.HasTable("U"));
+  EXPECT_EQ(catalog.CreateTable("T", TwoColumnSchema()).status().code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(catalog.GetTable("U").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(catalog.TableNames(), std::vector<std::string>{"T"});
+}
+
+TEST(CatalogTest, ResolveColumn) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateTable("T", TwoColumnSchema()).ok());
+  auto resolved = catalog.ResolveColumn("T.k");
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(resolved->first->name(), "T");
+  EXPECT_EQ(resolved->second->name(), "k");
+  EXPECT_EQ(catalog.ResolveColumn("T").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(catalog.ResolveColumn("T.k.v").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(catalog.ResolveColumn("U.k").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(catalog.ResolveColumn("T.z").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, BuildAndGetIndex) {
+  Catalog catalog;
+  Table* t = catalog.CreateTable("T", TwoColumnSchema()).ValueOrDie();
+  for (int64_t k : {5, 3, 5, 1}) {
+    ASSERT_TRUE(t->AppendRow({Value(k), Value(0.0)}).ok());
+  }
+  EXPECT_FALSE(catalog.HasIndex("T", "k"));
+  ASSERT_TRUE(catalog.BuildIndex("T", "k").ok());
+  EXPECT_TRUE(catalog.HasIndex("T", "k"));
+  const SortedIndex* index = catalog.GetIndex("T", "k").ValueOrDie();
+  EXPECT_EQ(index->Multiplicity(5.0), 2u);
+  EXPECT_EQ(index->Multiplicity(2.0), 0u);
+  EXPECT_EQ(catalog.GetIndex("T", "v2").status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace sitstats

@@ -1,0 +1,56 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace sitstats {
+namespace {
+
+TEST(StringUtilTest, JoinEmpty) { EXPECT_EQ(Join({}, ","), ""); }
+
+TEST(StringUtilTest, JoinSingle) { EXPECT_EQ(Join({"a"}, ","), "a"); }
+
+TEST(StringUtilTest, JoinMany) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(StringUtilTest, SplitBasic) {
+  std::vector<std::string> parts = Split("a.b.c", '.');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringUtilTest, SplitPreservesEmptyFields) {
+  std::vector<std::string> parts = Split(".a.", '.');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[1], "a");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(StringUtilTest, SplitNoSeparator) {
+  std::vector<std::string> parts = Split("abc", '.');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StringUtilTest, SplitEmptyString) {
+  std::vector<std::string> parts = Split("", '.');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(StringUtilTest, RoundTrip) {
+  std::vector<std::string> parts = {"x", "yy", "zzz"};
+  EXPECT_EQ(Split(Join(parts, "|"), '|'), parts);
+}
+
+TEST(StringUtilTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(1.23456, 2), "1.23");
+  EXPECT_EQ(FormatDouble(1.0, 1), "1.0");
+  EXPECT_EQ(FormatDouble(-0.5, 3), "-0.500");
+}
+
+}  // namespace
+}  // namespace sitstats

@@ -1,0 +1,189 @@
+#include "sit/sweep_scan.h"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+namespace sitstats {
+namespace {
+
+/// S(y, a) with known values; a constant-multiplicity oracle makes the
+/// expected stream easy to compute by hand.
+class ConstantOracle : public MultiplicityOracle {
+ public:
+  explicit ConstantOracle(double m) : m_(m) {}
+  double Multiplicity(double) const override { return m_; }
+  std::string Describe() const override { return "Constant"; }
+
+ private:
+  double m_;
+};
+
+/// Multiplicity = the join value itself (distinguishes rows).
+class IdentityOracle : public MultiplicityOracle {
+ public:
+  double Multiplicity(double y) const override { return y; }
+  std::string Describe() const override { return "Identity"; }
+};
+
+Catalog MakeCatalog() {
+  Catalog catalog;
+  Schema schema;
+  schema.AddColumn("y", ValueType::kInt64);
+  schema.AddColumn("a", ValueType::kInt64);
+  schema.AddColumn("b", ValueType::kInt64);
+  Table* s = catalog.CreateTable("S", schema).ValueOrDie();
+  for (int i = 1; i <= 100; ++i) {
+    SITSTATS_CHECK_OK(s->AppendRow({Value(int64_t{i % 5}),
+                                    Value(int64_t{i}),
+                                    Value(int64_t{i % 10})}));
+  }
+  return catalog;
+}
+
+TEST(SweepScanTest, ValidatesInput) {
+  Catalog catalog = MakeCatalog();
+  Rng rng(1);
+  SweepScanSpec spec;
+  spec.table = "S";
+  EXPECT_EQ(SweepScanTable(&catalog, spec, &rng).status().code(),
+            StatusCode::kInvalidArgument);  // no targets
+  ConstantOracle oracle(1.0);
+  spec.joins.push_back(SweepJoin{{"y"}, nullptr});
+  spec.targets.push_back(SweepTarget{"a", {0}, false});
+  EXPECT_EQ(SweepScanTable(&catalog, spec, &rng).status().code(),
+            StatusCode::kInvalidArgument);  // null oracle
+  spec.joins[0].oracle = &oracle;
+  spec.targets[0].join_indices = {5};
+  EXPECT_EQ(SweepScanTable(&catalog, spec, &rng).status().code(),
+            StatusCode::kInvalidArgument);  // join index out of range
+}
+
+TEST(SweepScanTest, FullPathIsExactForIntegerMultiplicities) {
+  Catalog catalog = MakeCatalog();
+  Rng rng(2);
+  IdentityOracle oracle;  // multiplicity == y in {0..4}
+  SweepScanSpec spec;
+  spec.table = "S";
+  spec.use_sampling = false;
+  spec.joins.push_back(SweepJoin{{"y"}, &oracle});
+  SweepTarget target;
+  target.attribute = "a";
+  target.join_indices = {0};
+  target.build_exact_map = true;
+  spec.targets.push_back(target);
+  auto outputs = SweepScanTable(&catalog, spec, &rng).ValueOrDie();
+  ASSERT_EQ(outputs.size(), 1u);
+  // Stream weight: sum over rows of (i % 5) = 20 * (0+1+2+3+4) = 200.
+  EXPECT_DOUBLE_EQ(outputs[0].estimated_cardinality, 200.0);
+  EXPECT_DOUBLE_EQ(outputs[0].histogram.TotalFrequency(), 200.0);
+  // Rows with y == 0 contribute nothing; exact map contains the others.
+  EXPECT_EQ(outputs[0].exact_map.size(), 80u);
+  // Row i contributes weight i%5 at value a=i.
+  EXPECT_DOUBLE_EQ(outputs[0].exact_map.at(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(outputs[0].exact_map.at(4.0), 4.0);
+  EXPECT_EQ(outputs[0].exact_map.count(5.0), 0u);  // y = 0
+}
+
+TEST(SweepScanTest, SamplingPathScalesToStreamWeight) {
+  Catalog catalog = MakeCatalog();
+  Rng rng(3);
+  ConstantOracle oracle(7.0);
+  SweepScanSpec spec;
+  spec.table = "S";
+  spec.use_sampling = true;
+  spec.sampling_rate = 0.5;
+  spec.min_sample_size = 10;
+  spec.joins.push_back(SweepJoin{{"y"}, &oracle});
+  spec.targets.push_back(SweepTarget{"a", {0}, false});
+  auto outputs = SweepScanTable(&catalog, spec, &rng).ValueOrDie();
+  EXPECT_DOUBLE_EQ(outputs[0].estimated_cardinality, 700.0);
+  EXPECT_NEAR(outputs[0].histogram.TotalFrequency(), 700.0, 1e-6);
+}
+
+TEST(SweepScanTest, SharedScanProducesIndependentTargets) {
+  Catalog catalog = MakeCatalog();
+  Rng rng(4);
+  ConstantOracle m1(1.0);
+  ConstantOracle m3(3.0);
+  SweepScanSpec spec;
+  spec.table = "S";
+  spec.use_sampling = false;
+  spec.joins.push_back(SweepJoin{{"y"}, &m1});
+  spec.joins.push_back(SweepJoin{{"b"}, &m3});
+  SweepTarget t1;
+  t1.attribute = "a";
+  t1.join_indices = {0};
+  SweepTarget t2;
+  t2.attribute = "b";
+  t2.join_indices = {1};
+  spec.targets = {t1, t2};
+  auto outputs = SweepScanTable(&catalog, spec, &rng).ValueOrDie();
+  ASSERT_EQ(outputs.size(), 2u);
+  EXPECT_DOUBLE_EQ(outputs[0].estimated_cardinality, 100.0);
+  EXPECT_DOUBLE_EQ(outputs[1].estimated_cardinality, 300.0);
+  // One shared scan only.
+  EXPECT_EQ(catalog.io_stats().sequential_scans, 1u);
+  EXPECT_EQ(catalog.io_stats().rows_scanned, 100u);
+}
+
+TEST(SweepScanTest, MultiJoinMultiplicitiesMultiply) {
+  Catalog catalog = MakeCatalog();
+  Rng rng(5);
+  ConstantOracle m2(2.0);
+  ConstantOracle m5(5.0);
+  SweepScanSpec spec;
+  spec.table = "S";
+  spec.use_sampling = false;
+  spec.joins.push_back(SweepJoin{{"y"}, &m2});
+  spec.joins.push_back(SweepJoin{{"b"}, &m5});
+  SweepTarget target;
+  target.attribute = "a";
+  target.join_indices = {0, 1};
+  spec.targets.push_back(target);
+  auto outputs = SweepScanTable(&catalog, spec, &rng).ValueOrDie();
+  EXPECT_DOUBLE_EQ(outputs[0].estimated_cardinality, 1000.0);  // 100*2*5
+}
+
+TEST(SweepScanTest, FractionalMultiplicityIsUnbiasedUnderSampling) {
+  // Constant multiplicity 0.5 with sampling: randomized rounding must give
+  // a stream of about half the rows.
+  Catalog catalog = MakeCatalog();
+  Rng rng(6);
+  ConstantOracle half(0.5);
+  double total_sampled = 0.0;
+  const int kTrials = 50;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    SweepScanSpec spec;
+    spec.table = "S";
+    spec.use_sampling = true;
+    spec.min_sample_size = 1'000;  // keep everything
+    spec.joins.push_back(SweepJoin{{"y"}, &half});
+    spec.targets.push_back(SweepTarget{"a", {0}, false});
+    auto outputs = SweepScanTable(&catalog, spec, &rng).ValueOrDie();
+    // estimated_cardinality is the fractional sum: exactly 50.
+    EXPECT_DOUBLE_EQ(outputs[0].estimated_cardinality, 50.0);
+    total_sampled += outputs[0].histogram.TotalDistinct();
+  }
+  // About half the 100 distinct `a` values survive rounding on average.
+  EXPECT_NEAR(total_sampled / kTrials, 50.0, 5.0);
+}
+
+TEST(SweepScanTest, UnknownTableOrColumn) {
+  Catalog catalog = MakeCatalog();
+  Rng rng(7);
+  ConstantOracle oracle(1.0);
+  SweepScanSpec spec;
+  spec.table = "Z";
+  spec.joins.push_back(SweepJoin{{"y"}, &oracle});
+  spec.targets.push_back(SweepTarget{"a", {0}, false});
+  EXPECT_EQ(SweepScanTable(&catalog, spec, &rng).status().code(),
+            StatusCode::kNotFound);
+  spec.table = "S";
+  spec.targets[0].attribute = "zz";
+  EXPECT_EQ(SweepScanTable(&catalog, spec, &rng).status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace sitstats

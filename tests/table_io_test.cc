@@ -1,0 +1,123 @@
+#include "storage/table_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/logging.h"
+#include "datagen/tpch_lite.h"
+
+namespace sitstats {
+namespace {
+
+class TableIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = "/tmp/sitstats_table_io_test_" +
+           std::to_string(reinterpret_cast<uintptr_t>(this));
+    std::string cmd = "mkdir -p " + dir_;
+    ASSERT_EQ(std::system(cmd.c_str()), 0);
+  }
+  void TearDown() override {
+    std::string cmd = "rm -rf " + dir_;
+    (void)std::system(cmd.c_str());
+  }
+  std::string dir_;
+};
+
+Table SampleTable() {
+  Schema schema;
+  schema.AddColumn("k", ValueType::kInt64);
+  schema.AddColumn("x", ValueType::kDouble);
+  schema.AddColumn("s", ValueType::kString);
+  Table t("T", schema);
+  SITSTATS_CHECK_OK(t.AppendRow(
+      {Value(int64_t{1}), Value(1.5), Value(std::string("alpha"))}));
+  SITSTATS_CHECK_OK(t.AppendRow(
+      {Value(int64_t{-7}), Value(0.1234567890123456789),
+       Value(std::string("beta"))}));
+  SITSTATS_CHECK_OK(t.AppendRow(
+      {Value(int64_t{0}), Value(-3e100), Value(std::string(""))}));
+  return t;
+}
+
+TEST_F(TableIoTest, TableRoundTripIsExact) {
+  Table original = SampleTable();
+  std::string path = dir_ + "/t.csv";
+  ASSERT_TRUE(WriteTableCsv(original, path).ok());
+  Table back = ReadTableCsv("T", path).ValueOrDie();
+  ASSERT_EQ(back.num_rows(), original.num_rows());
+  ASSERT_EQ(back.num_columns(), original.num_columns());
+  for (size_t c = 0; c < original.num_columns(); ++c) {
+    EXPECT_EQ(back.schema().column(c).name,
+              original.schema().column(c).name);
+    EXPECT_EQ(back.schema().column(c).type,
+              original.schema().column(c).type);
+    for (size_t r = 0; r < original.num_rows(); ++r) {
+      EXPECT_EQ(back.column(c).Get(r), original.column(c).Get(r))
+          << "col " << c << " row " << r;
+    }
+  }
+}
+
+TEST_F(TableIoTest, RejectsSeparatorsInStrings) {
+  Schema schema;
+  schema.AddColumn("s", ValueType::kString);
+  Table t("T", schema);
+  SITSTATS_CHECK_OK(t.AppendRow({Value(std::string("a,b"))}));
+  EXPECT_FALSE(WriteTableCsv(t, dir_ + "/bad.csv").ok());
+}
+
+TEST_F(TableIoTest, RejectsMalformedFiles) {
+  std::string path = dir_ + "/junk.csv";
+  {
+    std::ofstream out(path);
+    out << "k:int64,x:double\n1,2.5\noops\n";
+  }
+  EXPECT_FALSE(ReadTableCsv("T", path).ok());  // wrong arity row
+  {
+    std::ofstream out(path);
+    out << "k:whatever\n";
+  }
+  EXPECT_FALSE(ReadTableCsv("T", path).ok());  // unknown type
+  {
+    std::ofstream out(path);
+    out << "k:int64\nnot_a_number\n";
+  }
+  EXPECT_FALSE(ReadTableCsv("T", path).ok());
+  EXPECT_EQ(ReadTableCsv("T", dir_ + "/missing.csv").status().code(),
+            StatusCode::kIOError);
+}
+
+TEST_F(TableIoTest, CatalogRoundTrip) {
+  TpchLiteSpec spec;
+  spec.num_customers = 200;
+  spec.num_orders = 800;
+  std::unique_ptr<Catalog> catalog = MakeTpchLiteDatabase(spec).ValueOrDie();
+  ASSERT_TRUE(SaveCatalogCsv(*catalog, dir_).ok());
+  std::unique_ptr<Catalog> back = LoadCatalogCsv(dir_).ValueOrDie();
+  EXPECT_EQ(back->num_tables(), catalog->num_tables());
+  for (const std::string& name : catalog->TableNames()) {
+    const Table* a = catalog->GetTable(name).ValueOrDie();
+    const Table* b = back->GetTable(name).ValueOrDie();
+    ASSERT_EQ(a->num_rows(), b->num_rows()) << name;
+    for (size_t c = 0; c < a->num_columns(); ++c) {
+      for (size_t r = 0; r < a->num_rows(); ++r) {
+        ASSERT_EQ(a->column(c).Get(r), b->column(c).Get(r))
+            << name << " col " << c << " row " << r;
+      }
+    }
+  }
+}
+
+TEST_F(TableIoTest, SaveToMissingDirectoryFails) {
+  Catalog catalog;
+  EXPECT_EQ(SaveCatalogCsv(catalog, "/nonexistent/dir").code(),
+            StatusCode::kIOError);
+  EXPECT_EQ(LoadCatalogCsv("/nonexistent/dir").status().code(),
+            StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace sitstats

@@ -1,0 +1,112 @@
+#include "datagen/tpch_lite.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "exec/query_executor.h"
+
+namespace sitstats {
+namespace {
+
+TEST(TpchLiteTest, SchemaAndSizes) {
+  TpchLiteSpec spec;
+  spec.num_customers = 500;
+  spec.num_orders = 2'000;
+  spec.num_nations = 10;
+  std::unique_ptr<Catalog> catalog = MakeTpchLiteDatabase(spec).ValueOrDie();
+  EXPECT_EQ(catalog->num_tables(), 4u);
+  EXPECT_EQ(catalog->GetTable("nation").ValueOrDie()->num_rows(), 10u);
+  EXPECT_EQ(catalog->GetTable("customer").ValueOrDie()->num_rows(), 500u);
+  EXPECT_EQ(catalog->GetTable("orders").ValueOrDie()->num_rows(), 2'000u);
+  const Table* lineitem = catalog->GetTable("lineitem").ValueOrDie();
+  // avg 4 line items per order, so roughly 8k rows.
+  EXPECT_GT(lineitem->num_rows(), 2'000u);
+  EXPECT_LT(lineitem->num_rows(), 14'000u);
+}
+
+TEST(TpchLiteTest, ForeignKeysResolve) {
+  TpchLiteSpec spec;
+  spec.num_customers = 200;
+  spec.num_orders = 1'000;
+  std::unique_ptr<Catalog> catalog = MakeTpchLiteDatabase(spec).ValueOrDie();
+  const Table* orders = catalog->GetTable("orders").ValueOrDie();
+  const Column* custkey = orders->GetColumn("o_custkey").ValueOrDie();
+  for (size_t row = 0; row < orders->num_rows(); ++row) {
+    double v = custkey->GetNumeric(row);
+    EXPECT_GE(v, 1.0);
+    EXPECT_LE(v, 200.0);
+  }
+  // Every lineitem references a real order: the FK join has exactly
+  // |lineitem| rows.
+  GeneratingQuery q =
+      GeneratingQuery::Create(
+          {"orders", "lineitem"},
+          {JoinPredicate{ColumnRef{"orders", "o_orderkey"},
+                         ColumnRef{"lineitem", "l_orderkey"}}})
+          .ValueOrDie();
+  double card = ExactJoinCardinality(*catalog, q).ValueOrDie();
+  EXPECT_DOUBLE_EQ(
+      card,
+      static_cast<double>(
+          catalog->GetTable("lineitem").ValueOrDie()->num_rows()));
+}
+
+TEST(TpchLiteTest, OrderVolumeIsSkewedTowardsWealthyCustomers) {
+  TpchLiteSpec spec;
+  spec.num_customers = 1'000;
+  spec.num_orders = 20'000;
+  spec.order_skew_z = 1.0;
+  std::unique_ptr<Catalog> catalog = MakeTpchLiteDatabase(spec).ValueOrDie();
+  const Table* customer = catalog->GetTable("customer").ValueOrDie();
+  const Table* orders = catalog->GetTable("orders").ValueOrDie();
+  const Column* acctbal = customer->GetColumn("c_acctbal").ValueOrDie();
+  const Column* custkey = orders->GetColumn("o_custkey").ValueOrDie();
+  std::map<int64_t, int> orders_per_customer;
+  for (size_t row = 0; row < orders->num_rows(); ++row) {
+    orders_per_customer[static_cast<int64_t>(custkey->GetNumeric(row))] += 1;
+  }
+  // Average order count of the top-balance decile vs the bottom decile.
+  std::vector<std::pair<double, int>> by_balance;
+  for (size_t c = 0; c < customer->num_rows(); ++c) {
+    int64_t key = static_cast<int64_t>(c) + 1;
+    by_balance.emplace_back(acctbal->GetNumeric(c),
+                            orders_per_customer[key]);
+  }
+  std::sort(by_balance.begin(), by_balance.end());
+  double low = 0;
+  double high = 0;
+  size_t decile = by_balance.size() / 10;
+  for (size_t i = 0; i < decile; ++i) {
+    low += by_balance[i].second;
+    high += by_balance[by_balance.size() - 1 - i].second;
+  }
+  EXPECT_GT(high, 5.0 * std::max(low, 1.0));
+}
+
+TEST(TpchLiteTest, RejectsBadSpec) {
+  TpchLiteSpec spec;
+  spec.num_customers = 0;
+  EXPECT_FALSE(MakeTpchLiteDatabase(spec).ok());
+  spec = TpchLiteSpec{};
+  spec.avg_lineitems_per_order = 0;
+  EXPECT_FALSE(MakeTpchLiteDatabase(spec).ok());
+}
+
+TEST(TpchLiteTest, DeterministicForSeed) {
+  TpchLiteSpec spec;
+  spec.num_customers = 100;
+  spec.num_orders = 300;
+  spec.seed = 5;
+  auto a = MakeTpchLiteDatabase(spec).ValueOrDie();
+  auto b = MakeTpchLiteDatabase(spec).ValueOrDie();
+  const Table* ta = a->GetTable("orders").ValueOrDie();
+  const Table* tb = b->GetTable("orders").ValueOrDie();
+  ASSERT_EQ(ta->num_rows(), tb->num_rows());
+  for (size_t row = 0; row < ta->num_rows(); ++row) {
+    EXPECT_EQ(ta->column(3).GetNumeric(row), tb->column(3).GetNumeric(row));
+  }
+}
+
+}  // namespace
+}  // namespace sitstats

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "common/rng.h"
+#include "datagen/distributions.h"
+#include "histogram/builder.h"
+
+namespace sitstats {
+namespace {
+
+double WithinBucketSse(const Histogram& h, const std::vector<double>& values) {
+  // Recompute per-bucket frequency variance from raw data.
+  std::map<double, double> counts;
+  for (double v : values) counts[v] += 1.0;
+  double total = 0.0;
+  for (size_t b = 0; b < h.num_buckets(); ++b) {
+    const Bucket& bucket = h.bucket(b);
+    std::vector<double> in_bucket;
+    for (const auto& [v, c] : counts) {
+      if (bucket.Contains(v)) in_bucket.push_back(c);
+    }
+    if (in_bucket.empty()) continue;
+    double mean = 0.0;
+    for (double c : in_bucket) mean += c;
+    mean /= static_cast<double>(in_bucket.size());
+    for (double c : in_bucket) total += (c - mean) * (c - mean);
+  }
+  return total;
+}
+
+TEST(VOptimalTest, SingleBucketAndSingleValue) {
+  HistogramSpec spec;
+  spec.type = HistogramType::kVOptimal;
+  spec.num_buckets = 1;
+  Histogram h = BuildHistogram({1, 2, 3, 3}, spec).ValueOrDie();
+  ASSERT_EQ(h.num_buckets(), 1u);
+  EXPECT_DOUBLE_EQ(h.TotalFrequency(), 4.0);
+  spec.num_buckets = 10;
+  Histogram single = BuildHistogram({5, 5, 5}, spec).ValueOrDie();
+  ASSERT_EQ(single.num_buckets(), 1u);
+}
+
+TEST(VOptimalTest, IsolatesStepFunctionExactly) {
+  // Frequencies: 100 values with count 1, then 100 values with count 9.
+  // With two buckets V-Optimal must split exactly at the step: zero
+  // within-bucket variance.
+  std::vector<double> values;
+  for (int v = 1; v <= 100; ++v) values.push_back(v);
+  for (int v = 101; v <= 200; ++v) {
+    for (int i = 0; i < 9; ++i) values.push_back(v);
+  }
+  HistogramSpec spec;
+  spec.type = HistogramType::kVOptimal;
+  spec.num_buckets = 2;
+  Histogram h = BuildHistogram(values, spec).ValueOrDie();
+  ASSERT_EQ(h.num_buckets(), 2u);
+  EXPECT_DOUBLE_EQ(h.bucket(0).hi, 100.0);
+  EXPECT_DOUBLE_EQ(h.bucket(1).lo, 101.0);
+  EXPECT_DOUBLE_EQ(WithinBucketSse(h, values), 0.0);
+}
+
+TEST(VOptimalTest, NeverWorseThanMaxDiffOnVariance) {
+  // V-Optimal minimizes within-bucket frequency variance by construction;
+  // MaxDiff only approximates that.
+  Rng rng(7);
+  ZipfDistribution zipf(300, 1.0);
+  std::vector<double> values;
+  for (int i = 0; i < 20'000; ++i) {
+    values.push_back(static_cast<double>(zipf.Sample(&rng)));
+  }
+  for (int nb : {8, 16, 32}) {
+    HistogramSpec vopt;
+    vopt.type = HistogramType::kVOptimal;
+    vopt.num_buckets = nb;
+    HistogramSpec maxdiff;
+    maxdiff.type = HistogramType::kMaxDiff;
+    maxdiff.num_buckets = nb;
+    double sse_v = WithinBucketSse(
+        BuildHistogram(values, vopt).ValueOrDie(), values);
+    double sse_m = WithinBucketSse(
+        BuildHistogram(values, maxdiff).ValueOrDie(), values);
+    EXPECT_LE(sse_v, sse_m + 1e-6) << "nb=" << nb;
+  }
+}
+
+TEST(VOptimalTest, MatchesBruteForceOnTinyInputs) {
+  // Exhaustive check of optimality on small inputs: enumerate every
+  // 2-bucket split.
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> values;
+    int n = static_cast<int>(rng.UniformInt(3, 8));
+    for (int v = 1; v <= n; ++v) {
+      int64_t c = rng.UniformInt(1, 10);
+      for (int64_t i = 0; i < c; ++i) values.push_back(v);
+    }
+    HistogramSpec spec;
+    spec.type = HistogramType::kVOptimal;
+    spec.num_buckets = 2;
+    Histogram h = BuildHistogram(values, spec).ValueOrDie();
+    double got = WithinBucketSse(h, values);
+    // Brute force all splits.
+    double best = WithinBucketSse(
+        BuildHistogram(values, HistogramSpec{HistogramType::kEquiWidth, 1,
+                                             DistinctEstimator::kGee})
+            .ValueOrDie(),
+        values);
+    for (int split = 1; split < n; ++split) {
+      // Build a manual 2-bucket histogram at this split.
+      std::map<double, double> counts;
+      for (double v : values) counts[v] += 1.0;
+      std::vector<Bucket> buckets(2);
+      int idx = 0;
+      double f0 = 0, f1 = 0, d0 = 0, d1 = 0;
+      for (const auto& [v, c] : counts) {
+        if (idx < split) {
+          if (d0 == 0) buckets[0].lo = v;
+          buckets[0].hi = v;
+          f0 += c;
+          d0 += 1;
+        } else {
+          if (d1 == 0) buckets[1].lo = v;
+          buckets[1].hi = v;
+          f1 += c;
+          d1 += 1;
+        }
+        ++idx;
+      }
+      buckets[0].frequency = f0;
+      buckets[0].distinct_values = d0;
+      buckets[1].frequency = f1;
+      buckets[1].distinct_values = d1;
+      best = std::min(best, WithinBucketSse(Histogram(buckets), values));
+    }
+    EXPECT_NEAR(got, best, 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(VOptimalTest, RejectsHugeDistinctCounts) {
+  std::vector<double> values;
+  for (int i = 0; i < 5'000; ++i) values.push_back(i);
+  HistogramSpec spec;
+  spec.type = HistogramType::kVOptimal;
+  EXPECT_EQ(BuildHistogram(values, spec).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(VOptimalTest, WorksInSampleAndWeightedPaths) {
+  HistogramSpec spec;
+  spec.type = HistogramType::kVOptimal;
+  spec.num_buckets = 4;
+  Histogram from_sample =
+      BuildHistogramFromSample({1, 1, 2, 3, 10, 11, 12}, 700.0, spec)
+          .ValueOrDie();
+  EXPECT_NEAR(from_sample.TotalFrequency(), 700.0, 1e-9);
+  Histogram weighted =
+      BuildHistogramWeighted({{1.0, 5.0}, {2.0, 5.0}, {50.0, 90.0}}, spec)
+          .ValueOrDie();
+  EXPECT_DOUBLE_EQ(weighted.TotalFrequency(), 100.0);
+  EXPECT_TRUE(weighted.CheckValid().ok());
+}
+
+}  // namespace
+}  // namespace sitstats

@@ -1,0 +1,292 @@
+// sitstats_cli — operate the library from the command line, no C++
+// required:
+//
+//   sitstats_cli generate-chain DIR [--tables N] [--rows N] [--domain N]
+//                                   [--zipf Z] [--seed S]
+//   sitstats_cli generate-tpch  DIR [--customers N] [--orders N] [--seed S]
+//   sitstats_cli inspect        DIR
+//   sitstats_cli build-sit      DIR --attr T.col --join A.x=B.y [--join ...]
+//                                   [--variant Sweep|SweepIndex|SweepFull|
+//                                    SweepExact|Hist-SIT]
+//                                   [--rate R] [--buckets N] [--out FILE]
+//   sitstats_cli estimate       DIR --attr T.col --join A.x=B.y [--join ...]
+//                                   --lo X --hi Y [--stats FILE] [--exact]
+//
+// Data directories are the CSV catalogs written by generate-* (one CSV per
+// table plus a MANIFEST); statistics files are the text SIT catalogs of
+// sit/serialization.h.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "datagen/synthetic_db.h"
+#include "datagen/tpch_lite.h"
+#include "estimator/sit_estimator.h"
+#include "exec/query_executor.h"
+#include "sit/serialization.h"
+#include "storage/table_io.h"
+
+namespace sitstats {
+namespace {
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+int FailStatus(const Status& status) { return Fail(status.ToString()); }
+
+/// Minimal flag parser: positional args plus --key value pairs
+/// (--join may repeat).
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;
+  std::vector<std::string> joins;
+  bool exact = false;
+
+  static Result<Args> Parse(int argc, char** argv, int start) {
+    Args args;
+    for (int i = start; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "--exact") {
+        args.exact = true;
+      } else if (arg.rfind("--", 0) == 0) {
+        if (i + 1 >= argc) {
+          return Status::InvalidArgument("flag " + arg + " needs a value");
+        }
+        std::string value = argv[++i];
+        if (arg == "--join") {
+          args.joins.push_back(value);
+        } else {
+          args.flags[arg.substr(2)] = value;
+        }
+      } else {
+        args.positional.push_back(arg);
+      }
+    }
+    return args;
+  }
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::atof(it->second.c_str());
+  }
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::atoll(it->second.c_str());
+  }
+};
+
+/// Parses "A.x=B.y" into a JoinPredicate.
+Result<JoinPredicate> ParseJoin(const std::string& text) {
+  std::vector<std::string> sides = Split(text, '=');
+  if (sides.size() != 2) {
+    return Status::InvalidArgument("join must look like A.x=B.y, got " +
+                                   text);
+  }
+  std::vector<std::string> l = Split(sides[0], '.');
+  std::vector<std::string> r = Split(sides[1], '.');
+  if (l.size() != 2 || r.size() != 2) {
+    return Status::InvalidArgument("join must look like A.x=B.y, got " +
+                                   text);
+  }
+  return JoinPredicate{ColumnRef{l[0], l[1]}, ColumnRef{r[0], r[1]}};
+}
+
+/// Parses "T.col" into a ColumnRef.
+Result<ColumnRef> ParseColumn(const std::string& text) {
+  std::vector<std::string> parts = Split(text, '.');
+  if (parts.size() != 2) {
+    return Status::InvalidArgument("attribute must look like T.col, got " +
+                                   text);
+  }
+  return ColumnRef{parts[0], parts[1]};
+}
+
+/// Builds the generating query from --attr/--join flags (tables are the
+/// ones referenced; single-table queries are allowed with no joins).
+Result<GeneratingQuery> ParseQuery(const Args& args,
+                                   const ColumnRef& attribute) {
+  std::vector<JoinPredicate> joins;
+  std::vector<std::string> tables = {attribute.table};
+  auto add_table = [&tables](const std::string& name) {
+    for (const std::string& t : tables) {
+      if (t == name) return;
+    }
+    tables.push_back(name);
+  };
+  for (const std::string& text : args.joins) {
+    SITSTATS_ASSIGN_OR_RETURN(JoinPredicate join, ParseJoin(text));
+    add_table(join.left.table);
+    add_table(join.right.table);
+    joins.push_back(join);
+  }
+  return GeneratingQuery::Create(std::move(tables), std::move(joins));
+}
+
+int GenerateChain(const Args& args) {
+  if (args.positional.empty()) return Fail("generate-chain needs DIR");
+  ChainDbSpec spec;
+  spec.num_tables = static_cast<int>(args.GetInt("tables", 3));
+  spec.table_rows.assign(static_cast<size_t>(spec.num_tables),
+                         static_cast<size_t>(args.GetInt("rows", 20'000)));
+  spec.join_domain = static_cast<uint64_t>(args.GetInt("domain", 1'000));
+  spec.zipf_z = args.GetDouble("zipf", 1.0);
+  spec.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  Result<ChainDatabase> db = MakeChainJoinDatabase(spec);
+  if (!db.ok()) return FailStatus(db.status());
+  Status saved = SaveCatalogCsv(*db->catalog, args.positional[0]);
+  if (!saved.ok()) return FailStatus(saved);
+  std::printf("wrote %d chain tables to %s\n", spec.num_tables,
+              args.positional[0].c_str());
+  std::printf("chain query: %s (SIT attribute %s)\n",
+              db->query.ToString().c_str(),
+              db->sit_attribute.ToString().c_str());
+  return 0;
+}
+
+int GenerateTpch(const Args& args) {
+  if (args.positional.empty()) return Fail("generate-tpch needs DIR");
+  TpchLiteSpec spec;
+  spec.num_customers =
+      static_cast<size_t>(args.GetInt("customers", 5'000));
+  spec.num_orders = static_cast<size_t>(args.GetInt("orders", 30'000));
+  spec.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  Result<std::unique_ptr<Catalog>> catalog = MakeTpchLiteDatabase(spec);
+  if (!catalog.ok()) return FailStatus(catalog.status());
+  Status saved = SaveCatalogCsv(**catalog, args.positional[0]);
+  if (!saved.ok()) return FailStatus(saved);
+  std::printf("wrote TPC-H-lite tables to %s\n", args.positional[0].c_str());
+  return 0;
+}
+
+int Inspect(const Args& args) {
+  if (args.positional.empty()) return Fail("inspect needs DIR");
+  Result<std::unique_ptr<Catalog>> catalog =
+      LoadCatalogCsv(args.positional[0]);
+  if (!catalog.ok()) return FailStatus(catalog.status());
+  for (const std::string& name : (*catalog)->TableNames()) {
+    const Table* table = (*catalog)->GetTable(name).ValueOrDie();
+    std::printf("%-12s %9zu rows  %s\n", name.c_str(), table->num_rows(),
+                table->schema().ToString().c_str());
+  }
+  return 0;
+}
+
+int BuildSit(const Args& args) {
+  if (args.positional.empty()) return Fail("build-sit needs DIR");
+  auto catalog_result = LoadCatalogCsv(args.positional[0]);
+  if (!catalog_result.ok()) return FailStatus(catalog_result.status());
+  std::unique_ptr<Catalog> catalog = std::move(catalog_result).ValueOrDie();
+
+  auto attr = ParseColumn(args.Get("attr", ""));
+  if (!attr.ok()) return FailStatus(attr.status());
+  auto query = ParseQuery(args, *attr);
+  if (!query.ok()) return FailStatus(query.status());
+  auto variant = SweepVariantFromString(args.Get("variant", "Sweep"));
+  if (!variant.ok()) return FailStatus(variant.status());
+
+  BaseStatsCache stats;
+  SitBuildOptions options;
+  options.variant = *variant;
+  options.sampling_rate = args.GetDouble("rate", 0.1);
+  options.histogram_spec.num_buckets =
+      static_cast<int>(args.GetInt("buckets", 100));
+  Result<Sit> sit = CreateSit(catalog.get(), &stats,
+                              SitDescriptor(*attr, *query), options);
+  if (!sit.ok()) return FailStatus(sit.status());
+  std::printf("built %s\n", sit->descriptor.ToString().c_str());
+  std::printf("  variant=%s est|Q|=%.0f buckets=%zu scans=%llu\n",
+              SweepVariantToString(sit->variant),
+              sit->estimated_cardinality, sit->histogram.num_buckets(),
+              static_cast<unsigned long long>(
+                  sit->build_stats.sequential_scans));
+
+  std::string out = args.Get("out", "");
+  if (!out.empty()) {
+    SitCatalog sits;
+    // Merge into an existing statistics file when present.
+    Result<SitCatalog> existing = LoadSitCatalog(out);
+    if (existing.ok()) sits = std::move(existing).ValueOrDie();
+    sits.Add(std::move(sit).ValueOrDie());
+    Status saved = SaveSitCatalog(sits, out);
+    if (!saved.ok()) return FailStatus(saved);
+    std::printf("  saved to %s (%zu SITs)\n", out.c_str(), sits.size());
+  }
+  return 0;
+}
+
+int Estimate(const Args& args) {
+  if (args.positional.empty()) return Fail("estimate needs DIR");
+  auto catalog_result = LoadCatalogCsv(args.positional[0]);
+  if (!catalog_result.ok()) return FailStatus(catalog_result.status());
+  std::unique_ptr<Catalog> catalog = std::move(catalog_result).ValueOrDie();
+
+  auto attr = ParseColumn(args.Get("attr", ""));
+  if (!attr.ok()) return FailStatus(attr.status());
+  auto query = ParseQuery(args, *attr);
+  if (!query.ok()) return FailStatus(query.status());
+  double lo = args.GetDouble("lo", 0);
+  double hi = args.GetDouble("hi", 0);
+
+  SitCatalog sits;
+  std::string stats_path = args.Get("stats", "");
+  if (!stats_path.empty()) {
+    Result<SitCatalog> loaded = LoadSitCatalog(stats_path);
+    if (!loaded.ok()) return FailStatus(loaded.status());
+    sits = std::move(loaded).ValueOrDie();
+  }
+  BaseStatsCache stats;
+  CardinalityEstimator estimator(catalog.get(), &stats,
+                                 stats_path.empty() ? nullptr : &sits);
+  auto estimate = estimator.EstimateRangeQuery(*query, *attr, lo, hi);
+  if (!estimate.ok()) return FailStatus(estimate.status());
+  std::printf("estimate(%g <= %s <= %g over %s) = %.0f   [%s]\n", lo,
+              attr->ToString().c_str(), hi, query->ToString().c_str(),
+              estimate->cardinality,
+              ProvenanceToString(estimate->provenance));
+  if (args.exact) {
+    auto actual = ExactRangeCardinality(*catalog, *query, *attr, lo, hi);
+    if (!actual.ok()) return FailStatus(actual.status());
+    std::printf("actual = %.0f   (relative error %+.1f%%)\n", *actual,
+                *actual > 0
+                    ? 100.0 * (estimate->cardinality - *actual) / *actual
+                    : 0.0);
+  }
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: sitstats_cli <generate-chain|generate-tpch|inspect|build-sit|"
+      "estimate> ...\n(see the header comment of tools/sitstats_cli.cc)\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+  Result<Args> args = Args::Parse(argc, argv, 2);
+  if (!args.ok()) return FailStatus(args.status());
+  if (command == "generate-chain") return GenerateChain(*args);
+  if (command == "generate-tpch") return GenerateTpch(*args);
+  if (command == "inspect") return Inspect(*args);
+  if (command == "build-sit") return BuildSit(*args);
+  if (command == "estimate") return Estimate(*args);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace sitstats
+
+int main(int argc, char** argv) { return sitstats::Main(argc, argv); }
