@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_distinct"
+  "../bench/bench_ablation_distinct.pdb"
+  "CMakeFiles/bench_ablation_distinct.dir/bench_ablation_distinct.cc.o"
+  "CMakeFiles/bench_ablation_distinct.dir/bench_ablation_distinct.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_distinct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

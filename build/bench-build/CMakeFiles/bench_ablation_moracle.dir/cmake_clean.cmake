@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_moracle"
+  "../bench/bench_ablation_moracle.pdb"
+  "CMakeFiles/bench_ablation_moracle.dir/bench_ablation_moracle.cc.o"
+  "CMakeFiles/bench_ablation_moracle.dir/bench_ablation_moracle.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_moracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_composite_joins"
+  "../bench/bench_composite_joins.pdb"
+  "CMakeFiles/bench_composite_joins.dir/bench_composite_joins.cc.o"
+  "CMakeFiles/bench_composite_joins.dir/bench_composite_joins.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_composite_joins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

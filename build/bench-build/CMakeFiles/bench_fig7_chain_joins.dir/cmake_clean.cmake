@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_chain_joins"
+  "../bench/bench_fig7_chain_joins.pdb"
+  "CMakeFiles/bench_fig7_chain_joins.dir/bench_fig7_chain_joins.cc.o"
+  "CMakeFiles/bench_fig7_chain_joins.dir/bench_fig7_chain_joins.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_chain_joins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

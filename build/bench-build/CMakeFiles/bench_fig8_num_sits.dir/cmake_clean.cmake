@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_num_sits"
+  "../bench/bench_fig8_num_sits.pdb"
+  "CMakeFiles/bench_fig8_num_sits.dir/bench_fig8_num_sits.cc.o"
+  "CMakeFiles/bench_fig8_num_sits.dir/bench_fig8_num_sits.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_num_sits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

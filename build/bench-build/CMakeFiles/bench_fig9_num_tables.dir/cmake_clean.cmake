@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_num_tables"
+  "../bench/bench_fig9_num_tables.pdb"
+  "CMakeFiles/bench_fig9_num_tables.dir/bench_fig9_num_tables.cc.o"
+  "CMakeFiles/bench_fig9_num_tables.dir/bench_fig9_num_tables.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_num_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_multiplicity_accuracy"
+  "../bench/bench_multiplicity_accuracy.pdb"
+  "CMakeFiles/bench_multiplicity_accuracy.dir/bench_multiplicity_accuracy.cc.o"
+  "CMakeFiles/bench_multiplicity_accuracy.dir/bench_multiplicity_accuracy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multiplicity_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

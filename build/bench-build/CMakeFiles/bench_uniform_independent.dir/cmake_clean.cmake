@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_uniform_independent"
+  "../bench/bench_uniform_independent.pdb"
+  "CMakeFiles/bench_uniform_independent.dir/bench_uniform_independent.cc.o"
+  "CMakeFiles/bench_uniform_independent.dir/bench_uniform_independent.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_uniform_independent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_uniform_independent.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_accuracy_study.dir/accuracy_study.cpp.o"
+  "CMakeFiles/example_accuracy_study.dir/accuracy_study.cpp.o.d"
+  "example_accuracy_study"
+  "example_accuracy_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_accuracy_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_multi_sit_scheduling.dir/multi_sit_scheduling.cpp.o"
+  "CMakeFiles/example_multi_sit_scheduling.dir/multi_sit_scheduling.cpp.o.d"
+  "example_multi_sit_scheduling"
+  "example_multi_sit_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_multi_sit_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

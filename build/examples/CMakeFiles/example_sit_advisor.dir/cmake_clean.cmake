@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_sit_advisor.dir/sit_advisor.cpp.o"
+  "CMakeFiles/example_sit_advisor.dir/sit_advisor.cpp.o.d"
+  "example_sit_advisor"
+  "example_sit_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_sit_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_tpch_stats.dir/tpch_stats.cpp.o"
+  "CMakeFiles/example_tpch_stats.dir/tpch_stats.cpp.o.d"
+  "example_tpch_stats"
+  "example_tpch_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_tpch_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/advisor/advisor.cc" "src/CMakeFiles/sitstats.dir/advisor/advisor.cc.o" "gcc" "src/CMakeFiles/sitstats.dir/advisor/advisor.cc.o.d"
+  "/root/repo/src/advisor/workload.cc" "src/CMakeFiles/sitstats.dir/advisor/workload.cc.o" "gcc" "src/CMakeFiles/sitstats.dir/advisor/workload.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/sitstats.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/sitstats.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/sitstats.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/sitstats.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/sitstats.dir/common/status.cc.o" "gcc" "src/CMakeFiles/sitstats.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/sitstats.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/sitstats.dir/common/string_util.cc.o.d"
+  "/root/repo/src/datagen/distributions.cc" "src/CMakeFiles/sitstats.dir/datagen/distributions.cc.o" "gcc" "src/CMakeFiles/sitstats.dir/datagen/distributions.cc.o.d"
+  "/root/repo/src/datagen/synthetic_db.cc" "src/CMakeFiles/sitstats.dir/datagen/synthetic_db.cc.o" "gcc" "src/CMakeFiles/sitstats.dir/datagen/synthetic_db.cc.o.d"
+  "/root/repo/src/datagen/tpch_lite.cc" "src/CMakeFiles/sitstats.dir/datagen/tpch_lite.cc.o" "gcc" "src/CMakeFiles/sitstats.dir/datagen/tpch_lite.cc.o.d"
+  "/root/repo/src/estimator/accuracy.cc" "src/CMakeFiles/sitstats.dir/estimator/accuracy.cc.o" "gcc" "src/CMakeFiles/sitstats.dir/estimator/accuracy.cc.o.d"
+  "/root/repo/src/estimator/sit_estimator.cc" "src/CMakeFiles/sitstats.dir/estimator/sit_estimator.cc.o" "gcc" "src/CMakeFiles/sitstats.dir/estimator/sit_estimator.cc.o.d"
+  "/root/repo/src/exec/hash_join.cc" "src/CMakeFiles/sitstats.dir/exec/hash_join.cc.o" "gcc" "src/CMakeFiles/sitstats.dir/exec/hash_join.cc.o.d"
+  "/root/repo/src/exec/query_executor.cc" "src/CMakeFiles/sitstats.dir/exec/query_executor.cc.o" "gcc" "src/CMakeFiles/sitstats.dir/exec/query_executor.cc.o.d"
+  "/root/repo/src/histogram/bucket.cc" "src/CMakeFiles/sitstats.dir/histogram/bucket.cc.o" "gcc" "src/CMakeFiles/sitstats.dir/histogram/bucket.cc.o.d"
+  "/root/repo/src/histogram/builder.cc" "src/CMakeFiles/sitstats.dir/histogram/builder.cc.o" "gcc" "src/CMakeFiles/sitstats.dir/histogram/builder.cc.o.d"
+  "/root/repo/src/histogram/grid_histogram.cc" "src/CMakeFiles/sitstats.dir/histogram/grid_histogram.cc.o" "gcc" "src/CMakeFiles/sitstats.dir/histogram/grid_histogram.cc.o.d"
+  "/root/repo/src/histogram/histogram.cc" "src/CMakeFiles/sitstats.dir/histogram/histogram.cc.o" "gcc" "src/CMakeFiles/sitstats.dir/histogram/histogram.cc.o.d"
+  "/root/repo/src/histogram/join_estimate.cc" "src/CMakeFiles/sitstats.dir/histogram/join_estimate.cc.o" "gcc" "src/CMakeFiles/sitstats.dir/histogram/join_estimate.cc.o.d"
+  "/root/repo/src/query/generating_query.cc" "src/CMakeFiles/sitstats.dir/query/generating_query.cc.o" "gcc" "src/CMakeFiles/sitstats.dir/query/generating_query.cc.o.d"
+  "/root/repo/src/query/join_graph.cc" "src/CMakeFiles/sitstats.dir/query/join_graph.cc.o" "gcc" "src/CMakeFiles/sitstats.dir/query/join_graph.cc.o.d"
+  "/root/repo/src/query/join_tree.cc" "src/CMakeFiles/sitstats.dir/query/join_tree.cc.o" "gcc" "src/CMakeFiles/sitstats.dir/query/join_tree.cc.o.d"
+  "/root/repo/src/sampling/bernoulli.cc" "src/CMakeFiles/sitstats.dir/sampling/bernoulli.cc.o" "gcc" "src/CMakeFiles/sitstats.dir/sampling/bernoulli.cc.o.d"
+  "/root/repo/src/sampling/reservoir.cc" "src/CMakeFiles/sitstats.dir/sampling/reservoir.cc.o" "gcc" "src/CMakeFiles/sitstats.dir/sampling/reservoir.cc.o.d"
+  "/root/repo/src/scheduler/executor.cc" "src/CMakeFiles/sitstats.dir/scheduler/executor.cc.o" "gcc" "src/CMakeFiles/sitstats.dir/scheduler/executor.cc.o.d"
+  "/root/repo/src/scheduler/instance_generator.cc" "src/CMakeFiles/sitstats.dir/scheduler/instance_generator.cc.o" "gcc" "src/CMakeFiles/sitstats.dir/scheduler/instance_generator.cc.o.d"
+  "/root/repo/src/scheduler/problem.cc" "src/CMakeFiles/sitstats.dir/scheduler/problem.cc.o" "gcc" "src/CMakeFiles/sitstats.dir/scheduler/problem.cc.o.d"
+  "/root/repo/src/scheduler/sit_problem.cc" "src/CMakeFiles/sitstats.dir/scheduler/sit_problem.cc.o" "gcc" "src/CMakeFiles/sitstats.dir/scheduler/sit_problem.cc.o.d"
+  "/root/repo/src/scheduler/solver.cc" "src/CMakeFiles/sitstats.dir/scheduler/solver.cc.o" "gcc" "src/CMakeFiles/sitstats.dir/scheduler/solver.cc.o.d"
+  "/root/repo/src/sit/base_stats.cc" "src/CMakeFiles/sitstats.dir/sit/base_stats.cc.o" "gcc" "src/CMakeFiles/sitstats.dir/sit/base_stats.cc.o.d"
+  "/root/repo/src/sit/creator.cc" "src/CMakeFiles/sitstats.dir/sit/creator.cc.o" "gcc" "src/CMakeFiles/sitstats.dir/sit/creator.cc.o.d"
+  "/root/repo/src/sit/m_oracle.cc" "src/CMakeFiles/sitstats.dir/sit/m_oracle.cc.o" "gcc" "src/CMakeFiles/sitstats.dir/sit/m_oracle.cc.o.d"
+  "/root/repo/src/sit/oracle_factory.cc" "src/CMakeFiles/sitstats.dir/sit/oracle_factory.cc.o" "gcc" "src/CMakeFiles/sitstats.dir/sit/oracle_factory.cc.o.d"
+  "/root/repo/src/sit/serialization.cc" "src/CMakeFiles/sitstats.dir/sit/serialization.cc.o" "gcc" "src/CMakeFiles/sitstats.dir/sit/serialization.cc.o.d"
+  "/root/repo/src/sit/sit.cc" "src/CMakeFiles/sitstats.dir/sit/sit.cc.o" "gcc" "src/CMakeFiles/sitstats.dir/sit/sit.cc.o.d"
+  "/root/repo/src/sit/sit_catalog.cc" "src/CMakeFiles/sitstats.dir/sit/sit_catalog.cc.o" "gcc" "src/CMakeFiles/sitstats.dir/sit/sit_catalog.cc.o.d"
+  "/root/repo/src/sit/sweep_scan.cc" "src/CMakeFiles/sitstats.dir/sit/sweep_scan.cc.o" "gcc" "src/CMakeFiles/sitstats.dir/sit/sweep_scan.cc.o.d"
+  "/root/repo/src/storage/catalog.cc" "src/CMakeFiles/sitstats.dir/storage/catalog.cc.o" "gcc" "src/CMakeFiles/sitstats.dir/storage/catalog.cc.o.d"
+  "/root/repo/src/storage/column.cc" "src/CMakeFiles/sitstats.dir/storage/column.cc.o" "gcc" "src/CMakeFiles/sitstats.dir/storage/column.cc.o.d"
+  "/root/repo/src/storage/cost_model.cc" "src/CMakeFiles/sitstats.dir/storage/cost_model.cc.o" "gcc" "src/CMakeFiles/sitstats.dir/storage/cost_model.cc.o.d"
+  "/root/repo/src/storage/index.cc" "src/CMakeFiles/sitstats.dir/storage/index.cc.o" "gcc" "src/CMakeFiles/sitstats.dir/storage/index.cc.o.d"
+  "/root/repo/src/storage/io_stats.cc" "src/CMakeFiles/sitstats.dir/storage/io_stats.cc.o" "gcc" "src/CMakeFiles/sitstats.dir/storage/io_stats.cc.o.d"
+  "/root/repo/src/storage/scan.cc" "src/CMakeFiles/sitstats.dir/storage/scan.cc.o" "gcc" "src/CMakeFiles/sitstats.dir/storage/scan.cc.o.d"
+  "/root/repo/src/storage/schema.cc" "src/CMakeFiles/sitstats.dir/storage/schema.cc.o" "gcc" "src/CMakeFiles/sitstats.dir/storage/schema.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/sitstats.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/sitstats.dir/storage/table.cc.o.d"
+  "/root/repo/src/storage/table_io.cc" "src/CMakeFiles/sitstats.dir/storage/table_io.cc.o" "gcc" "src/CMakeFiles/sitstats.dir/storage/table_io.cc.o.d"
+  "/root/repo/src/storage/temp_store.cc" "src/CMakeFiles/sitstats.dir/storage/temp_store.cc.o" "gcc" "src/CMakeFiles/sitstats.dir/storage/temp_store.cc.o.d"
+  "/root/repo/src/storage/value.cc" "src/CMakeFiles/sitstats.dir/storage/value.cc.o" "gcc" "src/CMakeFiles/sitstats.dir/storage/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

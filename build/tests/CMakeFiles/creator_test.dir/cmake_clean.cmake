@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/creator_test.dir/creator_test.cc.o"
+  "CMakeFiles/creator_test.dir/creator_test.cc.o.d"
+  "creator_test"
+  "creator_test.pdb"
+  "creator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/creator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_switch_test.dir/hybrid_switch_test.cc.o"
+  "CMakeFiles/hybrid_switch_test.dir/hybrid_switch_test.cc.o.d"
+  "hybrid_switch_test"
+  "hybrid_switch_test.pdb"
+  "hybrid_switch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_switch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

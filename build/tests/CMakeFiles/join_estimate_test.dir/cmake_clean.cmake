@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_estimate_test.dir/join_estimate_test.cc.o"
+  "CMakeFiles/join_estimate_test.dir/join_estimate_test.cc.o.d"
+  "join_estimate_test"
+  "join_estimate_test.pdb"
+  "join_estimate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_estimate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

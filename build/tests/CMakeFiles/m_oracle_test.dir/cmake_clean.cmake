@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m_oracle_test.dir/m_oracle_test.cc.o"
+  "CMakeFiles/m_oracle_test.dir/m_oracle_test.cc.o.d"
+  "m_oracle_test"
+  "m_oracle_test.pdb"
+  "m_oracle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

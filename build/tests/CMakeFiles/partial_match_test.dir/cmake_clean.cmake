@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partial_match_test.dir/partial_match_test.cc.o"
+  "CMakeFiles/partial_match_test.dir/partial_match_test.cc.o.d"
+  "partial_match_test"
+  "partial_match_test.pdb"
+  "partial_match_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partial_match_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

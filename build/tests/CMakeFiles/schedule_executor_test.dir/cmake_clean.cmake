@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedule_executor_test.dir/schedule_executor_test.cc.o"
+  "CMakeFiles/schedule_executor_test.dir/schedule_executor_test.cc.o.d"
+  "schedule_executor_test"
+  "schedule_executor_test.pdb"
+  "schedule_executor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedule_executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_bruteforce_test.dir/solver_bruteforce_test.cc.o"
+  "CMakeFiles/solver_bruteforce_test.dir/solver_bruteforce_test.cc.o.d"
+  "solver_bruteforce_test"
+  "solver_bruteforce_test.pdb"
+  "solver_bruteforce_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_bruteforce_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

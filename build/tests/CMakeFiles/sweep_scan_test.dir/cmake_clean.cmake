@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_scan_test.dir/sweep_scan_test.cc.o"
+  "CMakeFiles/sweep_scan_test.dir/sweep_scan_test.cc.o.d"
+  "sweep_scan_test"
+  "sweep_scan_test.pdb"
+  "sweep_scan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_scan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

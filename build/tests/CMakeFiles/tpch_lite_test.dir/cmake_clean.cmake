@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpch_lite_test.dir/tpch_lite_test.cc.o"
+  "CMakeFiles/tpch_lite_test.dir/tpch_lite_test.cc.o.d"
+  "tpch_lite_test"
+  "tpch_lite_test.pdb"
+  "tpch_lite_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_lite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voptimal_test.dir/voptimal_test.cc.o"
+  "CMakeFiles/voptimal_test.dir/voptimal_test.cc.o.d"
+  "voptimal_test"
+  "voptimal_test.pdb"
+  "voptimal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voptimal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sitstats_cli.dir/sitstats_cli.cc.o"
+  "CMakeFiles/sitstats_cli.dir/sitstats_cli.cc.o.d"
+  "sitstats_cli"
+  "sitstats_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sitstats_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
