@@ -30,6 +30,7 @@ int main() {
   std::printf("largest single sample across instances: %.0f values\n",
               min_m);
 
+  BenchJsonWriter json("fig10_memory");
   for (double factor : {1.0, 1.25, 1.5, 2.0, 2.5, 3.0, 4.0}) {
     InstanceSpec spec;
     spec.memory_limit = min_m * factor;
@@ -37,6 +38,7 @@ int main() {
     char label[32];
     std::snprintf(label, sizeof(label), "M/Mmin");
     PrintPointRow(label, factor, point);
+    AppendPointRow(&json, label, factor, point);
   }
   std::printf(
       "\nExpected: Naive is flat in M; Opt/Greedy/Hybrid costs fall as M "

@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_json.h"
 #include "datagen/synthetic_db.h"
 #include "estimator/accuracy.h"
 #include "sit/creator.h"
@@ -63,7 +64,7 @@ Cell RunOne(int num_tables, int num_buckets, uint64_t seed,
   return Cell{report.mean_relative_error, report.median_relative_error};
 }
 
-void RunFigure(char label, int num_tables) {
+void RunFigure(char label, int num_tables, BenchJsonWriter* json) {
   std::printf("\nFigure 7(%c): %d-way chain join, zipf z=1 join attributes\n",
               label, num_tables);
   std::printf("%-11s", "technique");
@@ -85,6 +86,13 @@ void RunFigure(char label, int num_tables) {
       mean /= std::size(kSeeds);
       median /= std::size(kSeeds);
       std::printf("   %9.1f (%6.1f)", 100.0 * mean, 100.0 * median);
+      json->BeginRow();
+      json->Add("figure", std::string(1, label));
+      json->Add("num_tables", static_cast<double>(num_tables));
+      json->Add("technique", std::string(SweepVariantToString(variant)));
+      json->Add("buckets", static_cast<double>(nb));
+      json->Add("mean_rel_error_pct", 100.0 * mean);
+      json->Add("median_rel_error_pct", 100.0 * median);
     }
     std::printf("\n");
   }
@@ -100,9 +108,10 @@ int main() {
       "(avg relative error over 1000 random range queries; %zu seeds per "
       "cell)\n",
       std::size(sitstats::kSeeds));
-  sitstats::RunFigure('a', 2);
-  sitstats::RunFigure('b', 3);
-  sitstats::RunFigure('c', 4);
+  sitstats::BenchJsonWriter json("fig7_chain_joins");
+  sitstats::RunFigure('a', 2, &json);
+  sitstats::RunFigure('b', 3, &json);
+  sitstats::RunFigure('c', 4, &json);
   std::printf(
       "\nExpected shape (paper): Hist-SIT >> Sweep family at every nb; the "
       "gap grows\nwith the join count; Sweep/SweepIndex (sampling) are "

@@ -19,6 +19,7 @@
 
 int main() {
   using namespace sitstats;  // NOLINT
+  BenchJsonWriter json("fig8_num_sits");
   std::printf(
       "=== Figure 8: varying numSITs (nt=10, lenSITs=5, s=10%%, "
       "M=50000) ===\n");
@@ -28,6 +29,7 @@ int main() {
     int instances = num_sits >= 20 ? 5 : (num_sits >= 15 ? 10 : 20);
     SweepPoint point = RunSchedulingPoint(spec, instances, /*seed=*/1000);
     PrintPointRow("numSITs", num_sits, point);
+    AppendPointRow(&json, "numSITs", num_sits, point);
   }
 
   std::printf(
@@ -38,6 +40,7 @@ int main() {
     int instances = len >= 6 ? 10 : 20;
     SweepPoint point = RunSchedulingPoint(spec, instances, /*seed=*/2000);
     PrintPointRow("lenSITs", len, point);
+    AppendPointRow(&json, "lenSITs", len, point);
   }
   std::printf(
       "\nExpected: cost(Naive) >> cost(Opt) ~ cost(Greedy) ~ cost(Hybrid); "

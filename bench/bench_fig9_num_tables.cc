@@ -11,6 +11,7 @@
 
 int main() {
   using namespace sitstats;  // NOLINT
+  BenchJsonWriter json("fig9_num_tables");
   std::printf(
       "=== Figure 9: varying number of tables nt (numSITs=10, lenSITs=5, "
       "s=10%%, M=50000) ===\n");
@@ -20,6 +21,7 @@ int main() {
     int instances = nt <= 8 ? 10 : 20;  // small nt => denser overlap => slower Opt
     SweepPoint point = RunSchedulingPoint(spec, instances, /*seed=*/3000);
     PrintPointRow("nt", nt, point);
+    AppendPointRow(&json, "nt", nt, point);
     double ratio = point.opt.AvgCost() / point.naive.AvgCost();
     std::printf("        Opt/Naive cost ratio = %.2f\n", ratio);
   }

@@ -1,0 +1,99 @@
+#ifndef SITSTATS_BENCH_BENCH_JSON_H_
+#define SITSTATS_BENCH_BENCH_JSON_H_
+
+// Structured results for the bench_fig* binaries. When the
+// SITSTATS_BENCH_JSON_DIR environment variable names a directory, each
+// benchmark writes `<dir>/<name>.json` on exit:
+//
+//   {"benchmark": "fig8_num_sits",
+//    "rows": [{"x_label": "numSITs", "x": 5, "naive_cost": ..., ...}, ...],
+//    "metrics": { ...MetricsRegistry dump... }}
+//
+// The rows mirror the human-readable table printed on stdout; the metrics
+// object is the full telemetry registry (counters, gauges, latency
+// histograms) accumulated over the run. Unset, the writer is inert.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "telemetry/json_util.h"
+#include "telemetry/telemetry.h"
+
+namespace sitstats {
+
+class BenchJsonWriter {
+ public:
+  explicit BenchJsonWriter(const std::string& name) : name_(name) {
+    const char* dir = std::getenv("SITSTATS_BENCH_JSON_DIR");
+    if (dir != nullptr && *dir != '\0') path_ = std::string(dir) + "/" + name + ".json";
+  }
+  ~BenchJsonWriter() { Flush(); }
+
+  BenchJsonWriter(const BenchJsonWriter&) = delete;
+  BenchJsonWriter& operator=(const BenchJsonWriter&) = delete;
+
+  bool enabled() const { return !path_.empty(); }
+
+  /// Starts a new result row; subsequent Add() calls land in it.
+  void BeginRow() { rows_.emplace_back(); }
+
+  void Add(const std::string& key, double value) {
+    AddRaw(key, telemetry::JsonNumber(value));
+  }
+  void Add(const std::string& key, const std::string& value) {
+    std::string quoted;
+    telemetry::AppendJsonString(value, &quoted);
+    AddRaw(key, quoted);
+  }
+
+  /// Writes the file (idempotent; also runs from the destructor).
+  void Flush() {
+    if (path_.empty() || flushed_) return;
+    flushed_ = true;
+    std::string out = "{\"benchmark\": ";
+    telemetry::AppendJsonString(name_, &out);
+    out += ", \"rows\": [";
+    for (size_t r = 0; r < rows_.size(); ++r) {
+      if (r > 0) out += ", ";
+      out += '{';
+      for (size_t i = 0; i < rows_[r].size(); ++i) {
+        if (i > 0) out += ", ";
+        telemetry::AppendJsonString(rows_[r][i].first, &out);
+        out += ": ";
+        out += rows_[r][i].second;
+      }
+      out += '}';
+    }
+    out += "], \"metrics\": ";
+    out += telemetry::MetricsRegistry::Global().ToJson();
+    out += "}\n";
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_json: cannot write %s\n", path_.c_str());
+      return;
+    }
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", path_.c_str());
+  }
+
+ private:
+  void AddRaw(const std::string& key, std::string json_value) {
+    if (path_.empty()) return;
+    if (rows_.empty()) rows_.emplace_back();
+    rows_.back().emplace_back(key, std::move(json_value));
+  }
+
+  std::string name_;
+  std::string path_;
+  bool flushed_ = false;
+  std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
+};
+
+}  // namespace sitstats
+
+#endif  // SITSTATS_BENCH_BENCH_JSON_H_

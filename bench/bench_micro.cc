@@ -15,6 +15,7 @@
 #include "scheduler/solver.h"
 #include "sit/m_oracle.h"
 #include "sit/creator.h"
+#include "telemetry/telemetry.h"
 
 namespace sitstats {
 namespace {
@@ -152,6 +153,49 @@ void BM_SolverOptimalSmall(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SolverOptimalSmall)->Arg(5)->Arg(8);
+
+// Cost of an instrumented scope while tracing is off: should compile down
+// to one relaxed atomic load and a branch (sub-nanosecond), which is what
+// makes it safe to leave spans in the hot Sweep/scan paths.
+void BM_TraceSpanDisabled(benchmark::State& state) {
+  telemetry::Tracer::Global().SetEnabled(false);
+  for (auto _ : state) {
+    SITSTATS_TRACE_SPAN("bench.disabled");
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_TraceSpanDisabled);
+
+void BM_TraceSpanEnabled(benchmark::State& state) {
+  telemetry::Tracer::Global().SetEnabled(true);
+  for (auto _ : state) {
+    SITSTATS_TRACE_SPAN("bench.enabled");
+    benchmark::ClobberMemory();
+  }
+  telemetry::Tracer::Global().SetEnabled(false);
+  telemetry::Tracer::Global().Clear();
+}
+BENCHMARK(BM_TraceSpanEnabled);
+
+void BM_CounterIncrement(benchmark::State& state) {
+  static telemetry::Counter& counter =
+      telemetry::MetricsRegistry::Global().GetCounter("bench.counter");
+  for (auto _ : state) {
+    counter.Increment();
+  }
+}
+BENCHMARK(BM_CounterIncrement);
+
+void BM_LatencyHistogramRecord(benchmark::State& state) {
+  static telemetry::LatencyHistogram& hist =
+      telemetry::MetricsRegistry::Global().GetHistogram("bench.hist_ms");
+  double v = 0.0;
+  for (auto _ : state) {
+    hist.Record(v);
+    v += 0.125;
+  }
+}
+BENCHMARK(BM_LatencyHistogramRecord);
 
 }  // namespace
 }  // namespace sitstats

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_json.h"
 #include "common/rng.h"
 #include "scheduler/instance_generator.h"
 #include "scheduler/solver.h"
@@ -81,6 +82,24 @@ inline void PrintPointRow(const char* x_label, double x,
       point.greedy.AvgCost(), point.hybrid.AvgCost(), point.opt.AvgMillis(),
       point.greedy.AvgMillis(), point.hybrid.AvgMillis(),
       point.opt.instances, point.skipped);
+}
+
+/// Records one sweep point as a structured row (no-op unless
+/// SITSTATS_BENCH_JSON_DIR is set).
+inline void AppendPointRow(BenchJsonWriter* json, const char* x_label,
+                           double x, const SweepPoint& point) {
+  json->BeginRow();
+  json->Add("x_label", std::string(x_label));
+  json->Add("x", x);
+  json->Add("naive_cost", point.naive.AvgCost());
+  json->Add("opt_cost", point.opt.AvgCost());
+  json->Add("greedy_cost", point.greedy.AvgCost());
+  json->Add("hybrid_cost", point.hybrid.AvgCost());
+  json->Add("opt_ms", point.opt.AvgMillis());
+  json->Add("greedy_ms", point.greedy.AvgMillis());
+  json->Add("hybrid_ms", point.hybrid.AvgMillis());
+  json->Add("instances", static_cast<double>(point.opt.instances));
+  json->Add("skipped", static_cast<double>(point.skipped));
 }
 
 }  // namespace sitstats

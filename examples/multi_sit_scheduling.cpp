@@ -7,11 +7,13 @@
 // roughly halves the I/O of the naive one-at-a-time approach.
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/logging.h"
 #include "datagen/distributions.h"
 #include "scheduler/executor.h"
 #include "scheduler/solver.h"
+#include "telemetry/telemetry.h"
 
 using namespace sitstats;  // NOLINT: example brevity
 
@@ -49,6 +51,13 @@ Catalog MakeDatabase(uint64_t seed) {
 }  // namespace
 
 int main() {
+  // SITSTATS_TRACE_OUT=/path/trace.json captures the whole run as a
+  // Chrome/Perfetto trace (solver spans, shared scans, histogram builds).
+  const char* trace_out = std::getenv("SITSTATS_TRACE_OUT");
+  if (trace_out != nullptr && *trace_out != '\0') {
+    telemetry::Tracer::Global().SetEnabled(true);
+  }
+
   Catalog catalog = MakeDatabase(11);
 
   // Four SITs with overlapping generating queries (all chains).
@@ -135,5 +144,12 @@ int main() {
       }(),
       static_cast<unsigned long long>(
           executed.total_stats.sequential_scans));
+
+  if (trace_out != nullptr && *trace_out != '\0') {
+    SITSTATS_CHECK_OK(
+        telemetry::Tracer::Global().WriteChromeTrace(trace_out));
+    std::printf("wrote %zu trace events to %s\n",
+                telemetry::Tracer::Global().num_events(), trace_out);
+  }
   return 0;
 }

@@ -1,11 +1,22 @@
 #include "common/logging.h"
 
+#include <atomic>
+#include <cctype>
+#include <cstdio>
 #include <cstdlib>
 
 namespace sitstats {
 
 namespace {
-LogLevel g_log_level = LogLevel::kInfo;
+
+LogLevel InitialLogLevel() {
+  const char* env = std::getenv("SITSTATS_LOG_LEVEL");
+  LogLevel level = LogLevel::kInfo;
+  if (env != nullptr) ParseLogLevel(env, &level);
+  return level;
+}
+
+std::atomic<LogLevel> g_log_level{InitialLogLevel()};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -20,15 +31,42 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_log_level = level; }
-LogLevel GetLogLevel() { return g_log_level; }
+void SetLogLevel(LogLevel level) {
+  g_log_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return g_log_level.load(std::memory_order_relaxed);
+}
+
+bool ParseLogLevel(const std::string& text, LogLevel* level) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (char c : text) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "debug" || lower == "0") {
+    *level = LogLevel::kDebug;
+  } else if (lower == "info" || lower == "1") {
+    *level = LogLevel::kInfo;
+  } else if (lower == "warning" || lower == "warn" || lower == "2") {
+    *level = LogLevel::kWarning;
+  } else if (lower == "error" || lower == "3") {
+    *level = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
 
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : enabled_(level >= g_log_level) {
+    : enabled_(level >= GetLogLevel()) {
   if (enabled_) {
     stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
   }
@@ -36,7 +74,12 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (enabled_) {
-    std::cerr << stream_.str() << std::endl;
+    // One fwrite per line: stdio locks the stream per call, so concurrent
+    // log lines never interleave mid-line.
+    std::string line = stream_.str();
+    line.push_back('\n');
+    std::fwrite(line.data(), 1, line.size(), stderr);
+    std::fflush(stderr);
   }
   if (fatal_) {
     std::abort();

@@ -10,14 +10,22 @@ namespace sitstats {
 /// Severity levels for the lightweight logger.
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
-/// Process-wide minimum level; messages below it are discarded.
-/// Defaults to kInfo. Not thread-safe by design (single-threaded library).
+/// Process-wide minimum level; messages below it are discarded. Defaults
+/// to kInfo, overridable at startup via the SITSTATS_LOG_LEVEL environment
+/// variable ("debug" | "info" | "warning" | "error", or 0-3). Reads and
+/// writes are atomic, and each log line is emitted with a single stdio
+/// write, so logging is safe from concurrent threads.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+/// Parses "debug" / "info" / "warning" ("warn") / "error" or a numeric
+/// 0-3 (case-insensitive). Returns false on unrecognized input, leaving
+/// `level` untouched.
+bool ParseLogLevel(const std::string& text, LogLevel* level);
+
 namespace internal {
 
-/// Accumulates one log line and emits it to stderr on destruction.
+/// Accumulates one log line and emits it atomically on destruction.
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);

@@ -6,8 +6,39 @@
 #include <numeric>
 
 #include "common/logging.h"
+#include "common/timer.h"
+#include "telemetry/telemetry.h"
 
 namespace sitstats {
+
+namespace {
+
+/// Shared per-build bookkeeping: counts every build and records its wall
+/// time into the `histogram.build_ms` latency histogram on destruction.
+class BuildTelemetry {
+ public:
+  BuildTelemetry(const HistogramSpec& spec, const char* source)
+      : span_("histogram.build") {
+    static telemetry::Counter& builds =
+        telemetry::MetricsRegistry::Global().GetCounter("histogram.builds");
+    builds.Increment();
+    span_.AddAttribute("type", HistogramTypeToString(spec.type));
+    span_.AddAttribute("buckets", static_cast<double>(spec.num_buckets));
+    span_.AddAttribute("source", source);
+  }
+  ~BuildTelemetry() {
+    static telemetry::LatencyHistogram& build_ms =
+        telemetry::MetricsRegistry::Global().GetHistogram(
+            "histogram.build_ms");
+    build_ms.Record(timer_.ElapsedSeconds() * 1e3);
+  }
+
+ private:
+  telemetry::TraceSpan span_;
+  Timer timer_;
+};
+
+}  // namespace
 
 namespace {
 
@@ -322,8 +353,14 @@ Result<Histogram> BuildHistogram(std::vector<double> values,
     return Status::InvalidArgument("num_buckets must be positive");
   }
   if (values.empty()) return Histogram();
-  std::vector<ValueCount> vc = ToValueCounts(&values);
+  BuildTelemetry telemetry(spec, "values");
+  std::vector<ValueCount> vc;
+  {
+    SITSTATS_TRACE_SPAN("histogram.sort_dedup");
+    vc = ToValueCounts(&values);
+  }
   SITSTATS_RETURN_IF_ERROR(CheckVOptimalSize(spec, vc.size()));
+  SITSTATS_TRACE_SPAN("histogram.partition");
   std::vector<size_t> ends = MakeGroups(vc, spec);
   Histogram h(GroupsToBuckets(vc, ends));
   SITSTATS_RETURN_IF_ERROR(h.CheckValid());
@@ -340,8 +377,14 @@ Result<Histogram> BuildHistogramFromSample(std::vector<double> sample,
     return Status::InvalidArgument("population_size must be non-negative");
   }
   if (sample.empty()) return Histogram();
-  std::vector<ValueCount> vc = ToValueCounts(&sample);
+  BuildTelemetry telemetry(spec, "sample");
+  std::vector<ValueCount> vc;
+  {
+    SITSTATS_TRACE_SPAN("histogram.sort_dedup");
+    vc = ToValueCounts(&sample);
+  }
   SITSTATS_RETURN_IF_ERROR(CheckVOptimalSize(spec, vc.size()));
+  SITSTATS_TRACE_SPAN("histogram.partition");
   std::vector<size_t> ends = MakeGroups(vc, spec);
   double sample_size = 0.0;
   for (const ValueCount& v : vc) sample_size += v.count;
@@ -373,9 +416,15 @@ Result<Histogram> BuildHistogramWeighted(
   if (spec.num_buckets <= 0) {
     return Status::InvalidArgument("num_buckets must be positive");
   }
-  std::vector<ValueCount> vc = ToValueCountsWeighted(&weighted);
+  BuildTelemetry telemetry(spec, "weighted");
+  std::vector<ValueCount> vc;
+  {
+    SITSTATS_TRACE_SPAN("histogram.sort_dedup");
+    vc = ToValueCountsWeighted(&weighted);
+  }
   if (vc.empty()) return Histogram();
   SITSTATS_RETURN_IF_ERROR(CheckVOptimalSize(spec, vc.size()));
+  SITSTATS_TRACE_SPAN("histogram.partition");
   std::vector<size_t> ends = MakeGroups(vc, spec);
   Histogram h(GroupsToBuckets(vc, ends));
   SITSTATS_RETURN_IF_ERROR(h.CheckValid());

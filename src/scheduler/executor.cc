@@ -7,6 +7,7 @@
 #include "query/join_tree.h"
 #include "sit/oracle_factory.h"
 #include "sit/sweep_scan.h"
+#include "telemetry/telemetry.h"
 
 namespace sitstats {
 
@@ -45,7 +46,11 @@ Result<ScheduleExecutionResult> ExecuteSitSchedule(
   }
   const bool exact_oracle = UsesExactOracle(options.variant);
   Rng rng(options.seed);
-  IoStats before = catalog->io_stats();
+  telemetry::TraceSpan exec_span("scheduler.execute_schedule");
+  exec_span.AddAttribute("sits", static_cast<double>(sits.size()));
+  exec_span.AddAttribute("steps",
+                         static_cast<double>(schedule.steps.size()));
+  IoStats before = catalog->SnapshotMetrics();
 
   // Sequence index -> SIT index, and per-SIT state. Chains only: at most
   // one sequence per SIT.
@@ -86,6 +91,12 @@ Result<ScheduleExecutionResult> ExecuteSitSchedule(
   for (size_t step_idx = 0; step_idx < schedule.steps.size(); ++step_idx) {
     const ScheduleStep& step = schedule.steps[step_idx];
     const std::string& table = mapping.problem.table_name(step.table);
+
+    telemetry::TraceSpan step_span("scheduler.execute_step");
+    step_span.AddAttribute("step", static_cast<double>(step_idx));
+    step_span.AddAttribute("table", table);
+    step_span.AddAttribute("advanced",
+                           static_cast<double>(step.advanced.size()));
 
     SweepScanSpec spec;
     spec.table = table;
@@ -158,16 +169,7 @@ Result<ScheduleExecutionResult> ExecuteSitSchedule(
   }
 
   // Assemble results (and build base-table SITs, which need no scan).
-  IoStats after = catalog->io_stats();
-  IoStats total;
-  total.sequential_scans = after.sequential_scans - before.sequential_scans;
-  total.rows_scanned = after.rows_scanned - before.rows_scanned;
-  total.index_lookups = after.index_lookups - before.index_lookups;
-  total.histogram_lookups =
-      after.histogram_lookups - before.histogram_lookups;
-  total.temp_rows_spilled =
-      after.temp_rows_spilled - before.temp_rows_spilled;
-  result.total_stats = total;
+  result.total_stats = catalog->SnapshotMetrics() - before;
 
   for (size_t s = 0; s < sits.size(); ++s) {
     SitState& state = states[s];

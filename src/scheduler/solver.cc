@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/timer.h"
+#include "telemetry/telemetry.h"
 
 namespace sitstats {
 
@@ -141,6 +142,15 @@ class AStarSolver {
         if (time_up || memory_up) {
           greedy_mode_ = true;
           switched = true;
+          static telemetry::Counter& hybrid_switches =
+              telemetry::MetricsRegistry::Global().GetCounter(
+                  "scheduler.hybrid_switches");
+          hybrid_switches.Increment();
+          telemetry::Tracer::Global().RecordInstant(
+              "scheduler.hybrid_switch",
+              {{"expanded", std::to_string(expanded)},
+               {"states", std::to_string(states_.size())},
+               {"reason", time_up ? "time" : "memory"}});
         }
       }
       if (greedy_mode_) {
@@ -329,12 +339,33 @@ Result<SolverResult> SolveSchedule(const SchedulingProblem& problem,
       return Status::InvalidArgument("dependency sequence too long");
     }
   }
+  const char* kind_name = SolverKindToString(options.kind);
+  telemetry::TraceSpan span("scheduler.solve");
+  span.AddAttribute("solver", kind_name);
+  span.AddAttribute("sequences",
+                    static_cast<double>(problem.num_sequences()));
   Result<SolverResult> result =
       options.kind == SolverKind::kNaive
           ? SolveNaive(problem)
           : AStarSolver(problem, options).Run();
   if (!result.ok()) return result.status();
   SITSTATS_RETURN_IF_ERROR(ValidateSchedule(problem, result->schedule));
+
+  // Per-solver telemetry; names carry the solver kind so runs can compare
+  // Opt/Greedy/Hybrid side by side from one metrics dump.
+  std::string prefix = std::string("scheduler.") + kind_name;
+  telemetry::MetricsRegistry::Global()
+      .GetHistogram(prefix + ".elapsed_ms")
+      .Record(result->optimization_seconds * 1e3);
+  telemetry::MetricsRegistry::Global()
+      .GetGauge(prefix + ".schedule_cost")
+      .Set(result->schedule.cost);
+  telemetry::MetricsRegistry::Global().GetCounter("scheduler.solves")
+      .Increment();
+  span.AddAttribute("cost", result->schedule.cost);
+  span.AddAttribute("nodes_expanded", result->nodes_expanded);
+  span.AddAttribute("proved_optimal",
+                    result->proved_optimal ? "true" : "false");
   return result;
 }
 

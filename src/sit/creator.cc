@@ -10,6 +10,7 @@
 #include "query/join_tree.h"
 #include "sit/oracle_factory.h"
 #include "sit/sweep_scan.h"
+#include "telemetry/telemetry.h"
 
 namespace sitstats {
 
@@ -33,7 +34,7 @@ Result<Sit> CreateSitWithSweep(Catalog* catalog, BaseStatsCache* base_stats,
   SITSTATS_ASSIGN_OR_RETURN(
       JoinTree tree, JoinTree::Build(descriptor.query(), attribute.table));
   Rng rng(options.seed);
-  IoStats before = catalog->io_stats();
+  IoStats before = catalog->SnapshotMetrics();
 
   // Base-table query: the "SIT" is just a base histogram.
   if (descriptor.query().IsBaseTable()) {
@@ -100,15 +101,7 @@ Result<Sit> CreateSitWithSweep(Catalog* catalog, BaseStatsCache* base_stats,
   }
 
   SweepOutput& root_output = node_outputs[tree.root()];
-  IoStats after = catalog->io_stats();
-  IoStats delta;
-  delta.sequential_scans = after.sequential_scans - before.sequential_scans;
-  delta.rows_scanned = after.rows_scanned - before.rows_scanned;
-  delta.index_lookups = after.index_lookups - before.index_lookups;
-  delta.histogram_lookups =
-      after.histogram_lookups - before.histogram_lookups;
-  delta.temp_rows_spilled =
-      after.temp_rows_spilled - before.temp_rows_spilled;
+  IoStats delta = catalog->SnapshotMetrics() - before;
   Sit sit{descriptor, std::move(root_output.histogram), options.variant,
           root_output.estimated_cardinality, delta};
   return sit;
@@ -188,6 +181,12 @@ Result<Sit> CreateHistSit(Catalog* catalog, BaseStatsCache* base_stats,
 Result<Sit> CreateSit(Catalog* catalog, BaseStatsCache* base_stats,
                       const SitDescriptor& descriptor,
                       const SitBuildOptions& options) {
+  static telemetry::Counter& sits_created =
+      telemetry::MetricsRegistry::Global().GetCounter("sit.creates");
+  telemetry::TraceSpan span("sit.create");
+  span.AddAttribute("sit", descriptor.ToString());
+  span.AddAttribute("variant", SweepVariantToString(options.variant));
+  sits_created.Increment();
   if (!descriptor.query().ReferencesTable(descriptor.attribute().table)) {
     return Status::InvalidArgument(
         "SIT attribute table is not part of the generating query: " +

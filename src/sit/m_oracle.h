@@ -64,7 +64,7 @@ class HistogramMOracle : public MultiplicityOracle {
  public:
   /// `stats` (optional) is bumped once per lookup.
   HistogramMOracle(Histogram other_side, Histogram scanned_side,
-                   IoStats* stats = nullptr,
+                   IoCounters* stats = nullptr,
                    ContainmentMode mode = ContainmentMode::kDensityNormalized)
       : other_side_(std::move(other_side)),
         scanned_side_(std::move(scanned_side)),
@@ -79,7 +79,7 @@ class HistogramMOracle : public MultiplicityOracle {
  private:
   Histogram other_side_;
   Histogram scanned_side_;
-  IoStats* stats_;
+  IoCounters* stats_;
   ContainmentMode mode_;
 };
 
@@ -88,7 +88,7 @@ class HistogramMOracle : public MultiplicityOracle {
 class IndexMOracle : public MultiplicityOracle {
  public:
   /// `index` is borrowed and must outlive the oracle.
-  IndexMOracle(const SortedIndex* index, IoStats* stats = nullptr)
+  IndexMOracle(const SortedIndex* index, IoCounters* stats = nullptr)
       : index_(index), stats_(stats) {}
 
   double Multiplicity(double y) const override;
@@ -99,7 +99,7 @@ class IndexMOracle : public MultiplicityOracle {
 
  private:
   const SortedIndex* index_;
-  IoStats* stats_;
+  IoCounters* stats_;
 };
 
 /// Approximating m-Oracle for a *composite* (two-predicate) join between
@@ -113,7 +113,7 @@ class IndexMOracle : public MultiplicityOracle {
 class GridMOracle : public MultiplicityOracle {
  public:
   GridMOracle(GridHistogram2D other_side, GridHistogram2D scanned_side,
-              IoStats* stats = nullptr)
+              IoCounters* stats = nullptr)
       : other_side_(std::move(other_side)),
         scanned_side_(std::move(scanned_side)),
         stats_(stats) {}
@@ -128,7 +128,7 @@ class GridMOracle : public MultiplicityOracle {
  private:
   GridHistogram2D other_side_;
   GridHistogram2D scanned_side_;
-  IoStats* stats_;
+  IoCounters* stats_;
 };
 
 /// Exact m-Oracle over a composite key: a hash map from the byte-encoded
@@ -141,13 +141,13 @@ class CompositeExactMOracle : public MultiplicityOracle {
   static std::string EncodeKey(const double* values, size_t n);
 
   CompositeExactMOracle(std::unordered_map<std::string, double> counts,
-                        size_t columns, IoStats* stats = nullptr)
+                        size_t columns, IoCounters* stats = nullptr)
       : counts_(std::move(counts)), columns_(columns), stats_(stats) {}
 
   /// Builds the exact composite-count map over `columns` of `table`.
   static Result<CompositeExactMOracle> BuildFromTable(
       const Table& table, const std::vector<std::string>& columns,
-      IoStats* stats = nullptr);
+      IoCounters* stats = nullptr);
 
   double Multiplicity(double y) const override {
     return MultiplicityN(&y, 1);
@@ -159,7 +159,7 @@ class CompositeExactMOracle : public MultiplicityOracle {
  private:
   std::unordered_map<std::string, double> counts_;
   size_t columns_;
-  IoStats* stats_;
+  IoCounters* stats_;
 };
 
 /// Exact m-Oracle over an *intermediate* join result that was never
@@ -171,7 +171,7 @@ class CompositeExactMOracle : public MultiplicityOracle {
 class ExactMapMOracle : public MultiplicityOracle {
  public:
   explicit ExactMapMOracle(std::unordered_map<double, double> multiplicities,
-                           IoStats* stats = nullptr)
+                           IoCounters* stats = nullptr)
       : multiplicities_(std::move(multiplicities)), stats_(stats) {}
 
   double Multiplicity(double y) const override;
@@ -179,7 +179,7 @@ class ExactMapMOracle : public MultiplicityOracle {
 
  private:
   std::unordered_map<double, double> multiplicities_;
-  IoStats* stats_;
+  IoCounters* stats_;
 };
 
 }  // namespace sitstats

@@ -35,7 +35,7 @@ Result<std::unique_ptr<MultiplicityOracle>> MakeCompositeLeafOracle(
     SITSTATS_ASSIGN_OR_RETURN(
         CompositeExactMOracle oracle,
         CompositeExactMOracle::BuildFromTable(
-            *child_table, child.columns_to_parent, &catalog->io_stats()));
+            *child_table, child.columns_to_parent, &catalog->io_counters()));
     return std::unique_ptr<MultiplicityOracle>(
         std::make_unique<CompositeExactMOracle>(std::move(oracle)));
   }
@@ -75,7 +75,7 @@ Result<std::unique_ptr<MultiplicityOracle>> MakeCompositeLeafOracle(
       GridHistogram2D::Build(scanned_points, bounds));
   return std::unique_ptr<MultiplicityOracle>(std::make_unique<GridMOracle>(
       std::move(other_grid), std::move(scanned_grid),
-      &catalog->io_stats()));
+      &catalog->io_counters()));
 }
 
 }  // namespace
@@ -109,7 +109,7 @@ Result<std::unique_ptr<MultiplicityOracle>> MakeChildOracle(
           const SortedIndex* index,
           catalog->GetIndex(child.table, child.column_to_parent()));
       return std::unique_ptr<MultiplicityOracle>(
-          std::make_unique<IndexMOracle>(index, &catalog->io_stats()));
+          std::make_unique<IndexMOracle>(index, &catalog->io_counters()));
     }
     if (child_output == nullptr) {
       return Status::Internal("exact oracle for internal child " +
@@ -117,7 +117,7 @@ Result<std::unique_ptr<MultiplicityOracle>> MakeChildOracle(
     }
     return std::unique_ptr<MultiplicityOracle>(
         std::make_unique<ExactMapMOracle>(std::move(child_output->exact_map),
-                                          &catalog->io_stats()));
+                                          &catalog->io_counters()));
   }
 
   Histogram other_side;
@@ -141,7 +141,7 @@ Result<std::unique_ptr<MultiplicityOracle>> MakeChildOracle(
   return std::unique_ptr<MultiplicityOracle>(
       std::make_unique<HistogramMOracle>(std::move(other_side),
                                          *scanned_side,
-                                         &catalog->io_stats(), mode));
+                                         &catalog->io_counters(), mode));
 }
 
 }  // namespace sitstats

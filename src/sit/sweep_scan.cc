@@ -6,6 +6,7 @@
 #include "sampling/reservoir.h"
 #include "storage/scan.h"
 #include "storage/temp_store.h"
+#include "telemetry/telemetry.h"
 
 namespace sitstats {
 
@@ -91,6 +92,19 @@ Result<std::vector<SweepOutput>> SweepScanTable(Catalog* catalog,
     }
   }
 
+  // Counter handles resolved once, not per row.
+  static telemetry::Counter& rows_swept =
+      telemetry::MetricsRegistry::Global().GetCounter("sit.rows_swept");
+  static telemetry::Counter& moracle_calls =
+      telemetry::MetricsRegistry::Global().GetCounter("sit.moracle_calls");
+  static telemetry::Counter& sweep_scans =
+      telemetry::MetricsRegistry::Global().GetCounter("sit.sweep_scans");
+
+  telemetry::TraceSpan span("sweep.scan");
+  span.AddAttribute("table", spec.table);
+  span.AddAttribute("targets", static_cast<double>(spec.targets.size()));
+  span.AddAttribute("joins", static_cast<double>(spec.joins.size()));
+
   // Step 1: the (single, shared) sequential scan.
   SITSTATS_ASSIGN_OR_RETURN(
       SequentialScan scan,
@@ -136,7 +150,13 @@ Result<std::vector<SweepOutput>> SweepScanTable(Catalog* catalog,
     }
   }
 
+  sweep_scans.Increment();
+  rows_swept.Increment(scan.num_rows());
+  moracle_calls.Increment(scan.num_rows() * spec.joins.size());
+  span.AddAttribute("rows", static_cast<double>(scan.num_rows()));
+
   // Step 5: build the statistic per target.
+  SITSTATS_TRACE_SPAN("sweep.build_outputs");
   std::vector<SweepOutput> outputs;
   outputs.reserve(spec.targets.size());
   for (size_t t = 0; t < spec.targets.size(); ++t) {
@@ -152,7 +172,7 @@ Result<std::vector<SweepOutput>> SweepScanTable(Catalog* catalog,
     } else {
       std::vector<std::pair<double, double>> runs;
       SITSTATS_RETURN_IF_ERROR(state.store->ReadAll(&runs));
-      catalog->io_stats().temp_rows_spilled += state.store->runs_spilled();
+      catalog->io_counters().AddTempRowsSpilled(state.store->runs_spilled());
       SITSTATS_ASSIGN_OR_RETURN(
           out.histogram,
           BuildHistogramWeighted(std::move(runs), spec.histogram_spec));

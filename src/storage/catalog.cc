@@ -1,6 +1,7 @@
 #include "storage/catalog.h"
 
 #include "common/string_util.h"
+#include "telemetry/trace.h"
 
 namespace sitstats {
 
@@ -45,6 +46,8 @@ std::vector<std::string> Catalog::TableNames() const {
 
 Status Catalog::BuildIndex(const std::string& table_name,
                            const std::string& column_name) {
+  telemetry::TraceSpan span("storage.build_index");
+  span.AddAttribute("column", table_name + "." + column_name);
   SITSTATS_ASSIGN_OR_RETURN(const Table* table, GetTable(table_name));
   SITSTATS_ASSIGN_OR_RETURN(SortedIndex index,
                             SortedIndex::Build(*table, column_name));

@@ -55,13 +55,19 @@ class Catalog {
   Result<std::pair<const Table*, const Column*>> ResolveColumn(
       const std::string& qualified_name) const;
 
-  IoStats& io_stats() { return io_stats_; }
-  const IoStats& io_stats() const { return io_stats_; }
+  /// Live I/O counters for instrumentation sites (also mirrored into the
+  /// process-wide telemetry registry under "storage.*").
+  IoCounters& io_counters() { return io_counters_; }
+
+  /// Point-in-time snapshot of this catalog's I/O work. Callers that need
+  /// the work of a region subtract two snapshots; nobody mutates the
+  /// returned value in place.
+  IoStats SnapshotMetrics() const { return io_counters_.Snapshot(); }
 
  private:
   std::map<std::string, std::unique_ptr<Table>> tables_;
   std::map<std::pair<std::string, std::string>, SortedIndex> indexes_;
-  IoStats io_stats_;
+  IoCounters io_counters_;
 };
 
 }  // namespace sitstats

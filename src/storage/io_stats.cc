@@ -4,6 +4,16 @@
 
 namespace sitstats {
 
+IoStats IoStats::operator-(const IoStats& other) const {
+  IoStats delta;
+  delta.sequential_scans = sequential_scans - other.sequential_scans;
+  delta.rows_scanned = rows_scanned - other.rows_scanned;
+  delta.index_lookups = index_lookups - other.index_lookups;
+  delta.histogram_lookups = histogram_lookups - other.histogram_lookups;
+  delta.temp_rows_spilled = temp_rows_spilled - other.temp_rows_spilled;
+  return delta;
+}
+
 std::string IoStats::ToString() const {
   std::ostringstream os;
   os << "seq_scans=" << sequential_scans << " rows_scanned=" << rows_scanned
@@ -11,6 +21,43 @@ std::string IoStats::ToString() const {
      << " histogram_lookups=" << histogram_lookups
      << " temp_rows_spilled=" << temp_rows_spilled;
   return os.str();
+}
+
+IoCounters::IoCounters()
+    : sequential_scans_(telemetry::MetricsRegistry::Global().GetCounter(
+          "storage.sequential_scans")),
+      rows_scanned_(telemetry::MetricsRegistry::Global().GetCounter(
+          "storage.rows_scanned")),
+      index_lookups_(telemetry::MetricsRegistry::Global().GetCounter(
+          "storage.index_lookups")),
+      histogram_lookups_(telemetry::MetricsRegistry::Global().GetCounter(
+          "storage.histogram_lookups")),
+      temp_rows_spilled_(telemetry::MetricsRegistry::Global().GetCounter(
+          "storage.temp_rows_spilled")) {}
+
+void IoCounters::AddSequentialScans(uint64_t n) {
+  local_.sequential_scans += n;
+  sequential_scans_.Increment(n);
+}
+
+void IoCounters::AddRowsScanned(uint64_t n) {
+  local_.rows_scanned += n;
+  rows_scanned_.Increment(n);
+}
+
+void IoCounters::AddIndexLookups(uint64_t n) {
+  local_.index_lookups += n;
+  index_lookups_.Increment(n);
+}
+
+void IoCounters::AddHistogramLookups(uint64_t n) {
+  local_.histogram_lookups += n;
+  histogram_lookups_.Increment(n);
+}
+
+void IoCounters::AddTempRowsSpilled(uint64_t n) {
+  local_.temp_rows_spilled += n;
+  temp_rows_spilled_.Increment(n);
 }
 
 }  // namespace sitstats

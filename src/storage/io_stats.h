@@ -4,12 +4,20 @@
 #include <cstdint>
 #include <string>
 
+#include "telemetry/metrics.h"
+
 namespace sitstats {
 
-/// Counters for the physical work performed by the engine. SIT-creation
-/// experiments use these to compare the I/O footprint of techniques (e.g.
-/// how many sequential scans a schedule really performed, or how many index
-/// lookups SweepIndex issued).
+/// Point-in-time snapshot of the physical work performed by the engine.
+/// SIT-creation experiments use these to compare the I/O footprint of
+/// techniques (e.g. how many sequential scans a schedule really performed,
+/// or how many index lookups SweepIndex issued).
+///
+/// IoStats is a plain value: subtract two snapshots to get the work done
+/// in between. The *live* counters are IoCounters below; there is no
+/// Reset() on live state because resetting mutable counters mid-flight is
+/// exactly how deltas drift (a reset between a caller's before/after
+/// snapshots silently corrupts the difference).
 struct IoStats {
   uint64_t sequential_scans = 0;
   uint64_t rows_scanned = 0;
@@ -17,9 +25,49 @@ struct IoStats {
   uint64_t histogram_lookups = 0;
   uint64_t temp_rows_spilled = 0;
 
-  void Reset() { *this = IoStats{}; }
+  /// Field-wise difference (for before/after deltas).
+  IoStats operator-(const IoStats& other) const;
 
   std::string ToString() const;
+};
+
+/// The live storage-layer counters: the compatibility shim between the old
+/// mutable-IoStats call sites and the telemetry MetricsRegistry. Every
+/// increment lands in two places:
+///   - a catalog-local snapshot, so per-catalog deltas (and tests using a
+///     fresh Catalog) keep working, and
+///   - the process-wide registry under "storage.*", so metrics dumps and
+///     traces see the totals without reaching into any Catalog.
+class IoCounters {
+ public:
+  IoCounters();
+
+  IoCounters(const IoCounters&) = delete;
+  IoCounters& operator=(const IoCounters&) = delete;
+  IoCounters(IoCounters&& other) noexcept : IoCounters() {
+    local_ = other.local_;
+  }
+  IoCounters& operator=(IoCounters&& other) noexcept {
+    local_ = other.local_;
+    return *this;
+  }
+
+  void AddSequentialScans(uint64_t n = 1);
+  void AddRowsScanned(uint64_t n = 1);
+  void AddIndexLookups(uint64_t n = 1);
+  void AddHistogramLookups(uint64_t n = 1);
+  void AddTempRowsSpilled(uint64_t n = 1);
+
+  /// The catalog-local totals since this IoCounters was created.
+  IoStats Snapshot() const { return local_; }
+
+ private:
+  IoStats local_;
+  telemetry::Counter& sequential_scans_;
+  telemetry::Counter& rows_scanned_;
+  telemetry::Counter& index_lookups_;
+  telemetry::Counter& histogram_lookups_;
+  telemetry::Counter& temp_rows_spilled_;
 };
 
 }  // namespace sitstats

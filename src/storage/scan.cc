@@ -1,15 +1,19 @@
 #include "storage/scan.h"
 
+#include "telemetry/trace.h"
+
 namespace sitstats {
 
 Result<SequentialScan> SequentialScan::Open(
     Catalog* catalog, const std::string& table_name,
     const std::vector<std::string>& columns) {
+  telemetry::TraceSpan span("storage.open_scan");
+  span.AddAttribute("table", table_name);
   SITSTATS_ASSIGN_OR_RETURN(const Table* table, catalog->GetTable(table_name));
   SequentialScan scan;
   scan.table_name_ = table_name;
   scan.num_rows_ = table->num_rows();
-  scan.io_stats_ = &catalog->io_stats();
+  scan.io_counters_ = &catalog->io_counters();
   for (const std::string& name : columns) {
     SITSTATS_ASSIGN_OR_RETURN(const Column* col, table->GetColumn(name));
     if (col->type() == ValueType::kString) {
@@ -19,7 +23,7 @@ Result<SequentialScan> SequentialScan::Open(
     scan.columns_.push_back(col);
   }
   scan.current_.resize(scan.columns_.size());
-  scan.io_stats_->sequential_scans += 1;
+  scan.io_counters_->AddSequentialScans();
   return scan;
 }
 
@@ -29,7 +33,7 @@ bool SequentialScan::Next() {
     current_[i] = columns_[i]->GetNumeric(next_row_);
   }
   ++next_row_;
-  io_stats_->rows_scanned += 1;
+  io_counters_->AddRowsScanned();
   return true;
 }
 

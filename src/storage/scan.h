@@ -46,7 +46,7 @@ class SequentialScan {
   std::vector<double> current_;
   size_t num_rows_ = 0;
   size_t next_row_ = 0;
-  IoStats* io_stats_ = nullptr;
+  IoCounters* io_counters_ = nullptr;
 };
 
 }  // namespace sitstats

@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <atomic>
 
+#include "telemetry/telemetry.h"
+
 namespace sitstats {
 
 namespace {
@@ -80,6 +82,11 @@ Status TempValueStore::Append(double value, double weight) {
 }
 
 Status TempValueStore::SpillBuffer() {
+  static telemetry::Counter& temp_spills =
+      telemetry::MetricsRegistry::Global().GetCounter("storage.temp_spills");
+  temp_spills.Increment();
+  telemetry::TraceSpan span("storage.spill");
+  span.AddAttribute("runs", static_cast<double>(buffer_.size()));
   if (file_ == nullptr) {
     file_path_ = NextTempPath();
     file_ = std::fopen(file_path_.c_str(), "w+b");

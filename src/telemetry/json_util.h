@@ -1,0 +1,21 @@
+#ifndef SITSTATS_TELEMETRY_JSON_UTIL_H_
+#define SITSTATS_TELEMETRY_JSON_UTIL_H_
+
+#include <string>
+
+namespace sitstats {
+namespace telemetry {
+
+/// Appends `text` to `out` as a quoted JSON string, escaping quotes,
+/// backslashes and control characters.
+void AppendJsonString(const std::string& text, std::string* out);
+
+/// Formats a double as a JSON number: integers without a fractional part,
+/// everything else with enough digits to round-trip. Non-finite values
+/// (not representable in JSON) become 0.
+std::string JsonNumber(double value);
+
+}  // namespace telemetry
+}  // namespace sitstats
+
+#endif  // SITSTATS_TELEMETRY_JSON_UTIL_H_

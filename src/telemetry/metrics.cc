@@ -1,0 +1,253 @@
+#include "telemetry/metrics.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+#include "telemetry/json_util.h"
+
+namespace sitstats {
+namespace telemetry {
+
+namespace {
+
+uint64_t DoubleBits(double value) { return std::bit_cast<uint64_t>(value); }
+double BitsDouble(uint64_t bits) { return std::bit_cast<double>(bits); }
+
+/// CAS-loop update of an atomic double (stored as bits) with `combine`.
+template <typename Combine>
+void UpdateAtomicDouble(std::atomic<uint64_t>* bits, double operand,
+                        Combine combine) {
+  uint64_t observed = bits->load(std::memory_order_relaxed);
+  while (true) {
+    double updated = combine(BitsDouble(observed), operand);
+    if (DoubleBits(updated) == observed) return;  // no change needed
+    if (bits->compare_exchange_weak(observed, DoubleBits(updated),
+                                    std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+uint64_t Gauge::Encode(double value) { return DoubleBits(value); }
+double Gauge::Decode(uint64_t bits) { return BitsDouble(bits); }
+
+void Gauge::Add(double delta) {
+  UpdateAtomicDouble(&bits_, delta,
+                     [](double current, double d) { return current + d; });
+}
+
+size_t LatencyHistogram::BinIndex(double value) {
+  if (!(value >= 1.0)) return 0;  // negatives and NaN land in bin 0
+  int exponent = std::ilogb(value);  // floor(log2(value)), >= 0 here
+  size_t bin = static_cast<size_t>(exponent) + 1;
+  return bin < kNumBins ? bin : kNumBins - 1;
+}
+
+double LatencyHistogram::BinLowerBound(size_t bin) {
+  return bin == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(bin) - 1);
+}
+
+void LatencyHistogram::Record(double value) {
+  if (std::isnan(value)) return;
+  bins_[BinIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  UpdateAtomicDouble(&sum_bits_, value,
+                     [](double current, double v) { return current + v; });
+  UpdateAtomicDouble(&min_bits_, value, [](double current, double v) {
+    return v < current ? v : current;
+  });
+  UpdateAtomicDouble(&max_bits_, value, [](double current, double v) {
+    return v > current ? v : current;
+  });
+}
+
+double LatencyHistogram::sum() const {
+  return BitsDouble(sum_bits_.load(std::memory_order_relaxed));
+}
+
+double LatencyHistogram::min() const {
+  return count() == 0
+             ? 0.0
+             : BitsDouble(min_bits_.load(std::memory_order_relaxed));
+}
+
+double LatencyHistogram::max() const {
+  return count() == 0
+             ? 0.0
+             : BitsDouble(max_bits_.load(std::memory_order_relaxed));
+}
+
+double LatencyHistogram::mean() const {
+  uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+double LatencyHistogram::ValueAtPercentile(double p) const {
+  uint64_t n = count();
+  if (n == 0) return 0.0;
+  p = std::fmin(std::fmax(p, 0.0), 100.0);
+  double rank = p / 100.0 * static_cast<double>(n);
+  uint64_t seen = 0;
+  for (size_t bin = 0; bin < kNumBins; ++bin) {
+    uint64_t in_bin = bin_count(bin);
+    if (in_bin == 0) continue;
+    if (static_cast<double>(seen + in_bin) >= rank) {
+      // Interpolate linearly inside the winning bin.
+      double lo = BinLowerBound(bin);
+      double hi = bin + 1 < kNumBins ? BinLowerBound(bin + 1) : max();
+      if (hi < lo) hi = lo;
+      double fraction =
+          (rank - static_cast<double>(seen)) / static_cast<double>(in_bin);
+      double value = lo + (hi - lo) * fraction;
+      return std::fmin(std::fmax(value, min()), max());
+    }
+    seen += in_bin;
+  }
+  return max();
+}
+
+void LatencyHistogram::Reset() {
+  for (auto& bin : bins_) bin.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_bits_.store(0, std::memory_order_relaxed);
+  min_bits_.store(kPosInfBits, std::memory_order_relaxed);
+  max_bits_.store(kNegInfBits, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+LatencyHistogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<LatencyHistogram>();
+  return *slot;
+}
+
+std::vector<std::pair<std::string, uint64_t>> MetricsRegistry::CounterValues()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, uint64_t>> values;
+  values.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    values.emplace_back(name, counter->value());
+  }
+  return values;
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::GaugeValues()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, double>> values;
+  values.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    values.emplace_back(name, gauge->value());
+  }
+  return values;
+}
+
+std::vector<std::string> MetricsRegistry::HistogramNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(histograms_.size());
+  for (const auto& [name, hist] : histograms_) names.push_back(name);
+  return names;
+}
+
+const LatencyHistogram* MetricsRegistry::FindHistogram(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendJsonString(name, &out);
+    out += ": " + JsonNumber(static_cast<double>(counter->value()));
+  }
+  out += "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendJsonString(name, &out);
+    out += ": " + JsonNumber(gauge->value());
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, hist] : histograms_) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendJsonString(name, &out);
+    out += ": {\"count\": " + JsonNumber(static_cast<double>(hist->count()));
+    out += ", \"sum\": " + JsonNumber(hist->sum());
+    out += ", \"min\": " + JsonNumber(hist->min());
+    out += ", \"max\": " + JsonNumber(hist->max());
+    out += ", \"mean\": " + JsonNumber(hist->mean());
+    out += ", \"p50\": " + JsonNumber(hist->ValueAtPercentile(50));
+    out += ", \"p90\": " + JsonNumber(hist->ValueAtPercentile(90));
+    out += ", \"p99\": " + JsonNumber(hist->ValueAtPercentile(99));
+    out += ", \"bins\": [";
+    bool first_bin = true;
+    for (size_t bin = 0; bin < LatencyHistogram::kNumBins; ++bin) {
+      uint64_t in_bin = hist->bin_count(bin);
+      if (in_bin == 0) continue;
+      if (!first_bin) out += ", ";
+      first_bin = false;
+      out += "{\"lo\": " + JsonNumber(LatencyHistogram::BinLowerBound(bin));
+      out += ", \"count\": " + JsonNumber(static_cast<double>(in_bin)) + "}";
+    }
+    out += "]}";
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+Status MetricsRegistry::WriteJson(const std::string& path) const {
+  std::string json = ToJson();
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::IOError("cannot open metrics file " + path);
+  }
+  size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  int close_error = std::fclose(file);
+  if (written != json.size() || close_error != 0) {
+    return Status::IOError("short write to metrics file " + path);
+  }
+  return Status::OK();
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, hist] : histograms_) hist->Reset();
+}
+
+}  // namespace telemetry
+}  // namespace sitstats

@@ -1,0 +1,12 @@
+#ifndef SITSTATS_TELEMETRY_TELEMETRY_H_
+#define SITSTATS_TELEMETRY_TELEMETRY_H_
+
+// Umbrella header for instrumentation sites: the process-wide
+// MetricsRegistry (counters / gauges / latency histograms) and the Tracer
+// with its SITSTATS_TRACE_SPAN scoped spans. See src/telemetry/README.md
+// for naming conventions and the export formats.
+
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+#endif  // SITSTATS_TELEMETRY_TELEMETRY_H_

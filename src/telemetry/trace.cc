@@ -1,0 +1,138 @@
+#include "telemetry/trace.h"
+
+#include <cstdio>
+
+#include "telemetry/json_util.h"
+
+namespace sitstats {
+namespace telemetry {
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+uint32_t CurrentTraceTid() {
+  static std::atomic<uint32_t> next_tid{1};
+  thread_local uint32_t tid = next_tid.fetch_add(1);
+  return tid;
+}
+
+uint64_t Tracer::NowMicros() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void Tracer::Record(TraceEvent event) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+void Tracer::RecordInstant(
+    const std::string& name,
+    std::vector<std::pair<std::string, std::string>> args) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.name = name;
+  event.phase = 'i';
+  event.ts_us = NowMicros();
+  event.tid = CurrentTraceTid();
+  event.args = std::move(args);
+  Record(std::move(event));
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+}
+
+size_t Tracer::num_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::string Tracer::ToChromeTraceJson() const {
+  std::vector<TraceEvent> events = Snapshot();
+  std::string out =
+      "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  for (const TraceEvent& event : events) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "{\"name\": ";
+    AppendJsonString(event.name, &out);
+    out += ", \"cat\": \"sitstats\", \"ph\": \"";
+    out.push_back(event.phase);
+    out += "\", \"ts\": " + JsonNumber(static_cast<double>(event.ts_us));
+    if (event.phase == 'X') {
+      out += ", \"dur\": " + JsonNumber(static_cast<double>(event.dur_us));
+    } else if (event.phase == 'i') {
+      out += ", \"s\": \"t\"";  // instant scope: thread
+    }
+    out += ", \"pid\": 1, \"tid\": " +
+           JsonNumber(static_cast<double>(event.tid));
+    if (!event.args.empty()) {
+      out += ", \"args\": {";
+      bool first_arg = true;
+      for (const auto& [key, value] : event.args) {
+        if (!first_arg) out += ", ";
+        first_arg = false;
+        AppendJsonString(key, &out);
+        out += ": ";
+        AppendJsonString(value, &out);
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+Status Tracer::WriteChromeTrace(const std::string& path) const {
+  std::string json = ToChromeTraceJson();
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::IOError("cannot open trace file " + path);
+  }
+  size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  int close_error = std::fclose(file);
+  if (written != json.size() || close_error != 0) {
+    return Status::IOError("short write to trace file " + path);
+  }
+  return Status::OK();
+}
+
+void TraceSpan::AddAttribute(const std::string& key, double value) {
+  if (active_) args_.emplace_back(key, JsonNumber(value));
+}
+
+void TraceSpan::Begin(const char* name) {
+  active_ = true;
+  name_ = name;
+  start_us_ = Tracer::Global().NowMicros();
+}
+
+void TraceSpan::End() {
+  Tracer& tracer = Tracer::Global();
+  TraceEvent event;
+  event.name = name_;
+  event.phase = 'X';
+  event.ts_us = start_us_;
+  uint64_t end_us = tracer.NowMicros();
+  event.dur_us = end_us > start_us_ ? end_us - start_us_ : 0;
+  event.tid = CurrentTraceTid();
+  event.args = std::move(args_);
+  tracer.Record(std::move(event));
+}
+
+}  // namespace telemetry
+}  // namespace sitstats

@@ -1,0 +1,138 @@
+#ifndef SITSTATS_TELEMETRY_TRACE_H_
+#define SITSTATS_TELEMETRY_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sitstats {
+namespace telemetry {
+
+/// One recorded trace event. Durations and timestamps are in microseconds
+/// relative to the tracer's epoch (process start), matching the units of
+/// the Chrome trace-event format.
+struct TraceEvent {
+  std::string name;
+  char phase = 'X';  // 'X' = complete span, 'i' = instant event
+  uint64_t ts_us = 0;
+  uint64_t dur_us = 0;
+  uint32_t tid = 0;
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+/// Process-wide trace-event collector. Disabled by default: while
+/// disabled, the per-span cost is exactly one relaxed atomic load and a
+/// branch (verified by BM_TraceSpanDisabled in bench_micro). While
+/// enabled, TraceSpan records one complete event per scope into an
+/// in-memory buffer that exports as Chrome `chrome://tracing` / Perfetto
+/// JSON. Recording is thread-safe; per-thread ids keep nesting intact.
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Microseconds since the tracer's epoch.
+  uint64_t NowMicros() const;
+
+  /// Appends a fully-formed event (no-op while disabled).
+  void Record(TraceEvent event);
+
+  /// Records a zero-duration instant event (e.g. Hybrid's switch to
+  /// greedy). No-op while disabled.
+  void RecordInstant(
+      const std::string& name,
+      std::vector<std::pair<std::string, std::string>> args = {});
+
+  /// Drops all recorded events.
+  void Clear();
+
+  size_t num_events() const;
+  std::vector<TraceEvent> Snapshot() const;
+
+  /// Chrome trace-event JSON: {"traceEvents": [...], ...}. Loadable in
+  /// chrome://tracing and https://ui.perfetto.dev.
+  std::string ToChromeTraceJson() const;
+  Status WriteChromeTrace(const std::string& path) const;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+/// Scoped RAII span: records one complete ('X') trace event covering its
+/// lifetime. Construct via SITSTATS_TRACE_SPAN for plain spans, or as a
+/// named local to attach key=value attributes:
+///
+///   telemetry::TraceSpan span("sweep.scan");
+///   span.AddAttribute("table", spec.table);
+///
+/// When the global tracer is disabled, construction is a single branch and
+/// every other member is a no-op.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    if (!Tracer::Global().enabled()) return;
+    Begin(name);
+  }
+  ~TraceSpan() {
+    if (active_) End();
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  void AddAttribute(const std::string& key, const std::string& value) {
+    if (active_) args_.emplace_back(key, value);
+  }
+  void AddAttribute(const std::string& key, const char* value) {
+    if (active_) args_.emplace_back(key, value);
+  }
+  void AddAttribute(const std::string& key, double value);
+  void AddAttribute(const std::string& key, uint64_t value) {
+    AddAttribute(key, static_cast<double>(value));
+  }
+
+  bool active() const { return active_; }
+
+ private:
+  void Begin(const char* name);
+  void End();
+
+  bool active_ = false;
+  const char* name_ = nullptr;
+  uint64_t start_us_ = 0;
+  std::vector<std::pair<std::string, std::string>> args_;
+};
+
+/// Small dense id for the calling thread, stable for its lifetime.
+uint32_t CurrentTraceTid();
+
+}  // namespace telemetry
+}  // namespace sitstats
+
+#define SITSTATS_TELEMETRY_CONCAT_INNER(a, b) a##b
+#define SITSTATS_TELEMETRY_CONCAT(a, b) SITSTATS_TELEMETRY_CONCAT_INNER(a, b)
+
+/// Declares an anonymous scoped span covering the rest of the enclosing
+/// block: SITSTATS_TRACE_SPAN("sweep.scan");
+#define SITSTATS_TRACE_SPAN(name)                 \
+  ::sitstats::telemetry::TraceSpan SITSTATS_TELEMETRY_CONCAT( \
+      sitstats_trace_span_, __LINE__)(name)
+
+#endif  // SITSTATS_TELEMETRY_TRACE_H_

@@ -125,9 +125,9 @@ TEST(CreatorTest, HistSitPerformsNoScans) {
   SitDescriptor desc(db.sit_attribute, db.query);
   SitBuildOptions options;
   options.variant = SweepVariant::kHistSit;
-  uint64_t scans_before = db.catalog->io_stats().sequential_scans;
+  uint64_t scans_before = db.catalog->SnapshotMetrics().sequential_scans;
   Sit sit = CreateSit(db.catalog.get(), &stats, desc, options).ValueOrDie();
-  EXPECT_EQ(db.catalog->io_stats().sequential_scans, scans_before);
+  EXPECT_EQ(db.catalog->SnapshotMetrics().sequential_scans, scans_before);
   EXPECT_GT(sit.estimated_cardinality, 0.0);
   EXPECT_FALSE(sit.histogram.empty());
 }

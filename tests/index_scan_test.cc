@@ -74,8 +74,8 @@ TEST(SequentialScanTest, CountsIoWork) {
     while (scan.Next()) {
     }
   }
-  EXPECT_EQ(catalog.io_stats().sequential_scans, 1u);
-  EXPECT_EQ(catalog.io_stats().rows_scanned, 10u);
+  EXPECT_EQ(catalog.SnapshotMetrics().sequential_scans, 1u);
+  EXPECT_EQ(catalog.SnapshotMetrics().rows_scanned, 10u);
 }
 
 TEST(SequentialScanTest, Errors) {

@@ -38,12 +38,12 @@ TEST(HistogramMOracleTest, ValueOutsideScannedSideUsesDvOne) {
 }
 
 TEST(HistogramMOracleTest, CountsLookups) {
-  IoStats stats;
+  IoCounters stats;
   Histogram r({Bucket{0, 9, 100, 10}});
   HistogramMOracle oracle(r, r, &stats);
   oracle.Multiplicity(1.0);
   oracle.Multiplicity(2.0);
-  EXPECT_EQ(stats.histogram_lookups, 2u);
+  EXPECT_EQ(stats.Snapshot().histogram_lookups, 2u);
 }
 
 TEST(IndexMOracleTest, ExactCounts) {
@@ -55,21 +55,21 @@ TEST(IndexMOracleTest, ExactCounts) {
     SITSTATS_CHECK_OK(t->AppendRow({Value(v)}));
   }
   SITSTATS_CHECK_OK(catalog.BuildIndex("R", "x"));
-  IoStats stats;
+  IoCounters stats;
   IndexMOracle oracle(catalog.GetIndex("R", "x").ValueOrDie(), &stats);
   EXPECT_DOUBLE_EQ(oracle.Multiplicity(1.0), 3.0);
   EXPECT_DOUBLE_EQ(oracle.Multiplicity(2.0), 1.0);
   EXPECT_DOUBLE_EQ(oracle.Multiplicity(3.0), 0.0);
-  EXPECT_EQ(stats.index_lookups, 3u);
+  EXPECT_EQ(stats.Snapshot().index_lookups, 3u);
 }
 
 TEST(ExactMapMOracleTest, LookupAndMissing) {
-  IoStats stats;
+  IoCounters stats;
   ExactMapMOracle oracle({{1.0, 2.5}, {2.0, 4.0}}, &stats);
   EXPECT_DOUBLE_EQ(oracle.Multiplicity(1.0), 2.5);
   EXPECT_DOUBLE_EQ(oracle.Multiplicity(2.0), 4.0);
   EXPECT_DOUBLE_EQ(oracle.Multiplicity(9.0), 0.0);
-  EXPECT_EQ(stats.index_lookups, 3u);
+  EXPECT_EQ(stats.Snapshot().index_lookups, 3u);
 }
 
 TEST(MOracleTest, DescribeIsInformative) {

@@ -123,8 +123,8 @@ TEST(SweepScanTest, SharedScanProducesIndependentTargets) {
   EXPECT_DOUBLE_EQ(outputs[0].estimated_cardinality, 100.0);
   EXPECT_DOUBLE_EQ(outputs[1].estimated_cardinality, 300.0);
   // One shared scan only.
-  EXPECT_EQ(catalog.io_stats().sequential_scans, 1u);
-  EXPECT_EQ(catalog.io_stats().rows_scanned, 100u);
+  EXPECT_EQ(catalog.SnapshotMetrics().sequential_scans, 1u);
+  EXPECT_EQ(catalog.SnapshotMetrics().rows_scanned, 100u);
 }
 
 TEST(SweepScanTest, MultiJoinMultiplicitiesMultiply) {

@@ -1,0 +1,335 @@
+#include "telemetry/telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace sitstats {
+namespace telemetry {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Metrics registry
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistryTest, RegistersOnFirstUseAndHandlesAreStable) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("test.a");
+  EXPECT_EQ(a.value(), 0u);
+  a.Increment();
+  a.Increment(4);
+  EXPECT_EQ(a.value(), 5u);
+  // Same name resolves to the same object.
+  EXPECT_EQ(&registry.GetCounter("test.a"), &a);
+  EXPECT_EQ(registry.GetCounter("test.a").value(), 5u);
+  // Distinct names are distinct metrics.
+  EXPECT_NE(&registry.GetCounter("test.b"), &a);
+
+  Gauge& g = registry.GetGauge("test.g");
+  g.Set(2.5);
+  g.Add(-1.0);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("test.g").value(), 1.5);
+
+  auto counters = registry.CounterValues();
+  ASSERT_EQ(counters.size(), 2u);
+  EXPECT_EQ(counters[0].first, "test.a");
+  EXPECT_EQ(counters[0].second, 5u);
+}
+
+TEST(MetricsRegistryTest, ConcurrentIncrementsAreLossless) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 20'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      // Each thread resolves its own handle, mimicking the function-local
+      // static caching pattern used at call sites.
+      Counter& counter = registry.GetCounter("test.concurrent");
+      Gauge& gauge = registry.GetGauge("test.concurrent_sum");
+      LatencyHistogram& hist = registry.GetHistogram("test.concurrent_ms");
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        counter.Increment();
+        gauge.Add(1.0);
+        hist.Record(static_cast<double>(i % 1024));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(registry.GetCounter("test.concurrent").value(),
+            kThreads * kPerThread);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("test.concurrent_sum").value(),
+                   static_cast<double>(kThreads * kPerThread));
+  EXPECT_EQ(registry.GetHistogram("test.concurrent_ms").count(),
+            kThreads * kPerThread);
+}
+
+TEST(LatencyHistogramTest, Log2BinsAndSummaryStats) {
+  LatencyHistogram hist;
+  hist.Record(0.25);  // bin 0: [0, 1)
+  hist.Record(1.0);   // bin 1: [1, 2)
+  hist.Record(1.5);   // bin 1
+  hist.Record(6.0);   // bin 3: [4, 8)
+  EXPECT_EQ(hist.count(), 4u);
+  EXPECT_EQ(hist.bin_count(0), 1u);
+  EXPECT_EQ(hist.bin_count(1), 2u);
+  EXPECT_EQ(hist.bin_count(2), 0u);
+  EXPECT_EQ(hist.bin_count(3), 1u);
+  EXPECT_DOUBLE_EQ(hist.min(), 0.25);
+  EXPECT_DOUBLE_EQ(hist.max(), 6.0);
+  EXPECT_DOUBLE_EQ(hist.sum(), 8.75);
+  EXPECT_DOUBLE_EQ(hist.mean(), 8.75 / 4.0);
+  EXPECT_DOUBLE_EQ(LatencyHistogram::BinLowerBound(0), 0.0);
+  EXPECT_DOUBLE_EQ(LatencyHistogram::BinLowerBound(3), 4.0);
+  // Percentiles are bin-accurate: the p99 must land in the top bin's range.
+  EXPECT_GE(hist.ValueAtPercentile(99.0), 4.0);
+  EXPECT_LE(hist.ValueAtPercentile(99.0), 8.0);
+  hist.Reset();
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(hist.bin_count(1), 0u);
+}
+
+TEST(MetricsRegistryTest, ToJsonContainsEveryMetric) {
+  MetricsRegistry registry;
+  registry.GetCounter("c.events").Increment(7);
+  registry.GetGauge("g.cost").Set(12.5);
+  registry.GetHistogram("h.ms").Record(3.0);
+  std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"c.events\": 7"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"g.cost\": 12.5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"h.ms\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos) << json;
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+// ---------------------------------------------------------------------------
+
+/// Tests share the global tracer; each starts from a clean, enabled state.
+class TracerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::Global().Clear();
+    Tracer::Global().SetEnabled(true);
+  }
+  void TearDown() override {
+    Tracer::Global().SetEnabled(false);
+    Tracer::Global().Clear();
+  }
+};
+
+TEST_F(TracerTest, DisabledSpansRecordNothing) {
+  Tracer::Global().SetEnabled(false);
+  {
+    TraceSpan span("outer");
+    span.AddAttribute("k", "v");
+    EXPECT_FALSE(span.active());
+  }
+  Tracer::Global().RecordInstant("instant");
+  EXPECT_EQ(Tracer::Global().num_events(), 0u);
+}
+
+TEST_F(TracerTest, NestedSpansCloseInnerFirstAndNestByTime) {
+  {
+    TraceSpan outer("outer");
+    outer.AddAttribute("depth", 0.0);
+    {
+      SITSTATS_TRACE_SPAN("inner");
+    }
+  }
+  std::vector<TraceEvent> events = Tracer::Global().Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // Complete events are recorded at span end, so inner precedes outer.
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[1].name, "outer");
+  const TraceEvent& inner = events[0];
+  const TraceEvent& outer = events[1];
+  // The outer interval contains the inner one.
+  EXPECT_LE(outer.ts_us, inner.ts_us);
+  EXPECT_GE(outer.ts_us + outer.dur_us, inner.ts_us + inner.dur_us);
+  EXPECT_EQ(outer.tid, inner.tid);
+  ASSERT_EQ(outer.args.size(), 1u);
+  EXPECT_EQ(outer.args[0].first, "depth");
+  EXPECT_EQ(outer.args[0].second, "0");
+}
+
+TEST_F(TracerTest, InstantEventsCarryArgs) {
+  Tracer::Global().RecordInstant("switch", {{"reason", "time"}});
+  std::vector<TraceEvent> events = Tracer::Global().Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].phase, 'i');
+  EXPECT_EQ(events[0].dur_us, 0u);
+  ASSERT_EQ(events[0].args.size(), 1u);
+  EXPECT_EQ(events[0].args[0].second, "time");
+}
+
+// ---------------------------------------------------------------------------
+// Chrome-trace export: parse the JSON back with a minimal recursive-descent
+// parser (objects, arrays, strings, numbers) and check the required shape.
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum Kind { kNull, kNumber, kString, kArray, kObject } kind = kNull;
+  double number = 0.0;
+  std::string text;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+};
+
+class MiniJsonParser {
+ public:
+  explicit MiniJsonParser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue* out) { return ParseValue(out) && (Skip(), pos_ == text_.size()); }
+
+ private:
+  void Skip() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool Consume(char c) {
+    Skip();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool ParseValue(JsonValue* out) {
+    Skip();
+    if (pos_ >= text_.size()) return false;
+    char c = text_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') return ParseString(out);
+    return ParseNumber(out);
+  }
+  bool ParseObject(JsonValue* out) {
+    out->kind = JsonValue::kObject;
+    if (!Consume('{')) return false;
+    if (Consume('}')) return true;
+    do {
+      JsonValue key;
+      if (!ParseString(&key)) return false;
+      if (!Consume(':')) return false;
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->object[key.text] = std::move(value);
+    } while (Consume(','));
+    return Consume('}');
+  }
+  bool ParseArray(JsonValue* out) {
+    out->kind = JsonValue::kArray;
+    if (!Consume('[')) return false;
+    if (Consume(']')) return true;
+    do {
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->array.push_back(std::move(value));
+    } while (Consume(','));
+    return Consume(']');
+  }
+  bool ParseString(JsonValue* out) {
+    out->kind = JsonValue::kString;
+    if (!Consume('"')) return false;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'u':
+            if (pos_ + 4 > text_.size()) return false;
+            pos_ += 4;  // tests only need the escape to round-trip lexically
+            c = '?';
+            break;
+          default: c = esc; break;
+        }
+      }
+      out->text.push_back(c);
+    }
+    return Consume('"');
+  }
+  bool ParseNumber(JsonValue* out) {
+    out->kind = JsonValue::kNumber;
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    out->number = std::atof(text_.substr(start, pos_ - start).c_str());
+    return true;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+TEST_F(TracerTest, ChromeTraceJsonParsesBackWithRequiredKeys) {
+  {
+    TraceSpan span("sweep.scan");
+    span.AddAttribute("table", "with \"quotes\" and \\slashes\\");
+    span.AddAttribute("rows", 128.0);
+  }
+  Tracer::Global().RecordInstant("scheduler.hybrid_switch");
+
+  std::string json = Tracer::Global().ToChromeTraceJson();
+  JsonValue root;
+  ASSERT_TRUE(MiniJsonParser(json).Parse(&root)) << json;
+  ASSERT_EQ(root.kind, JsonValue::kObject);
+  ASSERT_TRUE(root.object.count("traceEvents"));
+  JsonValue& events = root.object["traceEvents"];
+  ASSERT_EQ(events.kind, JsonValue::kArray);
+  ASSERT_EQ(events.array.size(), 2u);
+
+  for (JsonValue& event : events.array) {
+    ASSERT_EQ(event.kind, JsonValue::kObject);
+    for (const char* key : {"name", "ph", "ts", "pid", "tid"}) {
+      EXPECT_TRUE(event.object.count(key)) << key << " missing in " << json;
+    }
+  }
+  JsonValue span = events.array[0];
+  EXPECT_EQ(span.object["name"].text, "sweep.scan");
+  EXPECT_EQ(span.object["ph"].text, "X");
+  EXPECT_TRUE(span.object.count("dur"));
+  EXPECT_EQ(span.object["args"].object["table"].text,
+            "with \"quotes\" and \\slashes\\");
+  EXPECT_EQ(span.object["args"].object["rows"].text, "128");
+  EXPECT_EQ(events.array[1].object["ph"].text, "i");
+}
+
+TEST(TraceSpanTest, AttributesFormatNumbersCompactly) {
+  Tracer::Global().Clear();
+  Tracer::Global().SetEnabled(true);
+  {
+    TraceSpan span("fmt");
+    span.AddAttribute("int", 3.0);
+    span.AddAttribute("frac", 0.5);
+    span.AddAttribute("u64", static_cast<uint64_t>(1u << 20));
+  }
+  std::vector<TraceEvent> events = Tracer::Global().Snapshot();
+  Tracer::Global().SetEnabled(false);
+  Tracer::Global().Clear();
+  ASSERT_EQ(events.size(), 1u);
+  ASSERT_EQ(events[0].args.size(), 3u);
+  EXPECT_EQ(events[0].args[0].second, "3");
+  EXPECT_EQ(events[0].args[1].second, "0.5");
+  EXPECT_EQ(events[0].args[2].second, "1048576");
+}
+
+}  // namespace
+}  // namespace telemetry
+}  // namespace sitstats

@@ -11,6 +11,23 @@
 //                                   [--rate R] [--buckets N] [--out FILE]
 //   sitstats_cli estimate       DIR --attr T.col --join A.x=B.y [--join ...]
 //                                   --lo X --hi Y [--stats FILE] [--exact]
+//   sitstats_cli schedule       DIR --sit "T.col:A.x=B.y;B.y=C.z" [--sit ...]
+//                                   [--variant ...] [--rate R] [--buckets N]
+//                                   [--memory M] [--out FILE]
+//
+// Flags accept both `--key value` and `--key=value`. Every command also
+// takes the global telemetry flags:
+//
+//   --trace-out FILE    record spans, write Chrome/Perfetto trace JSON
+//   --metrics-out FILE  dump the metrics registry (counters/gauges/
+//                       histograms) as JSON on exit
+//   --log-level LVL     debug|info|warning|error (or 0-3)
+//
+// `schedule` builds a batch of SITs with scan sharing: it derives the
+// weighted supersequence instance, solves it with all four strategies
+// (Naive/Opt/Greedy/Hybrid), prints the comparison, and executes the
+// cheapest schedule. Each --sit is "attr" or "attr:join1;join2;..." with
+// joins in A.x=B.y form.
 //
 // Data directories are the CSV catalogs written by generate-* (one CSV per
 // table plus a MANIFEST); statistics files are the text SIT catalogs of
@@ -19,17 +36,24 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include <limits>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/string_util.h"
 #include "datagen/synthetic_db.h"
 #include "datagen/tpch_lite.h"
 #include "estimator/sit_estimator.h"
 #include "exec/query_executor.h"
+#include "scheduler/executor.h"
+#include "scheduler/sit_problem.h"
+#include "scheduler/solver.h"
 #include "sit/serialization.h"
 #include "storage/table_io.h"
+#include "telemetry/telemetry.h"
 
 namespace sitstats {
 namespace {
@@ -41,12 +65,13 @@ int Fail(const std::string& message) {
 
 int FailStatus(const Status& status) { return Fail(status.ToString()); }
 
-/// Minimal flag parser: positional args plus --key value pairs
-/// (--join may repeat).
+/// Minimal flag parser: positional args plus --key value / --key=value
+/// pairs (--join and --sit may repeat).
 struct Args {
   std::vector<std::string> positional;
   std::map<std::string, std::string> flags;
   std::vector<std::string> joins;
+  std::vector<std::string> sits;
   bool exact = false;
 
   static Result<Args> Parse(int argc, char** argv, int start) {
@@ -56,14 +81,25 @@ struct Args {
       if (arg == "--exact") {
         args.exact = true;
       } else if (arg.rfind("--", 0) == 0) {
-        if (i + 1 >= argc) {
-          return Status::InvalidArgument("flag " + arg + " needs a value");
-        }
-        std::string value = argv[++i];
-        if (arg == "--join") {
-          args.joins.push_back(value);
+        std::string key;
+        std::string value;
+        size_t eq = arg.find('=');
+        if (eq != std::string::npos) {
+          key = arg.substr(2, eq - 2);
+          value = arg.substr(eq + 1);
         } else {
-          args.flags[arg.substr(2)] = value;
+          key = arg.substr(2);
+          if (i + 1 >= argc) {
+            return Status::InvalidArgument("flag " + arg + " needs a value");
+          }
+          value = argv[++i];
+        }
+        if (key == "join") {
+          args.joins.push_back(value);
+        } else if (key == "sit") {
+          args.sits.push_back(value);
+        } else {
+          args.flags[key] = value;
         }
       } else {
         args.positional.push_back(arg);
@@ -265,12 +301,139 @@ int Estimate(const Args& args) {
   return 0;
 }
 
+/// Parses one --sit spec: "T.col" or "T.col:A.x=B.y;B.y=C.z".
+Result<SitDescriptor> ParseSitSpec(const std::string& text) {
+  size_t colon = text.find(':');
+  SITSTATS_ASSIGN_OR_RETURN(
+      ColumnRef attr,
+      ParseColumn(colon == std::string::npos ? text : text.substr(0, colon)));
+  std::vector<JoinPredicate> joins;
+  std::vector<std::string> tables = {attr.table};
+  auto add_table = [&tables](const std::string& name) {
+    for (const std::string& t : tables) {
+      if (t == name) return;
+    }
+    tables.push_back(name);
+  };
+  if (colon != std::string::npos) {
+    for (const std::string& join_text : Split(text.substr(colon + 1), ';')) {
+      if (join_text.empty()) continue;
+      SITSTATS_ASSIGN_OR_RETURN(JoinPredicate join, ParseJoin(join_text));
+      add_table(join.left.table);
+      add_table(join.right.table);
+      joins.push_back(join);
+    }
+  }
+  SITSTATS_ASSIGN_OR_RETURN(
+      GeneratingQuery query,
+      GeneratingQuery::Create(std::move(tables), std::move(joins)));
+  return SitDescriptor(attr, std::move(query));
+}
+
+int RunSchedule(const Args& args) {
+  if (args.positional.empty()) return Fail("schedule needs DIR");
+  if (args.sits.empty()) {
+    return Fail("schedule needs at least one --sit \"T.col:A.x=B.y;...\"");
+  }
+  auto catalog_result = LoadCatalogCsv(args.positional[0]);
+  if (!catalog_result.ok()) return FailStatus(catalog_result.status());
+  std::unique_ptr<Catalog> catalog = std::move(catalog_result).ValueOrDie();
+
+  std::vector<SitDescriptor> descriptors;
+  for (const std::string& spec : args.sits) {
+    auto descriptor = ParseSitSpec(spec);
+    if (!descriptor.ok()) return FailStatus(descriptor.status());
+    descriptors.push_back(std::move(descriptor).ValueOrDie());
+  }
+  auto variant = SweepVariantFromString(args.Get("variant", "Sweep"));
+  if (!variant.ok()) return FailStatus(variant.status());
+
+  SitProblemOptions problem_options;
+  problem_options.sampling_rate = args.GetDouble("rate", 0.1);
+  problem_options.memory_limit = args.GetDouble(
+      "memory", std::numeric_limits<double>::infinity());
+  auto mapping =
+      BuildSitSchedulingProblem(*catalog, descriptors, problem_options);
+  if (!mapping.ok()) return FailStatus(mapping.status());
+
+  // Solve with every strategy so one run compares them; execute the
+  // cheapest schedule (ties go to the earlier, stronger strategy).
+  const SolverKind kinds[] = {SolverKind::kOptimal, SolverKind::kHybrid,
+                              SolverKind::kGreedy, SolverKind::kNaive};
+  std::optional<SolverResult> best;
+  std::printf("%-8s %12s %12s %10s %8s\n", "solver", "cost", "elapsed_ms",
+              "expanded", "optimal");
+  for (SolverKind kind : kinds) {
+    SolverOptions solver_options;
+    solver_options.kind = kind;
+    solver_options.max_expansions =
+        static_cast<uint64_t>(args.GetInt("max-expansions", 2'000'000));
+    auto solved = SolveSchedule(mapping->problem, solver_options);
+    if (!solved.ok()) {
+      std::printf("%-8s %12s\n", SolverKindToString(kind),
+                  solved.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%-8s %12.1f %12.3f %10llu %8s\n", SolverKindToString(kind),
+                solved->schedule.cost,
+                solved->optimization_seconds * 1e3,
+                static_cast<unsigned long long>(solved->nodes_expanded),
+                solved->proved_optimal ? "yes" : "no");
+    if (!best.has_value() || solved->schedule.cost < best->schedule.cost) {
+      best = std::move(solved).ValueOrDie();
+    }
+  }
+  if (!best.has_value()) return Fail("every solver failed");
+
+  BaseStatsCache stats;
+  ScheduleExecutionOptions exec_options;
+  exec_options.variant = *variant;
+  exec_options.sampling_rate = problem_options.sampling_rate;
+  exec_options.histogram_spec.num_buckets =
+      static_cast<int>(args.GetInt("buckets", 100));
+  auto executed = ExecuteSitSchedule(catalog.get(), &stats, descriptors,
+                                     *mapping, best->schedule, exec_options);
+  if (!executed.ok()) return FailStatus(executed.status());
+  std::printf("executed %zu-step schedule (cost %.1f): %s\n",
+              best->schedule.steps.size(), best->schedule.cost,
+              executed->total_stats.ToString().c_str());
+  for (const Sit& sit : executed->sits) {
+    std::printf("  %s est|Q|=%.0f buckets=%zu\n",
+                sit.descriptor.ToString().c_str(),
+                sit.estimated_cardinality, sit.histogram.num_buckets());
+  }
+
+  std::string out = args.Get("out", "");
+  if (!out.empty()) {
+    SitCatalog sits;
+    Result<SitCatalog> existing = LoadSitCatalog(out);
+    if (existing.ok()) sits = std::move(existing).ValueOrDie();
+    for (Sit& sit : executed->sits) sits.Add(std::move(sit));
+    Status saved = SaveSitCatalog(sits, out);
+    if (!saved.ok()) return FailStatus(saved);
+    std::printf("saved to %s (%zu SITs)\n", out.c_str(), sits.size());
+  }
+  return 0;
+}
+
 int Usage() {
   std::fprintf(
       stderr,
       "usage: sitstats_cli <generate-chain|generate-tpch|inspect|build-sit|"
-      "estimate> ...\n(see the header comment of tools/sitstats_cli.cc)\n");
+      "estimate|schedule> ...\n"
+      "global flags: --trace-out FILE --metrics-out FILE --log-level LVL\n"
+      "(see the header comment of tools/sitstats_cli.cc)\n");
   return 2;
+}
+
+int Dispatch(const std::string& command, const Args& args) {
+  if (command == "generate-chain") return GenerateChain(args);
+  if (command == "generate-tpch") return GenerateTpch(args);
+  if (command == "inspect") return Inspect(args);
+  if (command == "build-sit") return BuildSit(args);
+  if (command == "estimate") return Estimate(args);
+  if (command == "schedule") return RunSchedule(args);
+  return Usage();
 }
 
 int Main(int argc, char** argv) {
@@ -278,12 +441,34 @@ int Main(int argc, char** argv) {
   std::string command = argv[1];
   Result<Args> args = Args::Parse(argc, argv, 2);
   if (!args.ok()) return FailStatus(args.status());
-  if (command == "generate-chain") return GenerateChain(*args);
-  if (command == "generate-tpch") return GenerateTpch(*args);
-  if (command == "inspect") return Inspect(*args);
-  if (command == "build-sit") return BuildSit(*args);
-  if (command == "estimate") return Estimate(*args);
-  return Usage();
+
+  std::string log_level_text = args->Get("log-level", "");
+  if (!log_level_text.empty()) {
+    LogLevel level;
+    if (!ParseLogLevel(log_level_text, &level)) {
+      return Fail("unrecognized --log-level " + log_level_text);
+    }
+    SetLogLevel(level);
+  }
+  std::string trace_out = args->Get("trace-out", "");
+  if (!trace_out.empty()) telemetry::Tracer::Global().SetEnabled(true);
+
+  int rc = Dispatch(command, *args);
+
+  if (!trace_out.empty()) {
+    Status saved = telemetry::Tracer::Global().WriteChromeTrace(trace_out);
+    if (!saved.ok()) return FailStatus(saved);
+    std::printf("wrote %zu trace events to %s\n",
+                telemetry::Tracer::Global().num_events(), trace_out.c_str());
+  }
+  std::string metrics_out = args->Get("metrics-out", "");
+  if (!metrics_out.empty()) {
+    Status saved =
+        telemetry::MetricsRegistry::Global().WriteJson(metrics_out);
+    if (!saved.ok()) return FailStatus(saved);
+    std::printf("wrote metrics to %s\n", metrics_out.c_str());
+  }
+  return rc;
 }
 
 }  // namespace
