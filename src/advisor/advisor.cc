@@ -49,7 +49,7 @@ Result<GeneratingQuery> InducedQuery(const JoinTree& tree,
   for (int idx : nodes) {
     const JoinTree::Node& node = tree.node(idx);
     tables.push_back(node.table);
-    if (node.parent >= 0 && node_set.count(node.parent) > 0) {
+    if (node.parent >= 0 && node_set.contains(node.parent)) {
       const JoinTree::Node& parent = tree.node(node.parent);
       for (size_t j = 0; j < node.columns_to_parent.size(); ++j) {
         joins.push_back(

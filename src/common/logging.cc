@@ -78,8 +78,9 @@ LogMessage::~LogMessage() {
     // log lines never interleave mid-line.
     std::string line = stream_.str();
     line.push_back('\n');
-    std::fwrite(line.data(), 1, line.size(), stderr);
-    std::fflush(stderr);
+    // Best effort: a logging failure has nowhere to report itself.
+    (void)std::fwrite(line.data(), 1, line.size(), stderr);
+    (void)std::fflush(stderr);
   }
   if (fatal_) {
     std::abort();

@@ -74,4 +74,39 @@ class FatalLogMessage : public LogMessage {
   ::sitstats::internal::FatalLogMessage(__FILE__, __LINE__)           \
       << "Status not OK: " << _st.ToString()
 
+/// Debug-only assertions. Active when NDEBUG is not defined (Debug
+/// builds) or when SITSTATS_FORCE_DCHECKS is defined (lets sanitizer
+/// jobs on optimized builds keep the invariant checks). When disabled
+/// the condition is compiled but never evaluated, so operands stay
+/// odr-used (no unused-variable warnings) and side effects are skipped.
+///
+/// Deep validators (Histogram::Validate, Schedule::Validate,
+/// Catalog::ValidateConsistency) are wired to build/solve boundaries
+/// through SITSTATS_DCHECK_OK, so their O(n) cost is debug-only.
+#if !defined(NDEBUG) || defined(SITSTATS_FORCE_DCHECKS)
+#define SITSTATS_DCHECKS_ENABLED 1
+#else
+#define SITSTATS_DCHECKS_ENABLED 0
+#endif
+
+#if SITSTATS_DCHECKS_ENABLED
+#define SITSTATS_DCHECK(condition) SITSTATS_CHECK(condition)
+#define SITSTATS_DCHECK_OK(expr) SITSTATS_CHECK_OK(expr)
+#else
+#define SITSTATS_DCHECK(condition) \
+  while (false) SITSTATS_CHECK(condition)
+#define SITSTATS_DCHECK_OK(expr) \
+  while (false) SITSTATS_CHECK_OK(expr)
+#endif
+
+/// Comparison forms that print both operands on failure.
+#define SITSTATS_DCHECK_CMP(a, b, op)                              \
+  SITSTATS_DCHECK((a)op(b)) << "(" << (a) << " vs " << (b) << ") "
+#define SITSTATS_DCHECK_EQ(a, b) SITSTATS_DCHECK_CMP(a, b, ==)
+#define SITSTATS_DCHECK_NE(a, b) SITSTATS_DCHECK_CMP(a, b, !=)
+#define SITSTATS_DCHECK_LT(a, b) SITSTATS_DCHECK_CMP(a, b, <)
+#define SITSTATS_DCHECK_LE(a, b) SITSTATS_DCHECK_CMP(a, b, <=)
+#define SITSTATS_DCHECK_GT(a, b) SITSTATS_DCHECK_CMP(a, b, >)
+#define SITSTATS_DCHECK_GE(a, b) SITSTATS_DCHECK_CMP(a, b, >=)
+
 #endif  // SITSTATS_COMMON_LOGGING_H_

@@ -17,8 +17,11 @@ namespace sitstats {
 ///   Result<Histogram> r = BuildHistogram(...);
 ///   if (!r.ok()) return r.status();
 ///   Histogram h = std::move(r).ValueOrDie();
+/// Like Status, the class is [[nodiscard]]: ignoring a returned Result
+/// both drops a possible error and discards the computed value, so the
+/// compiler flags it.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (success).
   Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
@@ -32,10 +35,10 @@ class Result {
     }
   }
 
-  bool ok() const { return std::holds_alternative<T>(repr_); }
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(repr_); }
 
   /// The error status, or OK when a value is held.
-  Status status() const {
+  [[nodiscard]] Status status() const {
     if (ok()) return Status::OK();
     return std::get<Status>(repr_);
   }
@@ -88,5 +91,11 @@ class Result {
       SITSTATS_ASSIGN_OR_RETURN_NAME(_result_tmp_, __LINE__), lhs, expr)
 
 }  // namespace sitstats
+
+/// Unprefixed spelling for files that opt in; guarded so inclusion next
+/// to another status library (absl, arrow) never redefines theirs.
+#ifndef ASSIGN_OR_RETURN
+#define ASSIGN_OR_RETURN(lhs, expr) SITSTATS_ASSIGN_OR_RETURN(lhs, expr)
+#endif
 
 #endif  // SITSTATS_COMMON_RESULT_H_

@@ -29,7 +29,12 @@ const char* StatusCodeToString(StatusCode code);
 /// carries a Status on the error path).
 ///
 /// Statuses are cheap to copy in the success case (no allocation).
-class Status {
+///
+/// The class is [[nodiscard]]: silently dropping an error return is a
+/// compile-time warning (an error under SITSTATS_WERROR). Callers must
+/// propagate (SITSTATS_RETURN_IF_ERROR), assert (SITSTATS_CHECK_OK /
+/// SITSTATS_DCHECK_OK), or branch on the value.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -66,9 +71,9 @@ class Status {
     return Status(StatusCode::kNotImplemented, std::move(msg));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
-  const std::string& message() const { return message_; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;
@@ -92,5 +97,11 @@ std::ostream& operator<<(std::ostream& os, const Status& status);
   } while (false)
 
 }  // namespace sitstats
+
+/// Unprefixed spellings for files that opt in; guarded so inclusion next
+/// to another status library (absl, arrow) never redefines theirs.
+#ifndef RETURN_IF_ERROR
+#define RETURN_IF_ERROR(expr) SITSTATS_RETURN_IF_ERROR(expr)
+#endif
 
 #endif  // SITSTATS_COMMON_STATUS_H_

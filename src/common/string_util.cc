@@ -36,4 +36,10 @@ std::string FormatDouble(double value, int precision) {
   return os.str();
 }
 
+std::string NumberedName(const char* prefix, long long n) {
+  std::string name(prefix);
+  name += std::to_string(n);
+  return name;
+}
+
 }  // namespace sitstats

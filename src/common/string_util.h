@@ -16,6 +16,12 @@ std::vector<std::string> Split(const std::string& s, char sep);
 /// Formats a double with `precision` significant decimal digits.
 std::string FormatDouble(double value, int precision = 4);
 
+/// `prefix` followed by the decimal rendering of `n` ("T", 3 -> "T3").
+/// Use instead of `"T" + std::to_string(n)`: that spelling trips GCC 12's
+/// -Wrestrict false positive (PR105651) once inlined at -O2, which the
+/// opt-in -Werror build turns fatal.
+std::string NumberedName(const char* prefix, long long n);
+
 }  // namespace sitstats
 
 #endif  // SITSTATS_COMMON_STRING_UTIL_H_

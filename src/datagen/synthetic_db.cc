@@ -2,13 +2,15 @@
 
 #include <string>
 
+#include "common/logging.h"
+#include "common/string_util.h"
 #include "datagen/distributions.h"
 
 namespace sitstats {
 
 namespace {
 
-std::string TableName(int i) { return "R" + std::to_string(i + 1); }
+std::string TableName(int i) { return NumberedName("R", i + 1); }
 
 /// Correlates `key` with bounded triangular noise, clamped to the domain
 /// {1..domain}. Triangular noise (sum of two uniforms) gives the derived
@@ -68,7 +70,7 @@ Result<ChainDatabase> MakeChainJoinDatabase(const ChainDbSpec& spec) {
     if (has_next) schema.AddColumn("jn", ValueType::kInt64);
     schema.AddColumn("a", ValueType::kInt64);
     for (int e = 0; e < spec.extra_attributes; ++e) {
-      schema.AddColumn("b" + std::to_string(e), ValueType::kInt64);
+      schema.AddColumn(NumberedName("b", e), ValueType::kInt64);
     }
     SITSTATS_ASSIGN_OR_RETURN(Table * table,
                               catalog->CreateTable(TableName(i), schema));
@@ -119,6 +121,7 @@ Result<ChainDatabase> MakeChainJoinDatabase(const ChainDbSpec& spec) {
       GeneratingQuery query,
       GeneratingQuery::Create(std::move(tables), std::move(joins)));
   ColumnRef attribute{TableName(spec.num_tables - 1), "a"};
+  SITSTATS_DCHECK_OK(catalog->ValidateConsistency());
   return ChainDatabase{std::move(catalog), std::move(query), attribute};
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "common/logging.h"
 #include "common/rng.h"
 #include "datagen/distributions.h"
 
@@ -116,6 +117,7 @@ Result<std::unique_ptr<Catalog>> MakeTpchLiteDatabase(
     }
   }
 
+  SITSTATS_DCHECK_OK(catalog->ValidateConsistency());
   return catalog;
 }
 

@@ -15,7 +15,7 @@ bool IsSubexpression(const GeneratingQuery& sub,
   std::set<std::string> tables(query.tables().begin(),
                                query.tables().end());
   for (const std::string& t : sub.tables()) {
-    if (tables.count(t) == 0) return false;
+    if (!tables.contains(t)) return false;
   }
   for (const JoinPredicate& join : sub.joins()) {
     bool found = false;

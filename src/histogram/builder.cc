@@ -304,6 +304,12 @@ double EstimateBucketDistinct(const std::vector<ValueCount>& sample_vc,
     double integer_span = std::floor(sample_vc[end - 1].value) -
                           std::ceil(sample_vc[begin].value) + 1.0;
     estimate = std::min(estimate, std::max(integer_span, 1.0));
+  } else if (sample_vc[end - 1].value == sample_vc[begin].value) {
+    // A width-0 bucket covers exactly one value whatever the domain;
+    // without this cap GEE inflates the distinct count of a repeated
+    // non-integral value by sqrt(scale), deflating EstimateEquals by the
+    // same factor.
+    estimate = 1.0;
   }
   return std::max(estimate, 1.0);
 }
@@ -364,6 +370,7 @@ Result<Histogram> BuildHistogram(std::vector<double> values,
   std::vector<size_t> ends = MakeGroups(vc, spec);
   Histogram h(GroupsToBuckets(vc, ends));
   SITSTATS_RETURN_IF_ERROR(h.CheckValid());
+  SITSTATS_DCHECK_OK(h.Validate());
   return h;
 }
 
@@ -407,6 +414,7 @@ Result<Histogram> BuildHistogramFromSample(std::vector<double> sample,
   }
   Histogram h(std::move(buckets));
   SITSTATS_RETURN_IF_ERROR(h.CheckValid());
+  SITSTATS_DCHECK_OK(h.Validate());
   return h;
 }
 
@@ -428,6 +436,7 @@ Result<Histogram> BuildHistogramWeighted(
   std::vector<size_t> ends = MakeGroups(vc, spec);
   Histogram h(GroupsToBuckets(vc, ends));
   SITSTATS_RETURN_IF_ERROR(h.CheckValid());
+  SITSTATS_DCHECK_OK(h.Validate());
   return h;
 }
 

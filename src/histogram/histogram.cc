@@ -120,6 +120,63 @@ Status Histogram::CheckValid() const {
   return Status::OK();
 }
 
+namespace {
+
+bool IsIntegral(double v) { return std::floor(v) == v; }
+
+}  // namespace
+
+Status Histogram::Validate() const {
+  SITSTATS_RETURN_IF_ERROR(CheckValid());
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    const Bucket& b = buckets_[i];
+    if (!std::isfinite(b.lo) || !std::isfinite(b.hi) ||
+        !std::isfinite(b.frequency) || !std::isfinite(b.distinct_values)) {
+      return Status::Internal("bucket " + std::to_string(i) +
+                              " has a non-finite field: " + b.ToString());
+    }
+    if (b.Width() == 0.0 && b.distinct_values > 1.0 + 1e-9) {
+      return Status::Internal("singleton bucket " + std::to_string(i) +
+                              " claims multiple distinct values: " +
+                              b.ToString());
+    }
+    // Spread bound: over an integral domain [lo, hi] there are only
+    // width+1 representable values. Continuous domains have no such cap,
+    // so the check is gated on integral boundaries.
+    if (IsIntegral(b.lo) && IsIntegral(b.hi) &&
+        b.distinct_values > b.Width() + 1.0 + 1e-9) {
+      return Status::Internal("bucket " + std::to_string(i) +
+                              " claims more distinct values than its " +
+                              "spread admits: " + b.ToString());
+    }
+  }
+  if (!buckets_.empty()) {
+    // Cumulative-count consistency: integrating the uniform-spread model
+    // over the whole domain must reproduce the bucket frequency sum. With
+    // a fractional distinct count dv (histogram propagation scales dv
+    // fractionally) the grid-point model legitimately underestimates a
+    // full-bucket range by at most one grid point's mass, f/dv, so the
+    // lower bound subtracts that slack per bucket.
+    double total = TotalFrequency();
+    double slack = 0.0;
+    for (const Bucket& b : buckets_) {
+      if (b.distinct_values > 1.0 && !IsIntegral(b.distinct_values)) {
+        slack += b.frequency / b.distinct_values;
+      }
+    }
+    double integrated = EstimateRange(MinValue(), MaxValue());
+    double tol = 1e-6 * std::max(1.0, total);
+    if (integrated > total + tol || integrated < total - slack - tol) {
+      std::ostringstream os;
+      os << "cumulative-count mismatch: buckets sum to " << total
+         << " but integrating the full domain gives " << integrated
+         << " (allowed slack " << slack << ")";
+      return Status::Internal(os.str());
+    }
+  }
+  return Status::OK();
+}
+
 std::string Histogram::ToString() const {
   std::ostringstream os;
   os << "Histogram{" << buckets_.size() << " buckets, total="

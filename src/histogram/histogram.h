@@ -59,6 +59,15 @@ class Histogram {
   /// when frequency is.
   Status CheckValid() const;
 
+  /// Deep invariants, everything CheckValid() enforces plus:
+  ///  - every field finite (no NaN/inf smuggled in by propagation math);
+  ///  - distinct <= spread: a singleton bucket covers at most one value,
+  ///    and an integral-boundary bucket at most width+1;
+  ///  - cumulative-count consistency: integrating the uniform-spread model
+  ///    over the full domain (EstimateRange) reproduces TotalFrequency().
+  /// O(#buckets); wired to build boundaries via SITSTATS_DCHECK_OK.
+  Status Validate() const;
+
   std::string ToString() const;
 
  private:

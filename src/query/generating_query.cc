@@ -17,11 +17,11 @@ Result<GeneratingQuery> GeneratingQuery::Create(
         "duplicate table in generating query (self-joins are not supported)");
   }
   for (const JoinPredicate& j : joins) {
-    if (table_set.count(j.left.table) == 0) {
+    if (!table_set.contains(j.left.table)) {
       return Status::InvalidArgument("join references unlisted table " +
                                      j.left.table);
     }
-    if (table_set.count(j.right.table) == 0) {
+    if (!table_set.contains(j.right.table)) {
       return Status::InvalidArgument("join references unlisted table " +
                                      j.right.table);
     }

@@ -51,7 +51,7 @@ bool JoinGraph::IsAcyclic() const {
   std::set<std::string> visited;
   size_t components = 0;
   for (const std::string& start : tables_) {
-    if (visited.count(start) > 0) continue;
+    if (visited.contains(start)) continue;
     ++components;
     std::vector<std::string> stack = {start};
     visited.insert(start);

@@ -34,8 +34,8 @@ Result<JoinTree> JoinTree::Build(const GeneratingQuery& query,
       std::vector<std::string> neighbor_order;
       for (const JoinPredicate& join : graph.IncidentJoins(table)) {
         const std::string& other = join.OtherSideOf(table).table;
-        if (visited.count(other) > 0) continue;
-        if (by_neighbor.find(other) == by_neighbor.end()) {
+        if (visited.contains(other)) continue;
+        if (!by_neighbor.contains(other)) {
           neighbor_order.push_back(other);
         }
         by_neighbor[other].push_back(join);
@@ -131,7 +131,7 @@ Result<GeneratingQuery> JoinTree::SubtreeQuery(int node_index) const {
     const Node& n = nodes_[i];
     if (n.parent < 0) continue;
     const Node& p = nodes_[static_cast<size_t>(n.parent)];
-    if (table_set.count(n.table) > 0 && table_set.count(p.table) > 0) {
+    if (table_set.contains(n.table) && table_set.contains(p.table)) {
       for (size_t j = 0; j < n.columns_to_parent.size(); ++j) {
         JoinPredicate join;
         join.left = ColumnRef{n.table, n.columns_to_parent[j]};

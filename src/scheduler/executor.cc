@@ -45,6 +45,11 @@ Result<ScheduleExecutionResult> ExecuteSitSchedule(
         "schedules execute Sweep-family variants, not Hist-SIT");
   }
   const bool exact_oracle = UsesExactOracle(options.variant);
+  // Solve/execute boundary: schedules arrive from callers, so re-prove
+  // them gracefully before sharing scans according to them — a corrupt
+  // advancing set would build SITs from the wrong intermediate
+  // populations.
+  SITSTATS_RETURN_IF_ERROR(schedule.Validate(mapping.problem));
   Rng rng(options.seed);
   telemetry::TraceSpan exec_span("scheduler.execute_schedule");
   exec_span.AddAttribute("sits", static_cast<double>(sits.size()));

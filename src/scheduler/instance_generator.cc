@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/string_util.h"
+
 namespace sitstats {
 
 Result<SchedulingProblem> MakeRandomInstance(const InstanceSpec& spec,
@@ -31,7 +33,7 @@ Result<SchedulingProblem> MakeRandomInstance(const InstanceSpec& spec,
                   weights[rank[static_cast<size_t>(t)]] / weight_sum;
     double cost = std::max(rows / 1000.0, 1.0);
     double sample = spec.sampling_rate * rows;
-    problem.AddTable("T" + std::to_string(t + 1), cost, sample);
+    problem.AddTable(NumberedName("T", t + 1), cost, sample);
   }
   problem.set_memory_limit(spec.memory_limit);
 

@@ -147,4 +147,25 @@ Status ValidateSchedule(const SchedulingProblem& problem,
   return Status::OK();
 }
 
+Status Schedule::Validate(const SchedulingProblem& problem) const {
+  // Lower bound first: each table appearing in any sequence needs at
+  // least one scan, whatever the sharing, so a claimed cost below the sum
+  // of those tables' costs is a solver bug (a cost-accounting error or a
+  // stale schedule validated against re-registered tables) — diagnose it
+  // as such before the generic step-sum mismatch fires.
+  std::set<int> needed;
+  for (const std::vector<int>& seq : problem.sequences()) {
+    needed.insert(seq.begin(), seq.end());
+  }
+  double lower_bound = 0.0;
+  for (int id : needed) lower_bound += problem.scan_cost(id);
+  if (cost < lower_bound * (1.0 - 1e-9)) {
+    std::ostringstream os;
+    os << "schedule cost " << cost << " is below the single-scan lower "
+       << "bound " << lower_bound;
+    return Status::Internal(os.str());
+  }
+  return ValidateSchedule(problem, *this);
+}
+
 }  // namespace sitstats

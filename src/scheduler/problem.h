@@ -85,11 +85,20 @@ struct ScheduleStep {
 struct Schedule {
   std::vector<ScheduleStep> steps;
   double cost = 0.0;
+
+  /// Deep invariants relative to `problem`: everything ValidateSchedule
+  /// enforces (feasibility, every sequence completed exactly once, memory
+  /// fits, stated cost matches the steps) plus cost >= the trivial lower
+  /// bound: every table appearing in some sequence must be scanned at
+  /// least once, so cost >= sum of those tables' scan costs. Wired to
+  /// solver exits via SITSTATS_DCHECK_OK.
+  Status Validate(const SchedulingProblem& problem) const;
 };
 
 /// Verifies that `schedule` is feasible for `problem` and completes every
-/// sequence: steps advance sequences in order, per-step memory fits, and
-/// the stated cost matches the steps.
+/// sequence: steps advance sequences in order (so each sequence element is
+/// covered exactly once), per-step memory fits, and the stated cost
+/// matches the steps.
 Status ValidateSchedule(const SchedulingProblem& problem,
                         const Schedule& schedule);
 

@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/timer.h"
 #include "telemetry/telemetry.h"
 
@@ -350,6 +351,10 @@ Result<SolverResult> SolveSchedule(const SchedulingProblem& problem,
           : AStarSolver(problem, options).Run();
   if (!result.ok()) return result.status();
   SITSTATS_RETURN_IF_ERROR(ValidateSchedule(problem, result->schedule));
+  // Debug builds additionally prove the cost is not below the single-scan
+  // lower bound (an inadmissible-heuristic symptom ValidateSchedule's
+  // step-sum check cannot see).
+  SITSTATS_DCHECK_OK(result->schedule.Validate(problem));
 
   // Per-solver telemetry; names carry the solver kind so runs can compare
   // Opt/Greedy/Hybrid side by side from one metrics dump.

@@ -16,7 +16,7 @@ namespace {
 /// Full-precision double formatting (%.17g round-trips IEEE doubles).
 std::string FormatExact(double v) {
   char buffer[64];
-  std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+  (void)std::snprintf(buffer, sizeof(buffer), "%.17g", v);
   return buffer;
 }
 

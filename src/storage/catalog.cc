@@ -1,5 +1,6 @@
 #include "storage/catalog.h"
 
+#include "common/logging.h"
 #include "common/string_util.h"
 #include "telemetry/trace.h"
 
@@ -7,7 +8,7 @@ namespace sitstats {
 
 Status Catalog::AddTable(std::unique_ptr<Table> table) {
   const std::string& name = table->name();
-  if (tables_.count(name) > 0) {
+  if (tables_.contains(name)) {
     return Status::AlreadyExists("table " + name);
   }
   tables_[name] = std::move(table);
@@ -16,7 +17,7 @@ Status Catalog::AddTable(std::unique_ptr<Table> table) {
 
 Result<Table*> Catalog::CreateTable(const std::string& name,
                                     const Schema& schema) {
-  if (tables_.count(name) > 0) {
+  if (tables_.contains(name)) {
     return Status::AlreadyExists("table " + name);
   }
   auto table = std::make_unique<Table>(name, schema);
@@ -51,6 +52,7 @@ Status Catalog::BuildIndex(const std::string& table_name,
   SITSTATS_ASSIGN_OR_RETURN(const Table* table, GetTable(table_name));
   SITSTATS_ASSIGN_OR_RETURN(SortedIndex index,
                             SortedIndex::Build(*table, column_name));
+  SITSTATS_DCHECK_OK(index.CheckValid(*table));
   indexes_.insert_or_assign({table_name, column_name}, std::move(index));
   return Status::OK();
 }
@@ -66,7 +68,41 @@ Result<const SortedIndex*> Catalog::GetIndex(
 
 bool Catalog::HasIndex(const std::string& table_name,
                        const std::string& column_name) const {
-  return indexes_.count({table_name, column_name}) > 0;
+  return indexes_.contains({table_name, column_name});
+}
+
+Status Catalog::ValidateConsistency() const {
+  for (const auto& [name, table] : tables_) {
+    if (table == nullptr) {
+      return Status::Internal("catalog maps " + name + " to a null table");
+    }
+    if (table->name() != name) {
+      return Status::Internal("catalog maps " + name + " to a table named " +
+                              table->name());
+    }
+    if (table->num_columns() != table->schema().num_columns()) {
+      return Status::Internal("table " + name +
+                              ": column count disagrees with its schema");
+    }
+    SITSTATS_RETURN_IF_ERROR(table->CheckConsistent());
+  }
+  for (const auto& [key, index] : indexes_) {
+    const auto& [table_name, column_name] = key;
+    if (index.table_name() != table_name ||
+        index.column_name() != column_name) {
+      return Status::Internal(
+          "index registered as " + table_name + "." + column_name +
+          " identifies itself as " + index.table_name() + "." +
+          index.column_name());
+    }
+    auto it = tables_.find(table_name);
+    if (it == tables_.end()) {
+      return Status::Internal("index " + table_name + "." + column_name +
+                              " covers a table the catalog does not hold");
+    }
+    SITSTATS_RETURN_IF_ERROR(index.CheckValid(*it->second));
+  }
+  return Status::OK();
 }
 
 Result<std::pair<const Table*, const Column*>> Catalog::ResolveColumn(

@@ -35,7 +35,7 @@ class Catalog {
   Result<const Table*> GetTable(const std::string& name) const;
   Result<Table*> GetMutableTable(const std::string& name);
   bool HasTable(const std::string& name) const {
-    return tables_.count(name) > 0;
+    return tables_.contains(name);
   }
 
   std::vector<std::string> TableNames() const;
@@ -54,6 +54,14 @@ class Catalog {
   /// Resolves "Table.column"; returns (table, column) or an error.
   Result<std::pair<const Table*, const Column*>> ResolveColumn(
       const std::string& qualified_name) const;
+
+  /// Deep cross-subsystem invariants: every table's columns agree in
+  /// length with each other and with the schema, and every index agrees
+  /// with the table it covers (registered under its real name, entry
+  /// count == row count, sorted keys pointing at the actual cells).
+  /// O(total rows + total index entries); wired to index-build and
+  /// bulk-load boundaries via SITSTATS_DCHECK_OK and exposed to tests.
+  Status ValidateConsistency() const;
 
   /// Live I/O counters for instrumentation sites (also mirrored into the
   /// process-wide telemetry registry under "storage.*").

@@ -53,4 +53,44 @@ size_t SortedIndex::CountRange(double lo, double hi) const {
   return static_cast<size_t>(end - begin);
 }
 
+Status SortedIndex::CheckValid(const Table& table) const {
+  if (keys_.size() != row_ids_.size()) {
+    return Status::Internal("index " + table_name_ + "." + column_name_ +
+                            ": keys/row_ids size mismatch");
+  }
+  if (keys_.size() != table.num_rows()) {
+    return Status::Internal(
+        "index " + table_name_ + "." + column_name_ + ": " +
+        std::to_string(keys_.size()) + " entries but table has " +
+        std::to_string(table.num_rows()) + " rows");
+  }
+  SITSTATS_ASSIGN_OR_RETURN(const Column* col, table.GetColumn(column_name_));
+  std::vector<bool> covered(table.num_rows(), false);
+  for (size_t i = 0; i < keys_.size(); ++i) {
+    if (i > 0 && keys_[i - 1] > keys_[i]) {
+      return Status::Internal("index " + table_name_ + "." + column_name_ +
+                              ": keys out of order at entry " +
+                              std::to_string(i));
+    }
+    uint32_t row = row_ids_[i];
+    if (row >= table.num_rows()) {
+      return Status::Internal("index " + table_name_ + "." + column_name_ +
+                              ": row id " + std::to_string(row) +
+                              " out of range");
+    }
+    if (covered[row]) {
+      return Status::Internal("index " + table_name_ + "." + column_name_ +
+                              ": row id " + std::to_string(row) +
+                              " appears twice");
+    }
+    covered[row] = true;
+    if (col->GetNumeric(row) != keys_[i]) {
+      return Status::Internal("index " + table_name_ + "." + column_name_ +
+                              ": entry " + std::to_string(i) +
+                              " disagrees with the table cell");
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace sitstats

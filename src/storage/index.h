@@ -38,6 +38,12 @@ class SortedIndex {
   /// bookkeeping; an index lookup is physical work the experiments track).
   uint64_t lookup_count() const { return lookup_count_; }
 
+  /// Deep invariants against the indexed table: entry count matches the
+  /// table's row count, keys are sorted, row ids are in range and unique,
+  /// and each key equals the cell it points at. O(n) over the index;
+  /// called from Catalog::ValidateConsistency.
+  Status CheckValid(const Table& table) const;
+
  private:
   SortedIndex(std::string table_name, std::string column_name)
       : table_name_(std::move(table_name)),

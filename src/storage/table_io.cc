@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/logging.h"
 #include "common/string_util.h"
 
 namespace sitstats {
@@ -13,7 +14,7 @@ namespace {
 
 std::string FormatExact(double v) {
   char buffer[64];
-  std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+  (void)std::snprintf(buffer, sizeof(buffer), "%.17g", v);
   return buffer;
 }
 
@@ -168,6 +169,9 @@ Result<std::unique_ptr<Catalog>> LoadCatalogCsv(const std::string& dir) {
     SITSTATS_RETURN_IF_ERROR(
         catalog->AddTable(std::make_unique<Table>(std::move(table))));
   }
+  // Bulk-load boundary: debug builds prove the loaded catalog is
+  // internally consistent before anything computes statistics over it.
+  SITSTATS_DCHECK_OK(catalog->ValidateConsistency());
   return catalog;
 }
 

@@ -60,8 +60,9 @@ TempValueStore& TempValueStore::operator=(TempValueStore&& other) noexcept {
 
 void TempValueStore::CloseFile() {
   if (file_ != nullptr) {
-    std::fclose(file_);
-    std::remove(file_path_.c_str());
+    // Best-effort teardown of a spill file that is no longer needed.
+    (void)std::fclose(file_);
+    (void)std::remove(file_path_.c_str());
     file_ = nullptr;
   }
 }

@@ -28,8 +28,9 @@ void AppendJsonString(const std::string& text, std::string* out) {
       default:
         if (static_cast<unsigned char>(c) < 0x20) {
           char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          (void)std::snprintf(
+              buf, sizeof(buf), "\\u%04x",
+              static_cast<unsigned>(static_cast<unsigned char>(c)));
           *out += buf;
         } else {
           out->push_back(c);
@@ -43,9 +44,9 @@ std::string JsonNumber(double value) {
   if (!std::isfinite(value)) return "0";
   char buf[32];
   if (value == std::floor(value) && std::fabs(value) < 1e15) {
-    std::snprintf(buf, sizeof(buf), "%.0f", value);
+    (void)std::snprintf(buf, sizeof(buf), "%.0f", value);
   } else {
-    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    (void)std::snprintf(buf, sizeof(buf), "%.17g", value);
   }
   return buf;
 }

@@ -83,7 +83,7 @@ TEST(ExecuteProjectionTest, MatchesHandComputedJoin) {
   EXPECT_EQ(result[20.0], 2u);
   EXPECT_EQ(result[21.0], 1u);
   EXPECT_EQ(result[22.0], 1u);
-  EXPECT_EQ(result.count(23.0), 0u);
+  EXPECT_FALSE(result.contains(23.0));
 }
 
 TEST(ExecuteProjectionTest, CardinalityMatchesMaterializedJoin) {

@@ -9,6 +9,7 @@
 #include <tuple>
 
 #include "common/logging.h"
+#include "common/string_util.h"
 #include "datagen/distributions.h"
 #include "datagen/synthetic_db.h"
 #include "estimator/accuracy.h"
@@ -157,7 +158,7 @@ TEST_P(RandomTreeShapeTest, SweepExactMatchesExecutor) {
   Catalog catalog;
   std::vector<std::string> names;
   for (int t = 0; t < n; ++t) {
-    std::string name = "T" + std::to_string(t);
+    std::string name = NumberedName("T", t);
     names.push_back(name);
     Schema schema;
     schema.AddColumn("k0", ValueType::kInt64);
@@ -178,8 +179,8 @@ TEST_P(RandomTreeShapeTest, SweepExactMatchesExecutor) {
   std::vector<JoinPredicate> joins;
   for (int t = 1; t < n; ++t) {
     int parent = static_cast<int>(rng.UniformInt(0, t - 1));
-    std::string pc = "k" + std::to_string(rng.UniformInt(0, 2));
-    std::string cc = "k" + std::to_string(rng.UniformInt(0, 2));
+    std::string pc = NumberedName("k", rng.UniformInt(0, 2));
+    std::string cc = NumberedName("k", rng.UniformInt(0, 2));
     joins.push_back(JoinPredicate{
         ColumnRef{names[static_cast<size_t>(t)], cc},
         ColumnRef{names[static_cast<size_t>(parent)], pc}});

@@ -82,7 +82,7 @@ TEST(SweepScanTest, FullPathIsExactForIntegerMultiplicities) {
   // Row i contributes weight i%5 at value a=i.
   EXPECT_DOUBLE_EQ(outputs[0].exact_map.at(1.0), 1.0);
   EXPECT_DOUBLE_EQ(outputs[0].exact_map.at(4.0), 4.0);
-  EXPECT_EQ(outputs[0].exact_map.count(5.0), 0u);  // y = 0
+  EXPECT_FALSE(outputs[0].exact_map.contains(5.0));  // y = 0
 }
 
 TEST(SweepScanTest, SamplingPathScalesToStreamWeight) {

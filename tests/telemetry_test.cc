@@ -290,7 +290,7 @@ TEST_F(TracerTest, ChromeTraceJsonParsesBackWithRequiredKeys) {
   JsonValue root;
   ASSERT_TRUE(MiniJsonParser(json).Parse(&root)) << json;
   ASSERT_EQ(root.kind, JsonValue::kObject);
-  ASSERT_TRUE(root.object.count("traceEvents"));
+  ASSERT_TRUE(root.object.contains("traceEvents"));
   JsonValue& events = root.object["traceEvents"];
   ASSERT_EQ(events.kind, JsonValue::kArray);
   ASSERT_EQ(events.array.size(), 2u);
@@ -298,13 +298,13 @@ TEST_F(TracerTest, ChromeTraceJsonParsesBackWithRequiredKeys) {
   for (JsonValue& event : events.array) {
     ASSERT_EQ(event.kind, JsonValue::kObject);
     for (const char* key : {"name", "ph", "ts", "pid", "tid"}) {
-      EXPECT_TRUE(event.object.count(key)) << key << " missing in " << json;
+      EXPECT_TRUE(event.object.contains(key)) << key << " missing in " << json;
     }
   }
   JsonValue span = events.array[0];
   EXPECT_EQ(span.object["name"].text, "sweep.scan");
   EXPECT_EQ(span.object["ph"].text, "X");
-  EXPECT_TRUE(span.object.count("dur"));
+  EXPECT_TRUE(span.object.contains("dur"));
   EXPECT_EQ(span.object["args"].object["table"].text,
             "with \"quotes\" and \\slashes\\");
   EXPECT_EQ(span.object["args"].object["rows"].text, "128");

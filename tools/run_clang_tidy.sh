@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy at the repo root) over every
+# translation unit in src/, tools/, tests/, bench/, and examples/.
+#
+# Usage:
+#   tools/run_clang_tidy.sh [build-dir] [-- extra clang-tidy args]
+#
+# The build dir (default: build-tidy) only supplies
+# compile_commands.json; it is configured on first use. Exits non-zero
+# on any finding escalated by WarningsAsErrors, so CI can gate on it.
+# When clang-tidy is not installed the script skips with exit 0 — the
+# container toolchain is gcc-only; the clang-tidy CI job installs it.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+TIDY="${CLANG_TIDY:-}"
+if [[ -z "${TIDY}" ]]; then
+  for candidate in clang-tidy clang-tidy-19 clang-tidy-18 clang-tidy-17 \
+                   clang-tidy-16 clang-tidy-15; do
+    if command -v "${candidate}" > /dev/null 2>&1; then
+      TIDY="${candidate}"
+      break
+    fi
+  done
+fi
+if [[ -z "${TIDY}" ]]; then
+  echo "run_clang_tidy: clang-tidy not found; skipping (install it or set" \
+       "CLANG_TIDY=...)" >&2
+  exit 0
+fi
+
+BUILD_DIR="build-tidy"
+if [[ $# -gt 0 && "$1" != "--" ]]; then
+  BUILD_DIR="$1"
+  shift
+fi
+EXTRA_ARGS=()
+if [[ $# -gt 0 && "$1" == "--" ]]; then
+  shift
+  EXTRA_ARGS=("$@")
+fi
+
+if [[ ! -f "${BUILD_DIR}/compile_commands.json" ]]; then
+  cmake -B "${BUILD_DIR}" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+fi
+
+mapfile -t SOURCES < <(find src tools tests bench examples -name '*.cc' \
+                         | sort)
+echo "run_clang_tidy: ${TIDY} over ${#SOURCES[@]} files" \
+     "(${BUILD_DIR}/compile_commands.json)" >&2
+
+JOBS="$(nproc 2> /dev/null || echo 2)"
+printf '%s\n' "${SOURCES[@]}" \
+  | xargs -P "${JOBS}" -n 4 "${TIDY}" -p "${BUILD_DIR}" --quiet \
+      "${EXTRA_ARGS[@]}"
+echo "run_clang_tidy: clean" >&2
