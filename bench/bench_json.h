@@ -6,12 +6,16 @@
 // benchmark writes `<dir>/<name>.json` on exit:
 //
 //   {"benchmark": "fig8_num_sits",
+//    "env": {"SITSTATS_THREADS": "8"},
 //    "rows": [{"x_label": "numSITs", "x": 5, "naive_cost": ..., ...}, ...],
 //    "metrics": { ...MetricsRegistry dump... }}
 //
-// The rows mirror the human-readable table printed on stdout; the metrics
-// object is the full telemetry registry (counters, gauges, latency
-// histograms) accumulated over the run. Unset, the writer is inert.
+// The rows mirror the human-readable table printed on stdout; the env
+// object records execution-relevant environment (currently the
+// SITSTATS_THREADS worker-thread override, so archived results are
+// comparable); the metrics object is the full telemetry registry
+// (counters, gauges, latency histograms) accumulated over the run.
+// Unset, the writer is inert.
 
 #include <cstdio>
 #include <cstdlib>
@@ -56,7 +60,10 @@ class BenchJsonWriter {
     flushed_ = true;
     std::string out = "{\"benchmark\": ";
     telemetry::AppendJsonString(name_, &out);
-    out += ", \"rows\": [";
+    const char* threads = std::getenv("SITSTATS_THREADS");
+    out += ", \"env\": {\"SITSTATS_THREADS\": ";
+    telemetry::AppendJsonString(threads != nullptr ? threads : "", &out);
+    out += "}, \"rows\": [";
     for (size_t r = 0; r < rows_.size(); ++r) {
       if (r > 0) out += ", ";
       out += '{';

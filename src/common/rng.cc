@@ -22,4 +22,26 @@ bool Rng::Bernoulli(double p) {
   return dist(engine_);
 }
 
+uint64_t HashString64(std::string_view text) {
+  uint64_t hash = 14695981039346656037ull;  // FNV offset basis
+  for (char c : text) {
+    hash ^= static_cast<uint64_t>(static_cast<unsigned char>(c));
+    hash *= 1099511628211ull;  // FNV prime
+  }
+  return hash;
+}
+
+uint64_t MixSeed64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+uint64_t DeriveStreamSeed(uint64_t base_seed, std::string_view name) {
+  return MixSeed64(base_seed ^ HashString64(name));
+}
+
 }  // namespace sitstats

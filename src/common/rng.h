@@ -3,8 +3,26 @@
 
 #include <cstdint>
 #include <random>
+#include <string_view>
 
 namespace sitstats {
+
+/// FNV-1a over the bytes of `text`. Stable across platforms/runs — used
+/// for deriving named RNG streams, not for hash tables.
+uint64_t HashString64(std::string_view text);
+
+/// Finalizer of the SplitMix64 generator: a cheap, high-quality 64-bit
+/// mixer (every input bit affects every output bit).
+uint64_t MixSeed64(uint64_t x);
+
+/// Derives the seed of an independent, named random stream from a base
+/// seed: MixSeed64(base_seed ^ HashString64(name)).
+///
+/// Every randomized consumer that can run in a batch (one RNG stream per
+/// SIT, per worker, ...) seeds itself with its *name* rather than drawing
+/// from a shared generator, so results are byte-identical no matter how
+/// many other consumers run, in what order, or on how many threads.
+uint64_t DeriveStreamSeed(uint64_t base_seed, std::string_view name);
 
 /// Deterministic pseudo-random number generator used throughout the library.
 ///

@@ -1,0 +1,140 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+#include "common/logging.h"
+
+namespace sitstats {
+
+namespace {
+
+// Which pool (if any) the current thread belongs to, and its worker index.
+// Lets Submit() from inside a task push to the submitting worker's own
+// queue instead of round-robining.
+thread_local ThreadPool* tl_pool = nullptr;
+thread_local size_t tl_worker_index = 0;
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  queues_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    stopping_ = true;
+  }
+  idle_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  SITSTATS_CHECK(task != nullptr);
+  size_t index;
+  if (tl_pool == this) {
+    index = tl_worker_index;  // nested submit: keep it local, steal balances
+  } else {
+    index = next_queue_.fetch_add(1, std::memory_order_relaxed) %
+            queues_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(queues_[index]->mu);
+    queues_[index]->tasks.push_front(std::move(task));
+  }
+  {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    ++pending_;
+  }
+  idle_cv_.notify_one();
+}
+
+bool ThreadPool::TryPop(size_t index, std::function<void()>* task) {
+  // Own queue first (front = most recently submitted here).
+  {
+    WorkerQueue& own = *queues_[index];
+    std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.tasks.empty()) {
+      *task = std::move(own.tasks.front());
+      own.tasks.pop_front();
+      return true;
+    }
+  }
+  // Steal from the back of someone else's queue.
+  for (size_t off = 1; off < queues_.size(); ++off) {
+    WorkerQueue& victim = *queues_[(index + off) % queues_.size()];
+    std::lock_guard<std::mutex> lock(victim.mu);
+    if (!victim.tasks.empty()) {
+      *task = std::move(victim.tasks.back());
+      victim.tasks.pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop(size_t index) {
+  tl_pool = this;
+  tl_worker_index = index;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(idle_mu_);
+      idle_cv_.wait(lock, [this] { return pending_ > 0 || stopping_; });
+      if (pending_ == 0 && stopping_) return;
+      // A task is queued somewhere; claim the ticket before releasing the
+      // lock so other sleepers don't chase the same task.
+      --pending_;
+    }
+    // The ticket guarantees some queue holds a task, but a neighbour may
+    // grab it between our unlock and TryPop; spin across queues until the
+    // claimed task is found.
+    while (!TryPop(index, &task)) {
+      std::this_thread::yield();
+    }
+    task();
+  }
+}
+
+void WaitGroup::Add(size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  count_ += static_cast<int64_t>(n);
+}
+
+void WaitGroup::Done() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ > 0) --count_;
+  // Notify while still holding the lock: Wait() cannot return (and the
+  // caller cannot destroy this WaitGroup) until the lock is released, so
+  // the broadcast never touches a dead condition variable.
+  if (count_ == 0) cv_.notify_all();
+}
+
+void WaitGroup::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return count_ == 0; });
+}
+
+size_t ResolveThreadCount(int requested) {
+  long value = requested;
+  if (value <= 0) {
+    const char* env = std::getenv("SITSTATS_THREADS");
+    value = (env != nullptr && *env != '\0') ? std::strtol(env, nullptr, 10)
+                                             : 0;
+  }
+  if (value <= 0) return 1;
+  if (value > 256) return 256;
+  return static_cast<size_t>(value);
+}
+
+}  // namespace sitstats

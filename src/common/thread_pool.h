@@ -1,0 +1,88 @@
+#ifndef SITSTATS_COMMON_THREAD_POOL_H_
+#define SITSTATS_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sitstats {
+
+/// Small work-stealing thread pool used by the parallel schedule executor
+/// (and anything else that wants step-level parallelism).
+///
+/// Each worker owns a deque: its own tasks pop LIFO from the front (cache
+/// locality for nested submissions), idle workers steal FIFO from the back
+/// of a victim's deque (oldest task first, which tends to be the largest
+/// unit of work). External submissions are distributed round-robin.
+///
+/// Tasks may Submit() further tasks (the executor releases a schedule
+/// step's dependents from the worker that finished it). Completion is
+/// signalled by the caller via WaitGroup — the pool itself never blocks on
+/// task results. The destructor drains every queued task, then joins.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one task. Safe from any thread, including pool workers.
+  void Submit(std::function<void()> task);
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(size_t index);
+  bool TryPop(size_t index, std::function<void()>* task);
+
+  // One queue per worker, heap-allocated so addresses are stable.
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  // Sleep/wake coordination: pending_ counts queued-but-unstarted tasks.
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+  size_t pending_ = 0;
+  bool stopping_ = false;
+
+  std::atomic<size_t> next_queue_{0};
+};
+
+/// Go-style wait group: Add() registrations, Done() completions, Wait()
+/// blocks until the count returns to zero. Used to join a DAG of pool
+/// tasks without giving every task a future. Wait() must not be called
+/// from a pool worker that other counted tasks depend on (deadlock).
+class WaitGroup {
+ public:
+  void Add(size_t n = 1);
+  /// Decrements the count; wakes waiters at zero. More Done() calls than
+  /// Add()ed is a logic error (count would go negative) and is clamped.
+  void Done();
+  void Wait();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int64_t count_ = 0;
+};
+
+/// Resolves a thread-count request: `requested` > 0 wins; otherwise the
+/// SITSTATS_THREADS environment variable (if set to a positive integer);
+/// otherwise 1 (serial). Results are byte-identical at any thread count,
+/// so this only ever changes wall-clock time. Clamped to [1, 256].
+size_t ResolveThreadCount(int requested);
+
+}  // namespace sitstats
+
+#endif  // SITSTATS_COMMON_THREAD_POOL_H_

@@ -32,11 +32,13 @@ Result<Table> HashJoinTables(const Table& left, const Table& right,
   const Column* build_key = build_left ? lcol : rcol;
   const Column* probe_key = build_left ? rcol : lcol;
 
-  std::unordered_map<double, std::vector<uint32_t>> hash_table;
+  // 64-bit row ids: uint32_t here silently truncated beyond 2^32 rows
+  // (and the paper's temp populations reach billions).
+  std::unordered_map<double, std::vector<uint64_t>> hash_table;
   hash_table.reserve(build.num_rows());
   for (size_t row = 0; row < build.num_rows(); ++row) {
     hash_table[build_key->GetNumeric(row)].push_back(
-        static_cast<uint32_t>(row));
+        static_cast<uint64_t>(row));
   }
 
   Schema out_schema;
@@ -52,7 +54,7 @@ Result<Table> HashJoinTables(const Table& left, const Table& right,
   for (size_t probe_row = 0; probe_row < probe.num_rows(); ++probe_row) {
     auto it = hash_table.find(probe_key->GetNumeric(probe_row));
     if (it == hash_table.end()) continue;
-    for (uint32_t build_row : it->second) {
+    for (uint64_t build_row : it->second) {
       size_t lrow = build_left ? build_row : probe_row;
       size_t rrow = build_left ? probe_row : build_row;
       for (size_t c = 0; c < left.num_columns(); ++c) {

@@ -1,10 +1,28 @@
 #include "sampling/reservoir.h"
 
+#include <math.h>
+
 #include <cmath>
 
 #include "common/logging.h"
 
 namespace sitstats {
+
+namespace {
+
+/// Thread-safe log-gamma. glibc's lgamma writes the process-global
+/// `signgam`, so concurrent reservoir samplers (parallel schedule steps)
+/// race through std::lgamma; lgamma_r is the reentrant form.
+double LogGamma(double x) {
+#if defined(__GLIBC__) || defined(__APPLE__)
+  int sign = 0;
+  return lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
+
+}  // namespace
 
 ReservoirSampler::ReservoirSampler(size_t capacity, Rng* rng)
     : capacity_(capacity), rng_(rng) {
@@ -89,8 +107,8 @@ void ReservoirSampler::AddRepeated(double value, uint64_t count) {
       //        = exp(lg(t+s+1-c) - lg(t+1-c) - lg(t+s+1) + lg(t+1)).
       auto log_q = [&](uint64_t s) {
         double sd = static_cast<double>(s);
-        return std::lgamma(t + sd + 1.0 - c) - std::lgamma(t + 1.0 - c) -
-               std::lgamma(t + sd + 1.0) + std::lgamma(t + 1.0);
+        return LogGamma(t + sd + 1.0 - c) - LogGamma(t + 1.0 - c) -
+               LogGamma(t + sd + 1.0) + LogGamma(t + 1.0);
       };
       if (log_q(remaining) >= log_u) {
         next = 0;

@@ -1,9 +1,14 @@
 #include "scheduler/executor.h"
 
+#include <algorithm>
+#include <atomic>
+#include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 
+#include "common/thread_pool.h"
 #include "query/join_tree.h"
 #include "sit/oracle_factory.h"
 #include "sit/sweep_scan.h"
@@ -24,13 +29,35 @@ bool UsesExactOracle(SweepVariant variant) {
 }
 
 /// Per-SIT execution state: the join tree, its internal nodes in scan
-/// order, how many scans have completed, and the last scan's output.
+/// order, how many scans have completed, the last scan's output, and the
+/// SIT's private random stream (seeded from the descriptor so results are
+/// independent of batch composition and thread count). Steps of the same
+/// SIT are ordered by the dependency DAG, so only one in-flight step ever
+/// touches a given SitState.
 struct SitState {
   std::optional<JoinTree> tree;
   std::vector<int> scan_nodes;  // internal nodes, post-order
   size_t next_scan = 0;
   std::optional<SweepOutput> last_output;
   bool done = false;
+  std::optional<Rng> rng;
+};
+
+/// One schedule step, fully resolved and validated up front so execution
+/// needs no further schedule bookkeeping: which table to scan, which SIT
+/// join-tree node each advanced sequence contributes, and the DAG edges.
+/// Step j depends on step i < j iff they advance a common SIT; steps with
+/// disjoint SIT sets only share read-only catalog state and may run
+/// concurrently.
+struct PlannedTarget {
+  size_t sit;
+  int node_index;
+};
+struct PlannedStep {
+  std::string table;
+  std::vector<PlannedTarget> targets;
+  std::vector<size_t> dependents;  // steps waiting on this one
+  size_t num_deps = 0;
 };
 
 }  // namespace
@@ -50,11 +77,12 @@ Result<ScheduleExecutionResult> ExecuteSitSchedule(
   // advancing set would build SITs from the wrong intermediate
   // populations.
   SITSTATS_RETURN_IF_ERROR(schedule.Validate(mapping.problem));
-  Rng rng(options.seed);
+  const size_t threads = ResolveThreadCount(options.num_threads);
   telemetry::TraceSpan exec_span("scheduler.execute_schedule");
   exec_span.AddAttribute("sits", static_cast<double>(sits.size()));
   exec_span.AddAttribute("steps",
                          static_cast<double>(schedule.steps.size()));
+  exec_span.AddAttribute("threads", static_cast<double>(threads));
   IoStats before = catalog->SnapshotMetrics();
 
   // Sequence index -> SIT index, and per-SIT state. Chains only: at most
@@ -84,51 +112,42 @@ Result<ScheduleExecutionResult> ExecuteSitSchedule(
       if (!tree.IsLeaf(node)) state.scan_nodes.push_back(node);
     }
     state.tree = std::move(tree);
+    state.rng.emplace(SitStreamSeed(options.seed, sits[s]));
     if (!has_sequence[s] && !state.scan_nodes.empty()) {
       return Status::InvalidArgument("SIT " + sits[s].ToString() +
                                      " is missing from the mapping");
     }
   }
 
-  ScheduleExecutionResult result;
-  result.sits.reserve(sits.size());
-
+  // Plan phase: resolve every step against the SIT trees and wire the
+  // dependency DAG. All schedule-shape errors surface here, serially and
+  // deterministically, before any scan runs.
+  std::vector<PlannedStep> plan(schedule.steps.size());
+  std::vector<int> last_step_of_sit(sits.size(), -1);
+  std::vector<size_t> planned_scans(sits.size(), 0);
   for (size_t step_idx = 0; step_idx < schedule.steps.size(); ++step_idx) {
     const ScheduleStep& step = schedule.steps[step_idx];
-    const std::string& table = mapping.problem.table_name(step.table);
-
-    telemetry::TraceSpan step_span("scheduler.execute_step");
-    step_span.AddAttribute("step", static_cast<double>(step_idx));
-    step_span.AddAttribute("table", table);
-    step_span.AddAttribute("advanced",
-                           static_cast<double>(step.advanced.size()));
-
-    SweepScanSpec spec;
-    spec.table = table;
-    spec.sampling_rate = options.sampling_rate;
-    spec.min_sample_size = options.min_sample_size;
-    spec.use_sampling = UsesSampling(options.variant);
-    spec.histogram_spec = options.histogram_spec;
-
-    std::vector<std::unique_ptr<MultiplicityOracle>> oracles;
-    std::vector<size_t> target_sit;  // SIT per target, aligned with targets
+    PlannedStep& planned = plan[step_idx];
+    planned.table = mapping.problem.table_name(step.table);
+    std::vector<size_t> deps;
     for (size_t seq : step.advanced) {
       int s = sit_of_sequence[static_cast<size_t>(seq)];
       if (s < 0) {
         return Status::InvalidArgument("schedule advances unmapped sequence");
       }
       SitState& state = states[static_cast<size_t>(s)];
-      if (state.next_scan >= state.scan_nodes.size()) {
+      size_t scan = planned_scans[static_cast<size_t>(s)];
+      if (scan >= state.scan_nodes.size()) {
         return Status::InvalidArgument(
             "schedule advances SIT past its last scan: " +
             sits[static_cast<size_t>(s)].ToString());
       }
-      int node_index = state.scan_nodes[state.next_scan];
+      int node_index = state.scan_nodes[scan];
       const JoinTree& tree = *state.tree;
       const JoinTree::Node& node = tree.node(node_index);
-      if (node.table != table) {
+      if (node.table != planned.table) {
         return Status::InvalidArgument(
-            "schedule step scans " + table + " but SIT " +
+            "schedule step scans " + planned.table + " but SIT " +
             sits[static_cast<size_t>(s)].ToString() + " expects " +
             node.table);
       }
@@ -142,38 +161,129 @@ Result<ScheduleExecutionResult> ExecuteSitSchedule(
             "composite join predicates between intermediate results are "
             "not supported");
       }
+      planned_scans[static_cast<size_t>(s)] += 1;
+      planned.targets.push_back(
+          PlannedTarget{static_cast<size_t>(s), node_index});
+      if (last_step_of_sit[s] >= 0) {
+        deps.push_back(static_cast<size_t>(last_step_of_sit[s]));
+      }
+      last_step_of_sit[s] = static_cast<int>(step_idx);
+    }
+    std::sort(deps.begin(), deps.end());
+    deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
+    planned.num_deps = deps.size();
+    for (size_t dep : deps) plan[dep].dependents.push_back(step_idx);
+  }
+
+  // Runs one planned step: build the shared-scan spec (one target per
+  // advancing SIT, each drawing from its own stream), scan once, hand
+  // each SIT its new intermediate output. Thread-safe against other
+  // steps: catalog/base-stats reads are internally locked, and the DAG
+  // guarantees exclusive access to each touched SitState.
+  auto execute_step = [&](size_t step_idx) -> Status {
+    const PlannedStep& planned = plan[step_idx];
+    telemetry::TraceSpan step_span("scheduler.execute_step");
+    step_span.AddAttribute("step", static_cast<double>(step_idx));
+    step_span.AddAttribute("table", planned.table);
+    step_span.AddAttribute("advanced",
+                           static_cast<double>(planned.targets.size()));
+
+    SweepScanSpec spec;
+    spec.table = planned.table;
+    spec.sampling_rate = options.sampling_rate;
+    spec.min_sample_size = options.min_sample_size;
+    spec.use_sampling = UsesSampling(options.variant);
+    spec.histogram_spec = options.histogram_spec;
+
+    std::vector<std::unique_ptr<MultiplicityOracle>> oracles;
+    for (const PlannedTarget& planned_target : planned.targets) {
+      SitState& state = states[planned_target.sit];
+      const JoinTree& tree = *state.tree;
+      const JoinTree::Node& node = tree.node(planned_target.node_index);
       int child_index = node.children[0];
       SweepOutput* child_output =
           state.last_output.has_value() ? &*state.last_output : nullptr;
       SITSTATS_ASSIGN_OR_RETURN(
           std::unique_ptr<MultiplicityOracle> oracle,
-          MakeChildOracle(catalog, base_stats, tree, node_index, child_index,
-                          child_output, exact_oracle, &rng));
+          MakeChildOracle(catalog, base_stats, tree,
+                          planned_target.node_index, child_index,
+                          child_output, exact_oracle, &*state.rng));
       SweepTarget target;
-      const bool is_root = node_index == tree.root();
+      const bool is_root = planned_target.node_index == tree.root();
       target.attribute = is_root
-                             ? sits[static_cast<size_t>(s)].attribute().column
+                             ? sits[planned_target.sit].attribute().column
                              : node.column_to_parent();
       target.build_exact_map = exact_oracle && !is_root;
       target.join_indices = {spec.joins.size()};
+      target.rng = &*state.rng;
       spec.joins.push_back(SweepJoin{
           tree.node(child_index).parent_columns, oracle.get()});
       oracles.push_back(std::move(oracle));
       spec.targets.push_back(std::move(target));
-      target_sit.push_back(static_cast<size_t>(s));
     }
 
     SITSTATS_ASSIGN_OR_RETURN(std::vector<SweepOutput> outputs,
-                              SweepScanTable(catalog, spec, &rng));
+                              SweepScanTable(catalog, spec, nullptr));
     for (size_t t = 0; t < outputs.size(); ++t) {
-      SitState& state = states[target_sit[t]];
+      SitState& state = states[planned.targets[t].sit];
       state.last_output = std::move(outputs[t]);
       state.next_scan += 1;
       if (state.next_scan == state.scan_nodes.size()) state.done = true;
     }
+    return Status::OK();
+  };
+
+  if (threads <= 1 || plan.size() <= 1) {
+    for (size_t step_idx = 0; step_idx < plan.size(); ++step_idx) {
+      SITSTATS_RETURN_IF_ERROR(execute_step(step_idx));
+    }
+  } else {
+    ThreadPool pool(threads);
+    std::vector<std::atomic<size_t>> remaining(plan.size());
+    for (size_t i = 0; i < plan.size(); ++i) {
+      remaining[i].store(plan[i].num_deps, std::memory_order_relaxed);
+    }
+    std::atomic<bool> failed{false};
+    std::mutex error_mu;
+    Status first_error = Status::OK();
+    WaitGroup wg;
+    wg.Add(plan.size());
+    // On failure the remaining steps still "complete" (skipping their
+    // work) so every dependent gets released and Wait() terminates.
+    std::function<void(size_t)> run_step = [&](size_t step_idx) {
+      if (!failed.load(std::memory_order_acquire)) {
+        Status status = execute_step(step_idx);
+        if (!status.ok()) {
+          bool expected = false;
+          if (failed.compare_exchange_strong(expected, true,
+                                             std::memory_order_acq_rel)) {
+            std::lock_guard<std::mutex> lock(error_mu);
+            first_error = std::move(status);
+          }
+        }
+      }
+      for (size_t dep : plan[step_idx].dependents) {
+        // acq_rel: the final decrement must observe the writes of every
+        // predecessor step before the dependent is submitted.
+        if (remaining[dep].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          pool.Submit([&run_step, dep] { run_step(dep); });
+        }
+      }
+      wg.Done();
+    };
+    for (size_t i = 0; i < plan.size(); ++i) {
+      if (plan[i].num_deps == 0) {
+        pool.Submit([&run_step, i] { run_step(i); });
+      }
+    }
+    wg.Wait();
+    if (failed.load(std::memory_order_acquire)) return first_error;
   }
 
   // Assemble results (and build base-table SITs, which need no scan).
+  ScheduleExecutionResult result;
+  result.sits.reserve(sits.size());
+  result.threads_used = threads;
   result.total_stats = catalog->SnapshotMetrics() - before;
 
   for (size_t s = 0; s < sits.size(); ++s) {

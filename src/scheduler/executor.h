@@ -20,7 +20,18 @@ struct ScheduleExecutionOptions {
   double sampling_rate = 0.1;
   size_t min_sample_size = 100;
   HistogramSpec histogram_spec;
+  /// Base seed. Every SIT draws from its own stream seeded with
+  /// SitStreamSeed(seed, descriptor), so each built SIT is byte-identical
+  /// to the same SIT built alone by CreateSit, regardless of batch
+  /// composition, step order, or thread count.
   uint64_t seed = 42;
+  /// Worker threads for independent schedule steps: > 0 uses that many,
+  /// 0 defers to the SITSTATS_THREADS environment variable (default 1 =
+  /// serial). See ResolveThreadCount. Results do not depend on this —
+  /// only wall-clock time does. Note the schedule's memory feasibility is
+  /// proved per step; concurrent steps can transiently hold up to
+  /// num_threads steps' sample sets at once.
+  int num_threads = 0;
 };
 
 struct ScheduleExecutionResult {
@@ -29,6 +40,8 @@ struct ScheduleExecutionResult {
   /// Physical work of the whole execution (scans are shared, so per-SIT
   /// attribution is not meaningful).
   IoStats total_stats;
+  /// Resolved worker-thread count the schedule actually ran with.
+  size_t threads_used = 1;
 };
 
 /// Executes `schedule` (computed by SolveSchedule over

@@ -9,9 +9,18 @@ Result<const Histogram*> BaseStatsCache::GetOrBuild(const Catalog& catalog,
                                                     const std::string& column,
                                                     Rng* rng) {
   auto key = std::make_pair(table, column);
-  auto it = cache_.find(key);
-  if (it != cache_.end()) return &it->second;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return &it->second;
+  }
 
+  // Build outside the lock: concurrent misses on the same key each build a
+  // copy and the first insert wins (histograms over the same column are
+  // identical unless base-stats sampling is on, in which case whichever
+  // sample wins is cached for everyone — determinism across runs then
+  // requires building base stats up front, which the default full-scan
+  // mode does implicitly).
   SITSTATS_ASSIGN_OR_RETURN(const Table* t, catalog.GetTable(table));
   SITSTATS_ASSIGN_OR_RETURN(const Column* col, t->GetColumn(column));
   if (col->type() == ValueType::kString) {
@@ -34,6 +43,7 @@ Result<const Histogram*> BaseStatsCache::GetOrBuild(const Catalog& catalog,
         histogram,
         BuildHistogram(std::move(values), options_.histogram_spec));
   }
+  std::unique_lock<std::shared_mutex> lock(mu_);
   auto [pos, inserted] = cache_.emplace(key, std::move(histogram));
   (void)inserted;
   return &pos->second;

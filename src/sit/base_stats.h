@@ -2,6 +2,7 @@
 #define SITSTATS_SIT_BASE_STATS_H_
 
 #include <map>
+#include <shared_mutex>
 #include <string>
 #include <utility>
 
@@ -25,10 +26,30 @@ struct BaseStatsOptions {
 /// Cache of base-table histograms keyed by (table, column). Sweep consults
 /// base statistics for every join column of every scanned table; building
 /// them once per experiment mirrors a real system's statistics store.
+///
+/// Thread safety: reads and GetOrBuild are safe concurrently (the parallel
+/// schedule executor resolves base histograms from several worker threads).
+/// Lookups take a shared lock; a miss builds outside any lock and the
+/// first finished build wins — cached pointers are never invalidated by
+/// later inserts (node-based map). Clear() must not race with readers
+/// holding returned pointers.
 class BaseStatsCache {
  public:
   explicit BaseStatsCache(BaseStatsOptions options = {})
       : options_(std::move(options)) {}
+
+  // Movable (the mutex stays with the object, not the contents); moving
+  // is not thread-safe — callers must quiesce readers first.
+  BaseStatsCache(BaseStatsCache&& other) noexcept
+      : options_(std::move(other.options_)),
+        cache_(std::move(other.cache_)) {}
+  BaseStatsCache& operator=(BaseStatsCache&& other) noexcept {
+    if (this != &other) {
+      options_ = std::move(other.options_);
+      cache_ = std::move(other.cache_);
+    }
+    return *this;
+  }
 
   /// The histogram over table.column, building (and caching) it on first
   /// request.
@@ -37,12 +58,19 @@ class BaseStatsCache {
                                       const std::string& column, Rng* rng);
 
   /// Drops every cached histogram.
-  void Clear() { cache_.clear(); }
+  void Clear() {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    cache_.clear();
+  }
 
-  size_t size() const { return cache_.size(); }
+  size_t size() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return cache_.size();
+  }
   const BaseStatsOptions& options() const { return options_; }
 
  private:
+  mutable std::shared_mutex mu_;
   BaseStatsOptions options_;
   std::map<std::pair<std::string, std::string>, Histogram> cache_;
 };

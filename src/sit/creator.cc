@@ -33,7 +33,7 @@ Result<Sit> CreateSitWithSweep(Catalog* catalog, BaseStatsCache* base_stats,
   const ColumnRef& attribute = descriptor.attribute();
   SITSTATS_ASSIGN_OR_RETURN(
       JoinTree tree, JoinTree::Build(descriptor.query(), attribute.table));
-  Rng rng(options.seed);
+  Rng rng(SitStreamSeed(options.seed, descriptor));
   IoStats before = catalog->SnapshotMetrics();
 
   // Base-table query: the "SIT" is just a base histogram.
@@ -115,7 +115,7 @@ Result<Sit> CreateHistSit(Catalog* catalog, BaseStatsCache* base_stats,
   const ColumnRef& attribute = descriptor.attribute();
   SITSTATS_ASSIGN_OR_RETURN(
       JoinTree tree, JoinTree::Build(descriptor.query(), attribute.table));
-  Rng rng(options.seed);
+  Rng rng(SitStreamSeed(options.seed, descriptor));
 
   // Estimated cardinality of each node's subtree join, bottom-up. For a
   // node with children c1..ck the optimizer folds the children in one at a
@@ -177,6 +177,10 @@ Result<Sit> CreateHistSit(Catalog* catalog, BaseStatsCache* base_stats,
 }
 
 }  // namespace
+
+uint64_t SitStreamSeed(uint64_t seed, const SitDescriptor& descriptor) {
+  return DeriveStreamSeed(seed, descriptor.ToString());
+}
 
 Result<Sit> CreateSit(Catalog* catalog, BaseStatsCache* base_stats,
                       const SitDescriptor& descriptor,

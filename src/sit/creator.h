@@ -22,9 +22,18 @@ struct SitBuildOptions {
   /// Bucket-alignment handling of the histogram m-Oracle (ablation knob;
   /// keep the default for accurate results).
   ContainmentMode containment_mode = ContainmentMode::kDensityNormalized;
-  /// Seed for sampling and randomized rounding.
+  /// Base seed for sampling and randomized rounding. Each SIT draws from
+  /// its own stream seeded with DeriveStreamSeed(seed, descriptor name) —
+  /// see SitStreamSeed — so the same descriptor yields the same statistic
+  /// whether built alone, in any batch, or on any number of threads.
   uint64_t seed = 42;
 };
+
+/// Seed of `descriptor`'s private random stream under base seed `seed`:
+/// DeriveStreamSeed(seed, descriptor.ToString()). CreateSit and the
+/// schedule executor both seed from this, which is what makes solo and
+/// batched builds of the same SIT byte-identical.
+uint64_t SitStreamSeed(uint64_t seed, const SitDescriptor& descriptor);
 
 /// Creates one SIT over an acyclic-join generating query, dispatching on
 /// options.variant:

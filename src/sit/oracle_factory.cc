@@ -101,13 +101,12 @@ Result<std::unique_ptr<MultiplicityOracle>> MakeChildOracle(
   if (exact) {
     if (child_is_leaf) {
       // SweepIndex proper: repeated index lookups on the base table.
-      if (!catalog->HasIndex(child.table, child.column_to_parent())) {
-        SITSTATS_RETURN_IF_ERROR(
-            catalog->BuildIndex(child.table, child.column_to_parent()));
-      }
+      // EnsureIndex (not HasIndex+BuildIndex) so concurrent schedule steps
+      // wanting the same index race safely: one build wins, nobody's
+      // pointer is invalidated.
       SITSTATS_ASSIGN_OR_RETURN(
           const SortedIndex* index,
-          catalog->GetIndex(child.table, child.column_to_parent()));
+          catalog->EnsureIndex(child.table, child.column_to_parent()));
       return std::unique_ptr<MultiplicityOracle>(
           std::make_unique<IndexMOracle>(index, &catalog->io_counters()));
     }

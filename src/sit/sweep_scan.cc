@@ -17,6 +17,7 @@ struct TargetState {
   size_t attribute_slot = 0;           // index into the scan projection
   ReservoirSampler* reservoir = nullptr;  // sampling path
   TempValueStore* store = nullptr;        // full path
+  Rng* rng = nullptr;                  // this target's random stream
   double fractional_cardinality = 0.0;
   std::unordered_map<double, double> exact_map;
 };
@@ -47,6 +48,9 @@ Result<std::vector<SweepOutput>> SweepScanTable(Catalog* catalog,
         return Status::InvalidArgument("sweep target join index out of range");
       }
     }
+    if (target.rng == nullptr && rng == nullptr && spec.use_sampling) {
+      return Status::InvalidArgument("sweep target without a random stream");
+    }
   }
   SITSTATS_ASSIGN_OR_RETURN(const Table* table,
                             catalog->GetTable(spec.table));
@@ -71,10 +75,14 @@ Result<std::vector<SweepOutput>> SweepScanTable(Catalog* catalog,
     join_slots.push_back(std::move(slots));
   }
 
+  // Reservoir capacity is a sample of the *stream* (which multiplicities
+  // can make far longer than the table); never 0, even for empty tables
+  // with min_sample_size = 0 — the sampler requires positive capacity.
   size_t capacity = std::max(
       spec.min_sample_size,
       static_cast<size_t>(std::ceil(static_cast<double>(table->num_rows()) *
                                     spec.sampling_rate)));
+  if (capacity == 0) capacity = 1;
 
   std::vector<TargetState> states(spec.targets.size());
   std::vector<ReservoirSampler> reservoirs;
@@ -83,8 +91,9 @@ Result<std::vector<SweepOutput>> SweepScanTable(Catalog* catalog,
   stores.reserve(spec.targets.size());
   for (size_t t = 0; t < spec.targets.size(); ++t) {
     states[t].attribute_slot = slot_of(spec.targets[t].attribute);
+    states[t].rng = spec.targets[t].rng != nullptr ? spec.targets[t].rng : rng;
     if (spec.use_sampling) {
-      reservoirs.emplace_back(capacity, rng);
+      reservoirs.emplace_back(capacity, states[t].rng);
       states[t].reservoir = &reservoirs.back();
     } else {
       stores.emplace_back();
@@ -141,7 +150,7 @@ Result<std::vector<SweepOutput>> SweepScanTable(Catalog* catalog,
         // Unbiased randomized rounding of the fractional multiplicity.
         double floor_m = std::floor(multiplicity);
         uint64_t copies = static_cast<uint64_t>(floor_m);
-        if (rng->Bernoulli(multiplicity - floor_m)) ++copies;
+        if (state.rng->Bernoulli(multiplicity - floor_m)) ++copies;
         if (copies > 0) state.reservoir->AddRepeated(attr_value, copies);
       } else {
         SITSTATS_RETURN_IF_ERROR(

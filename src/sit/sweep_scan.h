@@ -37,6 +37,13 @@ struct SweepTarget {
   /// `attribute` — needed when the *next* sweep step wants an exact
   /// m-Oracle over this intermediate result (SweepIndex / SweepExact).
   bool build_exact_map = false;
+  /// Random stream for this target's draws (randomized rounding and
+  /// reservoir replacement). Null falls back to the scan-level rng. Shared
+  /// scans pass each SIT's own stream here so a target consumes exactly
+  /// the draws it would consume in a solo build — that is what makes a SIT
+  /// built in a batch byte-identical to the same SIT built alone, at any
+  /// thread count.
+  Rng* rng = nullptr;
 };
 
 /// Parameters of one sequential scan shared by one or more targets.
@@ -69,6 +76,9 @@ struct SweepOutput {
 /// joins). Fractional expected multiplicities are converted to integral
 /// stream copies by unbiased randomized rounding when sampling; the
 /// no-sampling path keeps exact fractional weights.
+///
+/// `rng` is the fallback random stream for targets that don't carry their
+/// own (SweepTarget::rng); it may be null if every target does.
 Result<std::vector<SweepOutput>> SweepScanTable(Catalog* catalog,
                                                 const SweepScanSpec& spec,
                                                 Rng* rng);

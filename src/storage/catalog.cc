@@ -6,8 +6,23 @@
 
 namespace sitstats {
 
+Catalog::Catalog(Catalog&& other) noexcept
+    : tables_(std::move(other.tables_)),
+      indexes_(std::move(other.indexes_)),
+      io_counters_(std::move(other.io_counters_)) {}
+
+Catalog& Catalog::operator=(Catalog&& other) noexcept {
+  if (this != &other) {
+    tables_ = std::move(other.tables_);
+    indexes_ = std::move(other.indexes_);
+    io_counters_ = std::move(other.io_counters_);
+  }
+  return *this;
+}
+
 Status Catalog::AddTable(std::unique_ptr<Table> table) {
   const std::string& name = table->name();
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (tables_.contains(name)) {
     return Status::AlreadyExists("table " + name);
   }
@@ -17,6 +32,7 @@ Status Catalog::AddTable(std::unique_ptr<Table> table) {
 
 Result<Table*> Catalog::CreateTable(const std::string& name,
                                     const Schema& schema) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (tables_.contains(name)) {
     return Status::AlreadyExists("table " + name);
   }
@@ -27,18 +43,21 @@ Result<Table*> Catalog::CreateTable(const std::string& name,
 }
 
 Result<const Table*> Catalog::GetTable(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = tables_.find(name);
   if (it == tables_.end()) return Status::NotFound("table " + name);
   return static_cast<const Table*>(it->second.get());
 }
 
 Result<Table*> Catalog::GetMutableTable(const std::string& name) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = tables_.find(name);
   if (it == tables_.end()) return Status::NotFound("table " + name);
   return it->second.get();
 }
 
 std::vector<std::string> Catalog::TableNames() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<std::string> names;
   names.reserve(tables_.size());
   for (const auto& [name, table] : tables_) names.push_back(name);
@@ -53,12 +72,36 @@ Status Catalog::BuildIndex(const std::string& table_name,
   SITSTATS_ASSIGN_OR_RETURN(SortedIndex index,
                             SortedIndex::Build(*table, column_name));
   SITSTATS_DCHECK_OK(index.CheckValid(*table));
+  std::unique_lock<std::shared_mutex> lock(mu_);
   indexes_.insert_or_assign({table_name, column_name}, std::move(index));
   return Status::OK();
 }
 
+Result<const SortedIndex*> Catalog::EnsureIndex(
+    const std::string& table_name, const std::string& column_name) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = indexes_.find({table_name, column_name});
+    if (it != indexes_.end()) return &it->second;
+  }
+  // Build outside the lock (sorting can be expensive); losing the
+  // insertion race below just discards this copy.
+  telemetry::TraceSpan span("storage.build_index");
+  span.AddAttribute("column", table_name + "." + column_name);
+  SITSTATS_ASSIGN_OR_RETURN(const Table* table, GetTable(table_name));
+  SITSTATS_ASSIGN_OR_RETURN(SortedIndex index,
+                            SortedIndex::Build(*table, column_name));
+  SITSTATS_DCHECK_OK(index.CheckValid(*table));
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto [it, inserted] =
+      indexes_.try_emplace({table_name, column_name}, std::move(index));
+  (void)inserted;
+  return &it->second;
+}
+
 Result<const SortedIndex*> Catalog::GetIndex(
     const std::string& table_name, const std::string& column_name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = indexes_.find({table_name, column_name});
   if (it == indexes_.end()) {
     return Status::NotFound("index on " + table_name + "." + column_name);
@@ -68,10 +111,12 @@ Result<const SortedIndex*> Catalog::GetIndex(
 
 bool Catalog::HasIndex(const std::string& table_name,
                        const std::string& column_name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return indexes_.contains({table_name, column_name});
 }
 
 Status Catalog::ValidateConsistency() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   for (const auto& [name, table] : tables_) {
     if (table == nullptr) {
       return Status::Internal("catalog maps " + name + " to a null table");

@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -17,14 +18,24 @@ namespace sitstats {
 /// The database: owns tables and secondary indexes, and tracks I/O
 /// statistics. Column references are resolved through the catalog using
 /// "Table.column" qualified names.
+///
+/// Thread safety: the table/index registries are guarded by a
+/// reader-writer lock, so lookups (GetTable, GetIndex, ResolveColumn, ...)
+/// are safe concurrently with each other and with registrations — the
+/// parallel schedule executor scans several tables at once. Returned
+/// Table/SortedIndex pointers stay valid for the catalog's lifetime
+/// (node-based map storage; EnsureIndex never replaces a live index).
+/// Mutating the *contents* of a table (AppendRow via GetMutableTable) is
+/// not synchronized — load data single-threaded, then build statistics in
+/// parallel. Moving a Catalog is not thread-safe.
 class Catalog {
  public:
   Catalog() = default;
 
   Catalog(const Catalog&) = delete;
   Catalog& operator=(const Catalog&) = delete;
-  Catalog(Catalog&&) = default;
-  Catalog& operator=(Catalog&&) = default;
+  Catalog(Catalog&& other) noexcept;
+  Catalog& operator=(Catalog&& other) noexcept;
 
   /// Registers a table; the name must be unique.
   Status AddTable(std::unique_ptr<Table> table);
@@ -35,15 +46,29 @@ class Catalog {
   Result<const Table*> GetTable(const std::string& name) const;
   Result<Table*> GetMutableTable(const std::string& name);
   bool HasTable(const std::string& name) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
     return tables_.contains(name);
   }
 
   std::vector<std::string> TableNames() const;
-  size_t num_tables() const { return tables_.size(); }
+  size_t num_tables() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return tables_.size();
+  }
 
   /// Builds (or rebuilds) a sorted secondary index over table.column.
+  /// Rebuilding replaces the stored index, so do not call concurrently
+  /// with readers that hold the old pointer — concurrent creators should
+  /// use EnsureIndex instead.
   Status BuildIndex(const std::string& table_name,
                     const std::string& column_name);
+
+  /// The index over table.column, building it if absent. Unlike
+  /// HasIndex-then-BuildIndex, this is safe when several threads want the
+  /// same index at once: exactly one build wins, the rest get the winner,
+  /// and an existing index is never replaced out from under a reader.
+  Result<const SortedIndex*> EnsureIndex(const std::string& table_name,
+                                         const std::string& column_name);
 
   /// The index over table.column, or NotFound.
   Result<const SortedIndex*> GetIndex(const std::string& table_name,
@@ -73,6 +98,8 @@ class Catalog {
   IoStats SnapshotMetrics() const { return io_counters_.Snapshot(); }
 
  private:
+  /// Guards tables_ and indexes_ (the registries, not table contents).
+  mutable std::shared_mutex mu_;
   std::map<std::string, std::unique_ptr<Table>> tables_;
   std::map<std::pair<std::string, std::string>, SortedIndex> indexes_;
   IoCounters io_counters_;

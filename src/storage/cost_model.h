@@ -30,8 +30,18 @@ struct CostModel {
   /// Page-based scan cost: ceil(bytes / page_size).
   uint64_t SequentialScanPages(const Table& table) const;
 
-  /// Memory (in values) for one sample set at sampling rate `rate`.
+  /// Memory (in values) for one sample set at sampling rate `rate`:
+  /// ceil(rate * num_rows), clamped to [0, num_rows]. A sample drawn from
+  /// a table can never hold more values than the table has rows (rates
+  /// above 1 and rounding both clamp), and an empty table yields an empty
+  /// sample; non-finite or negative rates yield 0.
   uint64_t SampleSize(uint64_t num_rows, double rate) const;
+
+  /// SampleSize with a minimum-sample floor (mirrors the executor's
+  /// reservoir sizing, max(min_sample_size, rate * |T|)) — still clamped
+  /// to the table: min(num_rows, max(min_sample_size, ceil(rate * rows))).
+  uint64_t SampleSize(uint64_t num_rows, double rate,
+                      uint64_t min_sample_size) const;
 };
 
 }  // namespace sitstats

@@ -14,15 +14,15 @@ Result<SortedIndex> SortedIndex::Build(const Table& table,
   }
   SortedIndex index(table.name(), column_name);
   const size_t n = col->size();
-  std::vector<uint32_t> order(n);
+  std::vector<uint64_t> order(n);
   std::iota(order.begin(), order.end(), 0);
   std::vector<double> values = col->ToNumericVector();
-  std::sort(order.begin(), order.end(), [&values](uint32_t a, uint32_t b) {
+  std::sort(order.begin(), order.end(), [&values](uint64_t a, uint64_t b) {
     return values[a] < values[b];
   });
   index.keys_.reserve(n);
   index.row_ids_.reserve(n);
-  for (uint32_t row : order) {
+  for (uint64_t row : order) {
     index.keys_.push_back(values[row]);
     index.row_ids_.push_back(row);
   }
@@ -30,14 +30,14 @@ Result<SortedIndex> SortedIndex::Build(const Table& table,
 }
 
 size_t SortedIndex::Multiplicity(double key) const {
-  ++lookup_count_;
+  lookup_count_.fetch_add(1, std::memory_order_relaxed);
   auto range = std::equal_range(keys_.begin(), keys_.end(), key);
   return static_cast<size_t>(range.second - range.first);
 }
 
-std::vector<uint32_t> SortedIndex::LookupRange(double lo, double hi) const {
-  ++lookup_count_;
-  std::vector<uint32_t> out;
+std::vector<uint64_t> SortedIndex::LookupRange(double lo, double hi) const {
+  lookup_count_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<uint64_t> out;
   auto begin = std::lower_bound(keys_.begin(), keys_.end(), lo);
   auto end = std::upper_bound(keys_.begin(), keys_.end(), hi);
   for (auto it = begin; it != end; ++it) {
@@ -47,7 +47,7 @@ std::vector<uint32_t> SortedIndex::LookupRange(double lo, double hi) const {
 }
 
 size_t SortedIndex::CountRange(double lo, double hi) const {
-  ++lookup_count_;
+  lookup_count_.fetch_add(1, std::memory_order_relaxed);
   auto begin = std::lower_bound(keys_.begin(), keys_.end(), lo);
   auto end = std::upper_bound(keys_.begin(), keys_.end(), hi);
   return static_cast<size_t>(end - begin);
@@ -72,7 +72,7 @@ Status SortedIndex::CheckValid(const Table& table) const {
                               ": keys out of order at entry " +
                               std::to_string(i));
     }
-    uint32_t row = row_ids_[i];
+    uint64_t row = row_ids_[i];
     if (row >= table.num_rows()) {
       return Status::Internal("index " + table_name_ + "." + column_name_ +
                               ": row id " + std::to_string(row) +

@@ -1,6 +1,7 @@
 #ifndef SITSTATS_STORAGE_IO_STATS_H_
 #define SITSTATS_STORAGE_IO_STATS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -38,19 +39,26 @@ struct IoStats {
 ///     fresh Catalog) keep working, and
 ///   - the process-wide registry under "storage.*", so metrics dumps and
 ///     traces see the totals without reaching into any Catalog.
+///
+/// Increments are thread-safe: the catalog-local state is sharded across
+/// cache-line-aligned atomic shards, with each thread pinned to one shard,
+/// so concurrent sweep scans (the parallel schedule executor) don't
+/// ping-pong a single hot cache line. Snapshot() sums the shards; it is
+/// safe concurrently with increments but, like any multi-word snapshot,
+/// only exact once the increments it should cover have completed (the
+/// executor snapshots strictly before and after the parallel region).
 class IoCounters {
  public:
+  static constexpr size_t kNumShards = 16;
+
   IoCounters();
 
   IoCounters(const IoCounters&) = delete;
   IoCounters& operator=(const IoCounters&) = delete;
-  IoCounters(IoCounters&& other) noexcept : IoCounters() {
-    local_ = other.local_;
-  }
-  IoCounters& operator=(IoCounters&& other) noexcept {
-    local_ = other.local_;
-    return *this;
-  }
+  /// Moves carry the accumulated totals over (into one shard of the
+  /// destination). Not safe concurrently with increments on either side.
+  IoCounters(IoCounters&& other) noexcept;
+  IoCounters& operator=(IoCounters&& other) noexcept;
 
   void AddSequentialScans(uint64_t n = 1);
   void AddRowsScanned(uint64_t n = 1);
@@ -59,10 +67,22 @@ class IoCounters {
   void AddTempRowsSpilled(uint64_t n = 1);
 
   /// The catalog-local totals since this IoCounters was created.
-  IoStats Snapshot() const { return local_; }
+  IoStats Snapshot() const;
 
  private:
-  IoStats local_;
+  /// One cache line per shard so threads on different shards never
+  /// contend. 64-byte alignment covers the five counters exactly.
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> sequential_scans{0};
+    std::atomic<uint64_t> rows_scanned{0};
+    std::atomic<uint64_t> index_lookups{0};
+    std::atomic<uint64_t> histogram_lookups{0};
+    std::atomic<uint64_t> temp_rows_spilled{0};
+  };
+
+  Shard& shard();
+
+  Shard shards_[kNumShards];
   telemetry::Counter& sequential_scans_;
   telemetry::Counter& rows_scanned_;
   telemetry::Counter& index_lookups_;

@@ -27,14 +27,51 @@ Result<SequentialScan> SequentialScan::Open(
   return scan;
 }
 
+SequentialScan::SequentialScan(SequentialScan&& other) noexcept
+    : table_name_(std::move(other.table_name_)),
+      columns_(std::move(other.columns_)),
+      current_(std::move(other.current_)),
+      num_rows_(other.num_rows_),
+      next_row_(other.next_row_),
+      unflushed_rows_(other.unflushed_rows_),
+      io_counters_(other.io_counters_) {
+  other.unflushed_rows_ = 0;
+  other.io_counters_ = nullptr;
+}
+
+SequentialScan& SequentialScan::operator=(SequentialScan&& other) noexcept {
+  if (this == &other) return *this;
+  FlushRowCount();
+  table_name_ = std::move(other.table_name_);
+  columns_ = std::move(other.columns_);
+  current_ = std::move(other.current_);
+  num_rows_ = other.num_rows_;
+  next_row_ = other.next_row_;
+  unflushed_rows_ = other.unflushed_rows_;
+  io_counters_ = other.io_counters_;
+  other.unflushed_rows_ = 0;
+  other.io_counters_ = nullptr;
+  return *this;
+}
+
 bool SequentialScan::Next() {
-  if (next_row_ >= num_rows_) return false;
+  if (next_row_ >= num_rows_) {
+    FlushRowCount();
+    return false;
+  }
   for (size_t i = 0; i < columns_.size(); ++i) {
     current_[i] = columns_[i]->GetNumeric(next_row_);
   }
   ++next_row_;
-  io_counters_->AddRowsScanned();
+  ++unflushed_rows_;
   return true;
+}
+
+void SequentialScan::FlushRowCount() {
+  if (io_counters_ != nullptr && unflushed_rows_ > 0) {
+    io_counters_->AddRowsScanned(unflushed_rows_);
+  }
+  unflushed_rows_ = 0;
 }
 
 }  // namespace sitstats

@@ -27,6 +27,13 @@ class SequentialScan {
                                      const std::string& table_name,
                                      const std::vector<std::string>& columns);
 
+  ~SequentialScan() { FlushRowCount(); }
+
+  SequentialScan(SequentialScan&& other) noexcept;
+  SequentialScan& operator=(SequentialScan&& other) noexcept;
+  SequentialScan(const SequentialScan&) = delete;
+  SequentialScan& operator=(const SequentialScan&) = delete;
+
   /// Advances to the next row; false once the input is exhausted.
   bool Next();
 
@@ -41,11 +48,19 @@ class SequentialScan {
  private:
   SequentialScan() = default;
 
+  /// Books the rows read since the last flush into the I/O counters.
+  /// Rows are counted locally during the scan and flushed in bulk (at
+  /// exhaustion and at destruction) so the per-row hot loop touches no
+  /// shared state — essential when parallel schedule steps scan
+  /// concurrently.
+  void FlushRowCount();
+
   std::string table_name_;
   std::vector<const Column*> columns_;
   std::vector<double> current_;
   size_t num_rows_ = 0;
   size_t next_row_ = 0;
+  size_t unflushed_rows_ = 0;
   IoCounters* io_counters_ = nullptr;
 };
 

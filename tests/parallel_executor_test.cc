@@ -1,0 +1,311 @@
+// Parallel schedule execution: thread-pool plumbing, and the determinism
+// contract — a SIT's bytes must not depend on the thread count or on which
+// other SITs share the batch (per-SIT seed streams, ISSUE 4).
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+#include "scheduler/executor.h"
+#include "scheduler/solver.h"
+#include "sit/serialization.h"
+
+namespace sitstats {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ThreadPool / WaitGroup
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  WaitGroup wg;
+  const int kTasks = 1000;
+  wg.Add(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([&counter, &wg] {
+      counter.fetch_add(1, std::memory_order_relaxed);
+      wg.Done();
+    });
+  }
+  wg.Wait();
+  EXPECT_EQ(counter.load(), kTasks);
+}
+
+TEST(ThreadPoolTest, NestedSubmitsFromWorkersComplete) {
+  // DAG execution submits follow-up steps from inside worker tasks.
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  WaitGroup wg;
+  const int kParents = 50;
+  wg.Add(kParents * 2);
+  for (int i = 0; i < kParents; ++i) {
+    pool.Submit([&] {
+      counter.fetch_add(1, std::memory_order_relaxed);
+      pool.Submit([&] {
+        counter.fetch_add(1, std::memory_order_relaxed);
+        wg.Done();
+      });
+      wg.Done();
+    });
+  }
+  wg.Wait();
+  EXPECT_EQ(counter.load(), kParents * 2);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&counter] {
+        counter.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+  }  // ~ThreadPool joins after running everything queued.
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ResolveThreadCountPrecedence) {
+  // Explicit request wins over the environment.
+  ASSERT_EQ(setenv("SITSTATS_THREADS", "6", /*overwrite=*/1), 0);
+  EXPECT_EQ(ResolveThreadCount(3), 3u);
+  EXPECT_EQ(ResolveThreadCount(0), 6u);
+  ASSERT_EQ(setenv("SITSTATS_THREADS", "not-a-number", 1), 0);
+  EXPECT_EQ(ResolveThreadCount(0), 1u);
+  ASSERT_EQ(unsetenv("SITSTATS_THREADS"), 0);
+  EXPECT_EQ(ResolveThreadCount(0), 1u);
+  EXPECT_EQ(ResolveThreadCount(-5), 1u);
+  // Clamped to a sane ceiling.
+  EXPECT_LE(ResolveThreadCount(100000), 256u);
+}
+
+TEST(WaitGroupTest, WaitReturnsImmediatelyAtZero) {
+  WaitGroup wg;
+  wg.Wait();
+  wg.Add(2);
+  wg.Done();
+  wg.Done();
+  wg.Wait();
+}
+
+// ---------------------------------------------------------------------------
+// Executor determinism
+
+JoinPredicate Join(const std::string& lt, const std::string& lc,
+                   const std::string& rt, const std::string& rc) {
+  return JoinPredicate{ColumnRef{lt, lc}, ColumnRef{rt, rc}};
+}
+
+struct Fixture {
+  Catalog catalog;
+  std::vector<SitDescriptor> sits;
+};
+
+/// `num_chains` disjoint 3-table chains C<c>T1 ⋈ C<c>T2 ⋈ C<c>T3 with a
+/// SIT on the last table's payload — every chain's steps are independent
+/// of every other chain's, so the executor's DAG is maximally parallel.
+Fixture MakeIndependentChains(int num_chains, size_t rows,
+                              uint64_t seed = 5) {
+  Fixture fx;
+  Rng rng(seed);
+  const int64_t domain = 50;
+  const int kLen = 3;
+  for (int c = 0; c < num_chains; ++c) {
+    std::vector<std::string> names;
+    std::vector<JoinPredicate> joins;
+    for (int i = 1; i <= kLen; ++i) {
+      std::string name = "C" + std::to_string(c) + "T" + std::to_string(i);
+      Schema schema;
+      if (i > 1) schema.AddColumn("jp", ValueType::kInt64);
+      if (i < kLen) schema.AddColumn("jn", ValueType::kInt64);
+      schema.AddColumn("a", ValueType::kInt64);
+      Table* table = fx.catalog.CreateTable(name, schema).ValueOrDie();
+      for (size_t r = 0; r < rows; ++r) {
+        std::vector<Value> row;
+        if (i > 1) row.emplace_back(rng.UniformInt(1, domain));
+        if (i < kLen) row.emplace_back(rng.UniformInt(1, domain));
+        row.emplace_back(rng.UniformInt(1, domain));
+        SITSTATS_CHECK_OK(table->AppendRow(row));
+      }
+      if (i > 1) {
+        joins.push_back(Join(names.back(), "jn", name, "jp"));
+      }
+      names.push_back(name);
+    }
+    fx.sits.emplace_back(
+        ColumnRef{names.back(), "a"},
+        GeneratingQuery::Create(names, joins).ValueOrDie());
+  }
+  return fx;
+}
+
+/// The paper's Example 3 shape: two SITs sharing a scan of S (exercises
+/// multi-target steps and dependency edges between steps).
+Fixture MakeSharedScanFixture(uint64_t seed = 11, size_t rows = 2'000) {
+  Fixture fx;
+  Rng rng(seed);
+  Schema rs;
+  rs.AddColumn("r1", ValueType::kInt64);
+  rs.AddColumn("r2", ValueType::kInt64);
+  Table* r = fx.catalog.CreateTable("R", rs).ValueOrDie();
+  Schema ss;
+  ss.AddColumn("s1", ValueType::kInt64);
+  ss.AddColumn("s2", ValueType::kInt64);
+  ss.AddColumn("s3", ValueType::kInt64);
+  ss.AddColumn("b", ValueType::kInt64);
+  Table* s = fx.catalog.CreateTable("S", ss).ValueOrDie();
+  Schema ts;
+  ts.AddColumn("t3", ValueType::kInt64);
+  ts.AddColumn("a", ValueType::kInt64);
+  Table* t = fx.catalog.CreateTable("T", ts).ValueOrDie();
+  const int64_t domain = 100;
+  for (size_t i = 0; i < rows; ++i) {
+    SITSTATS_CHECK_OK(r->AppendRow(
+        {Value(rng.UniformInt(1, domain)), Value(rng.UniformInt(1, domain))}));
+    int64_t s1 = rng.UniformInt(1, domain);
+    SITSTATS_CHECK_OK(s->AppendRow({Value(s1),
+                                    Value(rng.UniformInt(1, domain)),
+                                    Value((s1 * 3) % domain + 1),
+                                    Value(rng.UniformInt(1, domain))}));
+    int64_t t3 = rng.UniformInt(1, domain);
+    SITSTATS_CHECK_OK(
+        t->AppendRow({Value(t3), Value((t3 * 7) % domain + 1)}));
+  }
+  auto q1 = GeneratingQuery::Create(
+      {"R", "S", "T"},
+      {Join("R", "r1", "S", "s1"), Join("S", "s3", "T", "t3")});
+  auto q2 =
+      GeneratingQuery::Create({"R", "S"}, {Join("R", "r2", "S", "s2")});
+  fx.sits.emplace_back(ColumnRef{"T", "a"}, q1.ValueOrDie());
+  fx.sits.emplace_back(ColumnRef{"S", "b"}, q2.ValueOrDie());
+  return fx;
+}
+
+/// Solves `fx` with `kind` and executes at `threads`, returning each
+/// built SIT's exact serialized bytes.
+std::vector<std::string> ExecuteAndSerialize(Fixture* fx, SolverKind kind,
+                                             int threads,
+                                             size_t* steps_out = nullptr) {
+  SitProblemOptions poptions;
+  SitSchedulingProblem mapping =
+      BuildSitSchedulingProblem(fx->catalog, fx->sits, poptions)
+          .ValueOrDie();
+  SolverOptions soptions;
+  soptions.kind = kind;
+  SolverResult solved =
+      SolveSchedule(mapping.problem, soptions).ValueOrDie();
+  EXPECT_TRUE(solved.schedule.Validate(mapping.problem).ok());
+  if (steps_out != nullptr) *steps_out = solved.schedule.steps.size();
+  BaseStatsCache stats;
+  ScheduleExecutionOptions eoptions;
+  eoptions.num_threads = threads;
+  ScheduleExecutionResult result =
+      ExecuteSitSchedule(&fx->catalog, &stats, fx->sits, mapping,
+                         solved.schedule, eoptions)
+          .ValueOrDie();
+  EXPECT_EQ(result.threads_used, ResolveThreadCount(threads));
+  std::vector<std::string> serialized;
+  serialized.reserve(result.sits.size());
+  for (const Sit& sit : result.sits) {
+    serialized.push_back(SerializeSit(sit));
+  }
+  return serialized;
+}
+
+TEST(ParallelExecutorTest, ThreadCountDoesNotChangeResults) {
+  // The acceptance bar of ISSUE 4: byte-identical SITs at 1, 2, and 8
+  // threads, for both independent chains and shared-scan schedules.
+  Fixture chains1 = MakeIndependentChains(4, 800);
+  Fixture chains2 = MakeIndependentChains(4, 800);
+  Fixture chains8 = MakeIndependentChains(4, 800);
+  std::vector<std::string> at1 =
+      ExecuteAndSerialize(&chains1, SolverKind::kGreedy, 1);
+  std::vector<std::string> at2 =
+      ExecuteAndSerialize(&chains2, SolverKind::kGreedy, 2);
+  std::vector<std::string> at8 =
+      ExecuteAndSerialize(&chains8, SolverKind::kGreedy, 8);
+  ASSERT_EQ(at1.size(), 4u);
+  EXPECT_EQ(at1, at2);
+  EXPECT_EQ(at1, at8);
+
+  Fixture shared1 = MakeSharedScanFixture();
+  Fixture shared8 = MakeSharedScanFixture();
+  std::vector<std::string> shared_at1 =
+      ExecuteAndSerialize(&shared1, SolverKind::kOptimal, 1);
+  std::vector<std::string> shared_at8 =
+      ExecuteAndSerialize(&shared8, SolverKind::kOptimal, 8);
+  ASSERT_EQ(shared_at1.size(), 2u);
+  EXPECT_EQ(shared_at1, shared_at8);
+}
+
+TEST(ParallelExecutorTest, ScheduleShapeDoesNotChangeResults) {
+  // Naive (one scan per SIT step) and Optimal (shared scans) schedules
+  // visit rows identically per SIT, so per-SIT streams make them agree.
+  Fixture naive_fx = MakeSharedScanFixture();
+  Fixture opt_fx = MakeSharedScanFixture();
+  std::vector<std::string> naive =
+      ExecuteAndSerialize(&naive_fx, SolverKind::kNaive, 4);
+  std::vector<std::string> opt =
+      ExecuteAndSerialize(&opt_fx, SolverKind::kOptimal, 4);
+  EXPECT_EQ(naive, opt);
+}
+
+TEST(ParallelExecutorTest, BatchMatchesBuildingAlone) {
+  // Regression for the ISSUE 4 seed bug: options.seed used to seed one
+  // execution-wide stream, so a SIT's sample depended on its position in
+  // the batch. With per-SIT streams, a batched SIT is byte-identical to
+  // the same SIT built alone by CreateSit.
+  Fixture fx = MakeSharedScanFixture();
+  std::vector<std::string> batched =
+      ExecuteAndSerialize(&fx, SolverKind::kOptimal, 8);
+  ASSERT_EQ(batched.size(), fx.sits.size());
+  for (size_t i = 0; i < fx.sits.size(); ++i) {
+    BaseStatsCache stats;
+    SitBuildOptions boptions;  // same defaults as ScheduleExecutionOptions
+    Sit alone =
+        CreateSit(&fx.catalog, &stats, fx.sits[i], boptions).ValueOrDie();
+    EXPECT_EQ(batched[i], SerializeSit(alone)) << fx.sits[i].ToString();
+  }
+}
+
+TEST(ParallelExecutorTest, ParallelErrorsPropagate) {
+  // A failing step must surface its Status (not hang or crash) even when
+  // other steps run concurrently. Sampling with no histogram buckets is
+  // invalid and fails inside the step.
+  Fixture fx = MakeIndependentChains(4, 200);
+  SitProblemOptions poptions;
+  SitSchedulingProblem mapping =
+      BuildSitSchedulingProblem(fx.catalog, fx.sits, poptions).ValueOrDie();
+  SolverOptions soptions;
+  soptions.kind = SolverKind::kGreedy;
+  SolverResult solved =
+      SolveSchedule(mapping.problem, soptions).ValueOrDie();
+  BaseStatsCache stats;
+  ScheduleExecutionOptions eoptions;
+  eoptions.num_threads = 8;
+  eoptions.histogram_spec.num_buckets = 0;
+  Result<ScheduleExecutionResult> result = ExecuteSitSchedule(
+      &fx.catalog, &stats, fx.sits, mapping, solved.schedule, eoptions);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(ParallelExecutorTest, EnvironmentVariableSelectsThreads) {
+  ASSERT_EQ(setenv("SITSTATS_THREADS", "4", /*overwrite=*/1), 0);
+  Fixture fx = MakeIndependentChains(2, 300);
+  std::vector<std::string> from_env =
+      ExecuteAndSerialize(&fx, SolverKind::kGreedy, /*threads=*/0);
+  ASSERT_EQ(unsetenv("SITSTATS_THREADS"), 0);
+  Fixture fx1 = MakeIndependentChains(2, 300);
+  std::vector<std::string> serial =
+      ExecuteAndSerialize(&fx1, SolverKind::kGreedy, /*threads=*/1);
+  EXPECT_EQ(from_env, serial);
+}
+
+}  // namespace
+}  // namespace sitstats

@@ -119,6 +119,31 @@ TEST(ReservoirTest, ManyInterleavedRunsKeepProportions) {
   EXPECT_NEAR(ones / 1'000.0, 0.25, 0.05);
 }
 
+TEST(ReservoirTest, StreamCountsPastUint32StayExact) {
+  // Overflow regression (ISSUE 4): join-multiplicity streams exceed
+  // 2^32 rows at production scale, so stream positions must be tracked
+  // in 64 bits — a 32-bit counter would wrap and re-inflate inclusion
+  // probabilities. Skip sampling keeps this cheap despite the counts.
+  Rng rng(37);
+  ReservoirSampler sampler(100, &rng);
+  const uint64_t kRun = (1ull << 31) + 12'345;
+  sampler.AddRepeated(1.0, kRun);
+  sampler.AddRepeated(2.0, kRun);
+  sampler.AddRepeated(3.0, kRun);
+  const uint64_t expected = 3 * kRun;  // 6'442'487'939 > 2^32
+  ASSERT_GT(expected, 1ull << 32);
+  EXPECT_EQ(sampler.stream_size(), expected);
+  EXPECT_EQ(sampler.sample().size(), 100u);
+  // Late elements still displace early ones: with 2/3 of the stream
+  // being values 2 and 3, a sample of only value 1 has probability
+  // ~(1/3)^100 under correct 64-bit accounting.
+  int late = 0;
+  for (double v : sampler.sample()) {
+    if (v != 1.0) late += 1;
+  }
+  EXPECT_GT(late, 0);
+}
+
 TEST(BernoulliSampleTest, RateZeroAndOne) {
   Rng rng(19);
   std::vector<double> values(100, 1.0);

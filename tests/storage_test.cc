@@ -1,7 +1,10 @@
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "storage/catalog.h"
 #include "storage/column.h"
+#include "storage/cost_model.h"
 #include "storage/schema.h"
 #include "storage/table.h"
 #include "storage/value.h"
@@ -159,6 +162,61 @@ TEST(CatalogTest, BuildAndGetIndex) {
   EXPECT_EQ(index->Multiplicity(2.0), 0u);
   EXPECT_EQ(catalog.GetIndex("T", "v2").status().code(),
             StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, EnsureIndexBuildsOnceAndNeverReplaces) {
+  Catalog catalog;
+  Table* t = catalog.CreateTable("T", TwoColumnSchema()).ValueOrDie();
+  for (int64_t k : {5, 3, 5, 1}) {
+    ASSERT_TRUE(t->AppendRow({Value(k), Value(0.0)}).ok());
+  }
+  const SortedIndex* first = catalog.EnsureIndex("T", "k").ValueOrDie();
+  EXPECT_EQ(first->Multiplicity(5.0), 2u);
+  // A second Ensure returns the same live object (concurrent oracles hold
+  // raw pointers into the catalog, so Ensure must never swap an index).
+  const SortedIndex* second = catalog.EnsureIndex("T", "k").ValueOrDie();
+  EXPECT_EQ(first, second);
+  EXPECT_FALSE(catalog.EnsureIndex("T", "missing").ok());
+}
+
+TEST(CostModelTest, SequentialScanCostCorners) {
+  CostModel model;
+  // An empty table costs nothing to scan...
+  EXPECT_DOUBLE_EQ(model.SequentialScanCost(0), 0.0);
+  // ...but any non-empty table costs at least one unit (the paper's
+  // Cost(T) = |T|/1000 with a floor).
+  EXPECT_DOUBLE_EQ(model.SequentialScanCost(1), 1.0);
+  EXPECT_DOUBLE_EQ(model.SequentialScanCost(999), 1.0);
+  EXPECT_DOUBLE_EQ(model.SequentialScanCost(5'000), 5.0);
+}
+
+TEST(CostModelTest, SampleSizeClampsToTable) {
+  CostModel model;
+  // Empty tables yield empty samples regardless of rate.
+  EXPECT_EQ(model.SampleSize(0, 0.1), 0u);
+  EXPECT_EQ(model.SampleSize(0, 1.0), 0u);
+  // A sample can never exceed the table, even for rates above 1 or
+  // rounding that would push ceil(rate * rows) past rows.
+  EXPECT_EQ(model.SampleSize(100, 1.5), 100u);
+  EXPECT_EQ(model.SampleSize(3, 0.999), 3u);
+  EXPECT_EQ(model.SampleSize(100, 0.1), 10u);
+  // ceil: a tiny positive rate still samples at least one row.
+  EXPECT_EQ(model.SampleSize(100, 1e-9), 1u);
+  // Degenerate rates (zero, negative, NaN) yield no sample.
+  EXPECT_EQ(model.SampleSize(100, 0.0), 0u);
+  EXPECT_EQ(model.SampleSize(100, -0.5), 0u);
+  EXPECT_EQ(model.SampleSize(100, std::nan("")), 0u);
+}
+
+TEST(CostModelTest, SampleSizeWithMinimumFloor) {
+  CostModel model;
+  // rate*rows below the floor: the floor wins...
+  EXPECT_EQ(model.SampleSize(10'000, 0.001, 100), 100u);
+  // ...unless the table itself is smaller than the floor.
+  EXPECT_EQ(model.SampleSize(40, 0.1, 100), 40u);
+  EXPECT_EQ(model.SampleSize(0, 0.1, 100), 0u);
+  // Above the floor the plain rate applies.
+  EXPECT_EQ(model.SampleSize(10'000, 0.1, 100), 1'000u);
 }
 
 }  // namespace

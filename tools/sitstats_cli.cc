@@ -13,7 +13,7 @@
 //                                   --lo X --hi Y [--stats FILE] [--exact]
 //   sitstats_cli schedule       DIR --sit "T.col:A.x=B.y;B.y=C.z" [--sit ...]
 //                                   [--variant ...] [--rate R] [--buckets N]
-//                                   [--memory M] [--out FILE]
+//                                   [--memory M] [--threads N] [--out FILE]
 //
 // Flags accept both `--key value` and `--key=value`. Every command also
 // takes the global telemetry flags:
@@ -27,7 +27,9 @@
 // weighted supersequence instance, solves it with all four strategies
 // (Naive/Opt/Greedy/Hybrid), prints the comparison, and executes the
 // cheapest schedule. Each --sit is "attr" or "attr:join1;join2;..." with
-// joins in A.x=B.y form.
+// joins in A.x=B.y form. --threads N runs independent schedule steps on N
+// worker threads (0 or unset defers to $SITSTATS_THREADS, default serial);
+// built SITs are identical at any thread count.
 //
 // Data directories are the CSV catalogs written by generate-* (one CSV per
 // table plus a MANIFEST); statistics files are the text SIT catalogs of
@@ -391,11 +393,13 @@ int RunSchedule(const Args& args) {
   exec_options.sampling_rate = problem_options.sampling_rate;
   exec_options.histogram_spec.num_buckets =
       static_cast<int>(args.GetInt("buckets", 100));
+  exec_options.num_threads = static_cast<int>(args.GetInt("threads", 0));
   auto executed = ExecuteSitSchedule(catalog.get(), &stats, descriptors,
                                      *mapping, best->schedule, exec_options);
   if (!executed.ok()) return FailStatus(executed.status());
-  std::printf("executed %zu-step schedule (cost %.1f): %s\n",
+  std::printf("executed %zu-step schedule (cost %.1f, %zu threads): %s\n",
               best->schedule.steps.size(), best->schedule.cost,
+              executed->threads_used,
               executed->total_stats.ToString().c_str());
   for (const Sit& sit : executed->sits) {
     std::printf("  %s est|Q|=%.0f buckets=%zu\n",
