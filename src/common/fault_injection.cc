@@ -1,0 +1,80 @@
+#include "common/fault_injection.h"
+
+#include "common/logging.h"
+
+namespace sitstats {
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+void FaultInjector::Arm(const std::string& site, uint64_t ordinal,
+                        Status status) {
+  SITSTATS_CHECK(!status.ok()) << "cannot inject an OK status";
+  SITSTATS_CHECK(ordinal > 0) << "fault ordinals are 1-based";
+  std::lock_guard<std::mutex> lock(mu_);
+  counting_ = false;
+  armed_ = true;
+  fired_ = false;
+  armed_site_ = site;
+  armed_ordinal_ = ordinal;
+  injected_status_ = std::move(status);
+  counts_.clear();
+  faults_injected_.store(0, std::memory_order_release);
+  active_.store(true, std::memory_order_release);
+}
+
+void FaultInjector::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  active_.store(false, std::memory_order_release);
+  counting_ = false;
+  armed_ = false;
+  fired_ = false;
+  armed_site_.clear();
+  armed_ordinal_ = 0;
+  counts_.clear();
+}
+
+void FaultInjector::StartCounting() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counting_ = true;
+  armed_ = false;
+  fired_ = false;
+  counts_.clear();
+  faults_injected_.store(0, std::memory_order_release);
+  active_.store(true, std::memory_order_release);
+}
+
+FaultInjector::SiteCounts FaultInjector::StopCounting() {
+  std::lock_guard<std::mutex> lock(mu_);
+  active_.store(false, std::memory_order_release);
+  counting_ = false;
+  SiteCounts counts = std::move(counts_);
+  counts_.clear();
+  return counts;
+}
+
+bool FaultInjector::armed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return armed_;
+}
+
+Status FaultInjector::MaybeFail(const char* site) {
+  // Idle fast path: one relaxed load, no lock, no allocation.
+  if (!active_.load(std::memory_order_relaxed)) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (counting_) {
+    ++counts_[site];
+    return Status::OK();
+  }
+  if (!armed_ || fired_) return Status::OK();
+  if (armed_site_ != site) return Status::OK();
+  uint64_t hit = ++counts_[site];
+  if (hit != armed_ordinal_) return Status::OK();
+  fired_ = true;
+  faults_injected_.fetch_add(1, std::memory_order_acq_rel);
+  return injected_status_;
+}
+
+}  // namespace sitstats

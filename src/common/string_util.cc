@@ -1,5 +1,9 @@
 #include "common/string_util.h"
 
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
 #include <sstream>
 
 namespace sitstats {
@@ -34,6 +38,34 @@ std::string FormatDouble(double value, int precision) {
   os.precision(precision);
   os << std::fixed << value;
   return os.str();
+}
+
+Result<int64_t> ParseInt64(const std::string& text) {
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') {
+    return Status::InvalidArgument("not an integer: '" + text + "'");
+  }
+  if (errno == ERANGE) {
+    return Status::OutOfRange("integer out of int64 range: '" + text + "'");
+  }
+  return static_cast<int64_t>(v);
+}
+
+Result<double> ParseDouble(const std::string& text) {
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') {
+    return Status::InvalidArgument("not a number: '" + text + "'");
+  }
+  // ERANGE covers both overflow (±HUGE_VAL) and underflow (denormal or
+  // zero); only overflow loses the value's magnitude entirely.
+  if (errno == ERANGE && (v == HUGE_VAL || v == -HUGE_VAL)) {
+    return Status::OutOfRange("number out of double range: '" + text + "'");
+  }
+  return v;
 }
 
 std::string NumberedName(const char* prefix, long long n) {

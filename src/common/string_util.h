@@ -1,8 +1,12 @@
 #ifndef SITSTATS_COMMON_STRING_UTIL_H_
 #define SITSTATS_COMMON_STRING_UTIL_H_
 
+#include <cstdint>
+
 #include <string>
 #include <vector>
+
+#include "common/result.h"
 
 namespace sitstats {
 
@@ -15,6 +19,16 @@ std::vector<std::string> Split(const std::string& s, char sep);
 
 /// Formats a double with `precision` significant decimal digits.
 std::string FormatDouble(double value, int precision = 4);
+
+/// Parses the *entire* string as a base-10 int64. Unlike atoll, trailing
+/// garbage ("12x"), an empty string, and out-of-range magnitudes are
+/// errors rather than silent zeros / clamps.
+Result<int64_t> ParseInt64(const std::string& text);
+
+/// Parses the *entire* string as a double (strtod grammar: decimal,
+/// scientific, inf, nan). Trailing garbage, an empty string, and overflow
+/// to ±infinity are errors.
+Result<double> ParseDouble(const std::string& text);
 
 /// `prefix` followed by the decimal rendering of `n` ("T", 3 -> "T3").
 /// Use instead of `"T" + std::to_string(n)`: that spelling trips GCC 12's

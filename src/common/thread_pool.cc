@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <atomic>
+#include <cerrno>
 #include <cstdlib>
 #include <string>
 
@@ -129,8 +130,21 @@ size_t ResolveThreadCount(int requested) {
   long value = requested;
   if (value <= 0) {
     const char* env = std::getenv("SITSTATS_THREADS");
-    value = (env != nullptr && *env != '\0') ? std::strtol(env, nullptr, 10)
-                                             : 0;
+    if (env != nullptr && *env != '\0') {
+      // A typo'd SITSTATS_THREADS must not silently serialize ("8x" -> 8
+      // would be worse, but "eight" -> 0 is still surprising): warn once
+      // per lookup and fall back to the serial default.
+      errno = 0;
+      char* end = nullptr;
+      value = std::strtol(env, &end, 10);
+      if (end == env || *end != '\0' || errno == ERANGE) {
+        SITSTATS_LOG(kWarning) << "ignoring malformed SITSTATS_THREADS='"
+                               << env << "'; using 1 thread";
+        value = 0;
+      }
+    } else {
+      value = 0;
+    }
   }
   if (value <= 0) return 1;
   if (value > 256) return 256;

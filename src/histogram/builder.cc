@@ -5,6 +5,7 @@
 #include <limits>
 #include <numeric>
 
+#include "common/fault_injection.h"
 #include "common/logging.h"
 #include "common/timer.h"
 #include "telemetry/telemetry.h"
@@ -355,6 +356,7 @@ Status CheckVOptimalSize(const HistogramSpec& spec, size_t distinct) {
 
 Result<Histogram> BuildHistogram(std::vector<double> values,
                                  const HistogramSpec& spec) {
+  SITSTATS_FAULT_SITE("histogram.build");
   if (spec.num_buckets <= 0) {
     return Status::InvalidArgument("num_buckets must be positive");
   }
@@ -377,6 +379,7 @@ Result<Histogram> BuildHistogram(std::vector<double> values,
 Result<Histogram> BuildHistogramFromSample(std::vector<double> sample,
                                            double population_size,
                                            const HistogramSpec& spec) {
+  SITSTATS_FAULT_SITE("histogram.build.sample");
   if (spec.num_buckets <= 0) {
     return Status::InvalidArgument("num_buckets must be positive");
   }
@@ -421,6 +424,7 @@ Result<Histogram> BuildHistogramFromSample(std::vector<double> sample,
 Result<Histogram> BuildHistogramWeighted(
     std::vector<std::pair<double, double>> weighted,
     const HistogramSpec& spec) {
+  SITSTATS_FAULT_SITE("histogram.build.weighted");
   if (spec.num_buckets <= 0) {
     return Status::InvalidArgument("num_buckets must be positive");
   }

@@ -46,17 +46,35 @@ double EstimateJoinCardinality(const Histogram& r, const Histogram& s) {
   double total = 0.0;
   size_t i = 0;
   size_t j = 0;
+  // Buckets are closed ranges, so inputs whose adjacent buckets share an
+  // endpoint v (CheckValid forbids that within one histogram, but this
+  // function accepts unvalidated inputs, e.g. a singleton bucket starting
+  // where its neighbor ends) produce two consecutive overlaps that both
+  // contain v. The second, a point overlap [v, v], would count v's groups
+  // a second time; remember the end of the last overlap that contributed
+  // and skip a point overlap sitting exactly on it.
+  bool have_counted = false;
+  double last_counted_hi = 0.0;
   while (i < r.num_buckets() && j < s.num_buckets()) {
     const Bucket& br = r.bucket(i);
     const Bucket& bs = s.bucket(j);
     double lo = std::max(br.lo, bs.lo);
     double hi = std::min(br.hi, bs.hi);
     if (lo <= hi) {
-      BucketFragment fr = Restrict(br, lo, hi);
-      BucketFragment fs = Restrict(bs, lo, hi);
-      double max_dv = std::max(fr.distinct, fs.distinct);
-      if (max_dv > 0.0) {
-        total += fr.frequency * fs.frequency / max_dv;
+      const bool duplicate_point =
+          lo == hi && have_counted && last_counted_hi == hi;
+      if (!duplicate_point) {
+        BucketFragment fr = Restrict(br, lo, hi);
+        BucketFragment fs = Restrict(bs, lo, hi);
+        double max_dv = std::max(fr.distinct, fs.distinct);
+        if (max_dv > 0.0) {
+          double contribution = fr.frequency * fs.frequency / max_dv;
+          total += contribution;
+          if (contribution > 0.0) {
+            have_counted = true;
+            last_counted_hi = hi;
+          }
+        }
       }
     }
     // Advance the bucket that ends first.

@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "common/fault_injection.h"
 #include "common/logging.h"
 
 namespace sitstats {
@@ -29,6 +30,18 @@ ReservoirSampler::ReservoirSampler(size_t capacity, Rng* rng)
   SITSTATS_CHECK(capacity_ > 0) << "reservoir capacity must be positive";
   SITSTATS_CHECK(rng_ != nullptr);
   sample_.reserve(capacity_);
+}
+
+Result<ReservoirSampler> ReservoirSampler::Create(size_t capacity,
+                                                  Rng* rng) {
+  SITSTATS_FAULT_SITE("sampling.reservoir.create");
+  if (capacity == 0) {
+    return Status::InvalidArgument("reservoir capacity must be positive");
+  }
+  if (rng == nullptr) {
+    return Status::InvalidArgument("reservoir sampler needs a random stream");
+  }
+  return ReservoirSampler(capacity, rng);
 }
 
 void ReservoirSampler::Add(double value) {

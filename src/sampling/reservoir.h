@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/result.h"
 #include "common/rng.h"
 
 namespace sitstats {
@@ -20,6 +21,13 @@ class ReservoirSampler {
   /// `capacity`: maximum sample size (> 0). `rng` is borrowed and must
   /// outlive the sampler.
   ReservoirSampler(size_t capacity, Rng* rng);
+
+  /// Fallible construction: rejects capacity == 0 or a null rng with a
+  /// Status instead of aborting, and carries the sampling layer's
+  /// fault-injection site ("sampling.reservoir.create"). Library code that
+  /// can propagate errors (the sweep scan) uses this; the constructor
+  /// remains for contexts where a violation is a programming error.
+  static Result<ReservoirSampler> Create(size_t capacity, Rng* rng);
 
   /// Offers one stream element.
   void Add(double value);

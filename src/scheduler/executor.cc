@@ -8,6 +8,7 @@
 #include <mutex>
 #include <optional>
 
+#include "common/fault_injection.h"
 #include "common/thread_pool.h"
 #include "query/join_tree.h"
 #include "sit/oracle_factory.h"
@@ -77,6 +78,7 @@ Result<ScheduleExecutionResult> ExecuteSitSchedule(
   // advancing set would build SITs from the wrong intermediate
   // populations.
   SITSTATS_RETURN_IF_ERROR(schedule.Validate(mapping.problem));
+  SITSTATS_FAULT_SITE("scheduler.plan");
   const size_t threads = ResolveThreadCount(options.num_threads);
   telemetry::TraceSpan exec_span("scheduler.execute_schedule");
   exec_span.AddAttribute("sits", static_cast<double>(sits.size()));
@@ -181,6 +183,7 @@ Result<ScheduleExecutionResult> ExecuteSitSchedule(
   // steps: catalog/base-stats reads are internally locked, and the DAG
   // guarantees exclusive access to each touched SitState.
   auto execute_step = [&](size_t step_idx) -> Status {
+    SITSTATS_FAULT_SITE("scheduler.step");
     const PlannedStep& planned = plan[step_idx];
     telemetry::TraceSpan step_span("scheduler.execute_step");
     step_span.AddAttribute("step", static_cast<double>(step_idx));
@@ -287,6 +290,7 @@ Result<ScheduleExecutionResult> ExecuteSitSchedule(
   result.total_stats = catalog->SnapshotMetrics() - before;
 
   for (size_t s = 0; s < sits.size(); ++s) {
+    SITSTATS_FAULT_SITE("scheduler.finalize");
     SitState& state = states[s];
     if (state.scan_nodes.empty()) {
       SitBuildOptions build;

@@ -1,5 +1,6 @@
 #include "sit/base_stats.h"
 
+#include "common/fault_injection.h"
 #include "sampling/bernoulli.h"
 
 namespace sitstats {
@@ -21,6 +22,7 @@ Result<const Histogram*> BaseStatsCache::GetOrBuild(const Catalog& catalog,
   // sample wins is cached for everyone — determinism across runs then
   // requires building base stats up front, which the default full-scan
   // mode does implicitly).
+  SITSTATS_FAULT_SITE("sit.base_stats.build");
   SITSTATS_ASSIGN_OR_RETURN(const Table* t, catalog.GetTable(table));
   SITSTATS_ASSIGN_OR_RETURN(const Column* col, t->GetColumn(column));
   if (col->type() == ValueType::kString) {
@@ -30,6 +32,7 @@ Result<const Histogram*> BaseStatsCache::GetOrBuild(const Catalog& catalog,
   std::vector<double> values = col->ToNumericVector();
   Histogram histogram;
   if (options_.sample && !values.empty()) {
+    SITSTATS_FAULT_SITE("sampling.bernoulli.sample");
     std::vector<double> sample =
         BernoulliSample(values, options_.sampling_rate, rng);
     if (sample.empty()) sample.push_back(values.front());

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "histogram/join_estimate.h"
 #include "query/join_tree.h"
 #include "sit/oracle_factory.h"
@@ -191,6 +192,7 @@ Result<Sit> CreateSit(Catalog* catalog, BaseStatsCache* base_stats,
   span.AddAttribute("sit", descriptor.ToString());
   span.AddAttribute("variant", SweepVariantToString(options.variant));
   sits_created.Increment();
+  SITSTATS_FAULT_SITE("sit.create");
   if (!descriptor.query().ReferencesTable(descriptor.attribute().table)) {
     return Status::InvalidArgument(
         "SIT attribute table is not part of the generating query: " +

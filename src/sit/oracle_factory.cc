@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/fault_injection.h"
+
 namespace sitstats {
 
 namespace {
@@ -84,6 +86,7 @@ Result<std::unique_ptr<MultiplicityOracle>> MakeChildOracle(
     Catalog* catalog, BaseStatsCache* base_stats, const JoinTree& tree,
     int node_index, int child_index, SweepOutput* child_output, bool exact,
     Rng* rng, ContainmentMode mode) {
+  SITSTATS_FAULT_SITE("sit.oracle.create");
   const JoinTree::Node& node = tree.node(node_index);
   const JoinTree::Node& child = tree.node(child_index);
   const bool child_is_leaf = tree.IsLeaf(child_index);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/fault_injection.h"
 #include "sampling/reservoir.h"
 #include "storage/scan.h"
 #include "storage/temp_store.h"
@@ -27,6 +28,7 @@ struct TargetState {
 Result<std::vector<SweepOutput>> SweepScanTable(Catalog* catalog,
                                                 const SweepScanSpec& spec,
                                                 Rng* rng) {
+  SITSTATS_FAULT_SITE("sit.sweep.scan");
   if (spec.targets.empty()) {
     return Status::InvalidArgument("sweep scan with no targets");
   }
@@ -93,10 +95,17 @@ Result<std::vector<SweepOutput>> SweepScanTable(Catalog* catalog,
     states[t].attribute_slot = slot_of(spec.targets[t].attribute);
     states[t].rng = spec.targets[t].rng != nullptr ? spec.targets[t].rng : rng;
     if (spec.use_sampling) {
-      reservoirs.emplace_back(capacity, states[t].rng);
+      SITSTATS_ASSIGN_OR_RETURN(
+          ReservoirSampler sampler,
+          ReservoirSampler::Create(capacity, states[t].rng));
+      reservoirs.push_back(std::move(sampler));
       states[t].reservoir = &reservoirs.back();
     } else {
-      stores.emplace_back();
+      if (spec.temp_memory_runs > 0) {
+        stores.emplace_back(spec.temp_memory_runs);
+      } else {
+        stores.emplace_back();
+      }
       states[t].store = &stores.back();
     }
   }
@@ -169,6 +178,7 @@ Result<std::vector<SweepOutput>> SweepScanTable(Catalog* catalog,
   std::vector<SweepOutput> outputs;
   outputs.reserve(spec.targets.size());
   for (size_t t = 0; t < spec.targets.size(); ++t) {
+    SITSTATS_FAULT_SITE("sit.sweep.build_output");
     TargetState& state = states[t];
     SweepOutput out;
     out.estimated_cardinality = state.fractional_cardinality;

@@ -57,6 +57,10 @@ struct SweepScanSpec {
   /// false => stream the full weighted projection through a spillable
   /// temporary store instead of sampling (SweepFull / SweepExact).
   bool use_sampling = true;
+  /// In-memory run budget of the temporary store on the full path; 0 keeps
+  /// the store's default. Tests shrink it to force the spill path on small
+  /// tables.
+  size_t temp_memory_runs = 0;
   HistogramSpec histogram_spec;
 };
 

@@ -1,5 +1,6 @@
 #include "storage/catalog.h"
 
+#include "common/fault_injection.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "telemetry/trace.h"
@@ -21,6 +22,7 @@ Catalog& Catalog::operator=(Catalog&& other) noexcept {
 }
 
 Status Catalog::AddTable(std::unique_ptr<Table> table) {
+  SITSTATS_FAULT_SITE("storage.catalog.add_table");
   const std::string& name = table->name();
   std::unique_lock<std::shared_mutex> lock(mu_);
   if (tables_.contains(name)) {
@@ -72,6 +74,10 @@ Status Catalog::BuildIndex(const std::string& table_name,
   SITSTATS_ASSIGN_OR_RETURN(SortedIndex index,
                             SortedIndex::Build(*table, column_name));
   SITSTATS_DCHECK_OK(index.CheckValid(*table));
+  // Registration site sits between the build and the registry insert: a
+  // failure here must leave the catalog without any trace of the new
+  // index (the sweep asserts ValidateConsistency afterwards).
+  SITSTATS_FAULT_SITE("storage.catalog.register_index");
   std::unique_lock<std::shared_mutex> lock(mu_);
   indexes_.insert_or_assign({table_name, column_name}, std::move(index));
   return Status::OK();
@@ -92,6 +98,7 @@ Result<const SortedIndex*> Catalog::EnsureIndex(
   SITSTATS_ASSIGN_OR_RETURN(SortedIndex index,
                             SortedIndex::Build(*table, column_name));
   SITSTATS_DCHECK_OK(index.CheckValid(*table));
+  SITSTATS_FAULT_SITE("storage.catalog.register_index");
   std::unique_lock<std::shared_mutex> lock(mu_);
   auto [it, inserted] =
       indexes_.try_emplace({table_name, column_name}, std::move(index));

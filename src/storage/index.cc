@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <numeric>
 
+#include "common/fault_injection.h"
+
 namespace sitstats {
 
 Result<SortedIndex> SortedIndex::Build(const Table& table,
                                        const std::string& column_name) {
+  SITSTATS_FAULT_SITE("storage.index.build");
   SITSTATS_ASSIGN_OR_RETURN(const Column* col, table.GetColumn(column_name));
   if (col->type() == ValueType::kString) {
     return Status::InvalidArgument("cannot index string column " +

@@ -1,5 +1,6 @@
 #include "storage/scan.h"
 
+#include "common/fault_injection.h"
 #include "telemetry/trace.h"
 
 namespace sitstats {
@@ -9,6 +10,7 @@ Result<SequentialScan> SequentialScan::Open(
     const std::vector<std::string>& columns) {
   telemetry::TraceSpan span("storage.open_scan");
   span.AddAttribute("table", table_name);
+  SITSTATS_FAULT_SITE("storage.scan.open");
   SITSTATS_ASSIGN_OR_RETURN(const Table* table, catalog->GetTable(table_name));
   SequentialScan scan;
   scan.table_name_ = table_name;

@@ -1,10 +1,14 @@
 #include "storage/table_io.h"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include <fstream>
 #include <sstream>
 
+#include "common/fault_injection.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 
@@ -28,6 +32,7 @@ Result<ValueType> TypeFromName(const std::string& name) {
 }  // namespace
 
 Status WriteTableCsv(const Table& table, const std::string& path) {
+  SITSTATS_FAULT_SITE("storage.table_io.write");
   std::ofstream out(path, std::ios::trunc);
   if (!out) return Status::IOError("cannot open " + path + " for writing");
   // Header.
@@ -74,6 +79,7 @@ Status WriteTableCsv(const Table& table, const std::string& path) {
 
 Result<Table> ReadTableCsv(const std::string& table_name,
                            const std::string& path) {
+  SITSTATS_FAULT_SITE("storage.table_io.read");
   std::ifstream in(path);
   if (!in) return Status::IOError("cannot open " + path + " for reading");
   std::string line;
@@ -107,23 +113,43 @@ Result<Table> ReadTableCsv(const std::string& table_name,
     for (size_t c = 0; c < fields.size(); ++c) {
       switch (schema.column(c).type) {
         case ValueType::kInt64: {
+          // strtoll signals overflow only through errno (the return value
+          // clamps to LLONG_MIN/MAX, which the endptr check alone would
+          // accept as a real cell value).
           char* end = nullptr;
+          errno = 0;
           long long v = std::strtoll(fields[c].c_str(), &end, 10);
           if (end == fields[c].c_str() || *end != '\0') {
             return Status::InvalidArgument(
-                path + ":" + std::to_string(line_number) +
-                ": bad int64 '" + fields[c] + "'");
+                path + ":" + std::to_string(line_number) + ": column " +
+                schema.column(c).name + ": bad int64 '" + fields[c] + "'");
+          }
+          if (errno == ERANGE) {
+            return Status::OutOfRange(
+                path + ":" + std::to_string(line_number) + ": column " +
+                schema.column(c).name + ": int64 overflow '" + fields[c] +
+                "'");
           }
           row.emplace_back(static_cast<int64_t>(v));
           break;
         }
         case ValueType::kDouble: {
           char* end = nullptr;
+          errno = 0;
           double v = std::strtod(fields[c].c_str(), &end);
           if (end == fields[c].c_str() || *end != '\0') {
             return Status::InvalidArgument(
-                path + ":" + std::to_string(line_number) +
-                ": bad double '" + fields[c] + "'");
+                path + ":" + std::to_string(line_number) + ": column " +
+                schema.column(c).name + ": bad double '" + fields[c] + "'");
+          }
+          // ERANGE covers both overflow (±HUGE_VAL) and underflow
+          // (denormal/zero); only overflow turns a finite-looking cell
+          // into ±inf, so that is the case rejected here.
+          if (errno == ERANGE && (v == HUGE_VAL || v == -HUGE_VAL)) {
+            return Status::OutOfRange(
+                path + ":" + std::to_string(line_number) + ": column " +
+                schema.column(c).name + ": double overflow '" + fields[c] +
+                "'");
           }
           row.emplace_back(v);
           break;
@@ -139,6 +165,7 @@ Result<Table> ReadTableCsv(const std::string& table_name,
 }
 
 Status SaveCatalogCsv(const Catalog& catalog, const std::string& dir) {
+  SITSTATS_FAULT_SITE("storage.catalog.save");
   std::ofstream manifest(dir + "/MANIFEST", std::ios::trunc);
   if (!manifest) {
     return Status::IOError("cannot write " + dir +
@@ -156,6 +183,7 @@ Status SaveCatalogCsv(const Catalog& catalog, const std::string& dir) {
 }
 
 Result<std::unique_ptr<Catalog>> LoadCatalogCsv(const std::string& dir) {
+  SITSTATS_FAULT_SITE("storage.catalog.load");
   std::ifstream manifest(dir + "/MANIFEST");
   if (!manifest) {
     return Status::IOError("cannot open " + dir + "/MANIFEST");

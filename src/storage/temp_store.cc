@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <atomic>
 
+#include "common/fault_injection.h"
 #include "telemetry/telemetry.h"
 
 namespace sitstats {
@@ -83,6 +84,7 @@ Status TempValueStore::Append(double value, double weight) {
 }
 
 Status TempValueStore::SpillBuffer() {
+  SITSTATS_FAULT_SITE("storage.temp.spill");
   static telemetry::Counter& temp_spills =
       telemetry::MetricsRegistry::Global().GetCounter("storage.temp_spills");
   temp_spills.Increment();
@@ -110,6 +112,7 @@ Status TempValueStore::SpillBuffer() {
 
 Status TempValueStore::ReadAll(
     std::vector<std::pair<double, double>>* out) const {
+  SITSTATS_FAULT_SITE("storage.temp.read");
   out->clear();
   out->reserve(total_runs_);
   if (file_ != nullptr) {

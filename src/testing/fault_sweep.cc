@@ -1,0 +1,246 @@
+#include "testing/fault_sweep.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <utility>
+
+#include "common/fault_injection.h"
+#include "common/rng.h"
+#include "scheduler/executor.h"
+#include "scheduler/sit_problem.h"
+#include "scheduler/solver.h"
+#include "sit/base_stats.h"
+#include "sit/creator.h"
+#include "sit/sweep_scan.h"
+#include "storage/table_io.h"
+
+namespace sitstats {
+
+namespace {
+
+/// Everything one workload run produces that can be inspected after an
+/// injected failure. Members are only populated up to the failure point.
+struct WorkloadState {
+  std::unique_ptr<Catalog> generated;  // pre-save catalog
+  std::unique_ptr<Catalog> loaded;     // post-CSV-round-trip catalog
+  std::vector<Sit> built;              // SITs completed before the fault
+};
+
+Result<SitDescriptor> MakeChainDescriptor() {
+  SITSTATS_ASSIGN_OR_RETURN(
+      GeneratingQuery chain,
+      GeneratingQuery::Create(
+          {"nation", "customer", "orders"},
+          {JoinPredicate{ColumnRef{"nation", "n_nationkey"},
+                         ColumnRef{"customer", "c_nationkey"}},
+           JoinPredicate{ColumnRef{"customer", "c_custkey"},
+                         ColumnRef{"orders", "o_custkey"}}}));
+  return SitDescriptor(ColumnRef{"orders", "o_totalprice"},
+                       std::move(chain));
+}
+
+Result<std::vector<SitDescriptor>> MakeScheduleDescriptors() {
+  std::vector<SitDescriptor> sits;
+  SITSTATS_ASSIGN_OR_RETURN(SitDescriptor chain, MakeChainDescriptor());
+  sits.push_back(std::move(chain));
+  // Shares the orders scan with the chain SIT above.
+  SITSTATS_ASSIGN_OR_RETURN(
+      GeneratingQuery co,
+      GeneratingQuery::Create({"customer", "orders"},
+                              {JoinPredicate{ColumnRef{"customer", "c_custkey"},
+                                             ColumnRef{"orders", "o_custkey"}}}));
+  sits.emplace_back(ColumnRef{"orders", "o_orderdate"}, std::move(co));
+  // Disjoint tables: runs concurrently with the others under threads.
+  SITSTATS_ASSIGN_OR_RETURN(
+      GeneratingQuery ol,
+      GeneratingQuery::Create({"orders", "lineitem"},
+                              {JoinPredicate{ColumnRef{"orders", "o_orderkey"},
+                                             ColumnRef{"lineitem",
+                                                       "l_orderkey"}}}));
+  sits.emplace_back(ColumnRef{"lineitem", "l_extendedprice"}, std::move(ol));
+  return sits;
+}
+
+/// The workload under test: touches every fallible layer once, with fixed
+/// seeds so the counting run and every armed run hit each site the same
+/// number of times.
+Status RunWorkload(const FaultSweepOptions& options, const std::string& dir,
+                   WorkloadState* state) {
+  SITSTATS_ASSIGN_OR_RETURN(state->generated,
+                            MakeTpchLiteDatabase(options.spec));
+
+  // Storage layer: CSV save/load round trip; the rest of the workload
+  // runs against the re-loaded catalog.
+  SITSTATS_RETURN_IF_ERROR(SaveCatalogCsv(*state->generated, dir));
+  SITSTATS_ASSIGN_OR_RETURN(state->loaded, LoadCatalogCsv(dir));
+  Catalog* catalog = state->loaded.get();
+
+  // Sampling layer: base statistics from a Bernoulli row sample.
+  {
+    BaseStatsOptions bopts;
+    bopts.sample = true;
+    bopts.sampling_rate = 0.5;
+    BaseStatsCache sampled(bopts);
+    Rng rng(options.spec.seed);
+    SITSTATS_RETURN_IF_ERROR(
+        sampled.GetOrBuild(*catalog, "customer", "c_acctbal", &rng)
+            .status());
+  }
+
+  // Full (no-sampling) path with a tiny in-memory budget: forces the
+  // temporary store to spill and read back even on this small table.
+  {
+    SweepScanSpec spec;
+    spec.table = "lineitem";
+    SweepTarget target;
+    target.attribute = "l_quantity";
+    spec.targets.push_back(std::move(target));
+    spec.use_sampling = false;
+    spec.temp_memory_runs = 4;
+    Rng rng(options.spec.seed + 1);
+    SITSTATS_RETURN_IF_ERROR(SweepScanTable(catalog, spec, &rng).status());
+  }
+
+  // Every variant over the 3-table chain (histogram, index, exact-map and
+  // pure-histogram oracles all get exercised).
+  SITSTATS_ASSIGN_OR_RETURN(SitDescriptor chain_sit, MakeChainDescriptor());
+  BaseStatsCache stats;
+  const SweepVariant variants[] = {
+      SweepVariant::kSweep, SweepVariant::kSweepFull,
+      SweepVariant::kSweepIndex, SweepVariant::kSweepExact,
+      SweepVariant::kHistSit};
+  for (SweepVariant variant : variants) {
+    SitBuildOptions build;
+    build.variant = variant;
+    build.seed = options.spec.seed;
+    SITSTATS_ASSIGN_OR_RETURN(Sit sit,
+                              CreateSit(catalog, &stats, chain_sit, build));
+    state->built.push_back(std::move(sit));
+  }
+
+  // Scheduler layer: shared-scan schedule over three SITs (two share the
+  // orders scan), executed serially or on a worker pool.
+  SITSTATS_ASSIGN_OR_RETURN(std::vector<SitDescriptor> sits,
+                            MakeScheduleDescriptors());
+  SitProblemOptions popts;
+  SITSTATS_ASSIGN_OR_RETURN(SitSchedulingProblem mapping,
+                            BuildSitSchedulingProblem(*catalog, sits, popts));
+  SolverOptions sopts;
+  sopts.kind = SolverKind::kGreedy;
+  SITSTATS_ASSIGN_OR_RETURN(SolverResult solved,
+                            SolveSchedule(mapping.problem, sopts));
+  ScheduleExecutionOptions eopts;
+  eopts.variant = SweepVariant::kSweep;
+  eopts.num_threads = options.num_threads;
+  eopts.seed = options.spec.seed;
+  SITSTATS_ASSIGN_OR_RETURN(
+      ScheduleExecutionResult executed,
+      ExecuteSitSchedule(catalog, &stats, sits, mapping, solved.schedule,
+                         eopts));
+  for (Sit& sit : executed.sits) state->built.push_back(std::move(sit));
+  return Status::OK();
+}
+
+/// Post-run invariants: catalogs consistent (every registered index is
+/// complete and correct), every finished SIT internally valid.
+Status ValidateState(const WorkloadState& state, const std::string& context) {
+  for (const Catalog* catalog :
+       {state.generated.get(), state.loaded.get()}) {
+    if (catalog == nullptr) continue;
+    Status valid = catalog->ValidateConsistency();
+    if (!valid.ok()) {
+      return Status::Internal(context + ": catalog inconsistent: " +
+                              valid.ToString());
+    }
+  }
+  for (const Sit& sit : state.built) {
+    Status valid = sit.histogram.CheckValid();
+    if (!valid.ok()) {
+      return Status::Internal(context + ": partial SIT " +
+                              sit.descriptor.ToString() + ": " +
+                              valid.ToString());
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<FaultSweepReport> RunFaultSweep(const FaultSweepOptions& options) {
+  FaultInjector& injector = FaultInjector::Global();
+  uint64_t run_id = 0;
+
+  auto run_once = [&](WorkloadState* state) -> Status {
+    std::string dir =
+        options.temp_root + "/sitstats_fault_sweep_" +
+        std::to_string(reinterpret_cast<uintptr_t>(&run_id)) + "_" +
+        std::to_string(run_id++);
+    std::string mkdir_cmd = "mkdir -p " + dir;
+    if (std::system(mkdir_cmd.c_str()) != 0) {
+      return Status::IOError("cannot create scratch dir " + dir);
+    }
+    Status status = RunWorkload(options, dir, state);
+    std::string rm_cmd = "rm -rf " + dir;
+    (void)std::system(rm_cmd.c_str());
+    return status;
+  };
+
+  // Counting pass: enumerate the reachable sites and prove the workload
+  // is clean without injection.
+  injector.StartCounting();
+  WorkloadState baseline;
+  Status clean = run_once(&baseline);
+  FaultInjector::SiteCounts counts = injector.StopCounting();
+  if (!clean.ok()) {
+    return Status::Internal("fault-free workload failed: " +
+                            clean.ToString());
+  }
+  SITSTATS_RETURN_IF_ERROR(ValidateState(baseline, "counting run"));
+  if (counts.empty()) {
+    return Status::Internal(
+        "no fault sites reached; was the library built with "
+        "SITSTATS_FAULT_INJECTION=OFF?");
+  }
+
+  FaultSweepReport report;
+  for (const auto& [site, hits] : counts) {
+    FaultSweepSiteResult result;
+    result.site = site;
+    result.hits = hits;
+    uint64_t last = hits;
+    if (options.max_ordinals_per_site > 0) {
+      last = std::min<uint64_t>(last, options.max_ordinals_per_site);
+    }
+    for (uint64_t ordinal = 1; ordinal <= last; ++ordinal) {
+      const std::string marker =
+          "injected fault at " + site + "#" + std::to_string(ordinal);
+      if (options.progress) options.progress(marker);
+      injector.Arm(site, ordinal, Status::Internal(marker));
+      WorkloadState state;
+      Status status = run_once(&state);
+      const uint64_t fired = injector.faults_injected();
+      injector.Disarm();
+      if (fired != 1) {
+        return Status::Internal(
+            marker + ": armed fault fired " + std::to_string(fired) +
+            " times (expected exactly 1; nondeterministic workload?)");
+      }
+      if (status.ok()) {
+        return Status::Internal(
+            marker + ": workload succeeded despite the injected fault");
+      }
+      if (status.message().find(marker) == std::string::npos) {
+        return Status::Internal(marker + ": injected error was swallowed; "
+                                "workload returned: " + status.ToString());
+      }
+      SITSTATS_RETURN_IF_ERROR(ValidateState(state, marker));
+      ++result.injections;
+      ++report.total_injections;
+    }
+    report.sites.push_back(std::move(result));
+  }
+  return report;
+}
+
+}  // namespace sitstats

@@ -1,0 +1,68 @@
+#ifndef SITSTATS_TESTING_FAULT_SWEEP_H_
+#define SITSTATS_TESTING_FAULT_SWEEP_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "datagen/tpch_lite.h"
+
+namespace sitstats {
+
+/// One enumerated injection site with its sweep outcome.
+struct FaultSweepSiteResult {
+  std::string site;
+  uint64_t hits = 0;        // hits observed in the counting run
+  uint64_t injections = 0;  // armed runs executed against this site
+};
+
+struct FaultSweepReport {
+  std::vector<FaultSweepSiteResult> sites;
+  uint64_t total_injections = 0;
+};
+
+struct FaultSweepOptions {
+  FaultSweepOptions() {
+    // Deliberately tiny workload: every fault site should be hit only a
+    // handful of times so the site x ordinal enumeration stays in the
+    // low hundreds of runs.
+    spec.num_nations = 8;
+    spec.num_customers = 60;
+    spec.num_orders = 200;
+    spec.avg_lineitems_per_order = 3;
+    spec.seed = 7;
+  }
+
+  TpchLiteSpec spec;
+  /// Worker threads for the schedule-execution stage (1 = serial).
+  int num_threads = 1;
+  /// Cap on ordinals swept per site; 0 sweeps every observed hit.
+  uint64_t max_ordinals_per_site = 0;
+  /// Scratch directory root for the CSV round-trip stage.
+  std::string temp_root = "/tmp";
+  /// Optional per-injection progress sink (the CLI driver prints these).
+  std::function<void(const std::string&)> progress;
+};
+
+/// Runs the full fault sweep over a TPC-H-lite workload that exercises
+/// every fallible layer: CSV save/load round trip, sampled base
+/// statistics, a spilling full-path sweep scan, every Sweep variant over
+/// a 3-table chain, and a shared-scan schedule execution.
+///
+/// One counting pass enumerates the reachable sites, then one armed pass
+/// runs per site x ordinal, asserting after each that
+///   (a) exactly the injected error surfaced (not swallowed, not wrapped
+///       into success, fired exactly once),
+///   (b) every catalog the run produced still passes ValidateConsistency
+///       (registered indexes are complete — no partial index survives),
+///   (c) every SIT the run finished before the fault is itself valid, and
+///   (d) nothing hung — the workload returning at all proves the
+///       schedule executor's WaitGroup terminated.
+/// Returns the per-site report, or the first violation as a Status.
+Result<FaultSweepReport> RunFaultSweep(const FaultSweepOptions& options);
+
+}  // namespace sitstats
+
+#endif  // SITSTATS_TESTING_FAULT_SWEEP_H_

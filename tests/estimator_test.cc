@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "datagen/synthetic_db.h"
 #include "estimator/accuracy.h"
 #include "estimator/sit_estimator.h"
@@ -39,6 +42,57 @@ TEST(TrueDistributionTest, RangeCardinalityBoundaries) {
   EXPECT_DOUBLE_EQ(dist.RangeCardinality(5, 5), 3.0);
   EXPECT_DOUBLE_EQ(dist.RangeCardinality(6, 9), 0.0);
   EXPECT_DOUBLE_EQ(dist.RangeCardinality(3, 1), 0.0);
+}
+
+TEST(TrueDistributionTest, RangeCardinalityOnEmptyDistribution) {
+  Catalog catalog;
+  Schema schema;
+  schema.AddColumn("a", ValueType::kInt64);
+  ASSERT_TRUE(catalog.CreateTable("T", schema).ok());
+  TrueDistribution dist =
+      TrueDistribution::Compute(catalog, GeneratingQuery::BaseTable("T"),
+                                ColumnRef{"T", "a"})
+          .ValueOrDie();
+  EXPECT_TRUE(dist.empty());
+  EXPECT_DOUBLE_EQ(dist.total_cardinality(), 0.0);
+  EXPECT_DOUBLE_EQ(dist.RangeCardinality(0, 10), 0.0);
+  EXPECT_DOUBLE_EQ(dist.RangeCardinality(-std::numeric_limits<double>::infinity(),
+                                         std::numeric_limits<double>::infinity()),
+                   0.0);
+}
+
+TEST(TrueDistributionTest, RangeCardinalityEdgeCases) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  Catalog catalog;
+  Schema schema;
+  schema.AddColumn("a", ValueType::kInt64);
+  Table* t = catalog.CreateTable("T", schema).ValueOrDie();
+  for (int64_t v : {10, 20, 20, 30}) {
+    ASSERT_TRUE(t->AppendRow({Value(v)}).ok());
+  }
+  TrueDistribution dist =
+      TrueDistribution::Compute(catalog, GeneratingQuery::BaseTable("T"),
+                                ColumnRef{"T", "a"})
+          .ValueOrDie();
+  // Inverted ranges are empty, even when both endpoints are stored values.
+  EXPECT_DOUBLE_EQ(dist.RangeCardinality(30, 10), 0.0);
+  EXPECT_DOUBLE_EQ(dist.RangeCardinality(20, 19.999), 0.0);
+  // Closed interval: endpoints on stored values are included from both
+  // sides and from one side.
+  EXPECT_DOUBLE_EQ(dist.RangeCardinality(10, 30), 4.0);
+  EXPECT_DOUBLE_EQ(dist.RangeCardinality(10, 10), 1.0);
+  EXPECT_DOUBLE_EQ(dist.RangeCardinality(10.0001, 20), 2.0);
+  EXPECT_DOUBLE_EQ(dist.RangeCardinality(20, 29.999), 2.0);
+  // Ranges entirely off either end of the domain.
+  EXPECT_DOUBLE_EQ(dist.RangeCardinality(-100, 9.999), 0.0);
+  EXPECT_DOUBLE_EQ(dist.RangeCardinality(30.001, 1e300), 0.0);
+  // Infinite endpoints behave as open-ended bounds.
+  EXPECT_DOUBLE_EQ(dist.RangeCardinality(-kInf, kInf), 4.0);
+  EXPECT_DOUBLE_EQ(dist.RangeCardinality(-kInf, 20), 3.0);
+  EXPECT_DOUBLE_EQ(dist.RangeCardinality(20, kInf), 3.0);
+  EXPECT_DOUBLE_EQ(dist.RangeCardinality(kInf, -kInf), 0.0);
+  EXPECT_DOUBLE_EQ(dist.RangeCardinality(kInf, kInf), 0.0);
+  EXPECT_DOUBLE_EQ(dist.RangeCardinality(-kInf, -kInf), 0.0);
 }
 
 TEST(AccuracyTest, PerfectHistogramGetsNearZeroError) {

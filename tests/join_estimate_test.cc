@@ -50,6 +50,47 @@ TEST(JoinEstimateTest, PartialOverlapScalesFractions) {
   EXPECT_NEAR(est, 1000.0 * 4.0 / 9.0, 1e-6);
 }
 
+TEST(JoinEstimateTest, SharedEndpointNotDoubleCountedAcrossBucketPairs) {
+  // Both inputs have adjacent buckets meeting exactly at 5 (legal for this
+  // function: it accepts unvalidated histograms, e.g. propagated ones).
+  // Value 5 already belongs to the closed overlap [0,5] of the first
+  // bucket pair; the point overlap [5,5] of the second pair must not
+  // count it again.
+  Histogram r({Bucket{0, 5, 60, 6}, Bucket{5, 5, 10, 1}});
+  Histogram s({Bucket{0, 5, 30, 6}, Bucket{5, 9, 20, 5}});
+  // First pair: full overlap 60*30/6 = 300. Second pair: point overlap on
+  // the already-counted 5 — skipped (it used to add 10 * (20/5) = 40).
+  EXPECT_DOUBLE_EQ(EstimateJoinCardinality(r, s), 300.0);
+}
+
+TEST(JoinEstimateTest, SingletonBucketOnNeighborsEndpointCountsOnce) {
+  // r's singleton bucket [5,5] sits exactly on the endpoint of its
+  // neighbor [0,5]; s's bucket starts at 5. The merge visits (r0, s0) and
+  // (r1, s0), both reducing to the point overlap [5,5].
+  Histogram r({Bucket{0, 5, 10, 5}, Bucket{5, 5, 4, 1}});
+  Histogram s({Bucket{5, 8, 9, 3}});
+  // Counted once, by the first pair: (10/5) * (9/3) / 1 = 6. The
+  // pre-fix estimate added the second pair's 4 * 3 = 12 on top.
+  EXPECT_DOUBLE_EQ(EstimateJoinCardinality(r, s), 6.0);
+}
+
+TEST(JoinEstimateTest, PointOverlapAfterEmptyPairStillCounts) {
+  // The dedup must track *counted* overlaps only: here the first pair
+  // contributes nothing (zero frequency), so the point overlap of the
+  // second pair is the first real sighting of value 5 and must count.
+  Histogram r({Bucket{0, 5, 0, 0}, Bucket{5, 5, 4, 1}});
+  Histogram s({Bucket{5, 8, 9, 3}});
+  EXPECT_DOUBLE_EQ(EstimateJoinCardinality(r, s), 12.0);
+}
+
+TEST(JoinEstimateTest, LonePointOverlapAtBucketBoundaryStillCounts) {
+  // A single legitimate point overlap (no preceding shared endpoint) is
+  // unaffected by the dedup.
+  Histogram r({Bucket{5, 5, 4, 1}});
+  Histogram s({Bucket{0, 9, 30, 10}});
+  EXPECT_DOUBLE_EQ(EstimateJoinCardinality(r, s), 12.0);
+}
+
 TEST(JoinEstimateTest, SelfJoinKeyEstimateIsAccurateForUniform) {
   // Exact join size of a uniform column with itself: n tuples per value
   // squared, summed.

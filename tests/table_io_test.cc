@@ -111,6 +111,67 @@ TEST_F(TableIoTest, CatalogRoundTrip) {
   }
 }
 
+TEST_F(TableIoTest, Int64OverflowIsRejectedWithRowAndColumnContext) {
+  // atoll-style parsing would clamp this to LLONG_MAX and load garbage;
+  // the reader must fail and say where.
+  std::string path = dir_ + "/overflow.csv";
+  {
+    std::ofstream out(path);
+    out << "k:int64,v:int64\n1,2\n3,99999999999999999999999999\n";
+  }
+  Result<Table> result = ReadTableCsv("T", path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+  EXPECT_NE(result.status().message().find(":3:"), std::string::npos)
+      << result.status().message();
+  EXPECT_NE(result.status().message().find("column v"), std::string::npos)
+      << result.status().message();
+}
+
+TEST_F(TableIoTest, Int64UnderflowIsRejected) {
+  std::string path = dir_ + "/underflow.csv";
+  {
+    std::ofstream out(path);
+    out << "k:int64\n-99999999999999999999999999\n";
+  }
+  EXPECT_EQ(ReadTableCsv("T", path).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST_F(TableIoTest, DoubleOverflowIsRejectedButUnderflowIsNot) {
+  std::string path = dir_ + "/double_overflow.csv";
+  {
+    std::ofstream out(path);
+    out << "x:double\n1e999\n";
+  }
+  Result<Table> overflowed = ReadTableCsv("T", path);
+  ASSERT_FALSE(overflowed.ok());
+  EXPECT_EQ(overflowed.status().code(), StatusCode::kOutOfRange);
+  EXPECT_NE(overflowed.status().message().find("column x"),
+            std::string::npos);
+  // Underflow merely rounds towards zero; the cell stays finite and loads.
+  {
+    std::ofstream out(path);
+    out << "x:double\n1e-999\n";
+  }
+  Result<Table> underflowed = ReadTableCsv("T", path);
+  ASSERT_TRUE(underflowed.ok()) << underflowed.status().ToString();
+  EXPECT_EQ(underflowed->num_rows(), 1u);
+}
+
+TEST_F(TableIoTest, TrailingGarbageNamesTheColumn) {
+  std::string path = dir_ + "/garbage.csv";
+  {
+    std::ofstream out(path);
+    out << "k:int64,x:double\n12x,1.5\n";
+  }
+  Result<Table> result = ReadTableCsv("T", path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("column k"), std::string::npos)
+      << result.status().message();
+}
+
 TEST_F(TableIoTest, SaveToMissingDirectoryFails) {
   Catalog catalog;
   EXPECT_EQ(SaveCatalogCsv(catalog, "/nonexistent/dir").code(),

@@ -114,15 +114,39 @@ struct Args {
     auto it = flags.find(key);
     return it == flags.end() ? fallback : it->second;
   }
-  double GetDouble(const std::string& key, double fallback) const {
+  // Malformed numeric flags are usage errors, not silent zeros: atof/atoll
+  // would turn `--rate ten` into 0 and `--rows 1e9` into 1.
+  Result<double> GetDouble(const std::string& key, double fallback) const {
     auto it = flags.find(key);
-    return it == flags.end() ? fallback : std::atof(it->second.c_str());
+    if (it == flags.end()) return fallback;
+    Result<double> parsed = ParseDouble(it->second);
+    if (!parsed.ok()) {
+      return Status::InvalidArgument("flag --" + key + ": " +
+                                     parsed.status().message());
+    }
+    return parsed;
   }
-  int64_t GetInt(const std::string& key, int64_t fallback) const {
+  Result<int64_t> GetInt(const std::string& key, int64_t fallback) const {
     auto it = flags.find(key);
-    return it == flags.end() ? fallback : std::atoll(it->second.c_str());
+    if (it == flags.end()) return fallback;
+    Result<int64_t> parsed = ParseInt64(it->second);
+    if (!parsed.ok()) {
+      return Status::InvalidArgument("flag --" + key + ": " +
+                                     parsed.status().message());
+    }
+    return parsed;
   }
 };
+
+/// Binds a numeric flag inside the int-returning command handlers; a
+/// malformed value becomes the standard usage failure.
+#define CLI_FLAG_OR_FAIL(type, var, expr)                    \
+  type var;                                                  \
+  {                                                          \
+    auto var##_parsed = (expr);                              \
+    if (!var##_parsed.ok()) return FailStatus(var##_parsed.status()); \
+    var = *var##_parsed;                                     \
+  }
 
 /// Parses "A.x=B.y" into a JoinPredicate.
 Result<JoinPredicate> ParseJoin(const std::string& text) {
@@ -173,13 +197,18 @@ Result<GeneratingQuery> ParseQuery(const Args& args,
 
 int GenerateChain(const Args& args) {
   if (args.positional.empty()) return Fail("generate-chain needs DIR");
+  CLI_FLAG_OR_FAIL(int64_t, tables, args.GetInt("tables", 3));
+  CLI_FLAG_OR_FAIL(int64_t, rows, args.GetInt("rows", 20'000));
+  CLI_FLAG_OR_FAIL(int64_t, domain, args.GetInt("domain", 1'000));
+  CLI_FLAG_OR_FAIL(double, zipf, args.GetDouble("zipf", 1.0));
+  CLI_FLAG_OR_FAIL(int64_t, seed, args.GetInt("seed", 42));
   ChainDbSpec spec;
-  spec.num_tables = static_cast<int>(args.GetInt("tables", 3));
+  spec.num_tables = static_cast<int>(tables);
   spec.table_rows.assign(static_cast<size_t>(spec.num_tables),
-                         static_cast<size_t>(args.GetInt("rows", 20'000)));
-  spec.join_domain = static_cast<uint64_t>(args.GetInt("domain", 1'000));
-  spec.zipf_z = args.GetDouble("zipf", 1.0);
-  spec.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+                         static_cast<size_t>(rows));
+  spec.join_domain = static_cast<uint64_t>(domain);
+  spec.zipf_z = zipf;
+  spec.seed = static_cast<uint64_t>(seed);
   Result<ChainDatabase> db = MakeChainJoinDatabase(spec);
   if (!db.ok()) return FailStatus(db.status());
   Status saved = SaveCatalogCsv(*db->catalog, args.positional[0]);
@@ -194,11 +223,13 @@ int GenerateChain(const Args& args) {
 
 int GenerateTpch(const Args& args) {
   if (args.positional.empty()) return Fail("generate-tpch needs DIR");
+  CLI_FLAG_OR_FAIL(int64_t, customers, args.GetInt("customers", 5'000));
+  CLI_FLAG_OR_FAIL(int64_t, orders, args.GetInt("orders", 30'000));
+  CLI_FLAG_OR_FAIL(int64_t, seed, args.GetInt("seed", 42));
   TpchLiteSpec spec;
-  spec.num_customers =
-      static_cast<size_t>(args.GetInt("customers", 5'000));
-  spec.num_orders = static_cast<size_t>(args.GetInt("orders", 30'000));
-  spec.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  spec.num_customers = static_cast<size_t>(customers);
+  spec.num_orders = static_cast<size_t>(orders);
+  spec.seed = static_cast<uint64_t>(seed);
   Result<std::unique_ptr<Catalog>> catalog = MakeTpchLiteDatabase(spec);
   if (!catalog.ok()) return FailStatus(catalog.status());
   Status saved = SaveCatalogCsv(**catalog, args.positional[0]);
@@ -233,12 +264,13 @@ int BuildSit(const Args& args) {
   auto variant = SweepVariantFromString(args.Get("variant", "Sweep"));
   if (!variant.ok()) return FailStatus(variant.status());
 
+  CLI_FLAG_OR_FAIL(double, rate, args.GetDouble("rate", 0.1));
+  CLI_FLAG_OR_FAIL(int64_t, buckets, args.GetInt("buckets", 100));
   BaseStatsCache stats;
   SitBuildOptions options;
   options.variant = *variant;
-  options.sampling_rate = args.GetDouble("rate", 0.1);
-  options.histogram_spec.num_buckets =
-      static_cast<int>(args.GetInt("buckets", 100));
+  options.sampling_rate = rate;
+  options.histogram_spec.num_buckets = static_cast<int>(buckets);
   Result<Sit> sit = CreateSit(catalog.get(), &stats,
                               SitDescriptor(*attr, *query), options);
   if (!sit.ok()) return FailStatus(sit.status());
@@ -273,8 +305,8 @@ int Estimate(const Args& args) {
   if (!attr.ok()) return FailStatus(attr.status());
   auto query = ParseQuery(args, *attr);
   if (!query.ok()) return FailStatus(query.status());
-  double lo = args.GetDouble("lo", 0);
-  double hi = args.GetDouble("hi", 0);
+  CLI_FLAG_OR_FAIL(double, lo, args.GetDouble("lo", 0));
+  CLI_FLAG_OR_FAIL(double, hi, args.GetDouble("hi", 0));
 
   SitCatalog sits;
   std::string stats_path = args.Get("stats", "");
@@ -350,10 +382,17 @@ int RunSchedule(const Args& args) {
   auto variant = SweepVariantFromString(args.Get("variant", "Sweep"));
   if (!variant.ok()) return FailStatus(variant.status());
 
+  CLI_FLAG_OR_FAIL(double, rate, args.GetDouble("rate", 0.1));
+  CLI_FLAG_OR_FAIL(double, memory,
+                   args.GetDouble("memory",
+                                  std::numeric_limits<double>::infinity()));
+  CLI_FLAG_OR_FAIL(int64_t, max_expansions,
+                   args.GetInt("max-expansions", 2'000'000));
+  CLI_FLAG_OR_FAIL(int64_t, buckets, args.GetInt("buckets", 100));
+  CLI_FLAG_OR_FAIL(int64_t, threads, args.GetInt("threads", 0));
   SitProblemOptions problem_options;
-  problem_options.sampling_rate = args.GetDouble("rate", 0.1);
-  problem_options.memory_limit = args.GetDouble(
-      "memory", std::numeric_limits<double>::infinity());
+  problem_options.sampling_rate = rate;
+  problem_options.memory_limit = memory;
   auto mapping =
       BuildSitSchedulingProblem(*catalog, descriptors, problem_options);
   if (!mapping.ok()) return FailStatus(mapping.status());
@@ -368,8 +407,7 @@ int RunSchedule(const Args& args) {
   for (SolverKind kind : kinds) {
     SolverOptions solver_options;
     solver_options.kind = kind;
-    solver_options.max_expansions =
-        static_cast<uint64_t>(args.GetInt("max-expansions", 2'000'000));
+    solver_options.max_expansions = static_cast<uint64_t>(max_expansions);
     auto solved = SolveSchedule(mapping->problem, solver_options);
     if (!solved.ok()) {
       std::printf("%-8s %12s\n", SolverKindToString(kind),
@@ -391,9 +429,8 @@ int RunSchedule(const Args& args) {
   ScheduleExecutionOptions exec_options;
   exec_options.variant = *variant;
   exec_options.sampling_rate = problem_options.sampling_rate;
-  exec_options.histogram_spec.num_buckets =
-      static_cast<int>(args.GetInt("buckets", 100));
-  exec_options.num_threads = static_cast<int>(args.GetInt("threads", 0));
+  exec_options.histogram_spec.num_buckets = static_cast<int>(buckets);
+  exec_options.num_threads = static_cast<int>(threads);
   auto executed = ExecuteSitSchedule(catalog.get(), &stats, descriptors,
                                      *mapping, best->schedule, exec_options);
   if (!executed.ok()) return FailStatus(executed.status());
