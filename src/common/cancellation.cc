@@ -1,0 +1,132 @@
+#include "common/cancellation.h"
+
+namespace sitstats {
+
+namespace internal {
+
+/// Shared between one source and its tokens. The flag is the fast path;
+/// the mutex guards the callback list and backs the waiter cv.
+struct CancellationState {
+  std::atomic<bool> cancelled{false};
+  std::mutex mu;
+  std::condition_variable cv;
+  uint64_t next_id = 1;
+  std::vector<std::pair<uint64_t, std::function<void()>>> callbacks;
+};
+
+}  // namespace internal
+
+bool CancellationToken::cancelled() const {
+  return state_ != nullptr &&
+         state_->cancelled.load(std::memory_order_acquire);
+}
+
+Status CancellationToken::CheckCancelled(const std::string& what) const {
+  if (cancelled()) return Status::Cancelled(what + " cancelled");
+  return Status::OK();
+}
+
+bool CancellationToken::WaitForCancellation(
+    std::chrono::milliseconds timeout) const {
+  if (state_ == nullptr) {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait_for(lock, timeout);
+    return false;
+  }
+  std::unique_lock<std::mutex> lock(state_->mu);
+  return state_->cv.wait_for(lock, timeout, [this] {
+    return state_->cancelled.load(std::memory_order_acquire);
+  });
+}
+
+uint64_t CancellationToken::OnCancel(std::function<void()> fn) const {
+  if (state_ == nullptr) return 0;
+  uint64_t id;
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    id = state_->next_id++;
+    state_->callbacks.emplace_back(id, std::move(fn));
+  }
+  // Registration may race with Cancel(): if the flag is already set, the
+  // cancelling thread may or may not have seen our entry, so run the
+  // callback here too. Callbacks therefore tolerate a duplicate call
+  // (every in-tree use is an idempotent notify).
+  if (cancelled()) {
+    std::function<void()> to_run;
+    {
+      std::lock_guard<std::mutex> lock(state_->mu);
+      for (auto& [entry_id, entry_fn] : state_->callbacks) {
+        if (entry_id == id) {
+          to_run = entry_fn;
+          break;
+        }
+      }
+    }
+    if (to_run) to_run();
+  }
+  return id;
+}
+
+void CancellationToken::RemoveCallback(uint64_t id) const {
+  if (state_ == nullptr || id == 0) return;
+  std::lock_guard<std::mutex> lock(state_->mu);
+  for (auto it = state_->callbacks.begin(); it != state_->callbacks.end();
+       ++it) {
+    if (it->first == id) {
+      state_->callbacks.erase(it);
+      return;
+    }
+  }
+}
+
+namespace {
+
+/// Fires the signal on `state`: sets the flag, wakes waiters, runs the
+/// registered callbacks once. Idempotent.
+void CancelState(internal::CancellationState* state) {
+  std::vector<std::pair<uint64_t, std::function<void()>>> callbacks;
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    if (state->cancelled.exchange(true, std::memory_order_acq_rel)) {
+      return;  // idempotent
+    }
+    state->cv.notify_all();
+    callbacks = state->callbacks;
+  }
+  for (auto& [id, fn] : callbacks) {
+    if (fn) fn();
+  }
+}
+
+}  // namespace
+
+CancellationSource::CancellationSource()
+    : state_(std::make_shared<internal::CancellationState>()) {}
+
+CancellationSource::CancellationSource(const CancellationToken& parent)
+    : state_(std::make_shared<internal::CancellationState>()),
+      parent_(parent) {
+  // Weak capture: the parent may outlive this source, and the registration
+  // is removed in the destructor, but OnCancel's already-cancelled inline
+  // call can still race a concurrent destructor — the link never dangles.
+  std::weak_ptr<internal::CancellationState> weak = state_;
+  parent_registration_ = parent_.OnCancel([weak] {
+    if (std::shared_ptr<internal::CancellationState> state = weak.lock()) {
+      CancelState(state.get());
+    }
+  });
+}
+
+CancellationSource::~CancellationSource() {
+  parent_.RemoveCallback(parent_registration_);
+}
+
+void CancellationSource::Cancel() { CancelState(state_.get()); }
+
+CancellationToken CancellationSource::token() const {
+  return CancellationToken(state_);
+}
+
+}  // namespace sitstats

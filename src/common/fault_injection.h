@@ -106,4 +106,15 @@ class FaultInjector {
   } while (false)
 #endif
 
+/// Expression form for call sites that must *survive* an injected fault
+/// instead of returning it — the server's accept/read/write paths record
+/// the Status and keep serving. Evaluates to the injected Status (or OK);
+/// evaluates to OK with zero overhead when the option is OFF.
+#if defined(SITSTATS_FAULT_INJECTION_ENABLED)
+#define SITSTATS_FAULT_CHECK(site) \
+  ::sitstats::FaultInjector::Global().MaybeFail(site)
+#else
+#define SITSTATS_FAULT_CHECK(site) ::sitstats::Status::OK()
+#endif
+
 #endif  // SITSTATS_COMMON_FAULT_INJECTION_H_

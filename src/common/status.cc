@@ -24,8 +24,28 @@ const char* StatusCodeToString(StatusCode code) {
       return "IOError";
     case StatusCode::kNotImplemented:
       return "NotImplemented";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
+}
+
+bool StatusCodeFromString(const std::string& name, StatusCode* code) {
+  for (StatusCode candidate :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kOutOfRange,
+        StatusCode::kFailedPrecondition, StatusCode::kResourceExhausted,
+        StatusCode::kInternal, StatusCode::kIOError,
+        StatusCode::kNotImplemented, StatusCode::kCancelled,
+        StatusCode::kDeadlineExceeded}) {
+    if (name == StatusCodeToString(candidate)) {
+      *code = candidate;
+      return true;
+    }
+  }
+  return false;
 }
 
 std::string Status::ToString() const {

@@ -19,10 +19,16 @@ enum class StatusCode {
   kInternal,
   kIOError,
   kNotImplemented,
+  kCancelled,
+  kDeadlineExceeded,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
 const char* StatusCodeToString(StatusCode code);
+
+/// Parses the name produced by StatusCodeToString; false on unknown names.
+/// Used by the server protocol, which ships codes by name on the wire.
+bool StatusCodeFromString(const std::string& name, StatusCode* code);
 
 /// Outcome of a fallible operation. The library does not throw exceptions:
 /// every operation that can fail returns a Status (or a Result<T>, which
@@ -69,6 +75,12 @@ class [[nodiscard]] Status {
   }
   static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }

@@ -126,6 +126,27 @@ void WaitGroup::Wait() {
   cv_.wait(lock, [this] { return count_ == 0; });
 }
 
+bool WaitGroup::Wait(const CancellationToken& token) {
+  // The cancel callback broadcasts on our cv so a Cancel() from any thread
+  // wakes this waiter immediately. Taking mu_ inside the callback orders
+  // the notify against the predicate check below (no lost wakeup); the
+  // registration is removed before returning, so the callback never
+  // outlives this WaitGroup.
+  uint64_t registration = token.OnCancel([this] {
+    std::lock_guard<std::mutex> lock(mu_);
+    cv_.notify_all();
+  });
+  bool drained;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock,
+             [&] { return count_ == 0 || token.cancelled(); });
+    drained = count_ == 0;
+  }
+  token.RemoveCallback(registration);
+  return drained;
+}
+
 size_t ResolveThreadCount(int requested) {
   long value = requested;
   if (value <= 0) {

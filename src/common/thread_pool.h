@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/cancellation.h"
+
 namespace sitstats {
 
 /// Small work-stealing thread pool used by the parallel schedule executor
@@ -70,6 +72,15 @@ class WaitGroup {
   /// Add()ed is a logic error (count would go negative) and is clamped.
   void Done();
   void Wait();
+
+  /// Blocks until the count reaches zero *or* `token` is cancelled —
+  /// cancellation wakes the waiter immediately (no polling). Returns true
+  /// when the count reached zero, false when woken by cancellation with
+  /// work still outstanding. A false return means counted tasks are still
+  /// running: the WaitGroup must stay alive until a later Wait() drains
+  /// them (the usual pattern cancels the tasks' token so that drain is
+  /// prompt).
+  bool Wait(const CancellationToken& token);
 
  private:
   std::mutex mu_;

@@ -1,0 +1,78 @@
+#include "query/spec_parse.h"
+
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace sitstats {
+
+Result<ColumnRef> ParseColumnSpec(const std::string& text) {
+  std::vector<std::string> parts = Split(text, '.');
+  if (parts.size() != 2 || parts[0].empty() || parts[1].empty()) {
+    return Status::InvalidArgument("attribute must look like T.col, got " +
+                                   text);
+  }
+  return ColumnRef{parts[0], parts[1]};
+}
+
+Result<JoinPredicate> ParseJoinSpec(const std::string& text) {
+  std::vector<std::string> sides = Split(text, '=');
+  if (sides.size() != 2) {
+    return Status::InvalidArgument("join must look like A.x=B.y, got " +
+                                   text);
+  }
+  std::vector<std::string> l = Split(sides[0], '.');
+  std::vector<std::string> r = Split(sides[1], '.');
+  if (l.size() != 2 || r.size() != 2) {
+    return Status::InvalidArgument("join must look like A.x=B.y, got " +
+                                   text);
+  }
+  return JoinPredicate{ColumnRef{l[0], l[1]}, ColumnRef{r[0], r[1]}};
+}
+
+Result<SitDescriptor> ParseSitSpec(const std::string& text) {
+  size_t colon = text.find(':');
+  SITSTATS_ASSIGN_OR_RETURN(
+      ColumnRef attr, ParseColumnSpec(colon == std::string::npos
+                                          ? text
+                                          : text.substr(0, colon)));
+  std::vector<JoinPredicate> joins;
+  std::vector<std::string> tables = {attr.table};
+  auto add_table = [&tables](const std::string& name) {
+    for (const std::string& t : tables) {
+      if (t == name) return;
+    }
+    tables.push_back(name);
+  };
+  if (colon != std::string::npos) {
+    for (const std::string& join_text : Split(text.substr(colon + 1), ';')) {
+      if (join_text.empty()) continue;
+      SITSTATS_ASSIGN_OR_RETURN(JoinPredicate join, ParseJoinSpec(join_text));
+      add_table(join.left.table);
+      add_table(join.right.table);
+      joins.push_back(join);
+    }
+  }
+  SITSTATS_ASSIGN_OR_RETURN(
+      GeneratingQuery query,
+      GeneratingQuery::Create(std::move(tables), std::move(joins)));
+  return SitDescriptor(attr, std::move(query));
+}
+
+std::string FormatSitSpec(const SitDescriptor& descriptor) {
+  std::string out = descriptor.attribute().table + "." +
+                    descriptor.attribute().column;
+  const auto& joins = descriptor.query().joins();
+  if (joins.empty()) return out;
+  out += ':';
+  bool first = true;
+  for (const JoinPredicate& join : joins) {
+    if (!first) out += ';';
+    first = false;
+    out += join.left.table + "." + join.left.column + "=" +
+           join.right.table + "." + join.right.column;
+  }
+  return out;
+}
+
+}  // namespace sitstats

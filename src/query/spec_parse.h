@@ -1,0 +1,30 @@
+#ifndef SITSTATS_QUERY_SPEC_PARSE_H_
+#define SITSTATS_QUERY_SPEC_PARSE_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "query/generating_query.h"
+#include "sit/sit.h"
+
+namespace sitstats {
+
+/// Text spellings of query objects, shared by the CLI flags and the server
+/// wire protocol:
+///
+///   column:  "T.col"
+///   join:    "A.x=B.y"
+///   SIT:     "T.col" or "T.col:A.x=B.y;B.y=C.z"
+///            (attribute, then the generating query's join chain; tables
+///            are the ones the joins reference, in first-mention order)
+
+Result<ColumnRef> ParseColumnSpec(const std::string& text);
+Result<JoinPredicate> ParseJoinSpec(const std::string& text);
+Result<SitDescriptor> ParseSitSpec(const std::string& text);
+
+/// Inverse of ParseSitSpec (round-trips every descriptor it can parse).
+std::string FormatSitSpec(const SitDescriptor& descriptor);
+
+}  // namespace sitstats
+
+#endif  // SITSTATS_QUERY_SPEC_PARSE_H_

@@ -8,6 +8,7 @@
 #include <mutex>
 #include <optional>
 
+#include "common/cancellation.h"
 #include "common/fault_injection.h"
 #include "common/thread_pool.h"
 #include "query/join_tree.h"
@@ -177,12 +178,21 @@ Result<ScheduleExecutionResult> ExecuteSitSchedule(
     for (size_t dep : deps) plan[dep].dependents.push_back(step_idx);
   }
 
+  // One source for the whole execution, linked to the caller's token:
+  // cancelling either (request timeout upstream, or the first failing
+  // step below) flips the same signal, and every in-flight sweep scan
+  // polls it in its row loop — so an abort is prompt, not
+  // "whenever the running scans happen to finish".
+  CancellationSource abort(options.cancel);
+  const CancellationToken abort_token = abort.token();
+
   // Runs one planned step: build the shared-scan spec (one target per
   // advancing SIT, each drawing from its own stream), scan once, hand
   // each SIT its new intermediate output. Thread-safe against other
   // steps: catalog/base-stats reads are internally locked, and the DAG
   // guarantees exclusive access to each touched SitState.
   auto execute_step = [&](size_t step_idx) -> Status {
+    SITSTATS_RETURN_IF_ERROR(abort_token.CheckCancelled("schedule step"));
     SITSTATS_FAULT_SITE("scheduler.step");
     const PlannedStep& planned = plan[step_idx];
     telemetry::TraceSpan step_span("scheduler.execute_step");
@@ -197,6 +207,7 @@ Result<ScheduleExecutionResult> ExecuteSitSchedule(
     spec.min_sample_size = options.min_sample_size;
     spec.use_sampling = UsesSampling(options.variant);
     spec.histogram_spec = options.histogram_spec;
+    spec.cancel = abort_token;
 
     std::vector<std::unique_ptr<MultiplicityOracle>> oracles;
     for (const PlannedTarget& planned_target : planned.targets) {
@@ -252,7 +263,11 @@ Result<ScheduleExecutionResult> ExecuteSitSchedule(
     WaitGroup wg;
     wg.Add(plan.size());
     // On failure the remaining steps still "complete" (skipping their
-    // work) so every dependent gets released and Wait() terminates.
+    // work) so every dependent gets released and Wait() terminates — and
+    // the first failure cancels the shared abort token, so steps that are
+    // already *running* stop at their next row-loop poll instead of
+    // finishing a doomed scan. Their Status::Cancelled returns lose the
+    // CAS below, so the original error is the one reported.
     std::function<void(size_t)> run_step = [&](size_t step_idx) {
       if (!failed.load(std::memory_order_acquire)) {
         Status status = execute_step(step_idx);
@@ -260,8 +275,11 @@ Result<ScheduleExecutionResult> ExecuteSitSchedule(
           bool expected = false;
           if (failed.compare_exchange_strong(expected, true,
                                              std::memory_order_acq_rel)) {
-            std::lock_guard<std::mutex> lock(error_mu);
-            first_error = std::move(status);
+            {
+              std::lock_guard<std::mutex> lock(error_mu);
+              first_error = std::move(status);
+            }
+            abort.Cancel();
           }
         }
       }
@@ -299,6 +317,7 @@ Result<ScheduleExecutionResult> ExecuteSitSchedule(
       build.min_sample_size = options.min_sample_size;
       build.histogram_spec = options.histogram_spec;
       build.seed = options.seed;
+      build.cancel = abort_token;
       SITSTATS_ASSIGN_OR_RETURN(
           Sit sit, CreateSit(catalog, base_stats, sits[s], build));
       result.sits.push_back(std::move(sit));

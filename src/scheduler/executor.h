@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/result.h"
 #include "scheduler/problem.h"
 #include "scheduler/sit_problem.h"
@@ -32,6 +33,13 @@ struct ScheduleExecutionOptions {
   /// proved per step; concurrent steps can transiently hold up to
   /// num_threads steps' sample sets at once.
   int num_threads = 0;
+  /// Cooperative cancellation for the whole execution. The executor links
+  /// an internal source to this token and hands the linked token to every
+  /// sweep scan, so cancelling here (a server request timeout, typically)
+  /// aborts in-flight scans promptly — and a step failure cancels the same
+  /// internal source, so first-error-wins now *stops* running steps
+  /// instead of merely not scheduling new ones. Default: never cancelled.
+  CancellationToken cancel;
 };
 
 struct ScheduleExecutionResult {

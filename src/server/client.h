@@ -1,0 +1,79 @@
+#ifndef SITSTATS_SERVER_CLIENT_H_
+#define SITSTATS_SERVER_CLIENT_H_
+
+#include <cstdint>
+
+#include <string>
+
+#include "common/result.h"
+#include "server/protocol.h"
+
+namespace sitstats {
+
+/// Blocking client for sitstats-server. One connection, synchronous
+/// request/response; use one client per thread for concurrency (the
+/// server interleaves connections freely). Not thread-safe.
+class SitStatsClient {
+ public:
+  /// Connects to the server's Unix-domain socket.
+  static Result<SitStatsClient> Connect(const std::string& socket_path);
+
+  SitStatsClient() = default;
+  ~SitStatsClient();
+  SitStatsClient(SitStatsClient&& other) noexcept;
+  SitStatsClient& operator=(SitStatsClient&& other) noexcept;
+  SitStatsClient(const SitStatsClient&) = delete;
+  SitStatsClient& operator=(const SitStatsClient&) = delete;
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// Sends one raw request line and waits for its response line.
+  /// Returns the OK payload, or the server's error Status (ERR responses
+  /// reconstruct code + message); IOError on transport failure.
+  Result<std::string> CallRaw(const std::string& request_line);
+  Result<std::string> Call(const Request& request);
+
+  /// Pipelining halves of CallRaw: queue request lines without waiting,
+  /// then collect each response in request order. Every Send must be
+  /// balanced by one ReadResponse before the client disconnects.
+  Status Send(const std::string& request_line);
+  Result<std::string> ReadResponse();
+
+  Status Ping();
+  Result<std::string> Stats();
+  /// Asks the server to stop; the OK response is sent before it does.
+  Status Shutdown();
+
+  struct EstimateReply {
+    double cardinality = 0.0;
+    std::string provenance;
+    bool cached = false;
+  };
+  /// `spec` uses the ParseSitSpec grammar ("T.col:A.x=B.y;...").
+  Result<EstimateReply> Estimate(const std::string& spec, double lo,
+                                 double hi, uint64_t timeout_ms = 0);
+
+  struct BuildReply {
+    double estimated_cardinality = 0.0;
+    size_t num_buckets = 0;
+    size_t catalog_sits = 0;
+  };
+  Result<BuildReply> Build(const std::string& spec,
+                           const std::string& variant = "",
+                           uint64_t timeout_ms = 0);
+
+  /// Test helper: occupies one server build slot for `ms` milliseconds.
+  Result<std::string> Sleep(uint64_t ms, uint64_t timeout_ms = 0);
+
+ private:
+  explicit SitStatsClient(int fd) : fd_(fd) {}
+
+  Result<std::string> ReadLine();
+
+  int fd_ = -1;
+  std::string input_;
+};
+
+}  // namespace sitstats
+
+#endif  // SITSTATS_SERVER_CLIENT_H_

@@ -1,0 +1,68 @@
+#ifndef SITSTATS_SERVER_ESTIMATE_CACHE_H_
+#define SITSTATS_SERVER_ESTIMATE_CACHE_H_
+
+#include <cstdint>
+
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace sitstats {
+
+/// LRU cache of rendered estimate responses, keyed by the request's wire
+/// form (spec + bounds normalize a query exactly). Invalidation is
+/// epoch-based: every catalog mutation (a completed SIT build) bumps the
+/// epoch and clears the cache, and inserts computed against a stale epoch
+/// are dropped — an estimate that raced with a build can never park a
+/// pre-mutation answer in a post-mutation cache.
+class EstimateCache {
+ public:
+  explicit EstimateCache(size_t capacity);
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t invalidations = 0;
+    size_t entries = 0;
+  };
+
+  /// The epoch to capture *before* computing an estimate destined for
+  /// Insert().
+  uint64_t epoch() const;
+
+  /// Copies the cached payload into `*payload` on hit (and refreshes
+  /// recency); false on miss.
+  bool Lookup(const std::string& key, std::string* payload);
+
+  /// Inserts unless the cache has been invalidated since `observed_epoch`
+  /// was read. Evicts the least-recently-used entry at capacity.
+  void Insert(uint64_t observed_epoch, const std::string& key,
+              std::string payload);
+
+  /// Bumps the epoch and drops every entry. Called on catalog mutation.
+  void Invalidate();
+
+  Stats GetStats() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string payload;
+  };
+
+  const size_t capacity_;
+
+  mutable std::mutex mu_;
+  uint64_t epoch_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t invalidations_ = 0;
+  /// Front = most recently used.
+  std::list<Entry> lru_;
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+};
+
+}  // namespace sitstats
+
+#endif  // SITSTATS_SERVER_ESTIMATE_CACHE_H_

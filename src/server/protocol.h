@@ -1,0 +1,85 @@
+#ifndef SITSTATS_SERVER_PROTOCOL_H_
+#define SITSTATS_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+
+#include <optional>
+#include <string>
+
+#include "common/result.h"
+#include "sit/sit.h"
+
+namespace sitstats {
+
+/// The sitstats-server wire protocol: newline-terminated ASCII lines in
+/// both directions, one request per line, one response line per request,
+/// delivered in request order per connection.
+///
+/// Requests (tokens separated by single spaces):
+///
+///   PING
+///   STATS
+///   SHUTDOWN
+///   ESTIMATE <sit-spec> <lo> <hi> [key=value ...]
+///   BUILD <sit-spec> [key=value ...]
+///   SLEEP <ms> [key=value ...]
+///
+/// <sit-spec> is the ParseSitSpec grammar ("T.col" or
+/// "T.col:A.x=B.y;B.y=C.z") and therefore contains no spaces. Recognized
+/// options: timeout_ms=N (ESTIMATE/BUILD/SLEEP), variant=<SweepVariant>,
+/// rate=<sampling rate>, buckets=N (BUILD only). SLEEP is a test-only
+/// endpoint that occupies a build slot for <ms> milliseconds while
+/// honouring cancellation — it exists to make queue-full and timeout
+/// behaviour testable without large data.
+///
+/// Responses:
+///
+///   OK[ <payload>]
+///   ERR <StatusCode> <message...>
+///
+/// The payload never contains newlines; ERR messages may contain spaces.
+
+struct Request {
+  enum class Kind { kPing, kStats, kShutdown, kEstimate, kBuild, kSleep };
+
+  Kind kind = Kind::kPing;
+  /// Set for kEstimate / kBuild.
+  std::optional<SitDescriptor> descriptor;
+  /// Range predicate bounds (kEstimate).
+  double lo = 0.0;
+  double hi = 0.0;
+  /// Build knobs (kBuild); unset fields defer to server defaults.
+  std::optional<SweepVariant> variant;
+  double sampling_rate = -1.0;  // < 0: server default
+  int64_t num_buckets = -1;     // < 0: server default
+  /// 0 means "no deadline".
+  uint64_t timeout_ms = 0;
+  /// kSleep only.
+  uint64_t sleep_ms = 0;
+
+  /// True for requests served from the read-mostly estimate path; false
+  /// for requests that occupy a build slot.
+  bool IsEstimateClass() const {
+    return kind == Kind::kPing || kind == Kind::kStats ||
+           kind == Kind::kEstimate || kind == Kind::kShutdown;
+  }
+};
+
+const char* RequestKindToString(Request::Kind kind);
+
+/// Parses one request line (without the trailing newline).
+Result<Request> ParseRequest(const std::string& line);
+
+/// Renders a request back into its wire form (used by the client).
+std::string FormatRequest(const Request& request);
+
+/// Response line construction / parsing. FormatErrorResponse maps a non-OK
+/// Status onto "ERR <code> <message>"; ParseResponse inverts both forms,
+/// returning the payload or the reconstructed Status.
+std::string FormatOkResponse(const std::string& payload);
+std::string FormatErrorResponse(const Status& status);
+Result<std::string> ParseResponse(const std::string& line);
+
+}  // namespace sitstats
+
+#endif  // SITSTATS_SERVER_PROTOCOL_H_

@@ -1,0 +1,94 @@
+#ifndef SITSTATS_SERVER_REQUEST_QUEUE_H_
+#define SITSTATS_SERVER_REQUEST_QUEUE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+#include "telemetry/metrics.h"
+
+namespace sitstats {
+
+/// Bounded MPMC queue used for server admission control: TryPush never
+/// blocks — a full queue is a typed ResourceExhausted rejection that flows
+/// back to the client as `ERR ResourceExhausted ...` instead of building
+/// unbounded backlog. Pop blocks until an item arrives or the queue is
+/// closed. An optional gauge tracks the live depth for telemetry.
+template <typename T>
+class BoundedQueue {
+ public:
+  /// `depth_gauge` may be null; it is borrowed and must outlive the queue.
+  BoundedQueue(size_t capacity, std::string name,
+               telemetry::Gauge* depth_gauge)
+      : capacity_(capacity == 0 ? 1 : capacity),
+        name_(std::move(name)),
+        depth_gauge_(depth_gauge) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Enqueues `item`; ResourceExhausted when at capacity,
+  /// FailedPrecondition after Close().
+  Status TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) {
+        return Status::FailedPrecondition("queue " + name_ + " is closed");
+      }
+      if (items_.size() >= capacity_) {
+        return Status::ResourceExhausted(
+            "queue " + name_ + " is full (" + std::to_string(capacity_) +
+            " requests pending), retry later");
+      }
+      items_.push_back(std::move(item));
+      if (depth_gauge_ != nullptr) depth_gauge_->Add(1.0);
+    }
+    cv_.notify_one();
+    return Status::OK();
+  }
+
+  /// Blocks for the next item. Returns false when the queue is closed and
+  /// drained; remaining items are still delivered after Close().
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    if (depth_gauge_ != nullptr) depth_gauge_->Add(-1.0);
+    return true;
+  }
+
+  /// Wakes all blocked Pop() calls; subsequent TryPush fails.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  const std::string name_;
+  telemetry::Gauge* const depth_gauge_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace sitstats
+
+#endif  // SITSTATS_SERVER_REQUEST_QUEUE_H_

@@ -1,0 +1,599 @@
+#include "server/server.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <algorithm>
+
+#include "common/fault_injection.h"
+#include "common/logging.h"
+#include "estimator/sit_estimator.h"
+#include "query/spec_parse.h"
+#include "telemetry/telemetry.h"
+
+namespace sitstats {
+
+namespace {
+
+/// Cap on a single buffered request line; a peer that streams this much
+/// without a newline is broken or hostile.
+constexpr size_t kMaxLineBytes = 1 << 20;
+
+std::string FormatExact(double v) {
+  char buffer[64];
+  (void)std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+  return buffer;
+}
+
+Status ErrnoError(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+Status SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return ErrnoError("fcntl(O_NONBLOCK)");
+  }
+  return Status::OK();
+}
+
+/// Writes all of `data`, riding out EINTR and (rare on a local socket)
+/// EAGAIN. False on a dead peer.
+bool WriteAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pfd{fd, POLLOUT, 0};
+      (void)::poll(&pfd, 1, 1000);
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+double ElapsedMs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+SitStatsServer::Connection::~Connection() {
+  if (fd >= 0) ::close(fd);
+}
+
+SitStatsServer::SitStatsServer(std::unique_ptr<Catalog> catalog,
+                               ServerOptions options)
+    : options_(std::move(options)),
+      catalog_(std::move(catalog)),
+      cache_(options_.cache_capacity),
+      estimate_queue_(
+          options_.estimate_queue_capacity, "estimate",
+          &telemetry::MetricsRegistry::Global().GetGauge(
+              "server.queue.estimate.depth")),
+      build_queue_(options_.build_queue_capacity, "build",
+                   &telemetry::MetricsRegistry::Global().GetGauge(
+                       "server.queue.build.depth")) {}
+
+SitStatsServer::~SitStatsServer() { Stop(); }
+
+Status SitStatsServer::Start() {
+  if (started_.exchange(true)) {
+    return Status::FailedPrecondition("server already started");
+  }
+  if (options_.socket_path.empty()) {
+    return Status::InvalidArgument("ServerOptions.socket_path is empty");
+  }
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("socket path too long: " +
+                                   options_.socket_path);
+  }
+  std::memcpy(addr.sun_path, options_.socket_path.c_str(),
+              options_.socket_path.size() + 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return ErrnoError("socket(AF_UNIX)");
+  Status setup = [&]() -> Status {
+    SITSTATS_RETURN_IF_ERROR(SetNonBlocking(listen_fd_));
+    ::unlink(options_.socket_path.c_str());
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      return ErrnoError("bind(" + options_.socket_path + ")");
+    }
+    if (::listen(listen_fd_, 64) != 0) {
+      return ErrnoError("listen(" + options_.socket_path + ")");
+    }
+    if (::pipe(wake_pipe_) != 0) return ErrnoError("pipe");
+    SITSTATS_RETURN_IF_ERROR(SetNonBlocking(wake_pipe_[0]));
+    SITSTATS_RETURN_IF_ERROR(SetNonBlocking(wake_pipe_[1]));
+    return Status::OK();
+  }();
+  if (!setup.ok()) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    for (int& fd : wake_pipe_) {
+      if (fd >= 0) ::close(fd);
+      fd = -1;
+    }
+    return setup;
+  }
+
+  build_pool_ = std::make_unique<ThreadPool>(options_.build_threads);
+  poll_thread_ = std::thread([this] { PollLoop(); });
+  deadline_thread_ = std::thread([this] { DeadlineLoop(); });
+  for (size_t i = 0; i < std::max<size_t>(options_.estimate_threads, 1);
+       ++i) {
+    estimate_workers_.emplace_back([this] { EstimateWorker(); });
+  }
+  SITSTATS_LOG(kInfo) << "sitstats-server listening on "
+                     << options_.socket_path;
+  return Status::OK();
+}
+
+void SitStatsServer::RequestStop() {
+  if (stop_requested_.exchange(true)) return;
+  stop_source_.Cancel();
+  {
+    std::lock_guard<std::mutex> lock(deadline_mu_);
+  }
+  deadline_cv_.notify_all();
+  if (wake_pipe_[1] >= 0) {
+    char byte = 1;
+    ssize_t ignored = ::write(wake_pipe_[1], &byte, 1);
+    (void)ignored;
+  }
+}
+
+void SitStatsServer::Stop() {
+  if (!started_.load(std::memory_order_acquire)) return;
+  if (stopped_.exchange(true)) return;
+  RequestStop();
+  if (poll_thread_.joinable()) poll_thread_.join();
+  estimate_queue_.Close();
+  build_queue_.Close();
+  for (std::thread& worker : estimate_workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  // The pool destructor drains queued build tasks; their requests fail
+  // fast via the cancelled server token.
+  build_pool_.reset();
+  if (deadline_thread_.joinable()) deadline_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (int& fd : wake_pipe_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+  ::unlink(options_.socket_path.c_str());
+}
+
+void SitStatsServer::PreloadSits(SitCatalog sits) {
+  std::unique_lock<std::shared_mutex> lock(sit_mu_);
+  sits_ = std::move(sits);
+}
+
+Status SitStatsServer::TakeTransportError() {
+  std::lock_guard<std::mutex> lock(transport_mu_);
+  Status error = transport_error_;
+  transport_error_ = Status::OK();
+  return error;
+}
+
+void SitStatsServer::RecordTransportError(const Status& status) {
+  SITSTATS_LOG(kWarning) << "server transport error: " << status;
+  std::lock_guard<std::mutex> lock(transport_mu_);
+  if (transport_error_.ok()) transport_error_ = status;
+}
+
+Status SitStatsServer::ValidateCatalog() const {
+  SITSTATS_RETURN_IF_ERROR(catalog_->ValidateConsistency());
+  std::shared_lock<std::shared_mutex> lock(sit_mu_);
+  return sits_.ValidateConsistency();
+}
+
+size_t SitStatsServer::num_sits() const {
+  std::shared_lock<std::shared_mutex> lock(sit_mu_);
+  return sits_.size();
+}
+
+std::string SitStatsServer::StatsPayload() const {
+  EstimateCache::Stats cache = cache_.GetStats();
+  return "sits=" + std::to_string(num_sits()) +
+         " builds=" + std::to_string(builds_completed_.load()) +
+         " requests=" + std::to_string(requests_total_.load()) +
+         " rejected=" + std::to_string(requests_rejected_.load()) +
+         " cache_hits=" + std::to_string(cache.hits) +
+         " cache_misses=" + std::to_string(cache.misses) +
+         " cache_entries=" + std::to_string(cache.entries) +
+         " cache_invalidations=" + std::to_string(cache.invalidations) +
+         " estimate_queue=" + std::to_string(estimate_queue_.size()) +
+         " build_queue=" + std::to_string(build_queue_.size());
+}
+
+void SitStatsServer::PollLoop() {
+  while (!stop_requested()) {
+    std::vector<pollfd> fds;
+    fds.reserve(conns_.size() + 2);
+    fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+    fds.push_back(pollfd{wake_pipe_[0], POLLIN, 0});
+    for (const auto& [fd, conn] : conns_) {
+      fds.push_back(pollfd{fd, POLLIN, 0});
+    }
+    int ready = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), 500);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      RecordTransportError(ErrnoError("poll"));
+      break;
+    }
+    if (stop_requested()) break;
+    if ((fds[1].revents & POLLIN) != 0) {
+      char drain[64];
+      while (::read(wake_pipe_[0], drain, sizeof(drain)) > 0) {
+      }
+    }
+    if ((fds[0].revents & POLLIN) != 0) AcceptConnections();
+    for (size_t i = 2; i < fds.size(); ++i) {
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      auto it = conns_.find(fds[i].fd);
+      if (it == conns_.end()) continue;
+      if (!ReadConnection(it->second)) conns_.erase(it);
+    }
+  }
+  // Dropping the map closes each socket once its in-flight responses (if
+  // any) release their references.
+  conns_.clear();
+}
+
+void SitStatsServer::AcceptConnections() {
+  while (true) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      RecordTransportError(ErrnoError("accept"));
+      return;
+    }
+    Status fault = SITSTATS_FAULT_CHECK("server.accept");
+    if (!fault.ok()) {
+      RecordTransportError(fault);
+      ::close(fd);
+      continue;
+    }
+    Status nonblocking = SetNonBlocking(fd);
+    if (!nonblocking.ok()) {
+      RecordTransportError(nonblocking);
+      ::close(fd);
+      continue;
+    }
+    conns_.emplace(fd, std::make_shared<Connection>(fd));
+  }
+}
+
+bool SitStatsServer::ReadConnection(const std::shared_ptr<Connection>& conn) {
+  bool eof = false;
+  char buffer[4096];
+  while (true) {
+    ssize_t n = ::recv(conn->fd, buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      conn->input.append(buffer, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      eof = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    RecordTransportError(ErrnoError("recv"));
+    eof = true;
+    break;
+  }
+  size_t newline;
+  while ((newline = conn->input.find('\n')) != std::string::npos) {
+    std::string line = conn->input.substr(0, newline);
+    conn->input.erase(0, newline + 1);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    Status fault = SITSTATS_FAULT_CHECK("server.read");
+    if (!fault.ok()) {
+      RecordTransportError(fault);
+      CloseConnection(conn);
+      return false;
+    }
+    DispatchLine(conn, line);
+  }
+  if (conn->input.size() > kMaxLineBytes) {
+    RecordTransportError(
+        Status::InvalidArgument("request line exceeds 1 MiB, dropping peer"));
+    CloseConnection(conn);
+    return false;
+  }
+  return !eof && !conn->closed.load(std::memory_order_acquire);
+}
+
+void SitStatsServer::DispatchLine(const std::shared_ptr<Connection>& conn,
+                                  const std::string& line) {
+  const uint64_t seq = conn->next_request_seq++;
+  requests_total_.fetch_add(1, std::memory_order_relaxed);
+  Result<Request> parsed = ParseRequest(line);
+  if (!parsed.ok()) {
+    DeliverResponse(conn, seq, FormatErrorResponse(parsed.status()));
+    return;
+  }
+  telemetry::MetricsRegistry::Global()
+      .GetCounter(std::string("server.requests.") +
+                  RequestKindToString(parsed->kind))
+      .Increment();
+  const bool estimate_class = parsed->IsEstimateClass();
+  WorkItem item{conn, seq, std::move(parsed).ValueOrDie()};
+  Status admitted = estimate_class ? estimate_queue_.TryPush(std::move(item))
+                                   : build_queue_.TryPush(std::move(item));
+  if (!admitted.ok()) {
+    requests_rejected_.fetch_add(1, std::memory_order_relaxed);
+    telemetry::MetricsRegistry::Global()
+        .GetCounter("server.requests.rejected")
+        .Increment();
+    DeliverResponse(conn, seq, FormatErrorResponse(admitted));
+    return;
+  }
+  if (!estimate_class) {
+    // One pool task per admitted request; the queue only bounds admission.
+    build_pool_->Submit([this] { BuildWorker(); });
+  }
+}
+
+void SitStatsServer::Respond(const WorkItem& item, const Status& status,
+                             const std::string& payload) {
+  DeliverResponse(item.conn, item.seq,
+                  status.ok() ? FormatOkResponse(payload)
+                              : FormatErrorResponse(status));
+}
+
+void SitStatsServer::DeliverResponse(const std::shared_ptr<Connection>& conn,
+                                     uint64_t seq, std::string line) {
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  conn->pending.emplace(seq, std::move(line));
+  while (true) {
+    auto it = conn->pending.find(conn->next_response_seq);
+    if (it == conn->pending.end()) return;
+    std::string out = std::move(it->second);
+    out.push_back('\n');
+    conn->pending.erase(it);
+    ++conn->next_response_seq;
+    if (conn->closed.load(std::memory_order_acquire)) continue;
+    Status fault = SITSTATS_FAULT_CHECK("server.write");
+    if (!fault.ok()) {
+      RecordTransportError(fault);
+      conn->closed.store(true, std::memory_order_release);
+      ::shutdown(conn->fd, SHUT_RDWR);
+      continue;
+    }
+    if (!WriteAll(conn->fd, out)) {
+      RecordTransportError(ErrnoError("send"));
+      conn->closed.store(true, std::memory_order_release);
+      ::shutdown(conn->fd, SHUT_RDWR);
+    }
+  }
+}
+
+void SitStatsServer::CloseConnection(const std::shared_ptr<Connection>& conn) {
+  conn->closed.store(true, std::memory_order_release);
+  ::shutdown(conn->fd, SHUT_RDWR);
+}
+
+void SitStatsServer::EstimateWorker() {
+  WorkItem item;
+  while (estimate_queue_.Pop(&item)) {
+    ProcessEstimateClass(item);
+    item = WorkItem{};  // release the connection reference while blocked
+  }
+}
+
+void SitStatsServer::BuildWorker() {
+  WorkItem item;
+  if (!build_queue_.Pop(&item)) return;
+  ProcessBuildClass(item);
+}
+
+void SitStatsServer::ProcessEstimateClass(const WorkItem& item) {
+  SITSTATS_TRACE_SPAN("server.estimate_class");
+  const auto start = std::chrono::steady_clock::now();
+  Status fault = SITSTATS_FAULT_CHECK("server.dispatch");
+  if (!fault.ok()) {
+    Respond(item, fault, "");
+    return;
+  }
+  Result<std::string> payload = std::string();
+  switch (item.request.kind) {
+    case Request::Kind::kPing:
+      payload = std::string("pong");
+      break;
+    case Request::Kind::kStats:
+      payload = StatsPayload();
+      break;
+    case Request::Kind::kShutdown:
+      Respond(item, Status::OK(), "stopping");
+      RequestStop();
+      return;
+    case Request::Kind::kEstimate:
+      payload = HandleEstimate(item);
+      break;
+    case Request::Kind::kBuild:
+    case Request::Kind::kSleep:
+      payload = Status::Internal("build-class request on estimate path");
+      break;
+  }
+  Respond(item, payload.ok() ? Status::OK() : payload.status(),
+          payload.ok() ? *payload : "");
+  telemetry::MetricsRegistry::Global()
+      .GetHistogram("server.latency.estimate_ms")
+      .Record(ElapsedMs(start));
+}
+
+Result<std::string> SitStatsServer::HandleEstimate(const WorkItem& item) {
+  const Request& request = item.request;
+  const std::string key = FormatSitSpec(*request.descriptor) + "|" +
+                          FormatExact(request.lo) + "|" +
+                          FormatExact(request.hi);
+  const uint64_t epoch = cache_.epoch();
+  std::string payload;
+  if (cache_.Lookup(key, &payload)) return payload + " cached=1";
+  SITSTATS_RETURN_IF_ERROR(
+      stop_source_.token().CheckCancelled("estimate on stopping server"));
+
+  CardinalityEstimator::Estimate estimate;
+  {
+    // Read-mostly path: estimates share the SIT catalog under the reader
+    // lock and run concurrently with each other and with in-flight builds
+    // (which only take the writer lock to register a finished SIT).
+    std::shared_lock<std::shared_mutex> lock(sit_mu_);
+    CardinalityEstimator estimator(catalog_.get(), &base_stats_, &sits_);
+    SITSTATS_ASSIGN_OR_RETURN(
+        estimate,
+        estimator.EstimateRangeQuery(request.descriptor->query(),
+                                     request.descriptor->attribute(),
+                                     request.lo, request.hi));
+  }
+  payload = "cardinality=" + FormatExact(estimate.cardinality) +
+            " provenance=" + ProvenanceToString(estimate.provenance);
+  cache_.Insert(epoch, key, payload);
+  return payload + " cached=0";
+}
+
+void SitStatsServer::ProcessBuildClass(const WorkItem& item) {
+  SITSTATS_TRACE_SPAN("server.build_class");
+  const auto start = std::chrono::steady_clock::now();
+  Status fault = SITSTATS_FAULT_CHECK("server.dispatch");
+  if (!fault.ok()) {
+    Respond(item, fault, "");
+    return;
+  }
+  if (item.request.kind != Request::Kind::kBuild &&
+      item.request.kind != Request::Kind::kSleep) {
+    Respond(item, Status::Internal("estimate-class request on build path"),
+            "");
+    return;
+  }
+  auto source = std::make_shared<CancellationSource>(stop_source_.token());
+  auto expired = std::make_shared<std::atomic<bool>>(false);
+  RegisterDeadline(item.request.timeout_ms, source, expired);
+
+  Result<std::string> payload =
+      item.request.kind == Request::Kind::kBuild
+          ? HandleBuild(item, source->token())
+          : HandleSleep(item, source->token());
+  if (!payload.ok() && payload.status().code() == StatusCode::kCancelled &&
+      expired->load(std::memory_order_acquire)) {
+    payload = Status::DeadlineExceeded(
+        "deadline of " + std::to_string(item.request.timeout_ms) +
+        " ms exceeded: " + payload.status().message());
+  }
+  Respond(item, payload.ok() ? Status::OK() : payload.status(),
+          payload.ok() ? *payload : "");
+  telemetry::MetricsRegistry::Global()
+      .GetHistogram("server.latency.build_ms")
+      .Record(ElapsedMs(start));
+}
+
+Result<std::string> SitStatsServer::HandleBuild(
+    const WorkItem& item, const CancellationToken& cancel) {
+  const Request& request = item.request;
+  SitBuildOptions build = options_.build_defaults;
+  if (request.variant.has_value()) build.variant = *request.variant;
+  if (request.sampling_rate >= 0.0) {
+    build.sampling_rate = request.sampling_rate;
+  }
+  if (request.num_buckets > 0) {
+    build.histogram_spec.num_buckets = static_cast<int>(request.num_buckets);
+  }
+  build.cancel = cancel;
+  SITSTATS_ASSIGN_OR_RETURN(
+      Sit sit,
+      CreateSit(catalog_.get(), &base_stats_, *request.descriptor, build));
+  const std::string payload =
+      "built=" + FormatSitSpec(*request.descriptor) +
+      " est_cardinality=" + FormatExact(sit.estimated_cardinality) +
+      " buckets=" + std::to_string(sit.histogram.num_buckets());
+  size_t total;
+  {
+    std::unique_lock<std::shared_mutex> lock(sit_mu_);
+    sits_.Add(std::move(sit));
+    total = sits_.size();
+  }
+  // Invalidate after the writer lock drops: a racing estimate either saw
+  // the old catalog (its insert is dropped by the epoch check) or the new
+  // one (its cached answer is already correct).
+  cache_.Invalidate();
+  builds_completed_.fetch_add(1, std::memory_order_relaxed);
+  return payload + " sits=" + std::to_string(total);
+}
+
+Result<std::string> SitStatsServer::HandleSleep(
+    const WorkItem& item, const CancellationToken& cancel) {
+  if (cancel.WaitForCancellation(
+          std::chrono::milliseconds(item.request.sleep_ms))) {
+    return Status::Cancelled("sleep interrupted");
+  }
+  return "slept_ms=" + std::to_string(item.request.sleep_ms);
+}
+
+void SitStatsServer::RegisterDeadline(
+    uint64_t timeout_ms, std::shared_ptr<CancellationSource> source,
+    std::shared_ptr<std::atomic<bool>> expired) {
+  if (timeout_ms == 0) return;
+  {
+    std::lock_guard<std::mutex> lock(deadline_mu_);
+    deadlines_.push_back(DeadlineEntry{
+        std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(timeout_ms),
+        std::move(source), std::move(expired)});
+  }
+  deadline_cv_.notify_one();
+}
+
+void SitStatsServer::DeadlineLoop() {
+  std::unique_lock<std::mutex> lock(deadline_mu_);
+  while (!stop_requested()) {
+    if (deadlines_.empty()) {
+      deadline_cv_.wait(lock);
+      continue;
+    }
+    auto next = std::min_element(
+        deadlines_.begin(), deadlines_.end(),
+        [](const DeadlineEntry& a, const DeadlineEntry& b) {
+          return a.deadline < b.deadline;
+        });
+    const auto now = std::chrono::steady_clock::now();
+    if (next->deadline > now) {
+      deadline_cv_.wait_until(lock, next->deadline);
+      continue;
+    }
+    DeadlineEntry entry = std::move(*next);
+    deadlines_.erase(next);
+    lock.unlock();
+    entry.expired->store(true, std::memory_order_release);
+    entry.source->Cancel();
+    lock.lock();
+  }
+}
+
+}  // namespace sitstats

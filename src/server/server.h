@@ -1,0 +1,244 @@
+#ifndef SITSTATS_SERVER_SERVER_H_
+#define SITSTATS_SERVER_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cancellation.h"
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "server/estimate_cache.h"
+#include "server/protocol.h"
+#include "server/request_queue.h"
+#include "sit/base_stats.h"
+#include "sit/creator.h"
+#include "sit/sit_catalog.h"
+#include "storage/catalog.h"
+
+namespace sitstats {
+
+struct ServerOptions {
+  /// Filesystem path of the Unix-domain listening socket (created on
+  /// Start, unlinked on Stop).
+  std::string socket_path;
+  /// Dedicated threads serving the read-mostly estimate class (PING /
+  /// STATS / ESTIMATE / SHUTDOWN).
+  size_t estimate_threads = 2;
+  /// ThreadPool workers executing SIT builds (BUILD / SLEEP).
+  size_t build_threads = 2;
+  /// Admission-control bounds; a full queue rejects with
+  /// ResourceExhausted instead of queueing without limit.
+  size_t estimate_queue_capacity = 64;
+  size_t build_queue_capacity = 4;
+  /// LRU capacity of the estimate-result cache.
+  size_t cache_capacity = 256;
+  /// Defaults for BUILD requests; per-request options override variant /
+  /// rate / buckets.
+  SitBuildOptions build_defaults;
+};
+
+/// sitstats-server: a long-running process answering cardinality-estimate
+/// and SIT-build requests over a local Unix-domain socket (protocol in
+/// server/protocol.h).
+///
+/// Architecture — one poll(2) event loop plus two request classes:
+///
+///   poll thread        accepts connections, reads request lines, parses,
+///                      and routes each request through admission control
+///                      into its class queue; never blocks on work.
+///   estimate class     options.estimate_threads workers serve PING /
+///                      STATS / ESTIMATE from a bounded queue. Estimates
+///                      take the SIT catalog's reader lock only — they
+///                      run concurrently with each other and with builds.
+///   build class        BUILD / SLEEP requests pass a (small) bounded
+///                      queue and execute on the embedded ThreadPool;
+///                      a completed build takes the writer lock for the
+///                      few microseconds of SitCatalog::Add, then
+///                      invalidates the estimate cache.
+///
+/// Responses are delivered in request order per connection, so a client
+/// may pipeline. Every request may carry timeout_ms=N: a deadline thread
+/// cancels the request's CancellationToken on expiry and the worker
+/// reports DeadlineExceeded; build cancellation is cooperative via the
+/// sweep-scan polling sites.
+///
+/// Fault-injection sites (exercised by the fault sweep, which asserts the
+/// server survives each): "server.accept" per accepted connection,
+/// "server.read" per parsed request line, "server.dispatch" per executed
+/// request, "server.write" per delivered response. Transport-level
+/// injected faults close the affected connection and are recorded for
+/// TakeTransportError(); dispatch faults surface to the client as ERR.
+class SitStatsServer {
+ public:
+  SitStatsServer(std::unique_ptr<Catalog> catalog, ServerOptions options);
+  ~SitStatsServer();
+
+  SitStatsServer(const SitStatsServer&) = delete;
+  SitStatsServer& operator=(const SitStatsServer&) = delete;
+
+  /// Binds + listens and spawns the serving threads. Errors (socket in
+  /// use, bad path) surface here, not in the background.
+  Status Start();
+
+  /// Asynchronous stop: stops accepting, cancels in-flight work via the
+  /// server token, wakes the poll loop. Safe from any thread, including
+  /// workers (SHUTDOWN requests land here). Idempotent.
+  void RequestStop();
+
+  /// RequestStop + join every thread and drain the queues. After Stop the
+  /// server can be inspected but not restarted. Called by the destructor.
+  void Stop();
+
+  /// Cancelled when RequestStop has been called — what external runners
+  /// wait on.
+  CancellationToken stop_token() const { return stop_source_.token(); }
+  bool stop_requested() const {
+    return stop_requested_.load(std::memory_order_acquire);
+  }
+
+  /// Seeds the SIT store (e.g. from a saved statistics file) before
+  /// Start().
+  void PreloadSits(SitCatalog sits);
+
+  /// First transport-level error observed (injected or real) since the
+  /// last call; OK when none. The fault sweep surfaces injected
+  /// accept/read/write faults through this.
+  Status TakeTransportError();
+
+  /// Self-check: storage invariants plus SitCatalog::ValidateConsistency
+  /// under the reader lock. The fault sweep calls this after every
+  /// injected server fault.
+  Status ValidateCatalog() const;
+
+  /// The "key=value ..." payload served for STATS.
+  std::string StatsPayload() const;
+
+  size_t num_sits() const;
+  EstimateCache::Stats cache_stats() const { return cache_.GetStats(); }
+
+ private:
+  /// One accepted connection. The poll thread owns reads; workers deliver
+  /// responses directly under write_mu (in seq order). The fd closes when
+  /// the last reference drops, so a worker never writes into a recycled
+  /// descriptor.
+  struct Connection {
+    explicit Connection(int fd_in) : fd(fd_in) {}
+    ~Connection();
+
+    const int fd;
+    /// Read buffer (poll thread only).
+    std::string input;
+    uint64_t next_request_seq = 0;
+
+    std::mutex write_mu;
+    uint64_t next_response_seq = 0;
+    /// Responses completed out of order, waiting for their turn.
+    std::map<uint64_t, std::string> pending;
+    std::atomic<bool> closed{false};
+  };
+
+  struct WorkItem {
+    std::shared_ptr<Connection> conn;
+    uint64_t seq = 0;
+    Request request;
+  };
+
+  /// Deadline-thread entry: cancel `source` at `deadline` unless the
+  /// request finished first.
+  struct DeadlineEntry {
+    std::chrono::steady_clock::time_point deadline;
+    std::shared_ptr<CancellationSource> source;
+    std::shared_ptr<std::atomic<bool>> expired;
+  };
+
+  void PollLoop();
+  void DeadlineLoop();
+  void EstimateWorker();
+  void BuildWorker();
+
+  void AcceptConnections();
+  /// Reads from `conn`; false when the connection is done (EOF, error, or
+  /// injected read fault) and should be dropped from the poll set.
+  bool ReadConnection(const std::shared_ptr<Connection>& conn);
+  void DispatchLine(const std::shared_ptr<Connection>& conn,
+                    const std::string& line);
+
+  void Respond(const WorkItem& item, const Status& status,
+               const std::string& payload);
+  void DeliverResponse(const std::shared_ptr<Connection>& conn, uint64_t seq,
+                       std::string line);
+  void CloseConnection(const std::shared_ptr<Connection>& conn);
+
+  void ProcessEstimateClass(const WorkItem& item);
+  void ProcessBuildClass(const WorkItem& item);
+  Result<std::string> HandleEstimate(const WorkItem& item);
+  Result<std::string> HandleBuild(const WorkItem& item,
+                                  const CancellationToken& cancel);
+  Result<std::string> HandleSleep(const WorkItem& item,
+                                  const CancellationToken& cancel);
+
+  /// Arms the deadline thread to cancel `source` after `timeout_ms`
+  /// (no-op when 0); `expired` is set before the cancel so the worker can
+  /// report DeadlineExceeded instead of Cancelled.
+  void RegisterDeadline(uint64_t timeout_ms,
+                        std::shared_ptr<CancellationSource> source,
+                        std::shared_ptr<std::atomic<bool>> expired);
+
+  void RecordTransportError(const Status& status);
+
+  const ServerOptions options_;
+  std::unique_ptr<Catalog> catalog_;
+  BaseStatsCache base_stats_;
+
+  /// Guards sits_ (readers: estimates + validation; writer: completed
+  /// builds and PreloadSits).
+  mutable std::shared_mutex sit_mu_;
+  SitCatalog sits_;
+
+  EstimateCache cache_;
+
+  CancellationSource stop_source_;
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopped_{false};
+
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  /// Open connections, keyed by fd. Poll-thread only.
+  std::map<int, std::shared_ptr<Connection>> conns_;
+
+  BoundedQueue<WorkItem> estimate_queue_;
+  BoundedQueue<WorkItem> build_queue_;
+
+  std::thread poll_thread_;
+  std::thread deadline_thread_;
+  std::vector<std::thread> estimate_workers_;
+  /// Builds run here; constructed lazily in Start() so the thread count
+  /// follows options_.
+  std::unique_ptr<ThreadPool> build_pool_;
+
+  std::mutex deadline_mu_;
+  std::condition_variable deadline_cv_;
+  std::vector<DeadlineEntry> deadlines_;
+
+  std::mutex transport_mu_;
+  Status transport_error_;
+
+  /// Request counters by verb (served in STATS and mirrored to the global
+  /// metrics registry).
+  std::atomic<uint64_t> requests_total_{0};
+  std::atomic<uint64_t> requests_rejected_{0};
+  std::atomic<uint64_t> builds_completed_{0};
+};
+
+}  // namespace sitstats
+
+#endif  // SITSTATS_SERVER_SERVER_H_

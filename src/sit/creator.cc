@@ -63,6 +63,7 @@ Result<Sit> CreateSitWithSweep(Catalog* catalog, BaseStatsCache* base_stats,
     spec.min_sample_size = options.min_sample_size;
     spec.use_sampling = UsesSampling(options.variant);
     spec.histogram_spec = options.histogram_spec;
+    spec.cancel = options.cancel;
 
     // Oracles must outlive the scan; owned locally per node.
     std::vector<std::unique_ptr<MultiplicityOracle>> oracles;

@@ -1,6 +1,7 @@
 #ifndef SITSTATS_SIT_CREATOR_H_
 #define SITSTATS_SIT_CREATOR_H_
 
+#include "common/cancellation.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "sit/base_stats.h"
@@ -27,6 +28,10 @@ struct SitBuildOptions {
   /// see SitStreamSeed — so the same descriptor yields the same statistic
   /// whether built alone, in any batch, or on any number of threads.
   uint64_t seed = 42;
+  /// Cooperative cancellation, polled inside every sweep scan's row loop:
+  /// a cancelled token aborts the build promptly with Status::Cancelled.
+  /// Server request timeouts ride in on this. Default: never cancelled.
+  CancellationToken cancel;
 };
 
 /// Seed of `descriptor`'s private random stream under base seed `seed`:

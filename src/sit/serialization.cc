@@ -7,6 +7,7 @@
 #include <sstream>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "common/string_util.h"
 
 namespace sitstats {
@@ -227,6 +228,7 @@ Result<SitCatalog> DeserializeSitCatalog(const std::string& text) {
 }
 
 Status SaveSitCatalog(const SitCatalog& catalog, const std::string& path) {
+  SITSTATS_FAULT_SITE("sit.serialize.save");
   std::ofstream out(path, std::ios::trunc);
   if (!out) {
     return Status::IOError("cannot open " + path + " for writing");
@@ -240,6 +242,7 @@ Status SaveSitCatalog(const SitCatalog& catalog, const std::string& path) {
 }
 
 Result<SitCatalog> LoadSitCatalog(const std::string& path) {
+  SITSTATS_FAULT_SITE("sit.serialize.load");
   std::ifstream in(path);
   if (!in) {
     return Status::IOError("cannot open " + path + " for reading");

@@ -1,6 +1,36 @@
 #include "sit/sit_catalog.h"
 
+#include <cmath>
+
 namespace sitstats {
+
+Status SitCatalog::ValidateConsistency() const {
+  for (const Sit& sit : sits_) {
+    const std::string name = sit.descriptor.ToString();
+    if (!sit.descriptor.query().ReferencesTable(
+            sit.descriptor.attribute().table)) {
+      return Status::Internal("registered SIT " + name +
+                              " has an attribute outside its query");
+    }
+    Status histogram_valid = sit.histogram.CheckValid();
+    if (!histogram_valid.ok()) {
+      return Status::Internal("registered SIT " + name +
+                              " has an invalid histogram: " +
+                              histogram_valid.ToString());
+    }
+    if (!std::isfinite(sit.estimated_cardinality) ||
+        sit.estimated_cardinality < 0.0) {
+      return Status::Internal("registered SIT " + name +
+                              " has an invalid estimated cardinality");
+    }
+    if (sit.estimated_cardinality > 0.0 && sit.histogram.num_buckets() == 0) {
+      return Status::Internal("registered SIT " + name +
+                              " is incomplete: positive cardinality with an "
+                              "empty histogram");
+    }
+  }
+  return Status::OK();
+}
 
 void SitCatalog::Add(Sit sit) {
   for (Sit& existing : sits_) {

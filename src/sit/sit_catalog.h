@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/status.h"
 #include "sit/sit.h"
 
 namespace sitstats {
@@ -10,10 +11,23 @@ namespace sitstats {
 /// The statistics store for SITs. The cardinality-estimation wrapper
 /// (Section 2.2) consults it to rewrite sub-plans whose generating query
 /// matches an available SIT.
+///
+/// Not internally synchronized: concurrent readers are safe, but Add()
+/// must be serialized against readers by the owner (the server guards its
+/// instance with a reader-writer lock on the estimate/build paths).
 class SitCatalog {
  public:
   /// Registers a SIT. A SIT equivalent to an existing one replaces it.
   void Add(Sit sit);
+
+  /// Self-validation hook: proves no registered SIT is partial. Every
+  /// entry must have an attribute its generating query references, an
+  /// internally valid histogram (ordering, finiteness, distinct-count
+  /// bounds), a finite non-negative estimated cardinality, and buckets
+  /// whenever that cardinality is positive. A failed or cancelled build
+  /// must never leave a half-registered SIT behind; the fault sweep calls
+  /// this after every injection instead of keeping its own bookkeeping.
+  Status ValidateConsistency() const;
 
   /// The SIT over `attribute` whose generating query is equivalent to
   /// `query`, or nullptr.

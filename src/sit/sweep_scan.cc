@@ -129,7 +129,15 @@ Result<std::vector<SweepOutput>> SweepScanTable(Catalog* catalog,
       SequentialScan::Open(catalog, spec.table, projection));
   std::vector<double> join_multiplicities(spec.joins.size(), 0.0);
   std::vector<double> join_values;
+  uint64_t rows_since_cancel_check = 0;
   while (scan.Next()) {
+    // Poll the token once per batch of rows: cheap enough to keep the scan
+    // tight, frequent enough that a timeout or first-error abort lands in
+    // well under a millisecond of extra scanning.
+    if (++rows_since_cancel_check >= 256) {
+      rows_since_cancel_check = 0;
+      SITSTATS_RETURN_IF_ERROR(spec.cancel.CheckCancelled("sweep scan"));
+    }
     // Step 2: one oracle call per distinct join, shared across targets.
     for (size_t j = 0; j < spec.joins.size(); ++j) {
       join_values.clear();
@@ -179,6 +187,7 @@ Result<std::vector<SweepOutput>> SweepScanTable(Catalog* catalog,
   outputs.reserve(spec.targets.size());
   for (size_t t = 0; t < spec.targets.size(); ++t) {
     SITSTATS_FAULT_SITE("sit.sweep.build_output");
+    SITSTATS_RETURN_IF_ERROR(spec.cancel.CheckCancelled("sweep output"));
     TargetState& state = states[t];
     SweepOutput out;
     out.estimated_cardinality = state.fractional_cardinality;

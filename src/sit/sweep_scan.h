@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "histogram/builder.h"
@@ -62,6 +63,12 @@ struct SweepScanSpec {
   /// tables.
   size_t temp_memory_runs = 0;
   HistogramSpec histogram_spec;
+  /// Cooperative cancellation: the row loop polls this token every batch
+  /// of rows and aborts with Status::Cancelled mid-scan. A default token
+  /// never cancels. Server request timeouts and the schedule executor's
+  /// first-error signal both arrive here — this is what makes an abort
+  /// prompt instead of waiting out the scan.
+  CancellationToken cancel;
 };
 
 /// Result of one target of a sweep scan.

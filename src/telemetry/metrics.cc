@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "common/fault_injection.h"
 #include "telemetry/json_util.h"
 
 namespace sitstats {
@@ -229,6 +230,7 @@ std::string MetricsRegistry::ToJson() const {
 }
 
 Status MetricsRegistry::WriteJson(const std::string& path) const {
+  SITSTATS_FAULT_SITE("telemetry.metrics.export");
   std::string json = ToJson();
   std::FILE* file = std::fopen(path.c_str(), "w");
   if (file == nullptr) {

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "common/fault_injection.h"
 #include "telemetry/json_util.h"
 
 namespace sitstats {
@@ -98,6 +99,7 @@ std::string Tracer::ToChromeTraceJson() const {
 }
 
 Status Tracer::WriteChromeTrace(const std::string& path) const {
+  SITSTATS_FAULT_SITE("telemetry.trace.export");
   std::string json = ToChromeTraceJson();
   std::FILE* file = std::fopen(path.c_str(), "w");
   if (file == nullptr) {

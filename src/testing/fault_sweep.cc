@@ -10,10 +10,15 @@
 #include "scheduler/executor.h"
 #include "scheduler/sit_problem.h"
 #include "scheduler/solver.h"
+#include "server/client.h"
+#include "server/server.h"
 #include "sit/base_stats.h"
 #include "sit/creator.h"
+#include "sit/serialization.h"
+#include "sit/sit_catalog.h"
 #include "sit/sweep_scan.h"
 #include "storage/table_io.h"
+#include "telemetry/telemetry.h"
 
 namespace sitstats {
 
@@ -24,7 +29,10 @@ namespace {
 struct WorkloadState {
   std::unique_ptr<Catalog> generated;  // pre-save catalog
   std::unique_ptr<Catalog> loaded;     // post-CSV-round-trip catalog
-  std::vector<Sit> built;              // SITs completed before the fault
+  /// SITs completed before the fault, registered in a real SitCatalog so
+  /// validation uses the production ValidateConsistency hook instead of
+  /// sweep-private bookkeeping.
+  SitCatalog sits;
 };
 
 Result<SitDescriptor> MakeChainDescriptor() {
@@ -60,6 +68,79 @@ Result<std::vector<SitDescriptor>> MakeScheduleDescriptors() {
                                                        "l_orderkey"}}}));
   sits.emplace_back(ColumnRef{"lineitem", "l_extendedprice"}, std::move(ol));
   return sits;
+}
+
+/// Serialization layer: the built SITs round-trip through the text
+/// statistics format (sit.serialize.save / sit.serialize.load sites).
+Status RunSerializationStage(const std::string& dir, WorkloadState* state) {
+  const std::string path = dir + "/catalog.stats";
+  SITSTATS_RETURN_IF_ERROR(SaveSitCatalog(state->sits, path));
+  SITSTATS_ASSIGN_OR_RETURN(SitCatalog reloaded, LoadSitCatalog(path));
+  if (reloaded.size() != state->sits.size()) {
+    return Status::Internal(
+        "SIT catalog round trip changed size: " +
+        std::to_string(state->sits.size()) + " saved, " +
+        std::to_string(reloaded.size()) + " loaded");
+  }
+  return reloaded.ValidateConsistency();
+}
+
+/// Telemetry layer: exporting metrics and traces is fallible I/O too
+/// (telemetry.metrics.export / telemetry.trace.export sites).
+Status RunTelemetryStage(const std::string& dir) {
+  SITSTATS_RETURN_IF_ERROR(telemetry::MetricsRegistry::Global().WriteJson(
+      dir + "/metrics.json"));
+  return telemetry::Tracer::Global().WriteChromeTrace(dir + "/trace.json");
+}
+
+/// Server layer: one sitstats-server session over a scratch socket,
+/// driven by a single sequential client so every server fault site
+/// (accept / read / dispatch / write) is hit a deterministic number of
+/// times. Injected transport faults close the connection — the client
+/// only sees EOF — so the injected Status is recovered through
+/// TakeTransportError. Whatever happens, the server must survive to
+/// validate and stop cleanly.
+Status RunServerStage(const FaultSweepOptions& options,
+                      const std::string& dir) {
+  SITSTATS_ASSIGN_OR_RETURN(std::unique_ptr<Catalog> db,
+                            MakeTpchLiteDatabase(options.spec));
+  ServerOptions server_options;
+  server_options.socket_path = dir + "/server.sock";
+  server_options.estimate_threads = 2;
+  server_options.build_threads = 1;
+  server_options.build_queue_capacity = 2;
+  server_options.build_defaults.seed = options.spec.seed;
+  SitStatsServer server(std::move(db), server_options);
+  SITSTATS_RETURN_IF_ERROR(server.Start());
+
+  const std::string spec =
+      "orders.o_totalprice:customer.c_custkey=orders.o_custkey";
+  Status drive = [&]() -> Status {
+    SITSTATS_ASSIGN_OR_RETURN(
+        SitStatsClient client,
+        SitStatsClient::Connect(server_options.socket_path));
+    SITSTATS_RETURN_IF_ERROR(client.Ping());
+    SITSTATS_RETURN_IF_ERROR(client.Build(spec).status());
+    SITSTATS_RETURN_IF_ERROR(client.Estimate(spec, 0.0, 1e6).status());
+    // Second identical estimate exercises the cache-hit path.
+    SITSTATS_RETURN_IF_ERROR(client.Estimate(spec, 0.0, 1e6).status());
+    SITSTATS_RETURN_IF_ERROR(client.Stats().status());
+    SITSTATS_RETURN_IF_ERROR(client.Sleep(1).status());
+    return Status::OK();
+  }();
+
+  // Survival check before anything else: whatever was injected, the
+  // server process state must still validate and stop without hanging.
+  Status valid = server.ValidateCatalog();
+  server.Stop();
+  Status transport = server.TakeTransportError();
+  if (!drive.ok()) {
+    // A closed connection loses the injected Status on the wire; the
+    // recorded transport error carries it (and the sweep's marker).
+    return transport.ok() ? drive : transport;
+  }
+  SITSTATS_RETURN_IF_ERROR(valid);
+  return transport;
 }
 
 /// The workload under test: touches every fallible layer once, with fixed
@@ -116,7 +197,7 @@ Status RunWorkload(const FaultSweepOptions& options, const std::string& dir,
     build.seed = options.spec.seed;
     SITSTATS_ASSIGN_OR_RETURN(Sit sit,
                               CreateSit(catalog, &stats, chain_sit, build));
-    state->built.push_back(std::move(sit));
+    state->sits.Add(std::move(sit));
   }
 
   // Scheduler layer: shared-scan schedule over three SITs (two share the
@@ -138,12 +219,16 @@ Status RunWorkload(const FaultSweepOptions& options, const std::string& dir,
       ScheduleExecutionResult executed,
       ExecuteSitSchedule(catalog, &stats, sits, mapping, solved.schedule,
                          eopts));
-  for (Sit& sit : executed.sits) state->built.push_back(std::move(sit));
-  return Status::OK();
+  for (Sit& sit : executed.sits) state->sits.Add(std::move(sit));
+
+  SITSTATS_RETURN_IF_ERROR(RunSerializationStage(dir, state));
+  SITSTATS_RETURN_IF_ERROR(RunTelemetryStage(dir));
+  return RunServerStage(options, dir);
 }
 
 /// Post-run invariants: catalogs consistent (every registered index is
-/// complete and correct), every finished SIT internally valid.
+/// complete and correct), and the run's SitCatalog passes the production
+/// self-validation hook (no partial SIT registered).
 Status ValidateState(const WorkloadState& state, const std::string& context) {
   for (const Catalog* catalog :
        {state.generated.get(), state.loaded.get()}) {
@@ -154,15 +239,34 @@ Status ValidateState(const WorkloadState& state, const std::string& context) {
                               valid.ToString());
     }
   }
-  for (const Sit& sit : state.built) {
-    Status valid = sit.histogram.CheckValid();
-    if (!valid.ok()) {
-      return Status::Internal(context + ": partial SIT " +
-                              sit.descriptor.ToString() + ": " +
-                              valid.ToString());
-    }
+  Status sits_valid = state.sits.ValidateConsistency();
+  if (!sits_valid.ok()) {
+    return Status::Internal(context + ": " + sits_valid.ToString());
   }
   return Status::OK();
+}
+
+/// Ordinal-selection policy (stratified unless exhaustive): every hit for
+/// small sites, else `strata` evenly spaced ordinals over [1, hits]
+/// including both endpoints.
+std::vector<uint64_t> SelectOrdinals(uint64_t hits,
+                                     const FaultSweepOptions& options) {
+  std::vector<uint64_t> ordinals;
+  const uint64_t strata = std::max<uint64_t>(options.ordinal_strata, 2);
+  if (options.exhaustive || hits <= strata) {
+    for (uint64_t ordinal = 1; ordinal <= hits; ++ordinal) {
+      ordinals.push_back(ordinal);
+    }
+    return ordinals;
+  }
+  for (uint64_t s = 0; s < strata; ++s) {
+    // Evenly spaced with endpoints: s = 0 -> 1, s = strata-1 -> hits.
+    uint64_t ordinal = 1 + (s * (hits - 1)) / (strata - 1);
+    if (ordinals.empty() || ordinals.back() != ordinal) {
+      ordinals.push_back(ordinal);
+    }
+  }
+  return ordinals;
 }
 
 }  // namespace
@@ -208,11 +312,7 @@ Result<FaultSweepReport> RunFaultSweep(const FaultSweepOptions& options) {
     FaultSweepSiteResult result;
     result.site = site;
     result.hits = hits;
-    uint64_t last = hits;
-    if (options.max_ordinals_per_site > 0) {
-      last = std::min<uint64_t>(last, options.max_ordinals_per_site);
-    }
-    for (uint64_t ordinal = 1; ordinal <= last; ++ordinal) {
+    for (uint64_t ordinal : SelectOrdinals(hits, options)) {
       const std::string marker =
           "injected fault at " + site + "#" + std::to_string(ordinal);
       if (options.progress) options.progress(marker);

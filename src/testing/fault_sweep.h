@@ -38,9 +38,18 @@ struct FaultSweepOptions {
   TpchLiteSpec spec;
   /// Worker threads for the schedule-execution stage (1 = serial).
   int num_threads = 1;
-  /// Cap on ordinals swept per site; 0 sweeps every observed hit.
-  uint64_t max_ordinals_per_site = 0;
-  /// Scratch directory root for the CSV round-trip stage.
+  /// Sweep every observed ordinal of every site. Off by default: sites
+  /// inside row loops accumulate hundreds of equivalent hits, and the
+  /// sweep re-runs the whole workload per armed ordinal.
+  bool exhaustive = false;
+  /// When not exhaustive, a site with more hits than this is sampled at
+  /// this many stratified ordinals — evenly spaced across [1, hits],
+  /// always including both the first and the last hit (the boundary
+  /// ordinals catch setup- and teardown-path bugs that midpoints miss).
+  /// Clamped to >= 2; sites at or below the threshold sweep every hit.
+  uint64_t ordinal_strata = 5;
+  /// Scratch directory root for the CSV round-trip, serialization,
+  /// telemetry-export, and server-socket stages.
   std::string temp_root = "/tmp";
   /// Optional per-injection progress sink (the CLI driver prints these).
   std::function<void(const std::string&)> progress;
@@ -49,17 +58,24 @@ struct FaultSweepOptions {
 /// Runs the full fault sweep over a TPC-H-lite workload that exercises
 /// every fallible layer: CSV save/load round trip, sampled base
 /// statistics, a spilling full-path sweep scan, every Sweep variant over
-/// a 3-table chain, and a shared-scan schedule execution.
+/// a 3-table chain, a shared-scan schedule execution, a SIT-catalog
+/// serialization round trip, telemetry export, and a sitstats-server
+/// session (accept / read / dispatch / write) driven over a local socket.
 ///
 /// One counting pass enumerates the reachable sites, then one armed pass
-/// runs per site x ordinal, asserting after each that
+/// runs per selected site x ordinal (stratified unless
+/// options.exhaustive), asserting after each that
 ///   (a) exactly the injected error surfaced (not swallowed, not wrapped
-///       into success, fired exactly once),
+///       into success, fired exactly once) — server transport faults
+///       surface through SitStatsServer::TakeTransportError,
 ///   (b) every catalog the run produced still passes ValidateConsistency
-///       (registered indexes are complete — no partial index survives),
-///   (c) every SIT the run finished before the fault is itself valid, and
+///       and the run's SitCatalog passes its own ValidateConsistency hook
+///       (no partial SIT or index survives),
+///   (c) the server outlived the injected fault (its catalog validates
+///       and it stops cleanly), and
 ///   (d) nothing hung — the workload returning at all proves the
-///       schedule executor's WaitGroup terminated.
+///       schedule executor's WaitGroup and the server's queues
+///       terminated.
 /// Returns the per-site report, or the first violation as a Status.
 Result<FaultSweepReport> RunFaultSweep(const FaultSweepOptions& options);
 

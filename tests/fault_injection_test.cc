@@ -85,17 +85,18 @@ TEST(FaultInjectorTest, InjectsIntoARealLibrarySite) {
   EXPECT_TRUE(catalog->ValidateConsistency().ok());
 }
 
-/// The real sweep, serial: every reachable site x ordinal on a tiny
-/// workload. The harness itself asserts error propagation, catalog
-/// consistency, and no-partial-SIT after every injection; the test
-/// asserts breadth (>= 15 distinct sites across all layers).
+/// The real sweep, serial, with the default stratified ordinal sampling.
+/// The harness itself asserts error propagation, catalog consistency, and
+/// no-partial-SIT after every injection; the test asserts breadth
+/// (distinct sites across all layers, now including serialization,
+/// telemetry export, and the server's accept/read/dispatch/write paths).
 TEST(FaultSweepTest, SerialSweepCoversAllLayersCleanly) {
   InjectorGuard guard;
   FaultSweepOptions options;
   options.num_threads = 1;
   Result<FaultSweepReport> report = RunFaultSweep(options);
   ASSERT_TRUE(report.ok()) << report.status().ToString();
-  EXPECT_GE(report->sites.size(), 15u);
+  EXPECT_GE(report->sites.size(), 20u);
   EXPECT_GT(report->total_injections, report->sites.size());
   auto has_prefix = [&](const std::string& prefix) {
     for (const FaultSweepSiteResult& site : report->sites) {
@@ -108,20 +109,38 @@ TEST(FaultSweepTest, SerialSweepCoversAllLayersCleanly) {
   EXPECT_TRUE(has_prefix("histogram."));
   EXPECT_TRUE(has_prefix("sit."));
   EXPECT_TRUE(has_prefix("scheduler."));
+  EXPECT_TRUE(has_prefix("sit.serialize."));
+  EXPECT_TRUE(has_prefix("telemetry."));
+  EXPECT_TRUE(has_prefix("server."));
+}
+
+/// Stratified sampling always covers a site's first and last observed
+/// ordinals: boundary hits catch setup/teardown bugs that midpoints miss.
+TEST(FaultSweepTest, StratifiedSamplingKeepsBoundaryOrdinals) {
+  InjectorGuard guard;
+  FaultSweepOptions options;
+  options.ordinal_strata = 2;  // extreme sampling: endpoints only
+  Result<FaultSweepReport> report = RunFaultSweep(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  for (const FaultSweepSiteResult& site : report->sites) {
+    // Endpoints collapse for single-hit sites, otherwise 2 injections.
+    EXPECT_EQ(site.injections, site.hits == 1 ? 1u : 2u)
+        << site.site << " hits=" << site.hits;
+  }
 }
 
 /// Same sweep under 8 executor threads: the parallel scheduler must
 /// propagate the injected step failure without hanging its WaitGroup.
-/// Ordinals are capped to bound runtime; per-site totals are stable under
+/// Stratified ordinals bound runtime; per-site totals are stable under
 /// threading even though interleaving is not.
 TEST(FaultSweepTest, ThreadedSweepTerminatesAndPropagates) {
   InjectorGuard guard;
   FaultSweepOptions options;
   options.num_threads = 8;
-  options.max_ordinals_per_site = 2;
+  options.ordinal_strata = 2;
   Result<FaultSweepReport> report = RunFaultSweep(options);
   ASSERT_TRUE(report.ok()) << report.status().ToString();
-  EXPECT_GE(report->sites.size(), 15u);
+  EXPECT_GE(report->sites.size(), 20u);
 }
 
 }  // namespace

@@ -1,0 +1,219 @@
+#include "server/server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "datagen/tpch_lite.h"
+#include "server/client.h"
+
+namespace sitstats {
+namespace {
+
+using std::chrono::milliseconds;
+
+constexpr char kSpec[] =
+    "orders.o_totalprice:customer.c_custkey=orders.o_custkey";
+constexpr char kSpec2[] =
+    "lineitem.l_quantity:orders.o_orderkey=lineitem.l_orderkey";
+
+/// Starts a real server over a per-test /tmp socket and tears it down.
+class ServerTest : public ::testing::Test {
+ protected:
+  void StartServer(ServerOptions options = {}) {
+    TpchLiteSpec spec;
+    spec.num_nations = 8;
+    spec.num_customers = 80;
+    spec.num_orders = 300;
+    spec.avg_lineitems_per_order = 3;
+    spec.seed = 11;
+    socket_path_ = "/tmp/sitstats_server_test_" +
+                   std::to_string(reinterpret_cast<uintptr_t>(this)) +
+                   ".sock";
+    options.socket_path = socket_path_;
+    options.build_defaults.seed = 11;
+    server_ = std::make_unique<SitStatsServer>(
+        MakeTpchLiteDatabase(spec).ValueOrDie(), options);
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) {
+      server_->Stop();
+      EXPECT_TRUE(server_->TakeTransportError().ok());
+      EXPECT_TRUE(server_->ValidateCatalog().ok());
+    }
+    std::remove(socket_path_.c_str());
+  }
+
+  SitStatsClient Connect() {
+    return SitStatsClient::Connect(socket_path_).ValueOrDie();
+  }
+
+  std::string socket_path_;
+  std::unique_ptr<SitStatsServer> server_;
+};
+
+TEST_F(ServerTest, PingStatsAndParseErrors) {
+  StartServer();
+  SitStatsClient client = Connect();
+  EXPECT_TRUE(client.Ping().ok());
+  Result<std::string> stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats->find("sits=0"), std::string::npos);
+  // Protocol errors come back as typed ERR responses, connection intact.
+  EXPECT_EQ(client.CallRaw("BOGUS").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(client.CallRaw("ESTIMATE one two").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(client.CallRaw("BUILD x.y lo=").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(client.Ping().ok());
+}
+
+TEST_F(ServerTest, BuildThenEstimateUsesSitAndCache) {
+  StartServer();
+  SitStatsClient client = Connect();
+
+  // Before any SIT exists the estimate falls back to propagation.
+  SitStatsClient::EstimateReply before =
+      client.Estimate(kSpec, 0.0, 1e6).ValueOrDie();
+  EXPECT_GT(before.cardinality, 0.0);
+  EXPECT_FALSE(before.cached);
+
+  SitStatsClient::BuildReply built = client.Build(kSpec).ValueOrDie();
+  EXPECT_GT(built.num_buckets, 0u);
+  EXPECT_EQ(built.catalog_sits, 1u);
+  EXPECT_EQ(server_->num_sits(), 1u);
+
+  // The build invalidated the cache: first post-build estimate computes
+  // (now answered by the SIT), the repeat is a cache hit with the same
+  // cardinality.
+  SitStatsClient::EstimateReply first =
+      client.Estimate(kSpec, 0.0, 1e6).ValueOrDie();
+  EXPECT_FALSE(first.cached);
+  EXPECT_EQ(first.provenance, "sit");
+  SitStatsClient::EstimateReply second =
+      client.Estimate(kSpec, 0.0, 1e6).ValueOrDie();
+  EXPECT_TRUE(second.cached);
+  EXPECT_DOUBLE_EQ(second.cardinality, first.cardinality);
+
+  // Another build invalidates again.
+  ASSERT_TRUE(client.Build(kSpec2).status().ok());
+  SitStatsClient::EstimateReply after =
+      client.Estimate(kSpec, 0.0, 1e6).ValueOrDie();
+  EXPECT_FALSE(after.cached);
+  EXPECT_GE(server_->cache_stats().invalidations, 2u);
+}
+
+TEST_F(ServerTest, ConcurrentEstimatesDuringBackgroundBuilds) {
+  StartServer();
+  // One writer connection issues builds while reader threads hammer
+  // estimates; every request must succeed (readers share the catalog
+  // lock, the writer holds it only for SitCatalog::Add).
+  std::thread builder([&] {
+    SitStatsClient client = Connect();
+    ASSERT_TRUE(client.Build(kSpec).status().ok());
+    ASSERT_TRUE(client.Build(kSpec2).status().ok());
+  });
+  constexpr int kReaders = 4;
+  constexpr int kCallsPerReader = 25;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int i = 0; i < kReaders; ++i) {
+    readers.emplace_back([&] {
+      SitStatsClient client = Connect();
+      for (int call = 0; call < kCallsPerReader; ++call) {
+        Result<SitStatsClient::EstimateReply> reply =
+            client.Estimate(kSpec, 0.0, 1e6);
+        if (!reply.ok() || reply->cardinality <= 0.0) failures++;
+      }
+    });
+  }
+  builder.join();
+  for (std::thread& reader : readers) reader.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(server_->num_sits(), 2u);
+}
+
+TEST_F(ServerTest, FullBuildQueueRejectsWithResourceExhausted) {
+  ServerOptions options;
+  options.build_threads = 1;
+  options.build_queue_capacity = 1;
+  StartServer(options);
+  // Occupy the single build worker, then fill the single queue slot; the
+  // third request must bounce at admission instead of queueing unboundedly.
+  std::thread occupant([&] {
+    SitStatsClient client = Connect();
+    EXPECT_TRUE(client.Sleep(600).ok());
+  });
+  std::this_thread::sleep_for(milliseconds(100));  // worker now busy
+  std::thread queued([&] {
+    SitStatsClient client = Connect();
+    EXPECT_TRUE(client.Sleep(100).ok());
+  });
+  std::this_thread::sleep_for(milliseconds(100));  // queue slot now taken
+  SitStatsClient client = Connect();
+  Result<std::string> rejected = client.Sleep(10);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+  // Estimate-class requests have their own queue and still flow.
+  EXPECT_TRUE(client.Ping().ok());
+  occupant.join();
+  queued.join();
+}
+
+TEST_F(ServerTest, RequestTimeoutReportsDeadlineExceeded) {
+  StartServer();
+  SitStatsClient client = Connect();
+  std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+  Result<std::string> slept = client.Sleep(/*ms=*/60'000, /*timeout_ms=*/50);
+  ASSERT_FALSE(slept.ok());
+  EXPECT_EQ(slept.status().code(), StatusCode::kDeadlineExceeded);
+  // The deadline thread cancelled the wait: the full minute never elapsed.
+  EXPECT_LT(std::chrono::steady_clock::now() - start, milliseconds(30'000));
+  // The worker survived to serve the next request.
+  EXPECT_TRUE(client.Sleep(1).ok());
+}
+
+TEST_F(ServerTest, PipelinedRequestsAnswerInOrder) {
+  StartServer();
+  SitStatsClient client = Connect();
+  // A SLEEP and two estimate-class requests dispatched back-to-back
+  // resolve out of order internally (different classes and workers), but
+  // responses must come back in request order.
+  ASSERT_TRUE(client.Send("SLEEP 150").ok());
+  ASSERT_TRUE(client.Send("PING").ok());
+  ASSERT_TRUE(client.Send("STATS").ok());
+  Result<std::string> first = client.ReadResponse();
+  ASSERT_TRUE(first.ok());
+  EXPECT_NE(first->find("slept_ms=150"), std::string::npos)
+      << "the PING finished long before the SLEEP, yet SLEEP answers first";
+  Result<std::string> second = client.ReadResponse();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*second, "pong");
+  Result<std::string> third = client.ReadResponse();
+  ASSERT_TRUE(third.ok());
+  EXPECT_NE(third->find("sits="), std::string::npos);
+}
+
+TEST_F(ServerTest, ShutdownRequestStopsTheServer) {
+  StartServer();
+  SitStatsClient client = Connect();
+  EXPECT_TRUE(client.Shutdown().ok());
+  EXPECT_TRUE(server_->stop_token().WaitForCancellation(milliseconds(5'000)));
+  server_->Stop();
+  EXPECT_TRUE(server_->TakeTransportError().ok());
+  EXPECT_TRUE(server_->ValidateCatalog().ok());
+  server_.reset();
+}
+
+}  // namespace
+}  // namespace sitstats

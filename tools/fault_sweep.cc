@@ -1,19 +1,24 @@
 // fault_sweep — deterministic error-path sweep driver.
 //
-//   fault_sweep [--threads N] [--max-ordinals N] [--min-sites N] [--verbose]
+//   fault_sweep [--threads N] [--strata N] [--exhaustive] [--min-sites N]
+//               [--verbose]
 //
 // Enumerates every fault-injection site reachable from a small TPC-H-lite
 // workload (one counting pass), then re-runs the workload once per
-// site x ordinal with that hit armed to fail, proving each injected
-// failure surfaces as a clean error: correct Status propagated, no crash,
-// no hang, catalogs still consistent, no partial SIT or index registered.
+// selected site x ordinal with that hit armed to fail, proving each
+// injected failure surfaces as a clean error: correct Status propagated,
+// no crash, no hang, catalogs still consistent, no partial SIT or index
+// registered, and the sitstats-server stage outlives its injected faults.
 //
-//   --threads N       schedule-execution worker threads (default 1; the CI
-//                     fault-sweep job also runs with 8)
-//   --max-ordinals N  cap the ordinals swept per site (default 0 = all)
-//   --min-sites N     fail unless at least N distinct sites were reached
-//                     (default 15)
-//   --verbose         print every armed injection as it runs
+//   --threads N   schedule-execution worker threads (default 1; the CI
+//                 fault-sweep job also runs with 8)
+//   --strata N    stratified ordinals swept per high-hit site (default 5;
+//                 always includes each site's first and last hit)
+//   --exhaustive  sweep every observed ordinal of every site instead of
+//                 sampling (slow: re-runs the workload per ordinal)
+//   --min-sites N fail unless at least N distinct sites were reached
+//                 (default 20)
+//   --verbose     print every armed injection as it runs
 //
 // Exits 0 when the sweep is complete and every invariant held.
 
@@ -33,7 +38,7 @@ int Fail(const std::string& message) {
 
 int Main(int argc, char** argv) {
   FaultSweepOptions options;
-  int64_t min_sites = 15;
+  int64_t min_sites = 20;
   bool verbose = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -49,9 +54,11 @@ int Main(int argc, char** argv) {
     if (arg == "--threads") {
       parsed = int_flag(&value);
       options.num_threads = static_cast<int>(value);
-    } else if (arg == "--max-ordinals") {
+    } else if (arg == "--strata") {
       parsed = int_flag(&value);
-      options.max_ordinals_per_site = static_cast<uint64_t>(value);
+      options.ordinal_strata = static_cast<uint64_t>(value);
+    } else if (arg == "--exhaustive") {
+      options.exhaustive = true;
     } else if (arg == "--min-sites") {
       parsed = int_flag(&min_sites);
     } else if (arg == "--verbose") {

@@ -14,6 +14,12 @@
 //   sitstats_cli schedule       DIR --sit "T.col:A.x=B.y;B.y=C.z" [--sit ...]
 //                                   [--variant ...] [--rate R] [--buckets N]
 //                                   [--memory M] [--threads N] [--out FILE]
+//   sitstats_cli query          --socket PATH "REQUEST LINE" ...
+//
+// `query` talks to a running sitstats_server (tools/sitstats_server.cc):
+// every positional argument is one protocol request line — see
+// src/server/protocol.h — sent over a single connection; responses print
+// one per line.
 //
 // Flags accept both `--key value` and `--key=value`. Every command also
 // takes the global telemetry flags:
@@ -50,7 +56,9 @@
 #include "datagen/tpch_lite.h"
 #include "estimator/sit_estimator.h"
 #include "exec/query_executor.h"
+#include "query/spec_parse.h"
 #include "scheduler/executor.h"
+#include "server/client.h"
 #include "scheduler/sit_problem.h"
 #include "scheduler/solver.h"
 #include "sit/serialization.h"
@@ -148,32 +156,6 @@ struct Args {
     var = *var##_parsed;                                     \
   }
 
-/// Parses "A.x=B.y" into a JoinPredicate.
-Result<JoinPredicate> ParseJoin(const std::string& text) {
-  std::vector<std::string> sides = Split(text, '=');
-  if (sides.size() != 2) {
-    return Status::InvalidArgument("join must look like A.x=B.y, got " +
-                                   text);
-  }
-  std::vector<std::string> l = Split(sides[0], '.');
-  std::vector<std::string> r = Split(sides[1], '.');
-  if (l.size() != 2 || r.size() != 2) {
-    return Status::InvalidArgument("join must look like A.x=B.y, got " +
-                                   text);
-  }
-  return JoinPredicate{ColumnRef{l[0], l[1]}, ColumnRef{r[0], r[1]}};
-}
-
-/// Parses "T.col" into a ColumnRef.
-Result<ColumnRef> ParseColumn(const std::string& text) {
-  std::vector<std::string> parts = Split(text, '.');
-  if (parts.size() != 2) {
-    return Status::InvalidArgument("attribute must look like T.col, got " +
-                                   text);
-  }
-  return ColumnRef{parts[0], parts[1]};
-}
-
 /// Builds the generating query from --attr/--join flags (tables are the
 /// ones referenced; single-table queries are allowed with no joins).
 Result<GeneratingQuery> ParseQuery(const Args& args,
@@ -187,7 +169,7 @@ Result<GeneratingQuery> ParseQuery(const Args& args,
     tables.push_back(name);
   };
   for (const std::string& text : args.joins) {
-    SITSTATS_ASSIGN_OR_RETURN(JoinPredicate join, ParseJoin(text));
+    SITSTATS_ASSIGN_OR_RETURN(JoinPredicate join, ParseJoinSpec(text));
     add_table(join.left.table);
     add_table(join.right.table);
     joins.push_back(join);
@@ -257,7 +239,7 @@ int BuildSit(const Args& args) {
   if (!catalog_result.ok()) return FailStatus(catalog_result.status());
   std::unique_ptr<Catalog> catalog = std::move(catalog_result).ValueOrDie();
 
-  auto attr = ParseColumn(args.Get("attr", ""));
+  auto attr = ParseColumnSpec(args.Get("attr", ""));
   if (!attr.ok()) return FailStatus(attr.status());
   auto query = ParseQuery(args, *attr);
   if (!query.ok()) return FailStatus(query.status());
@@ -301,7 +283,7 @@ int Estimate(const Args& args) {
   if (!catalog_result.ok()) return FailStatus(catalog_result.status());
   std::unique_ptr<Catalog> catalog = std::move(catalog_result).ValueOrDie();
 
-  auto attr = ParseColumn(args.Get("attr", ""));
+  auto attr = ParseColumnSpec(args.Get("attr", ""));
   if (!attr.ok()) return FailStatus(attr.status());
   auto query = ParseQuery(args, *attr);
   if (!query.ok()) return FailStatus(query.status());
@@ -333,35 +315,6 @@ int Estimate(const Args& args) {
                     : 0.0);
   }
   return 0;
-}
-
-/// Parses one --sit spec: "T.col" or "T.col:A.x=B.y;B.y=C.z".
-Result<SitDescriptor> ParseSitSpec(const std::string& text) {
-  size_t colon = text.find(':');
-  SITSTATS_ASSIGN_OR_RETURN(
-      ColumnRef attr,
-      ParseColumn(colon == std::string::npos ? text : text.substr(0, colon)));
-  std::vector<JoinPredicate> joins;
-  std::vector<std::string> tables = {attr.table};
-  auto add_table = [&tables](const std::string& name) {
-    for (const std::string& t : tables) {
-      if (t == name) return;
-    }
-    tables.push_back(name);
-  };
-  if (colon != std::string::npos) {
-    for (const std::string& join_text : Split(text.substr(colon + 1), ';')) {
-      if (join_text.empty()) continue;
-      SITSTATS_ASSIGN_OR_RETURN(JoinPredicate join, ParseJoin(join_text));
-      add_table(join.left.table);
-      add_table(join.right.table);
-      joins.push_back(join);
-    }
-  }
-  SITSTATS_ASSIGN_OR_RETURN(
-      GeneratingQuery query,
-      GeneratingQuery::Create(std::move(tables), std::move(joins)));
-  return SitDescriptor(attr, std::move(query));
 }
 
 int RunSchedule(const Args& args) {
@@ -457,11 +410,35 @@ int RunSchedule(const Args& args) {
   return 0;
 }
 
+/// Thin client for a running sitstats_server: each positional argument is
+/// one raw protocol request line, sent in order over a single connection.
+int RunQuery(const Args& args) {
+  std::string socket_path = args.Get("socket", "");
+  if (socket_path.empty()) return Fail("query needs --socket PATH");
+  if (args.positional.empty()) {
+    return Fail("query needs at least one REQUEST line, e.g. "
+                "\"ESTIMATE O.o_total 100 500\"");
+  }
+  auto client = SitStatsClient::Connect(socket_path);
+  if (!client.ok()) return FailStatus(client.status());
+  int rc = 0;
+  for (const std::string& request : args.positional) {
+    Result<std::string> reply = client->CallRaw(request);
+    if (reply.ok()) {
+      std::printf("OK %s\n", reply->c_str());
+    } else {
+      std::printf("ERR %s\n", reply.status().ToString().c_str());
+      rc = 1;
+    }
+  }
+  return rc;
+}
+
 int Usage() {
   std::fprintf(
       stderr,
       "usage: sitstats_cli <generate-chain|generate-tpch|inspect|build-sit|"
-      "estimate|schedule> ...\n"
+      "estimate|schedule|query> ...\n"
       "global flags: --trace-out FILE --metrics-out FILE --log-level LVL\n"
       "(see the header comment of tools/sitstats_cli.cc)\n");
   return 2;
@@ -474,6 +451,7 @@ int Dispatch(const std::string& command, const Args& args) {
   if (command == "build-sit") return BuildSit(args);
   if (command == "estimate") return Estimate(args);
   if (command == "schedule") return RunSchedule(args);
+  if (command == "query") return RunQuery(args);
   return Usage();
 }
 

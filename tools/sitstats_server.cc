@@ -1,0 +1,189 @@
+// sitstats_server — serve cardinality estimates and SIT builds over a
+// local Unix-domain socket (protocol: src/server/protocol.h):
+//
+//   sitstats_server DIR --socket PATH
+//                   [--stats FILE]            preload a saved SIT catalog
+//                   [--estimate-threads N]    default 2
+//                   [--build-threads N]       default 2
+//                   [--estimate-queue N]      default 64
+//                   [--build-queue N]         default 4
+//                   [--cache N]               estimate-cache entries, 256
+//                   [--variant V] [--rate R] [--buckets N]   build defaults
+//
+// DIR is a CSV catalog directory written by `sitstats_cli generate-*`.
+// The process runs until a client sends SHUTDOWN or it receives
+// SIGINT/SIGTERM. Drive it with `sitstats_cli query --socket PATH ...`
+// or the SitStatsClient library.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "server/server.h"
+#include "sit/serialization.h"
+#include "storage/table_io.h"
+
+namespace sitstats {
+namespace {
+
+volatile std::sig_atomic_t g_signal_received = 0;
+
+void HandleSignal(int /*signum*/) { g_signal_received = 1; }
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+int FailStatus(const Status& status) { return Fail(status.ToString()); }
+
+/// --key value / --key=value flags plus one positional DIR.
+struct Flags {
+  std::string dir;
+  std::map<std::string, std::string> values;
+
+  static Result<Flags> Parse(int argc, char** argv) {
+    Flags flags;
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) == 0) {
+        size_t eq = arg.find('=');
+        std::string key;
+        std::string value;
+        if (eq != std::string::npos) {
+          key = arg.substr(2, eq - 2);
+          value = arg.substr(eq + 1);
+        } else {
+          key = arg.substr(2);
+          if (i + 1 >= argc) {
+            return Status::InvalidArgument("flag " + arg + " needs a value");
+          }
+          value = argv[++i];
+        }
+        flags.values[key] = value;
+      } else if (flags.dir.empty()) {
+        flags.dir = arg;
+      } else {
+        return Status::InvalidArgument("unexpected argument " + arg);
+      }
+    }
+    if (flags.dir.empty()) {
+      return Status::InvalidArgument("missing catalog DIR argument");
+    }
+    return flags;
+  }
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = values.find(key);
+    return it == values.end() ? fallback : it->second;
+  }
+  Result<int64_t> GetInt(const std::string& key, int64_t fallback) const {
+    auto it = values.find(key);
+    if (it == values.end()) return fallback;
+    return ParseInt64(it->second);
+  }
+  Result<double> GetDouble(const std::string& key, double fallback) const {
+    auto it = values.find(key);
+    if (it == values.end()) return fallback;
+    return ParseDouble(it->second);
+  }
+};
+
+int Main(int argc, char** argv) {
+  Result<Flags> flags = Flags::Parse(argc, argv);
+  if (!flags.ok()) return FailStatus(flags.status());
+
+  std::string socket_path = flags->Get("socket", "");
+  if (socket_path.empty()) return Fail("--socket PATH is required");
+
+  Result<std::unique_ptr<Catalog>> catalog = LoadCatalogCsv(flags->dir);
+  if (!catalog.ok()) return FailStatus(catalog.status());
+
+  ServerOptions options;
+  options.socket_path = socket_path;
+  auto bind_size = [&flags](const char* key, size_t* out) -> Status {
+    SITSTATS_ASSIGN_OR_RETURN(int64_t value, flags->GetInt(key, -1));
+    if (value == -1) return Status::OK();
+    if (value <= 0) {
+      return Status::InvalidArgument(std::string("--") + key +
+                                     " must be positive");
+    }
+    *out = static_cast<size_t>(value);
+    return Status::OK();
+  };
+  Status bound = [&]() -> Status {
+    SITSTATS_RETURN_IF_ERROR(
+        bind_size("estimate-threads", &options.estimate_threads));
+    SITSTATS_RETURN_IF_ERROR(
+        bind_size("build-threads", &options.build_threads));
+    SITSTATS_RETURN_IF_ERROR(
+        bind_size("estimate-queue", &options.estimate_queue_capacity));
+    SITSTATS_RETURN_IF_ERROR(
+        bind_size("build-queue", &options.build_queue_capacity));
+    SITSTATS_RETURN_IF_ERROR(bind_size("cache", &options.cache_capacity));
+    SITSTATS_ASSIGN_OR_RETURN(
+        options.build_defaults.sampling_rate,
+        flags->GetDouble("rate", options.build_defaults.sampling_rate));
+    SITSTATS_ASSIGN_OR_RETURN(
+        int64_t buckets,
+        flags->GetInt("buckets",
+                      options.build_defaults.histogram_spec.num_buckets));
+    options.build_defaults.histogram_spec.num_buckets =
+        static_cast<int>(buckets);
+    std::string variant = flags->Get("variant", "");
+    if (!variant.empty()) {
+      SITSTATS_ASSIGN_OR_RETURN(options.build_defaults.variant,
+                                SweepVariantFromString(variant));
+    }
+    return Status::OK();
+  }();
+  if (!bound.ok()) return FailStatus(bound);
+
+  SitStatsServer server(std::move(catalog).ValueOrDie(), options);
+
+  std::string stats_path = flags->Get("stats", "");
+  if (!stats_path.empty()) {
+    Result<SitCatalog> sits = LoadSitCatalog(stats_path);
+    if (!sits.ok()) return FailStatus(sits.status());
+    server.PreloadSits(std::move(sits).ValueOrDie());
+    std::printf("preloaded %zu SITs from %s\n", server.num_sits(),
+                stats_path.c_str());
+  }
+
+  Status started = server.Start();
+  if (!started.ok()) return FailStatus(started);
+  std::printf("serving %s on %s (estimate x%zu, build x%zu)\n",
+              flags->dir.c_str(), socket_path.c_str(),
+              options.estimate_threads, options.build_threads);
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  CancellationToken stop = server.stop_token();
+  while (!stop.WaitForCancellation(std::chrono::milliseconds(200))) {
+    if (g_signal_received != 0) {
+      std::printf("signal received, stopping\n");
+      server.RequestStop();
+    }
+  }
+  server.Stop();
+  Status transport = server.TakeTransportError();
+  if (!transport.ok()) {
+    std::fprintf(stderr, "transport warning: %s\n",
+                 transport.ToString().c_str());
+  }
+  std::printf("stopped: %s\n", server.StatsPayload().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace sitstats
+
+int main(int argc, char** argv) { return sitstats::Main(argc, argv); }
