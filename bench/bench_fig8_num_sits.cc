@@ -44,8 +44,9 @@ IndependentChains MakeIndependentChains(int num_chains, int tables_per_chain,
     std::vector<std::string> names;
     std::vector<JoinPredicate> joins;
     for (int i = 1; i <= tables_per_chain; ++i) {
-      std::string name =
-          "C" + std::to_string(c) + "T" + std::to_string(i);
+      char name_buf[32];
+      std::snprintf(name_buf, sizeof(name_buf), "C%dT%d", c, i);
+      std::string name = name_buf;
       Schema schema;
       if (i > 1) schema.AddColumn("jp", ValueType::kInt64);
       if (i < tables_per_chain) schema.AddColumn("jn", ValueType::kInt64);

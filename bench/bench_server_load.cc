@@ -1,0 +1,200 @@
+// Closed-loop load bench for sitstats-server: N client connections issue
+// estimate requests against an in-process server for a fixed duration,
+// with an 80/20 repeat/unique range mix so both the estimate cache and
+// the estimator itself are exercised. Every 8th request closes the
+// accuracy loop with an ACCURACY feedback call.
+//
+//   bench_server_load [--seconds N] [--connections N] [--threads N]
+//
+// Prints requests/sec, exact (fully sorted) p50/p90/p99 latency, and the
+// cache hit rate; with SITSTATS_BENCH_JSON_DIR set, writes
+// server_load.json with the same numbers plus the metrics registry.
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_json.h"
+#include "common/cli_flags.h"
+#include "datagen/tpch_lite.h"
+#include "server/client.h"
+#include "server/server.h"
+
+namespace sitstats {
+namespace {
+
+constexpr char kSpec[] =
+    "orders.o_totalprice:customer.c_custkey=orders.o_custkey";
+
+struct ConnectionResult {
+  std::vector<double> latencies_ms;
+  uint64_t requests = 0;
+  uint64_t cache_hits = 0;
+  uint64_t feedback_sent = 0;
+  uint64_t errors = 0;
+};
+
+void RunConnection(const std::string& socket_path,
+                   std::chrono::steady_clock::time_point deadline,
+                   uint64_t seed, ConnectionResult* out) {
+  Result<SitStatsClient> client = SitStatsClient::Connect(socket_path);
+  if (!client.ok()) {
+    out->errors++;
+    return;
+  }
+  uint64_t i = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    // 80% repeat the canonical range (cacheable), 20% probe a range this
+    // connection has never asked for (forced estimator work).
+    const bool repeat = (i % 5) != 4;
+    const double hi =
+        repeat ? 1e6 : 1e5 + static_cast<double>(seed * 100'000 + i);
+    const auto start = std::chrono::steady_clock::now();
+    Result<SitStatsClient::EstimateReply> reply =
+        client->Estimate(kSpec, 0.0, hi);
+    const auto end = std::chrono::steady_clock::now();
+    ++i;
+    if (!reply.ok()) {
+      out->errors++;
+      continue;
+    }
+    out->requests++;
+    if (reply->cached) out->cache_hits++;
+    out->latencies_ms.push_back(
+        std::chrono::duration<double, std::milli>(end - start).count());
+    if (i % 8 == 0) {
+      // Close the accuracy loop with a plausible truth (2x off).
+      Result<SitStatsClient::AccuracyReply> fed =
+          client->Accuracy(reply->estimate_id, reply->cardinality * 2.0);
+      if (fed.ok()) out->feedback_sent++;
+    }
+  }
+}
+
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const size_t rank = static_cast<size_t>(
+      p / 100.0 * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+int Main(int argc, char** argv) {
+  Result<CliFlags> flags = CliFlags::Parse(argc, argv, 1);
+  if (!flags.ok()) {
+    std::fprintf(stderr, "error: %s\n", flags.status().ToString().c_str());
+    return 1;
+  }
+  const int64_t seconds = flags->GetInt("seconds", 3).ValueOrDie();
+  const int64_t connections = flags->GetInt("connections", 4).ValueOrDie();
+  const int64_t threads = flags->GetInt("threads", 2).ValueOrDie();
+
+  TpchLiteSpec spec;
+  spec.num_nations = 10;
+  spec.num_customers = 200;
+  spec.num_orders = 1'000;
+  spec.avg_lineitems_per_order = 3;
+  spec.seed = 17;
+
+  ServerOptions options;
+  options.socket_path =
+      "/tmp/sitstats_bench_server_load_" +
+      std::to_string(static_cast<uint64_t>(::getpid())) + ".sock";
+  options.estimate_threads = static_cast<size_t>(threads);
+  options.cache_capacity = 512;
+  options.build_defaults.seed = spec.seed;
+  SitStatsServer server(MakeTpchLiteDatabase(spec).ValueOrDie(), options);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "error: %s\n", started.ToString().c_str());
+    return 1;
+  }
+
+  // One SIT over the bench spec so estimates are SIT-served, as in the
+  // steady state the paper targets.
+  {
+    SitStatsClient client =
+        SitStatsClient::Connect(options.socket_path).ValueOrDie();
+    Status built = client.Build(kSpec).status();
+    if (!built.ok()) {
+      std::fprintf(stderr, "error: %s\n", built.ToString().c_str());
+      return 1;
+    }
+  }
+
+  std::printf(
+      "=== sitstats-server load: %lld connections x %llds, %lld estimate "
+      "threads ===\n",
+      static_cast<long long>(connections), static_cast<long long>(seconds),
+      static_cast<long long>(threads));
+  const auto bench_start = std::chrono::steady_clock::now();
+  const auto deadline = bench_start + std::chrono::seconds(seconds);
+  std::vector<ConnectionResult> results(
+      static_cast<size_t>(connections));
+  std::vector<std::thread> workers;
+  workers.reserve(results.size());
+  for (size_t c = 0; c < results.size(); ++c) {
+    workers.emplace_back(RunConnection, options.socket_path, deadline, c,
+                         &results[c]);
+  }
+  for (std::thread& worker : workers) worker.join();
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    bench_start)
+          .count();
+  server.Stop();
+
+  std::vector<double> latencies;
+  uint64_t requests = 0, cache_hits = 0, feedback = 0, errors = 0;
+  for (ConnectionResult& result : results) {
+    latencies.insert(latencies.end(), result.latencies_ms.begin(),
+                     result.latencies_ms.end());
+    requests += result.requests;
+    cache_hits += result.cache_hits;
+    feedback += result.feedback_sent;
+    errors += result.errors;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const double rps = elapsed_s > 0 ? static_cast<double>(requests) / elapsed_s
+                                   : 0.0;
+  const double hit_rate =
+      requests > 0 ? static_cast<double>(cache_hits) /
+                         static_cast<double>(requests)
+                   : 0.0;
+  const double p50 = Percentile(latencies, 50.0);
+  const double p90 = Percentile(latencies, 90.0);
+  const double p99 = Percentile(latencies, 99.0);
+
+  std::printf("requests          %llu (%llu errors)\n",
+              static_cast<unsigned long long>(requests),
+              static_cast<unsigned long long>(errors));
+  std::printf("throughput        %.0f req/s\n", rps);
+  std::printf("latency p50/p90/p99  %.3f / %.3f / %.3f ms\n", p50, p90, p99);
+  std::printf("cache hit rate    %.1f%%\n", hit_rate * 100.0);
+  std::printf("accuracy feedback %llu\n",
+              static_cast<unsigned long long>(feedback));
+
+  BenchJsonWriter json("server_load");
+  json.BeginRow();
+  json.Add("connections", static_cast<double>(connections));
+  json.Add("seconds", elapsed_s);
+  json.Add("requests", static_cast<double>(requests));
+  json.Add("errors", static_cast<double>(errors));
+  json.Add("rps", rps);
+  json.Add("p50_ms", p50);
+  json.Add("p90_ms", p90);
+  json.Add("p99_ms", p99);
+  json.Add("cache_hit_rate", hit_rate);
+  json.Add("accuracy_feedback", static_cast<double>(feedback));
+  return errors == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace sitstats
+
+int main(int argc, char** argv) { return sitstats::Main(argc, argv); }

@@ -1,0 +1,100 @@
+#include "common/cli_flags.h"
+
+#include "common/fault_injection.h"
+#include "common/string_util.h"
+
+namespace sitstats {
+
+Result<CliFlags> CliFlags::Parse(int argc, char** argv, int start,
+                                 const CliParseOptions& options) {
+  SITSTATS_FAULT_SITE("cli.flags.parse");
+  CliFlags flags;
+  for (int i = start; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      if (options.max_positional >= 0 &&
+          flags.positional_.size() >=
+              static_cast<size_t>(options.max_positional)) {
+        return Status::InvalidArgument("unexpected argument " + arg);
+      }
+      flags.positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string key;
+    std::string value;
+    size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      key = arg.substr(2, eq - 2);
+      value = arg.substr(eq + 1);
+    } else {
+      key = arg.substr(2);
+      if (options.boolean_keys.count(key) != 0) {
+        flags.booleans_.insert(key);
+        continue;
+      }
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument("flag " + arg + " needs a value");
+      }
+      value = argv[++i];
+    }
+    if (options.boolean_keys.count(key) != 0) {
+      return Status::InvalidArgument("flag --" + key + " takes no value");
+    }
+    if (options.repeated_keys.count(key) != 0) {
+      flags.repeated_[key].push_back(std::move(value));
+    } else {
+      flags.values_[key] = std::move(value);
+    }
+  }
+  return flags;
+}
+
+std::string CliFlags::Get(const std::string& key,
+                          const std::string& fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+Result<int64_t> CliFlags::GetInt(const std::string& key,
+                                 int64_t fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  SITSTATS_FAULT_SITE("cli.flags.value");
+  Result<int64_t> parsed = ParseInt64(it->second);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument("flag --" + key + ": " +
+                                   parsed.status().message());
+  }
+  return parsed;
+}
+
+Result<double> CliFlags::GetDouble(const std::string& key,
+                                   double fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  SITSTATS_FAULT_SITE("cli.flags.value");
+  Result<double> parsed = ParseDouble(it->second);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument("flag --" + key + ": " +
+                                   parsed.status().message());
+  }
+  return parsed;
+}
+
+bool CliFlags::GetBool(const std::string& key) const {
+  return booleans_.count(key) != 0;
+}
+
+const std::vector<std::string>& CliFlags::Repeated(
+    const std::string& key) const {
+  static const std::vector<std::string> kEmpty;
+  auto it = repeated_.find(key);
+  return it == repeated_.end() ? kEmpty : it->second;
+}
+
+bool CliFlags::Has(const std::string& key) const {
+  return values_.count(key) != 0 || booleans_.count(key) != 0 ||
+         repeated_.count(key) != 0;
+}
+
+}  // namespace sitstats

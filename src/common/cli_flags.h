@@ -1,0 +1,60 @@
+#ifndef SITSTATS_COMMON_CLI_FLAGS_H_
+#define SITSTATS_COMMON_CLI_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace sitstats {
+
+/// Grammar knobs for CliFlags::Parse. Both tools share one parser;
+/// per-tool vocabulary (which keys repeat, which are boolean switches)
+/// is configuration, not a forked implementation.
+struct CliParseOptions {
+  /// Keys collected into Repeated() instead of last-one-wins values
+  /// (e.g. --join, --sit).
+  std::set<std::string> repeated_keys;
+  /// Keys that are presence-only switches taking no value (--exact).
+  std::set<std::string> boolean_keys;
+  /// Maximum number of positional arguments; parsing fails loudly past
+  /// it. Negative = unlimited.
+  int max_positional = -1;
+};
+
+/// The command-line grammar shared by the sitstats tools: positional
+/// arguments plus `--key value` / `--key=value` flags. Malformed numeric
+/// flags are usage errors, not silent zeros (atof would turn
+/// `--rate ten` into 0). Carries the "cli.flags.parse" and
+/// "cli.flags.value" fault sites so the error-path sweep covers argument
+/// handling in both tools.
+class CliFlags {
+ public:
+  static Result<CliFlags> Parse(int argc, char** argv, int start,
+                                const CliParseOptions& options = {});
+
+  /// Value of `--key`, or `fallback` when absent.
+  std::string Get(const std::string& key, const std::string& fallback) const;
+  Result<int64_t> GetInt(const std::string& key, int64_t fallback) const;
+  Result<double> GetDouble(const std::string& key, double fallback) const;
+  /// True when a boolean switch (CliParseOptions::boolean_keys) was given.
+  bool GetBool(const std::string& key) const;
+  /// Every value of a repeated key, in argv order.
+  const std::vector<std::string>& Repeated(const std::string& key) const;
+  bool Has(const std::string& key) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::vector<std::string> positional_;
+  std::map<std::string, std::string> values_;
+  std::map<std::string, std::vector<std::string>> repeated_;
+  std::set<std::string> booleans_;
+};
+
+}  // namespace sitstats
+
+#endif  // SITSTATS_COMMON_CLI_FLAGS_H_

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <map>
 
 #include "common/logging.h"
 #include "exec/query_executor.h"
+#include "telemetry/metrics.h"
 
 namespace sitstats {
 
@@ -59,6 +61,21 @@ double TrueDistribution::max_value() const {
   return values_.back();
 }
 
+double QError(double estimate, double true_card) {
+  if (std::isnan(estimate) || std::isnan(true_card)) {
+    return std::numeric_limits<double>::infinity();
+  }
+  double e = std::max(estimate, 1.0);
+  double t = std::max(true_card, 1.0);
+  return std::max(e / t, t / e);
+}
+
+void RecordQError(const std::string& label, double qerror) {
+  auto& registry = telemetry::MetricsRegistry::Global();
+  registry.GetCounter("accuracy.feedback." + label).Increment();
+  registry.GetHistogram("accuracy.qerror." + label).Record(qerror);
+}
+
 AccuracyReport EvaluateHistogramAccuracy(const TrueDistribution& truth,
                                          const Histogram& histogram,
                                          const AccuracyOptions& options,
@@ -69,7 +86,9 @@ AccuracyReport EvaluateHistogramAccuracy(const TrueDistribution& truth,
   double domain_hi = truth.max_value();
   double min_actual = options.min_actual_fraction * truth.total_cardinality();
   std::vector<double> errors;
+  std::vector<double> qerrors;
   errors.reserve(static_cast<size_t>(options.num_queries));
+  qerrors.reserve(static_cast<size_t>(options.num_queries));
   for (int q = 0; q < options.num_queries; ++q) {
     double actual = 0.0;
     double a = domain_lo;
@@ -86,8 +105,10 @@ AccuracyReport EvaluateHistogramAccuracy(const TrueDistribution& truth,
     double estimated = histogram.EstimateRange(a, b);
     double error = std::fabs(estimated - actual) / std::max(actual, 1.0);
     errors.push_back(error);
+    qerrors.push_back(QError(estimated, actual));
   }
   std::sort(errors.begin(), errors.end());
+  std::sort(qerrors.begin(), qerrors.end());
   double sum = 0.0;
   for (double e : errors) sum += e;
   report.num_queries = errors.size();
@@ -95,6 +116,9 @@ AccuracyReport EvaluateHistogramAccuracy(const TrueDistribution& truth,
   report.median_relative_error = errors[errors.size() / 2];
   report.p90_relative_error = errors[(errors.size() * 9) / 10];
   report.max_relative_error = errors.back();
+  report.median_qerror = qerrors[qerrors.size() / 2];
+  report.p90_qerror = qerrors[(qerrors.size() * 9) / 10];
+  report.max_qerror = qerrors.back();
   return report;
 }
 

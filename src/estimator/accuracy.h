@@ -1,6 +1,7 @@
 #ifndef SITSTATS_ESTIMATOR_ACCURACY_H_
 #define SITSTATS_ESTIMATOR_ACCURACY_H_
 
+#include <string>
 #include <vector>
 
 #include "common/result.h"
@@ -18,8 +19,29 @@ struct AccuracyReport {
   double median_relative_error = 0.0;
   double p90_relative_error = 0.0;
   double max_relative_error = 0.0;
+  /// q-error aggregates over the same queries (always >= 1; 1 is exact).
+  double median_qerror = 0.0;
+  double p90_qerror = 0.0;
+  double max_qerror = 0.0;
   size_t num_queries = 0;
 };
+
+/// The q-error of an estimate against the observed truth, the standard
+/// multiplicative accuracy metric of the cardinality-estimation
+/// literature: max(e', t') / min(e', t') with e' = max(estimate, 1) and
+/// t' = max(true_card, 1). Symmetric in over- vs under-estimation,
+/// always >= 1, and 1 means exact. The clamp to 1 keeps near-empty
+/// ranges from producing unbounded ratios. NaN inputs yield a q-error
+/// of infinity (an estimate that is not a number is maximally wrong).
+double QError(double estimate, double true_card);
+
+/// Records one q-error observation into the global metrics registry:
+/// lifetime log2 histogram "accuracy.qerror.<label>" plus counter
+/// "accuracy.feedback.<label>". `label` is typically a
+/// CardinalityEstimator provenance string ("sit", "partial_sit",
+/// "propagation"), so per-estimator error distributions can be compared
+/// from one METRICS scrape.
+void RecordQError(const std::string& label, double qerror);
 
 /// The exact distribution of an attribute over a join result, preprocessed
 /// for O(log n) exact range-cardinality queries. This is the paper's

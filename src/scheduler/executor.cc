@@ -252,6 +252,10 @@ Result<ScheduleExecutionResult> ExecuteSitSchedule(
       SITSTATS_RETURN_IF_ERROR(execute_step(step_idx));
     }
   } else {
+    // Pool workers are fresh threads with no request context; hand them
+    // the submitting request's trace id so their sweep-scan spans land in
+    // the same trace as the rest of the request.
+    const uint64_t request_trace_id = telemetry::CurrentTraceId();
     ThreadPool pool(threads);
     std::vector<std::atomic<size_t>> remaining(plan.size());
     for (size_t i = 0; i < plan.size(); ++i) {
@@ -269,6 +273,7 @@ Result<ScheduleExecutionResult> ExecuteSitSchedule(
     // finishing a doomed scan. Their Status::Cancelled returns lose the
     // CAS below, so the original error is the one reported.
     std::function<void(size_t)> run_step = [&](size_t step_idx) {
+      telemetry::TraceIdScope trace_scope(request_trace_id);
       if (!failed.load(std::memory_order_acquire)) {
         Status status = execute_step(step_idx);
         if (!status.ok()) {

@@ -1,0 +1,38 @@
+#include "server/accuracy_log.h"
+
+#include <cstdio>
+#include <utility>
+
+namespace sitstats {
+
+std::string EstimateLedger::Remember(LedgerEntry entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  char id_buf[24];
+  std::snprintf(id_buf, sizeof(id_buf), "e%llu",
+                static_cast<unsigned long long>(next_id_++));
+  entry.estimate_id = id_buf;
+  std::string id = entry.estimate_id;
+  entries_.push_back(std::move(entry));
+  while (entries_.size() > capacity_) entries_.pop_front();
+  return id;
+}
+
+Result<LedgerEntry> EstimateLedger::Take(const std::string& estimate_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->estimate_id == estimate_id) {
+      LedgerEntry entry = std::move(*it);
+      entries_.erase(it);
+      return entry;
+    }
+  }
+  return Status::NotFound("no outstanding estimate '" + estimate_id +
+                          "' (already consumed, evicted, or never issued)");
+}
+
+size_t EstimateLedger::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace sitstats

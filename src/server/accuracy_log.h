@@ -1,0 +1,57 @@
+#ifndef SITSTATS_SERVER_ACCURACY_LOG_H_
+#define SITSTATS_SERVER_ACCURACY_LOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+
+#include "common/result.h"
+
+namespace sitstats {
+
+/// One outstanding estimate awaiting accuracy feedback: everything the
+/// ACCURACY handler needs to turn a true cardinality into telemetry.
+struct LedgerEntry {
+  std::string estimate_id;
+  std::string spec;          // the sit-spec text of the ESTIMATE
+  double lo = 0.0;
+  double hi = 0.0;
+  double estimate = 0.0;
+  std::string provenance;    // ProvenanceToString of the estimator used
+  uint64_t trace_id = 0;     // the request's trace id, for log joins
+};
+
+/// Bounded FIFO of recent estimates keyed by estimate_id, so clients can
+/// feed observed cardinalities back after running the real query
+/// ("ACCURACY <estimate-id> true_card=<n>"). Remember caps memory: once
+/// `capacity` entries are outstanding, the oldest is silently dropped —
+/// feedback for evicted ids reports NotFound, which a client treats the
+/// same as feedback arriving twice. Take consumes the entry, so each
+/// estimate yields at most one q-error sample (idempotence against
+/// retry storms). Thread-safe.
+class EstimateLedger {
+ public:
+  explicit EstimateLedger(size_t capacity) : capacity_(capacity) {}
+
+  /// Mints the next id ("e<n>", unique per server instance), stores
+  /// `entry` under it, and returns the id.
+  std::string Remember(LedgerEntry entry);
+
+  /// Removes and returns the entry for `estimate_id`; NotFound if it was
+  /// never issued, already consumed, or evicted.
+  Result<LedgerEntry> Take(const std::string& estimate_id);
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  uint64_t next_id_ = 1;
+  std::deque<LedgerEntry> entries_;
+};
+
+}  // namespace sitstats
+
+#endif  // SITSTATS_SERVER_ACCURACY_LOG_H_

@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "common/string_util.h"
 
 namespace sitstats {
@@ -49,6 +50,7 @@ Result<SitStatsClient> SitStatsClient::Connect(
     return Status::InvalidArgument("socket path too long: " + socket_path);
   }
   std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  SITSTATS_FAULT_SITE("client.connect");
   int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd < 0) return ErrnoError("socket(AF_UNIX)");
   if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
@@ -77,6 +79,9 @@ SitStatsClient& SitStatsClient::operator=(SitStatsClient&& other) noexcept {
 }
 
 Result<std::string> SitStatsClient::ReadLine() {
+  // Fault site outside the recv loop: one hit per logical read, not one
+  // per kernel short-read, so sweep hit counts stay deterministic.
+  SITSTATS_FAULT_SITE("client.recv");
   while (true) {
     size_t newline = input_.find('\n');
     if (newline != std::string::npos) {
@@ -98,8 +103,29 @@ Result<std::string> SitStatsClient::ReadLine() {
   }
 }
 
+Result<std::string> SitStatsClient::ReadBytes(size_t n) {
+  SITSTATS_FAULT_SITE("client.recv");
+  while (input_.size() < n) {
+    char buffer[4096];
+    ssize_t got = ::recv(fd_, buffer, sizeof(buffer), 0);
+    if (got > 0) {
+      input_.append(buffer, static_cast<size_t>(got));
+      continue;
+    }
+    if (got == 0) {
+      return Status::IOError("server closed the connection mid-body");
+    }
+    if (errno == EINTR) continue;
+    return ErrnoError("recv");
+  }
+  std::string body = input_.substr(0, n);
+  input_.erase(0, n);
+  return body;
+}
+
 Status SitStatsClient::Send(const std::string& request_line) {
   if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
+  SITSTATS_FAULT_SITE("client.send");
   std::string wire = request_line;
   wire.push_back('\n');
   size_t off = 0;
@@ -119,7 +145,26 @@ Status SitStatsClient::Send(const std::string& request_line) {
 Result<std::string> SitStatsClient::ReadResponse() {
   if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
   SITSTATS_ASSIGN_OR_RETURN(std::string line, ReadLine());
-  return ParseResponse(line);
+  SITSTATS_ASSIGN_OR_RETURN(std::string payload, ParseResponse(line));
+  // METRICS framing: the header announces a multi-line body of exactly
+  // <n> bytes plus the response's terminating newline. Handling it here
+  // keeps pipelined Send/ReadResponse sequences framing-correct.
+  if (payload.rfind("metrics_bytes=", 0) == 0) {
+    SITSTATS_ASSIGN_OR_RETURN(int64_t bytes,
+                              ParseInt64(payload.substr(14)));
+    if (bytes < 0 || bytes > (1 << 26)) {
+      return Status::Internal("implausible metrics_bytes in '" + payload +
+                              "'");
+    }
+    SITSTATS_ASSIGN_OR_RETURN(std::string body,
+                              ReadBytes(static_cast<size_t>(bytes) + 1));
+    if (body.empty() || body.back() != '\n') {
+      return Status::Internal("metrics body missing terminator");
+    }
+    body.pop_back();
+    return body;
+  }
+  return payload;
 }
 
 Result<std::string> SitStatsClient::CallRaw(
@@ -138,6 +183,32 @@ Result<std::string> SitStatsClient::Stats() { return CallRaw("STATS"); }
 
 Status SitStatsClient::Shutdown() { return CallRaw("SHUTDOWN").status(); }
 
+Result<std::string> SitStatsClient::Metrics() { return CallRaw("METRICS"); }
+
+Result<std::string> SitStatsClient::TraceCtl(const std::string& mode,
+                                             const std::string& path) {
+  std::string line = "TRACE " + mode;
+  if (!path.empty()) line += " path=" + path;
+  return CallRaw(line);
+}
+
+Result<SitStatsClient::AccuracyReply> SitStatsClient::Accuracy(
+    const std::string& estimate_id, double true_card) {
+  SITSTATS_ASSIGN_OR_RETURN(
+      std::string payload,
+      CallRaw("ACCURACY " + estimate_id +
+              " true_card=" + FormatDouble(true_card, 17)));
+  AccuracyReply reply;
+  SITSTATS_ASSIGN_OR_RETURN(reply.qerror, PayloadDouble(payload, "qerror"));
+  SITSTATS_ASSIGN_OR_RETURN(reply.estimate,
+                            PayloadDouble(payload, "estimate"));
+  SITSTATS_ASSIGN_OR_RETURN(reply.true_card,
+                            PayloadDouble(payload, "true_card"));
+  SITSTATS_ASSIGN_OR_RETURN(reply.provenance,
+                            PayloadField(payload, "provenance"));
+  return reply;
+}
+
 Result<SitStatsClient::EstimateReply> SitStatsClient::Estimate(
     const std::string& spec, double lo, double hi, uint64_t timeout_ms) {
   std::string line = "ESTIMATE " + spec + " " + FormatDouble(lo, 17) + " " +
@@ -152,6 +223,10 @@ Result<SitStatsClient::EstimateReply> SitStatsClient::Estimate(
   SITSTATS_ASSIGN_OR_RETURN(std::string cached,
                             PayloadField(payload, "cached"));
   reply.cached = cached == "1";
+  SITSTATS_ASSIGN_OR_RETURN(reply.estimate_id,
+                            PayloadField(payload, "estimate_id"));
+  SITSTATS_ASSIGN_OR_RETURN(reply.trace_id,
+                            PayloadField(payload, "trace_id"));
   return reply;
 }
 

@@ -44,10 +44,38 @@ class SitStatsClient {
   /// Asks the server to stop; the OK response is sent before it does.
   Status Shutdown();
 
+  /// One Prometheus text-exposition scrape (the METRICS verb). The
+  /// multi-line body rides the wire behind a "metrics_bytes=<n>" header;
+  /// ReadResponse handles the framing, so Metrics() also composes with
+  /// pipelined Send/ReadResponse pairs.
+  Result<std::string> Metrics();
+
+  /// Runtime trace control: mode is "on", "off", or "dump" (dump writes
+  /// the Chrome trace to `path` on the *server's* filesystem). Returns
+  /// the server's acknowledgement payload.
+  Result<std::string> TraceCtl(const std::string& mode,
+                               const std::string& path = "");
+
+  struct AccuracyReply {
+    double qerror = 0.0;
+    double estimate = 0.0;
+    double true_card = 0.0;
+    std::string provenance;
+  };
+  /// Feeds the observed true cardinality back for an earlier estimate.
+  /// NotFound once the id has been consumed or evicted.
+  Result<AccuracyReply> Accuracy(const std::string& estimate_id,
+                                 double true_card);
+
   struct EstimateReply {
     double cardinality = 0.0;
     std::string provenance;
     bool cached = false;
+    /// Feedback handle for Accuracy(); consumed by the first use.
+    std::string estimate_id;
+    /// The server-side trace id (hex), for correlating with TRACE dumps
+    /// and slow-log lines.
+    std::string trace_id;
   };
   /// `spec` uses the ParseSitSpec grammar ("T.col:A.x=B.y;...").
   Result<EstimateReply> Estimate(const std::string& spec, double lo,
@@ -69,6 +97,8 @@ class SitStatsClient {
   explicit SitStatsClient(int fd) : fd_(fd) {}
 
   Result<std::string> ReadLine();
+  /// Reads exactly `n` bytes (used by the METRICS body framing).
+  Result<std::string> ReadBytes(size_t n);
 
   int fd_ = -1;
   std::string input_;

@@ -103,6 +103,12 @@ const char* RequestKindToString(Request::Kind kind) {
       return "BUILD";
     case Request::Kind::kSleep:
       return "SLEEP";
+    case Request::Kind::kMetrics:
+      return "METRICS";
+    case Request::Kind::kTraceCtl:
+      return "TRACE";
+    case Request::Kind::kAccuracy:
+      return "ACCURACY";
   }
   return "UNKNOWN";
 }
@@ -114,13 +120,56 @@ Result<Request> ParseRequest(const std::string& line) {
   }
   const std::string& verb = tokens[0];
   Request request;
-  if (verb == "PING" || verb == "STATS" || verb == "SHUTDOWN") {
+  if (verb == "PING" || verb == "STATS" || verb == "SHUTDOWN" ||
+      verb == "METRICS") {
     if (tokens.size() != 1) {
       return Status::InvalidArgument(verb + " takes no arguments");
     }
-    request.kind = verb == "PING"    ? Request::Kind::kPing
-                   : verb == "STATS" ? Request::Kind::kStats
-                                     : Request::Kind::kShutdown;
+    request.kind = verb == "PING"      ? Request::Kind::kPing
+                   : verb == "STATS"   ? Request::Kind::kStats
+                   : verb == "METRICS" ? Request::Kind::kMetrics
+                                       : Request::Kind::kShutdown;
+    return request;
+  }
+  if (verb == "TRACE") {
+    if (tokens.size() < 2) {
+      return Status::InvalidArgument("TRACE needs on|off|dump");
+    }
+    request.kind = Request::Kind::kTraceCtl;
+    request.trace_mode = tokens[1];
+    if (request.trace_mode != "on" && request.trace_mode != "off" &&
+        request.trace_mode != "dump") {
+      return Status::InvalidArgument("TRACE mode must be on, off or dump");
+    }
+    for (size_t i = 2; i < tokens.size(); ++i) {
+      if (tokens[i].rfind("path=", 0) == 0 && tokens[i].size() > 5) {
+        request.trace_path = tokens[i].substr(5);
+        continue;
+      }
+      return Status::InvalidArgument("unknown TRACE option '" + tokens[i] +
+                                     "'");
+    }
+    if (request.trace_mode == "dump" && request.trace_path.empty()) {
+      return Status::InvalidArgument("TRACE dump needs path=<file>");
+    }
+    return request;
+  }
+  if (verb == "ACCURACY") {
+    if (tokens.size() != 3) {
+      return Status::InvalidArgument(
+          "ACCURACY needs <estimate-id> true_card=<n>");
+    }
+    request.kind = Request::Kind::kAccuracy;
+    request.estimate_id = tokens[1];
+    if (tokens[2].rfind("true_card=", 0) != 0) {
+      return Status::InvalidArgument(
+          "ACCURACY second argument must be true_card=<n>");
+    }
+    SITSTATS_ASSIGN_OR_RETURN(request.true_card,
+                              ParseDouble(tokens[2].substr(10)));
+    if (!(request.true_card >= 0.0)) {
+      return Status::InvalidArgument("true_card must be >= 0");
+    }
     return request;
   }
   if (verb == "ESTIMATE") {
@@ -178,6 +227,15 @@ std::string FormatRequest(const Request& request) {
     case Request::Kind::kSleep:
       return "SLEEP " + std::to_string(request.sleep_ms) +
              FormatCommonOptions(request);
+    case Request::Kind::kMetrics:
+      return "METRICS";
+    case Request::Kind::kTraceCtl:
+      return "TRACE " + request.trace_mode +
+             (request.trace_path.empty() ? ""
+                                         : " path=" + request.trace_path);
+    case Request::Kind::kAccuracy:
+      return "ACCURACY " + request.estimate_id +
+             " true_card=" + FormatExact(request.true_card);
   }
   return "";
 }

@@ -23,6 +23,9 @@ namespace sitstats {
 ///   ESTIMATE <sit-spec> <lo> <hi> [key=value ...]
 ///   BUILD <sit-spec> [key=value ...]
 ///   SLEEP <ms> [key=value ...]
+///   METRICS
+///   TRACE on|off|dump [path=<file>]
+///   ACCURACY <estimate-id> true_card=<n>
 ///
 /// <sit-spec> is the ParseSitSpec grammar ("T.col" or
 /// "T.col:A.x=B.y;B.y=C.z") and therefore contains no spaces. Recognized
@@ -32,15 +35,35 @@ namespace sitstats {
 /// honouring cancellation — it exists to make queue-full and timeout
 /// behaviour testable without large data.
 ///
+/// METRICS scrapes the server's metrics registry; TRACE toggles runtime
+/// span collection or dumps the collected trace to a server-side file;
+/// ACCURACY feeds the true cardinality back for an earlier ESTIMATE (the
+/// <estimate-id> from its response payload), turning it into q-error
+/// telemetry. All three ride the estimate queue: they are cheap and must
+/// stay responsive while builds hog the build slots.
+///
 /// Responses:
 ///
 ///   OK[ <payload>]
 ///   ERR <StatusCode> <message...>
 ///
-/// The payload never contains newlines; ERR messages may contain spaces.
+/// The payload never contains newlines, with one exception: METRICS
+/// responds "OK metrics_bytes=<n>\n" followed by exactly <n> bytes of
+/// Prometheus text exposition (which is multi-line by nature) and a
+/// final newline. ERR messages may contain spaces.
 
 struct Request {
-  enum class Kind { kPing, kStats, kShutdown, kEstimate, kBuild, kSleep };
+  enum class Kind {
+    kPing,
+    kStats,
+    kShutdown,
+    kEstimate,
+    kBuild,
+    kSleep,
+    kMetrics,
+    kTraceCtl,
+    kAccuracy,
+  };
 
   Kind kind = Kind::kPing;
   /// Set for kEstimate / kBuild.
@@ -56,12 +79,21 @@ struct Request {
   uint64_t timeout_ms = 0;
   /// kSleep only.
   uint64_t sleep_ms = 0;
+  /// kTraceCtl: "on", "off", or "dump".
+  std::string trace_mode;
+  /// kTraceCtl dump: server-side file the Chrome trace is written to.
+  std::string trace_path;
+  /// kAccuracy: the estimate_id echoed by an earlier ESTIMATE response.
+  std::string estimate_id;
+  /// kAccuracy: the observed true cardinality.
+  double true_card = 0.0;
 
   /// True for requests served from the read-mostly estimate path; false
-  /// for requests that occupy a build slot.
+  /// for requests that occupy a build slot. The observability verbs are
+  /// estimate-class on purpose: METRICS must answer while a long build
+  /// is wedging the build queue, or it is useless for diagnosing it.
   bool IsEstimateClass() const {
-    return kind == Kind::kPing || kind == Kind::kStats ||
-           kind == Kind::kEstimate || kind == Kind::kShutdown;
+    return kind != Kind::kBuild && kind != Kind::kSleep;
   }
 };
 

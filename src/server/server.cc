@@ -8,14 +8,20 @@
 
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include <algorithm>
+#include <limits>
 
 #include "common/fault_injection.h"
 #include "common/logging.h"
+#include "common/string_util.h"
+#include "estimator/accuracy.h"
 #include "estimator/sit_estimator.h"
 #include "query/spec_parse.h"
+#include "telemetry/exposition.h"
+#include "telemetry/sliding_window.h"
 #include "telemetry/telemetry.h"
 
 namespace sitstats {
@@ -25,6 +31,38 @@ namespace {
 /// Cap on a single buffered request line; a peer that streams this much
 /// without a newline is broken or hostile.
 constexpr size_t kMaxLineBytes = 1 << 20;
+
+/// Cap on the transport-error backlog between TakeTransportErrors calls;
+/// a long-lived server without a caller draining the list must not
+/// accumulate errors without bound.
+constexpr size_t kMaxTransportErrors = 16;
+
+/// Extracts the double following "<key>=" in a payload like
+/// "cardinality=42 provenance=sit"; NaN when absent. Used to recover the
+/// numeric estimate from a cached response payload without widening the
+/// cache's value type.
+double PayloadDoubleField(const std::string& payload, const std::string& key) {
+  const std::string needle = key + "=";
+  size_t pos = payload.find(needle);
+  if (pos != 0 && (pos == std::string::npos || payload[pos - 1] != ' ')) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return std::strtod(payload.c_str() + pos + needle.size(), nullptr);
+}
+
+/// Extracts the token following "<key>=" in a payload; "" when absent.
+std::string PayloadStringField(const std::string& payload,
+                               const std::string& key) {
+  const std::string needle = key + "=";
+  size_t pos = payload.find(needle);
+  if (pos != 0 && (pos == std::string::npos || payload[pos - 1] != ' ')) {
+    return "";
+  }
+  size_t start = pos + needle.size();
+  size_t end = payload.find(' ', start);
+  return payload.substr(start, end == std::string::npos ? std::string::npos
+                                                        : end - start);
+}
 
 std::string FormatExact(double v) {
   char buffer[64];
@@ -89,7 +127,9 @@ SitStatsServer::SitStatsServer(std::unique_ptr<Catalog> catalog,
               "server.queue.estimate.depth")),
       build_queue_(options_.build_queue_capacity, "build",
                    &telemetry::MetricsRegistry::Global().GetGauge(
-                       "server.queue.build.depth")) {}
+                       "server.queue.build.depth")),
+      ledger_(options_.ledger_capacity),
+      slow_log_(options_.slow_log_path) {}
 
 SitStatsServer::~SitStatsServer() { Stop(); }
 
@@ -195,15 +235,28 @@ void SitStatsServer::PreloadSits(SitCatalog sits) {
 
 Status SitStatsServer::TakeTransportError() {
   std::lock_guard<std::mutex> lock(transport_mu_);
-  Status error = transport_error_;
-  transport_error_ = Status::OK();
+  Status error =
+      transport_errors_.empty() ? Status::OK() : transport_errors_.front();
+  transport_errors_.clear();
   return error;
+}
+
+std::vector<Status> SitStatsServer::TakeTransportErrors() {
+  std::lock_guard<std::mutex> lock(transport_mu_);
+  std::vector<Status> errors;
+  errors.swap(transport_errors_);
+  return errors;
 }
 
 void SitStatsServer::RecordTransportError(const Status& status) {
   SITSTATS_LOG(kWarning) << "server transport error: " << status;
+  telemetry::MetricsRegistry::Global()
+      .GetCounter("server.transport.errors")
+      .Increment();
   std::lock_guard<std::mutex> lock(transport_mu_);
-  if (transport_error_.ok()) transport_error_ = status;
+  if (transport_errors_.size() < kMaxTransportErrors) {
+    transport_errors_.push_back(status);
+  }
 }
 
 Status SitStatsServer::ValidateCatalog() const {
@@ -344,7 +397,9 @@ void SitStatsServer::DispatchLine(const std::shared_ptr<Connection>& conn,
                   RequestKindToString(parsed->kind))
       .Increment();
   const bool estimate_class = parsed->IsEstimateClass();
-  WorkItem item{conn, seq, std::move(parsed).ValueOrDie()};
+  WorkItem item{conn, seq, std::move(parsed).ValueOrDie(),
+                telemetry::MintTraceId(),
+                telemetry::Tracer::Global().NowMicros()};
   Status admitted = estimate_class ? estimate_queue_.TryPush(std::move(item))
                                    : build_queue_.TryPush(std::move(item));
   if (!admitted.ok()) {
@@ -414,7 +469,66 @@ void SitStatsServer::BuildWorker() {
   ProcessBuildClass(item);
 }
 
+void SitStatsServer::RecordQueueWait(const WorkItem& item,
+                                     const char* class_label) {
+  auto& tracer = telemetry::Tracer::Global();
+  const uint64_t now_us = tracer.NowMicros();
+  const uint64_t wait_us = now_us > item.enqueue_us
+                               ? now_us - item.enqueue_us
+                               : 0;
+  telemetry::MetricsRegistry::Global()
+      .GetHistogram(std::string("server.queue_wait.") + class_label + "_ms")
+      .Record(static_cast<double>(wait_us) / 1000.0);
+  if (!tracer.enabled()) return;
+  // The worker was not running during the wait, so the span is
+  // reconstructed after the fact from the admission timestamp.
+  telemetry::TraceEvent event;
+  event.name = "server.queue_wait";
+  event.phase = 'X';
+  event.ts_us = item.enqueue_us;
+  event.dur_us = wait_us;
+  event.tid = telemetry::CurrentTraceTid();
+  event.trace_id = item.trace_id;
+  event.args.emplace_back("class", class_label);
+  tracer.Record(std::move(event));
+}
+
+void SitStatsServer::RecordRequestLatency(const WorkItem& item,
+                                          double total_ms) {
+  auto& registry = telemetry::MetricsRegistry::Global();
+  const std::string verb = RequestKindToString(item.request.kind);
+  registry.GetHistogram("server.request_ms." + verb).Record(total_ms);
+  registry
+      .GetWindowHistogram("server.request_ms." + verb + ".window",
+                          options_.window_seconds * 1'000'000)
+      .Record(total_ms, telemetry::Tracer::Global().NowMicros());
+  if (total_ms > options_.slo_ms) {
+    registry.GetCounter("server.slo.violations").Increment();
+    registry.GetCounter("server.slo.violations." + verb).Increment();
+  }
+}
+
+void SitStatsServer::LogSlowRequest(const WorkItem& item, double total_ms,
+                                    const Status& status) {
+  if (!slow_log_.enabled()) return;
+  telemetry::LogRecord record;
+  record.Str("kind", "slow_request")
+      .Str("trace_id", telemetry::FormatTraceId(item.trace_id))
+      .Str("verb", RequestKindToString(item.request.kind))
+      .Str("request", FormatRequest(item.request))
+      .Num("latency_ms", total_ms)
+      .Num("slo_ms", options_.slo_ms)
+      .Str("status", status.ok() ? "OK"
+                                 : StatusCodeToString(status.code()));
+  Status appended = slow_log_.Append(record);
+  if (!appended.ok()) {
+    SITSTATS_LOG(kWarning) << "slow log append failed: " << appended;
+  }
+}
+
 void SitStatsServer::ProcessEstimateClass(const WorkItem& item) {
+  telemetry::TraceIdScope trace_scope(item.trace_id);
+  RecordQueueWait(item, "estimate");
   SITSTATS_TRACE_SPAN("server.estimate_class");
   const auto start = std::chrono::steady_clock::now();
   Status fault = SITSTATS_FAULT_CHECK("server.dispatch");
@@ -437,6 +551,15 @@ void SitStatsServer::ProcessEstimateClass(const WorkItem& item) {
     case Request::Kind::kEstimate:
       payload = HandleEstimate(item);
       break;
+    case Request::Kind::kMetrics:
+      payload = HandleMetrics();
+      break;
+    case Request::Kind::kTraceCtl:
+      payload = HandleTraceCtl(item);
+      break;
+    case Request::Kind::kAccuracy:
+      payload = HandleAccuracy(item);
+      break;
     case Request::Kind::kBuild:
     case Request::Kind::kSleep:
       payload = Status::Internal("build-class request on estimate path");
@@ -447,16 +570,43 @@ void SitStatsServer::ProcessEstimateClass(const WorkItem& item) {
   telemetry::MetricsRegistry::Global()
       .GetHistogram("server.latency.estimate_ms")
       .Record(ElapsedMs(start));
+  const double total_ms =
+      static_cast<double>(telemetry::Tracer::Global().NowMicros() -
+                          item.enqueue_us) /
+      1000.0;
+  RecordRequestLatency(item, total_ms);
+  if (total_ms > options_.slo_ms) {
+    LogSlowRequest(item, total_ms,
+                   payload.ok() ? Status::OK() : payload.status());
+  }
 }
 
 Result<std::string> SitStatsServer::HandleEstimate(const WorkItem& item) {
   const Request& request = item.request;
-  const std::string key = FormatSitSpec(*request.descriptor) + "|" +
-                          FormatExact(request.lo) + "|" +
+  const std::string spec = FormatSitSpec(*request.descriptor);
+  const std::string key = spec + "|" + FormatExact(request.lo) + "|" +
                           FormatExact(request.hi);
   const uint64_t epoch = cache_.epoch();
+
+  // The estimate_id is minted per response, never cached: a cached
+  // payload served twice must yield two distinct feedback slots, or the
+  // second ACCURACY would silently target the first request's entry.
+  auto finish = [&](std::string payload, bool cached) -> std::string {
+    LedgerEntry entry;
+    entry.spec = spec;
+    entry.lo = request.lo;
+    entry.hi = request.hi;
+    entry.estimate = PayloadDoubleField(payload, "cardinality");
+    entry.provenance = PayloadStringField(payload, "provenance");
+    entry.trace_id = item.trace_id;
+    std::string id = ledger_.Remember(std::move(entry));
+    return payload + (cached ? " cached=1" : " cached=0") +
+           " estimate_id=" + id +
+           " trace_id=" + telemetry::FormatTraceId(item.trace_id);
+  };
+
   std::string payload;
-  if (cache_.Lookup(key, &payload)) return payload + " cached=1";
+  if (cache_.Lookup(key, &payload)) return finish(std::move(payload), true);
   SITSTATS_RETURN_IF_ERROR(
       stop_source_.token().CheckCancelled("estimate on stopping server"));
 
@@ -465,6 +615,7 @@ Result<std::string> SitStatsServer::HandleEstimate(const WorkItem& item) {
     // Read-mostly path: estimates share the SIT catalog under the reader
     // lock and run concurrently with each other and with in-flight builds
     // (which only take the writer lock to register a finished SIT).
+    SITSTATS_TRACE_SPAN("server.catalog.read_lock");
     std::shared_lock<std::shared_mutex> lock(sit_mu_);
     CardinalityEstimator estimator(catalog_.get(), &base_stats_, &sits_);
     SITSTATS_ASSIGN_OR_RETURN(
@@ -476,10 +627,68 @@ Result<std::string> SitStatsServer::HandleEstimate(const WorkItem& item) {
   payload = "cardinality=" + FormatExact(estimate.cardinality) +
             " provenance=" + ProvenanceToString(estimate.provenance);
   cache_.Insert(epoch, key, payload);
-  return payload + " cached=0";
+  return finish(std::move(payload), false);
+}
+
+Result<std::string> SitStatsServer::HandleMetrics() {
+  SITSTATS_TRACE_SPAN("server.metrics_scrape");
+  const std::string text = telemetry::ToPrometheusText(
+      telemetry::MetricsRegistry::Global(),
+      telemetry::Tracer::Global().NowMicros());
+  // Length-prefixed framing: the exposition is multi-line, so the
+  // response announces how many bytes follow its own header line.
+  return "metrics_bytes=" + std::to_string(text.size()) + "\n" + text;
+}
+
+Result<std::string> SitStatsServer::HandleTraceCtl(const WorkItem& item) {
+  auto& tracer = telemetry::Tracer::Global();
+  const Request& request = item.request;
+  if (request.trace_mode == "on") {
+    tracer.SetEnabled(true);
+    return std::string("trace=on");
+  }
+  if (request.trace_mode == "off") {
+    tracer.SetEnabled(false);
+    return std::string("trace=off");
+  }
+  SITSTATS_RETURN_IF_ERROR(tracer.WriteChromeTrace(request.trace_path));
+  return "trace_written=" + request.trace_path +
+         " events=" + std::to_string(tracer.num_events());
+}
+
+Result<std::string> SitStatsServer::HandleAccuracy(const WorkItem& item) {
+  SITSTATS_ASSIGN_OR_RETURN(LedgerEntry entry,
+                            ledger_.Take(item.request.estimate_id));
+  const double qerror = QError(entry.estimate, item.request.true_card);
+  RecordQError(entry.provenance.empty() ? "unknown" : entry.provenance,
+               qerror);
+  RecordQError("all", qerror);
+  if (slow_log_.enabled() && qerror > options_.qerror_log_threshold) {
+    telemetry::LogRecord record;
+    record.Str("kind", "inaccurate_estimate")
+        .Str("trace_id", telemetry::FormatTraceId(entry.trace_id))
+        .Str("estimate_id", entry.estimate_id)
+        .Str("spec", entry.spec)
+        .Num("lo", entry.lo)
+        .Num("hi", entry.hi)
+        .Num("estimate", entry.estimate)
+        .Num("true_card", item.request.true_card)
+        .Num("qerror", qerror)
+        .Str("provenance", entry.provenance);
+    Status appended = slow_log_.Append(record);
+    if (!appended.ok()) {
+      SITSTATS_LOG(kWarning) << "accuracy log append failed: " << appended;
+    }
+  }
+  return "qerror=" + FormatExact(qerror) +
+         " estimate=" + FormatExact(entry.estimate) +
+         " true_card=" + FormatExact(item.request.true_card) +
+         " provenance=" + entry.provenance;
 }
 
 void SitStatsServer::ProcessBuildClass(const WorkItem& item) {
+  telemetry::TraceIdScope trace_scope(item.trace_id);
+  RecordQueueWait(item, "build");
   SITSTATS_TRACE_SPAN("server.build_class");
   const auto start = std::chrono::steady_clock::now();
   Status fault = SITSTATS_FAULT_CHECK("server.dispatch");
@@ -512,6 +721,15 @@ void SitStatsServer::ProcessBuildClass(const WorkItem& item) {
   telemetry::MetricsRegistry::Global()
       .GetHistogram("server.latency.build_ms")
       .Record(ElapsedMs(start));
+  const double total_ms =
+      static_cast<double>(telemetry::Tracer::Global().NowMicros() -
+                          item.enqueue_us) /
+      1000.0;
+  RecordRequestLatency(item, total_ms);
+  if (total_ms > options_.slo_ms) {
+    LogSlowRequest(item, total_ms,
+                   payload.ok() ? Status::OK() : payload.status());
+  }
 }
 
 Result<std::string> SitStatsServer::HandleBuild(
@@ -535,6 +753,7 @@ Result<std::string> SitStatsServer::HandleBuild(
       " buckets=" + std::to_string(sit.histogram.num_buckets());
   size_t total;
   {
+    SITSTATS_TRACE_SPAN("server.catalog.write_lock");
     std::unique_lock<std::shared_mutex> lock(sit_mu_);
     sits_.Add(std::move(sit));
     total = sits_.size();

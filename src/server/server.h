@@ -15,9 +15,11 @@
 #include "common/cancellation.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
+#include "server/accuracy_log.h"
 #include "server/estimate_cache.h"
 #include "server/protocol.h"
 #include "server/request_queue.h"
+#include "telemetry/structured_log.h"
 #include "sit/base_stats.h"
 #include "sit/creator.h"
 #include "sit/sit_catalog.h"
@@ -30,7 +32,7 @@ struct ServerOptions {
   /// Start, unlinked on Stop).
   std::string socket_path;
   /// Dedicated threads serving the read-mostly estimate class (PING /
-  /// STATS / ESTIMATE / SHUTDOWN).
+  /// STATS / ESTIMATE / METRICS / TRACE / ACCURACY / SHUTDOWN).
   size_t estimate_threads = 2;
   /// ThreadPool workers executing SIT builds (BUILD / SLEEP).
   size_t build_threads = 2;
@@ -43,6 +45,21 @@ struct ServerOptions {
   /// Defaults for BUILD requests; per-request options override variant /
   /// rate / buckets.
   SitBuildOptions build_defaults;
+  /// Per-verb latency SLO: requests slower than this bump the
+  /// "server.slo.violations.<VERB>" counters, the burn signal a scraper
+  /// alerts on. Measured from queue admission to response, so queue wait
+  /// counts against the budget (it is latency the client saw).
+  double slo_ms = 100.0;
+  /// Width of the rolling latency windows behind the per-verb
+  /// p50/p90/p99 summaries in METRICS output.
+  uint64_t window_seconds = 60;
+  /// JSONL sink for slow (> slo_ms) and inaccurate (q-error >
+  /// qerror_log_threshold) requests; empty disables the log.
+  std::string slow_log_path;
+  double qerror_log_threshold = 4.0;
+  /// How many recent ESTIMATE responses stay eligible for ACCURACY
+  /// feedback before the oldest is evicted.
+  size_t ledger_capacity = 1024;
 };
 
 /// sitstats-server: a long-running process answering cardinality-estimate
@@ -113,6 +130,12 @@ class SitStatsServer {
   /// accept/read/write faults through this.
   Status TakeTransportError();
 
+  /// Every transport-level error recorded since the last Take* call (a
+  /// bounded, in-order list). The fault sweep scans the whole list for
+  /// its injected marker: under an armed fault a real peer-reset can
+  /// race in first, so first-error-wins alone is not deterministic.
+  std::vector<Status> TakeTransportErrors();
+
   /// Self-check: storage invariants plus SitCatalog::ValidateConsistency
   /// under the reader lock. The fault sweep calls this after every
   /// injected server fault.
@@ -149,6 +172,12 @@ class SitStatsServer {
     std::shared_ptr<Connection> conn;
     uint64_t seq = 0;
     Request request;
+    /// Minted at accept/parse time; every span the request produces
+    /// (queue wait, dispatch, catalog locks, sweep scans) carries it.
+    uint64_t trace_id = 0;
+    /// Tracer-epoch time of queue admission, so workers can reconstruct
+    /// the queue-wait span they were not running during.
+    uint64_t enqueue_us = 0;
   };
 
   /// Deadline-thread entry: cancel `source` at `deadline` unless the
@@ -184,6 +213,20 @@ class SitStatsServer {
                                   const CancellationToken& cancel);
   Result<std::string> HandleSleep(const WorkItem& item,
                                   const CancellationToken& cancel);
+  Result<std::string> HandleMetrics();
+  Result<std::string> HandleTraceCtl(const WorkItem& item);
+  Result<std::string> HandleAccuracy(const WorkItem& item);
+
+  /// Emits the queue-wait span for `item` (enqueue to now) and records
+  /// per-verb latency into the lifetime + rolling histograms and the SLO
+  /// burn counter once the request finishes. `class_label` is "estimate"
+  /// or "build" (the queue the request rode).
+  void RecordQueueWait(const WorkItem& item, const char* class_label);
+  void RecordRequestLatency(const WorkItem& item, double total_ms);
+  /// Appends a slow-request or inaccurate-estimate record to the
+  /// structured log (no-op when options_.slow_log_path is empty).
+  void LogSlowRequest(const WorkItem& item, double total_ms,
+                      const Status& status);
 
   /// Arms the deadline thread to cancel `source` after `timeout_ms`
   /// (no-op when 0); `expired` is set before the cancel so the worker can
@@ -230,7 +273,15 @@ class SitStatsServer {
   std::vector<DeadlineEntry> deadlines_;
 
   std::mutex transport_mu_;
-  Status transport_error_;
+  /// In-order, bounded (kMaxTransportErrors) record of transport-level
+  /// failures since the last TakeTransportError(s) call.
+  std::vector<Status> transport_errors_;
+
+  /// Recent estimates awaiting ACCURACY feedback.
+  EstimateLedger ledger_;
+  /// Slow/inaccurate-request JSONL sink (disabled when the configured
+  /// path is empty).
+  telemetry::StructuredLog slow_log_;
 
   /// Request counters by verb (served in STATS and mirrored to the global
   /// metrics registry).

@@ -1,0 +1,107 @@
+#include "telemetry/exposition.h"
+
+#include <cctype>
+
+#include "telemetry/json_util.h"
+#include "telemetry/sliding_window.h"
+
+namespace sitstats {
+namespace telemetry {
+
+namespace {
+
+/// Prometheus sample values render like JSON numbers (integers bare,
+/// doubles with round-trip precision).
+std::string Num(double value) { return JsonNumber(value); }
+
+void AppendSample(const std::string& metric, const std::string& labels,
+                  double value, std::string* out) {
+  *out += metric;
+  *out += labels;
+  *out += ' ';
+  *out += Num(value);
+  *out += '\n';
+}
+
+void AppendType(const std::string& metric, const char* type,
+                std::string* out) {
+  *out += "# TYPE ";
+  *out += metric;
+  *out += ' ';
+  *out += type;
+  *out += '\n';
+}
+
+}  // namespace
+
+std::string PrometheusMetricName(const std::string& name) {
+  std::string metric = "sitstats_";
+  for (char c : name) {
+    const bool ok = (std::isalnum(static_cast<unsigned char>(c)) != 0) ||
+                    c == '_' || c == ':';
+    metric.push_back(ok ? c : '_');
+  }
+  return metric;
+}
+
+std::string ToPrometheusText(const MetricsRegistry& registry,
+                             uint64_t now_us) {
+  std::string out;
+  for (const auto& [name, value] : registry.CounterValues()) {
+    const std::string metric = PrometheusMetricName(name);
+    AppendType(metric, "counter", &out);
+    AppendSample(metric, "", static_cast<double>(value), &out);
+  }
+  for (const auto& [name, value] : registry.GaugeValues()) {
+    const std::string metric = PrometheusMetricName(name);
+    AppendType(metric, "gauge", &out);
+    AppendSample(metric, "", value, &out);
+  }
+  for (const std::string& name : registry.HistogramNames()) {
+    const LatencyHistogram* hist = registry.FindHistogram(name);
+    if (hist == nullptr) continue;
+    const std::string metric = PrometheusMetricName(name);
+    AppendType(metric, "histogram", &out);
+    uint64_t cumulative = 0;
+    size_t last_nonempty = 0;
+    for (size_t bin = 0; bin < LatencyHistogram::kNumBins; ++bin) {
+      if (hist->bin_count(bin) != 0) last_nonempty = bin;
+    }
+    for (size_t bin = 0; bin <= last_nonempty; ++bin) {
+      cumulative += hist->bin_count(bin);
+      // Bin k holds [2^(k-1), 2^k), so its inclusive upper bound for the
+      // cumulative le series is the next bin's lower bound.
+      const double le = LatencyHistogram::BinLowerBound(bin + 1);
+      AppendSample(metric + "_bucket", "{le=\"" + Num(le) + "\"}",
+                   static_cast<double>(cumulative), &out);
+    }
+    AppendSample(metric + "_bucket", "{le=\"+Inf\"}",
+                 static_cast<double>(hist->count()), &out);
+    AppendSample(metric + "_sum", "", hist->sum(), &out);
+    AppendSample(metric + "_count", "", static_cast<double>(hist->count()),
+                 &out);
+  }
+  for (const std::string& name : registry.WindowHistogramNames()) {
+    const SlidingWindowHistogram* window =
+        registry.FindWindowHistogram(name);
+    if (window == nullptr) continue;
+    const WindowSnapshot snap = window->Snapshot(now_us);
+    const std::string metric = PrometheusMetricName(name);
+    AppendType(metric, "summary", &out);
+    AppendSample(metric, "{quantile=\"0.5\"}", snap.p50, &out);
+    AppendSample(metric, "{quantile=\"0.9\"}", snap.p90, &out);
+    AppendSample(metric, "{quantile=\"0.99\"}", snap.p99, &out);
+    AppendSample(metric + "_sum", "", snap.sum, &out);
+    AppendSample(metric + "_count", "", static_cast<double>(snap.count),
+                 &out);
+    AppendSample(metric + "_covered_seconds", "",
+                 static_cast<double>(snap.covered_us) / 1e6, &out);
+  }
+  // Strip the final newline: line framings (the METRICS verb, files)
+  // append their own terminator.
+  if (!out.empty() && out.back() == '\n') out.pop_back();
+  return out;
+}
+
+}  // namespace telemetry
+}  // namespace sitstats

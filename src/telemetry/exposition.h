@@ -1,0 +1,44 @@
+#ifndef SITSTATS_TELEMETRY_EXPOSITION_H_
+#define SITSTATS_TELEMETRY_EXPOSITION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "telemetry/metrics.h"
+
+namespace sitstats {
+namespace telemetry {
+
+/// Renders `registry` in the Prometheus text exposition format
+/// (version 0.0.4), the lingua franca of scraping operators:
+///
+///   # TYPE sitstats_server_requests_PING counter
+///   sitstats_server_requests_PING 42
+///   # TYPE sitstats_server_latency_estimate_ms histogram
+///   sitstats_server_latency_estimate_ms_bucket{le="1"} 17
+///   sitstats_server_latency_estimate_ms_bucket{le="+Inf"} 42
+///   sitstats_server_latency_estimate_ms_sum 63.5
+///   sitstats_server_latency_estimate_ms_count 42
+///   # TYPE sitstats_server_latency_ESTIMATE_window_ms summary
+///   sitstats_server_latency_ESTIMATE_window_ms{quantile="0.5"} 0.8
+///   ...
+///
+/// Metric names are the registry names with every character outside
+/// [a-zA-Z0-9_:] replaced by '_' and prefixed "sitstats_". Lifetime log2
+/// histograms export as Prometheus histograms (cumulative le buckets over
+/// the nonempty log2 bin boundaries plus +Inf, _sum, _count); sliding
+/// windows export as summaries (p50/p90/p99 quantiles over the live
+/// window, evaluated at `now_us`) plus _count and _covered_seconds.
+/// Output is sorted by registry name, so successive scrapes diff cleanly.
+/// The rendering has no trailing newline; wire framings add their own.
+std::string ToPrometheusText(const MetricsRegistry& registry,
+                             uint64_t now_us);
+
+/// Sanitizes one registry name into a Prometheus metric name (exposed for
+/// tests): "server.queue.estimate.depth" -> "sitstats_server_queue_estimate_depth".
+std::string PrometheusMetricName(const std::string& name);
+
+}  // namespace telemetry
+}  // namespace sitstats
+
+#endif  // SITSTATS_TELEMETRY_EXPOSITION_H_

@@ -6,6 +6,7 @@
 
 #include "common/fault_injection.h"
 #include "telemetry/json_util.h"
+#include "telemetry/sliding_window.h"
 
 namespace sitstats {
 namespace telemetry {
@@ -40,11 +41,42 @@ void Gauge::Add(double delta) {
                      [](double current, double d) { return current + d; });
 }
 
-size_t LatencyHistogram::BinIndex(double value) {
+size_t Log2BinIndex(double value) {
   if (!(value >= 1.0)) return 0;  // negatives and NaN land in bin 0
   int exponent = std::ilogb(value);  // floor(log2(value)), >= 0 here
   size_t bin = static_cast<size_t>(exponent) + 1;
-  return bin < kNumBins ? bin : kNumBins - 1;
+  return bin < LatencyHistogram::kNumBins ? bin
+                                          : LatencyHistogram::kNumBins - 1;
+}
+
+double Log2BinsPercentile(const uint64_t* bins, uint64_t count, double min,
+                          double max, double p) {
+  if (count == 0) return 0.0;
+  p = std::fmin(std::fmax(p, 0.0), 100.0);
+  double rank = p / 100.0 * static_cast<double>(count);
+  uint64_t seen = 0;
+  for (size_t bin = 0; bin < LatencyHistogram::kNumBins; ++bin) {
+    uint64_t in_bin = bins[bin];
+    if (in_bin == 0) continue;
+    if (static_cast<double>(seen + in_bin) >= rank) {
+      // Interpolate linearly inside the winning bin.
+      double lo = LatencyHistogram::BinLowerBound(bin);
+      double hi = bin + 1 < LatencyHistogram::kNumBins
+                      ? LatencyHistogram::BinLowerBound(bin + 1)
+                      : max;
+      if (hi < lo) hi = lo;
+      double fraction =
+          (rank - static_cast<double>(seen)) / static_cast<double>(in_bin);
+      double value = lo + (hi - lo) * fraction;
+      return std::fmin(std::fmax(value, min), max);
+    }
+    seen += in_bin;
+  }
+  return max;
+}
+
+size_t LatencyHistogram::BinIndex(double value) {
+  return Log2BinIndex(value);
 }
 
 double LatencyHistogram::BinLowerBound(size_t bin) {
@@ -87,27 +119,9 @@ double LatencyHistogram::mean() const {
 }
 
 double LatencyHistogram::ValueAtPercentile(double p) const {
-  uint64_t n = count();
-  if (n == 0) return 0.0;
-  p = std::fmin(std::fmax(p, 0.0), 100.0);
-  double rank = p / 100.0 * static_cast<double>(n);
-  uint64_t seen = 0;
-  for (size_t bin = 0; bin < kNumBins; ++bin) {
-    uint64_t in_bin = bin_count(bin);
-    if (in_bin == 0) continue;
-    if (static_cast<double>(seen + in_bin) >= rank) {
-      // Interpolate linearly inside the winning bin.
-      double lo = BinLowerBound(bin);
-      double hi = bin + 1 < kNumBins ? BinLowerBound(bin + 1) : max();
-      if (hi < lo) hi = lo;
-      double fraction =
-          (rank - static_cast<double>(seen)) / static_cast<double>(in_bin);
-      double value = lo + (hi - lo) * fraction;
-      return std::fmin(std::fmax(value, min()), max());
-    }
-    seen += in_bin;
-  }
-  return max();
+  uint64_t bins[kNumBins];
+  for (size_t bin = 0; bin < kNumBins; ++bin) bins[bin] = bin_count(bin);
+  return Log2BinsPercentile(bins, count(), min(), max(), p);
 }
 
 void LatencyHistogram::Reset() {
@@ -122,6 +136,11 @@ MetricsRegistry& MetricsRegistry::Global() {
   static MetricsRegistry* registry = new MetricsRegistry();
   return *registry;
 }
+
+// Out of line so the header can hold unique_ptr<SlidingWindowHistogram>
+// with only a forward declaration.
+MetricsRegistry::MetricsRegistry() = default;
+MetricsRegistry::~MetricsRegistry() = default;
 
 Counter& MetricsRegistry::GetCounter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -142,6 +161,31 @@ LatencyHistogram& MetricsRegistry::GetHistogram(const std::string& name) {
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<LatencyHistogram>();
   return *slot;
+}
+
+SlidingWindowHistogram& MetricsRegistry::GetWindowHistogram(
+    const std::string& name, uint64_t window_us, size_t num_slots) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = windows_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<SlidingWindowHistogram>(window_us, num_slots);
+  }
+  return *slot;
+}
+
+std::vector<std::string> MetricsRegistry::WindowHistogramNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(windows_.size());
+  for (const auto& [name, window] : windows_) names.push_back(name);
+  return names;
+}
+
+const SlidingWindowHistogram* MetricsRegistry::FindWindowHistogram(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = windows_.find(name);
+  return it == windows_.end() ? nullptr : it->second.get();
 }
 
 std::vector<std::pair<std::string, uint64_t>> MetricsRegistry::CounterValues()

@@ -14,6 +14,19 @@
 namespace sitstats {
 namespace telemetry {
 
+class SlidingWindowHistogram;
+
+/// The shared log2 binning rule: bin 0 holds values < 1, bin k holds
+/// [2^(k-1), 2^k). Used by both the lifetime LatencyHistogram and the
+/// rolling SlidingWindowHistogram so their percentiles are comparable.
+size_t Log2BinIndex(double value);
+
+/// Value at percentile p in [0, 100] over `bins` (64 log2 bins holding
+/// `count` samples total), interpolating linearly inside the winning bin
+/// and clamping to the observed [min, max].
+double Log2BinsPercentile(const uint64_t* bins, uint64_t count, double min,
+                          double max, double p);
+
 /// Monotonic event counter. Increments are relaxed atomic adds, safe from
 /// any thread; hot call sites should cache the `Counter&` handle returned
 /// by MetricsRegistry::GetCounter instead of re-resolving the name.
@@ -94,13 +107,24 @@ class MetricsRegistry {
   /// The process-wide registry used by all built-in instrumentation.
   static MetricsRegistry& Global();
 
-  MetricsRegistry() = default;
+  MetricsRegistry();
+  ~MetricsRegistry();
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
   Counter& GetCounter(const std::string& name);
   Gauge& GetGauge(const std::string& name);
   LatencyHistogram& GetHistogram(const std::string& name);
+
+  /// Rolling-window companion histograms (telemetry/sliding_window.h).
+  /// First use fixes the window; later calls with a different
+  /// `window_us` return the existing histogram unchanged.
+  SlidingWindowHistogram& GetWindowHistogram(const std::string& name,
+                                             uint64_t window_us,
+                                             size_t num_slots = 8);
+  std::vector<std::string> WindowHistogramNames() const;
+  const SlidingWindowHistogram* FindWindowHistogram(
+      const std::string& name) const;
 
   /// Name -> current value snapshots (sorted by name).
   std::vector<std::pair<std::string, uint64_t>> CounterValues() const;
@@ -125,6 +149,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+  std::map<std::string, std::unique_ptr<SlidingWindowHistogram>> windows_;
 };
 
 }  // namespace telemetry

@@ -1,0 +1,90 @@
+#include "telemetry/sliding_window.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sitstats {
+namespace telemetry {
+
+SlidingWindowHistogram::SlidingWindowHistogram(uint64_t window_us,
+                                               size_t num_slots) {
+  num_slots = std::clamp<size_t>(num_slots, 2, 64);
+  window_us = std::max<uint64_t>(window_us, 1000);
+  slot_us_ = std::max<uint64_t>(window_us / num_slots, 1);
+  window_us_ = slot_us_ * num_slots;
+  slots_.resize(num_slots);
+}
+
+void SlidingWindowHistogram::ResetSlot(Slot* slot, uint64_t interval) {
+  slot->interval = interval;
+  slot->count = 0;
+  slot->sum = 0.0;
+  slot->min = 0.0;
+  slot->max = 0.0;
+  std::fill(std::begin(slot->bins), std::end(slot->bins), 0);
+}
+
+void SlidingWindowHistogram::Record(double value, uint64_t now_us) {
+  if (std::isnan(value)) return;
+  const uint64_t interval = now_us / slot_us_;
+  std::lock_guard<std::mutex> lock(mu_);
+  Slot* slot = &slots_[interval % slots_.size()];
+  if (slot->interval != interval) ResetSlot(slot, interval);
+  if (slot->count == 0) {
+    slot->min = value;
+    slot->max = value;
+  } else {
+    slot->min = std::min(slot->min, value);
+    slot->max = std::max(slot->max, value);
+  }
+  ++slot->count;
+  slot->sum += value;
+  ++slot->bins[Log2BinIndex(value)];
+}
+
+WindowSnapshot SlidingWindowHistogram::Snapshot(uint64_t now_us) const {
+  const uint64_t now_interval = now_us / slot_us_;
+  const size_t n = slots_.size();
+  WindowSnapshot snapshot;
+  uint64_t merged[kNumBins] = {};
+  uint64_t live_slots = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Slot& slot : slots_) {
+      // Live = stamped within the last num_slots slot intervals (the
+      // staircase window); anything older is a leftover from a previous
+      // wrap that Record has not touched yet.
+      if (slot.interval > now_interval ||
+          slot.interval + n <= now_interval) {
+        continue;
+      }
+      ++live_slots;
+      if (slot.count == 0) continue;
+      if (snapshot.count == 0) {
+        snapshot.min = slot.min;
+        snapshot.max = slot.max;
+      } else {
+        snapshot.min = std::min(snapshot.min, slot.min);
+        snapshot.max = std::max(snapshot.max, slot.max);
+      }
+      snapshot.count += slot.count;
+      snapshot.sum += slot.sum;
+      for (size_t bin = 0; bin < kNumBins; ++bin) {
+        merged[bin] += slot.bins[bin];
+      }
+    }
+  }
+  snapshot.covered_us = std::min<uint64_t>(live_slots * slot_us_, window_us_);
+  if (snapshot.count == 0) return snapshot;
+  snapshot.mean = snapshot.sum / static_cast<double>(snapshot.count);
+  snapshot.p50 = Log2BinsPercentile(merged, snapshot.count, snapshot.min,
+                                    snapshot.max, 50.0);
+  snapshot.p90 = Log2BinsPercentile(merged, snapshot.count, snapshot.min,
+                                    snapshot.max, 90.0);
+  snapshot.p99 = Log2BinsPercentile(merged, snapshot.count, snapshot.min,
+                                    snapshot.max, 99.0);
+  return snapshot;
+}
+
+}  // namespace telemetry
+}  // namespace sitstats

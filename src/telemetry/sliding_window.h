@@ -1,0 +1,92 @@
+#ifndef SITSTATS_TELEMETRY_SLIDING_WINDOW_H_
+#define SITSTATS_TELEMETRY_SLIDING_WINDOW_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "telemetry/metrics.h"
+
+namespace sitstats {
+namespace telemetry {
+
+/// Aggregate view of the live portion of a sliding window.
+struct WindowSnapshot {
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  /// How much of the nominal window the snapshot actually covers (grows
+  /// from one slot's worth just after a reset to the full window once the
+  /// ring has wrapped once).
+  uint64_t covered_us = 0;
+};
+
+/// Rolling-window companion to LatencyHistogram: the same log2 bins, but
+/// only over the last `window_us` microseconds. The window is a ring of
+/// `num_slots` sub-windows; Record lands in the slot owning the current
+/// time, rotation lazily zeroes slots whose time has passed, and Snapshot
+/// merges the slots still inside the window before computing percentiles
+/// with LatencyHistogram's interpolation rule. This is the classic
+/// staircase approximation: results lag at most one slot width
+/// (window/num_slots) behind a true continuous window.
+///
+/// Thread safety: all methods lock one mutex. This histogram sits on
+/// per-request paths (hundreds of thousands of ops/s at most), not
+/// per-row paths, so a short critical section beats the lost-update
+/// subtleties of a lock-free rotating ring.
+///
+/// Time is supplied by the caller (microseconds on any monotonic scale;
+/// the registry uses Tracer::NowMicros): tests drive rotation
+/// deterministically by passing explicit clocks.
+class SlidingWindowHistogram {
+ public:
+  static constexpr size_t kNumBins = LatencyHistogram::kNumBins;
+
+  /// `window_us` is clamped to >= 1ms, `num_slots` to [2, 64].
+  explicit SlidingWindowHistogram(uint64_t window_us, size_t num_slots = 8);
+
+  SlidingWindowHistogram(const SlidingWindowHistogram&) = delete;
+  SlidingWindowHistogram& operator=(const SlidingWindowHistogram&) = delete;
+
+  /// Records `value` (NaN ignored) at time `now_us`.
+  void Record(double value, uint64_t now_us);
+
+  /// Merged statistics over slots still inside [now_us - window, now_us].
+  WindowSnapshot Snapshot(uint64_t now_us) const;
+
+  uint64_t window_us() const { return window_us_; }
+  size_t num_slots() const { return slots_.size(); }
+  uint64_t slot_us() const { return slot_us_; }
+
+ private:
+  struct Slot {
+    /// Which slot-sized interval of the timeline this slot currently
+    /// holds; stale slots are zeroed on first touch past their time.
+    uint64_t interval = ~0ull;
+    uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    uint64_t bins[kNumBins] = {};
+  };
+
+  /// Zeroes `slot` and stamps it with `interval`.
+  static void ResetSlot(Slot* slot, uint64_t interval);
+
+  uint64_t window_us_;
+  uint64_t slot_us_;
+
+  mutable std::mutex mu_;
+  mutable std::vector<Slot> slots_;
+};
+
+}  // namespace telemetry
+}  // namespace sitstats
+
+#endif  // SITSTATS_TELEMETRY_SLIDING_WINDOW_H_

@@ -1,0 +1,68 @@
+#include "telemetry/structured_log.h"
+
+#include "common/fault_injection.h"
+#include "telemetry/json_util.h"
+
+namespace sitstats {
+namespace telemetry {
+
+LogRecord& LogRecord::Str(const std::string& key, const std::string& value) {
+  std::string rendered;
+  AppendJsonString(value, &rendered);
+  fields_.push_back({key, std::move(rendered)});
+  return *this;
+}
+
+LogRecord& LogRecord::Num(const std::string& key, double value) {
+  fields_.push_back({key, JsonNumber(value)});
+  return *this;
+}
+
+std::string LogRecord::ToJson() const {
+  std::string out = "{";
+  bool first = true;
+  for (const Field& field : fields_) {
+    if (!first) out += ", ";
+    first = false;
+    AppendJsonString(field.key, &out);
+    out += ": ";
+    out += field.value;
+  }
+  out += "}";
+  return out;
+}
+
+StructuredLog::~StructuredLog() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status StructuredLog::Append(const LogRecord& record) {
+  if (path_.empty()) return Status::OK();
+  std::string line = record.ToJson();
+  line += '\n';
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) {
+    if (open_failed_) return Status::OK();  // already reported once
+    SITSTATS_FAULT_SITE("telemetry.structured_log.open");
+    file_ = std::fopen(path_.c_str(), "a");
+    if (file_ == nullptr) {
+      open_failed_ = true;
+      return Status::IOError("cannot open structured log " + path_);
+    }
+  }
+  size_t written = std::fwrite(line.data(), 1, line.size(), file_);
+  if (written != line.size() || std::fflush(file_) != 0) {
+    return Status::IOError("short write to structured log " + path_);
+  }
+  ++lines_written_;
+  return Status::OK();
+}
+
+uint64_t StructuredLog::lines_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lines_written_;
+}
+
+}  // namespace telemetry
+}  // namespace sitstats

@@ -1,0 +1,71 @@
+#ifndef SITSTATS_TELEMETRY_STRUCTURED_LOG_H_
+#define SITSTATS_TELEMETRY_STRUCTURED_LOG_H_
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sitstats {
+namespace telemetry {
+
+/// One record destined for a StructuredLog: an ordered list of key/value
+/// fields rendered as a single JSON object per line (JSONL). Values are
+/// either strings (escaped) or numbers (JsonNumber formatting). Field
+/// order is preserved, so records diff and grep predictably.
+class LogRecord {
+ public:
+  LogRecord& Str(const std::string& key, const std::string& value);
+  LogRecord& Num(const std::string& key, double value);
+
+  /// The record as one JSON object, no trailing newline.
+  std::string ToJson() const;
+
+ private:
+  struct Field {
+    std::string key;
+    std::string value;  // pre-rendered JSON (quoted string or bare number)
+  };
+  std::vector<Field> fields_;
+};
+
+/// Append-only JSONL sink for structured events (slow queries, inaccurate
+/// estimates). Opens lazily on first Append so constructing with a path
+/// that is never written to costs nothing; writes are line-buffered and
+/// flushed per record, so a crashed process loses at most the line being
+/// written. Thread-safe; disabled (every Append a no-op returning OK)
+/// when constructed with an empty path.
+class StructuredLog {
+ public:
+  explicit StructuredLog(std::string path) : path_(std::move(path)) {}
+  ~StructuredLog();
+
+  StructuredLog(const StructuredLog&) = delete;
+  StructuredLog& operator=(const StructuredLog&) = delete;
+
+  bool enabled() const { return !path_.empty(); }
+  const std::string& path() const { return path_; }
+
+  /// Appends `record` as one line. Returns IOError if the file cannot be
+  /// opened or written; once an open has failed the log stays disabled
+  /// (no retry storm on a bad path).
+  Status Append(const LogRecord& record);
+
+  /// Lines appended successfully since construction.
+  uint64_t lines_written() const;
+
+ private:
+  std::string path_;
+  mutable std::mutex mu_;
+  std::FILE* file_ = nullptr;
+  bool open_failed_ = false;
+  uint64_t lines_written_ = 0;
+};
+
+}  // namespace telemetry
+}  // namespace sitstats
+
+#endif  // SITSTATS_TELEMETRY_STRUCTURED_LOG_H_

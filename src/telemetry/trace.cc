@@ -19,6 +19,41 @@ uint32_t CurrentTraceTid() {
   return tid;
 }
 
+namespace {
+
+thread_local uint64_t g_current_trace_id = 0;
+
+}  // namespace
+
+uint64_t MintTraceId() {
+  static std::atomic<uint64_t> next_id{1};
+  uint64_t raw = next_id.fetch_add(1, std::memory_order_relaxed);
+  // SplitMix64 finalizer: ids stay unique (the mix is a bijection) but
+  // consecutive requests no longer differ in one low bit, which makes
+  // accidental id reuse across restarts easy to spot in merged traces.
+  uint64_t z = raw + 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  z ^= z >> 31;
+  return z != 0 ? z : 1;
+}
+
+uint64_t CurrentTraceId() { return g_current_trace_id; }
+
+TraceIdScope::TraceIdScope(uint64_t trace_id)
+    : previous_(g_current_trace_id) {
+  g_current_trace_id = trace_id;
+}
+
+TraceIdScope::~TraceIdScope() { g_current_trace_id = previous_; }
+
+std::string FormatTraceId(uint64_t trace_id) {
+  char buffer[24];
+  (void)std::snprintf(buffer, sizeof(buffer), "%llx",
+                      static_cast<unsigned long long>(trace_id));
+  return buffer;
+}
+
 uint64_t Tracer::NowMicros() const {
   return static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
@@ -41,6 +76,7 @@ void Tracer::RecordInstant(
   event.phase = 'i';
   event.ts_us = NowMicros();
   event.tid = CurrentTraceTid();
+  event.trace_id = CurrentTraceId();
   event.args = std::move(args);
   Record(std::move(event));
 }
@@ -80,9 +116,14 @@ std::string Tracer::ToChromeTraceJson() const {
     }
     out += ", \"pid\": 1, \"tid\": " +
            JsonNumber(static_cast<double>(event.tid));
-    if (!event.args.empty()) {
+    if (!event.args.empty() || event.trace_id != 0) {
       out += ", \"args\": {";
       bool first_arg = true;
+      if (event.trace_id != 0) {
+        out += "\"trace_id\": ";
+        AppendJsonString(FormatTraceId(event.trace_id), &out);
+        first_arg = false;
+      }
       for (const auto& [key, value] : event.args) {
         if (!first_arg) out += ", ";
         first_arg = false;
@@ -132,6 +173,7 @@ void TraceSpan::End() {
   uint64_t end_us = tracer.NowMicros();
   event.dur_us = end_us > start_us_ ? end_us - start_us_ : 0;
   event.tid = CurrentTraceTid();
+  event.trace_id = CurrentTraceId();
   event.args = std::move(args_);
   tracer.Record(std::move(event));
 }

@@ -23,6 +23,13 @@ struct TraceEvent {
   uint64_t ts_us = 0;
   uint64_t dur_us = 0;
   uint32_t tid = 0;
+  /// Request-scoped correlation id (0 = none). Spans recorded while a
+  /// TraceIdScope is active inherit the scope's id, so every span of one
+  /// served request — queue wait, dispatch, catalog locks, sweep scans on
+  /// worker threads — carries the same id and one Chrome-trace view
+  /// reconstructs the request's full lifecycle. Exported as the
+  /// "trace_id" arg (hex).
+  uint64_t trace_id = 0;
   std::vector<std::pair<std::string, std::string>> args;
 };
 
@@ -122,6 +129,36 @@ class TraceSpan {
 
 /// Small dense id for the calling thread, stable for its lifetime.
 uint32_t CurrentTraceTid();
+
+/// Mints a process-unique, nonzero trace id. Cheap (one relaxed atomic
+/// increment mixed to spread bits); safe from any thread.
+uint64_t MintTraceId();
+
+/// The trace id attached to spans recorded by the calling thread
+/// (0 = none). Set via TraceIdScope, not directly.
+uint64_t CurrentTraceId();
+
+/// RAII: makes `trace_id` the calling thread's current trace id for the
+/// scope's lifetime, restoring the previous id on destruction. A worker
+/// thread that picks a request off a queue opens one of these around the
+/// request's processing, and every span recorded inside — including deep
+/// library spans like sweep.scan — inherits the request's id.
+class TraceIdScope {
+ public:
+  explicit TraceIdScope(uint64_t trace_id);
+  ~TraceIdScope();
+
+  TraceIdScope(const TraceIdScope&) = delete;
+  TraceIdScope& operator=(const TraceIdScope&) = delete;
+
+ private:
+  uint64_t previous_;
+};
+
+/// Formats a trace id the way the Chrome-trace export does (lowercase
+/// hex, no leading zeros), so log lines and trace args correlate by
+/// simple string equality.
+std::string FormatTraceId(uint64_t trace_id);
 
 }  // namespace telemetry
 }  // namespace sitstats

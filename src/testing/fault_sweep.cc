@@ -5,6 +5,7 @@
 #include <memory>
 #include <utility>
 
+#include "common/cli_flags.h"
 #include "common/fault_injection.h"
 #include "common/rng.h"
 #include "scheduler/executor.h"
@@ -93,13 +94,35 @@ Status RunTelemetryStage(const std::string& dir) {
   return telemetry::Tracer::Global().WriteChromeTrace(dir + "/trace.json");
 }
 
+/// CLI layer: both tools parse argv through the shared CliFlags, which
+/// carries the cli.flags.parse / cli.flags.value sites. A synthetic argv
+/// covering flags, switches, and positionals exercises them without
+/// forking a process.
+Status RunCliFlagsStage() {
+  const char* argv[] = {"sweep",      "--rate", "0.5", "--buckets=16",
+                        "--exact", "catalog_dir"};
+  CliParseOptions parse_options;
+  parse_options.boolean_keys = {"exact"};
+  parse_options.max_positional = 1;
+  SITSTATS_ASSIGN_OR_RETURN(
+      CliFlags flags,
+      CliFlags::Parse(6, const_cast<char**>(argv), 1, parse_options));
+  SITSTATS_ASSIGN_OR_RETURN(double rate, flags.GetDouble("rate", 1.0));
+  SITSTATS_ASSIGN_OR_RETURN(int64_t buckets, flags.GetInt("buckets", 32));
+  if (rate != 0.5 || buckets != 16 || !flags.GetBool("exact") ||
+      flags.positional().size() != 1) {
+    return Status::Internal("CliFlags parsed unexpected values");
+  }
+  return Status::OK();
+}
+
 /// Server layer: one sitstats-server session over a scratch socket,
-/// driven by a single sequential client so every server fault site
-/// (accept / read / dispatch / write) is hit a deterministic number of
-/// times. Injected transport faults close the connection — the client
-/// only sees EOF — so the injected Status is recovered through
-/// TakeTransportError. Whatever happens, the server must survive to
-/// validate and stop cleanly.
+/// driven by a single sequential client so every server and client
+/// fault site (connect / send / recv / accept / read / dispatch /
+/// write) is hit a deterministic number of times. Injected transport
+/// faults close the connection — the client only sees EOF — so the
+/// injected Status is recovered through TakeTransportErrors. Whatever
+/// happens, the server must survive to validate and stop cleanly.
 Status RunServerStage(const FaultSweepOptions& options,
                       const std::string& dir) {
   SITSTATS_ASSIGN_OR_RETURN(std::unique_ptr<Catalog> db,
@@ -121,9 +144,16 @@ Status RunServerStage(const FaultSweepOptions& options,
         SitStatsClient::Connect(server_options.socket_path));
     SITSTATS_RETURN_IF_ERROR(client.Ping());
     SITSTATS_RETURN_IF_ERROR(client.Build(spec).status());
-    SITSTATS_RETURN_IF_ERROR(client.Estimate(spec, 0.0, 1e6).status());
+    SITSTATS_ASSIGN_OR_RETURN(SitStatsClient::EstimateReply estimate,
+                              client.Estimate(spec, 0.0, 1e6));
     // Second identical estimate exercises the cache-hit path.
     SITSTATS_RETURN_IF_ERROR(client.Estimate(spec, 0.0, 1e6).status());
+    // Accuracy feedback consumes the first estimate's ledger slot; the
+    // METRICS scrape afterwards exercises the length-prefixed body read
+    // (ReadBytes) on the client side.
+    SITSTATS_RETURN_IF_ERROR(
+        client.Accuracy(estimate.estimate_id, 100.0).status());
+    SITSTATS_RETURN_IF_ERROR(client.Metrics().status());
     SITSTATS_RETURN_IF_ERROR(client.Stats().status());
     SITSTATS_RETURN_IF_ERROR(client.Sleep(1).status());
     return Status::OK();
@@ -133,11 +163,25 @@ Status RunServerStage(const FaultSweepOptions& options,
   // server process state must still validate and stop without hanging.
   Status valid = server.ValidateCatalog();
   server.Stop();
-  Status transport = server.TakeTransportError();
+  // A connection closed by an injected transport fault loses the Status
+  // on the wire — the client only sees EOF — so it is recovered here.
+  // Benign close races (e.g. EPIPE when a client-side fault aborts the
+  // drive mid-request) can be recorded alongside the injected one;
+  // folding every recorded error into one message keeps the sweep's
+  // marker scan deterministic regardless of recording order.
+  Status transport = Status::OK();
+  std::vector<Status> recorded = server.TakeTransportErrors();
+  if (!recorded.empty()) {
+    std::string combined;
+    for (const Status& error : recorded) {
+      if (!combined.empty()) combined += "; ";
+      combined += error.ToString();
+    }
+    transport = Status::Internal("transport errors: " + combined);
+  }
   if (!drive.ok()) {
-    // A closed connection loses the injected Status on the wire; the
-    // recorded transport error carries it (and the sweep's marker).
-    return transport.ok() ? drive : transport;
+    if (transport.ok()) return drive;
+    return Status::Internal(drive.ToString() + "; " + transport.message());
   }
   SITSTATS_RETURN_IF_ERROR(valid);
   return transport;
@@ -148,6 +192,7 @@ Status RunServerStage(const FaultSweepOptions& options,
 /// number of times.
 Status RunWorkload(const FaultSweepOptions& options, const std::string& dir,
                    WorkloadState* state) {
+  SITSTATS_RETURN_IF_ERROR(RunCliFlagsStage());
   SITSTATS_ASSIGN_OR_RETURN(state->generated,
                             MakeTpchLiteDatabase(options.spec));
 

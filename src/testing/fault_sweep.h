@@ -56,18 +56,21 @@ struct FaultSweepOptions {
 };
 
 /// Runs the full fault sweep over a TPC-H-lite workload that exercises
-/// every fallible layer: CSV save/load round trip, sampled base
-/// statistics, a spilling full-path sweep scan, every Sweep variant over
-/// a 3-table chain, a shared-scan schedule execution, a SIT-catalog
-/// serialization round trip, telemetry export, and a sitstats-server
-/// session (accept / read / dispatch / write) driven over a local socket.
+/// every fallible layer: CLI argument parsing (the shared CliFlags), CSV
+/// save/load round trip, sampled base statistics, a spilling full-path
+/// sweep scan, every Sweep variant over a 3-table chain, a shared-scan
+/// schedule execution, a SIT-catalog serialization round trip, telemetry
+/// export, and a sitstats-server session (client connect / send / recv
+/// plus server accept / read / dispatch / write) driven over a local
+/// socket, including the ACCURACY feedback and METRICS scrape verbs.
 ///
 /// One counting pass enumerates the reachable sites, then one armed pass
 /// runs per selected site x ordinal (stratified unless
 /// options.exhaustive), asserting after each that
 ///   (a) exactly the injected error surfaced (not swallowed, not wrapped
 ///       into success, fired exactly once) — server transport faults
-///       surface through SitStatsServer::TakeTransportError,
+///       surface through SitStatsServer::TakeTransportErrors, every
+///       recorded error scanned so close races cannot hide the marker,
 ///   (b) every catalog the run produced still passes ValidateConsistency
 ///       and the run's SitCatalog passes its own ValidateConsistency hook
 ///       (no partial SIT or index survives),

@@ -1,0 +1,101 @@
+#include "common/cli_flags.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace sitstats {
+namespace {
+
+/// Builds a mutable argv from string literals for CliFlags::Parse.
+class ArgvFixture {
+ public:
+  explicit ArgvFixture(std::vector<std::string> args)
+      : storage_(std::move(args)) {
+    for (std::string& arg : storage_) pointers_.push_back(arg.data());
+  }
+  int argc() const { return static_cast<int>(pointers_.size()); }
+  char** argv() { return pointers_.data(); }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<char*> pointers_;
+};
+
+TEST(CliFlagsTest, ParsesBothFlagSyntaxesAndPositionals) {
+  ArgvFixture args({"tool", "pos1", "--rate", "0.25", "--buckets=32", "pos2"});
+  Result<CliFlags> flags = CliFlags::Parse(args.argc(), args.argv(), 1);
+  ASSERT_TRUE(flags.ok()) << flags.status().ToString();
+  ASSERT_EQ(flags->positional().size(), 2u);
+  EXPECT_EQ(flags->positional()[0], "pos1");
+  EXPECT_EQ(flags->positional()[1], "pos2");
+  EXPECT_EQ(flags->Get("rate", ""), "0.25");
+  ASSERT_TRUE(flags->GetDouble("rate", 0.0).ok());
+  EXPECT_DOUBLE_EQ(flags->GetDouble("rate", 0.0).ValueOrDie(), 0.25);
+  EXPECT_EQ(flags->GetInt("buckets", 0).ValueOrDie(), 32);
+  EXPECT_TRUE(flags->Has("rate"));
+  EXPECT_FALSE(flags->Has("missing"));
+  EXPECT_EQ(flags->Get("missing", "fallback"), "fallback");
+  EXPECT_EQ(flags->GetInt("missing", 7).ValueOrDie(), 7);
+}
+
+TEST(CliFlagsTest, BooleanSwitchesTakeNoValue) {
+  CliParseOptions options;
+  options.boolean_keys = {"exact"};
+  ArgvFixture args({"tool", "--exact", "--rate", "0.5"});
+  Result<CliFlags> flags =
+      CliFlags::Parse(args.argc(), args.argv(), 1, options);
+  ASSERT_TRUE(flags.ok()) << flags.status().ToString();
+  EXPECT_TRUE(flags->GetBool("exact"));
+  EXPECT_FALSE(flags->GetBool("other"));
+  // --exact must not consume "--rate" as its value.
+  EXPECT_EQ(flags->Get("rate", ""), "0.5");
+
+  ArgvFixture with_value({"tool", "--exact=1"});
+  EXPECT_FALSE(
+      CliFlags::Parse(with_value.argc(), with_value.argv(), 1, options).ok());
+}
+
+TEST(CliFlagsTest, RepeatedKeysAccumulateInOrder) {
+  CliParseOptions options;
+  options.repeated_keys = {"join"};
+  ArgvFixture args({"tool", "--join", "a=b", "--join=c=d", "--sit", "x"});
+  Result<CliFlags> flags =
+      CliFlags::Parse(args.argc(), args.argv(), 1, options);
+  ASSERT_TRUE(flags.ok()) << flags.status().ToString();
+  const std::vector<std::string>& joins = flags->Repeated("join");
+  ASSERT_EQ(joins.size(), 2u);
+  EXPECT_EQ(joins[0], "a=b");
+  EXPECT_EQ(joins[1], "c=d");
+  // Non-repeated keys stay last-one-wins scalars.
+  EXPECT_EQ(flags->Get("sit", ""), "x");
+  EXPECT_TRUE(flags->Repeated("sit").empty());
+}
+
+TEST(CliFlagsTest, PositionalCapFailsLoudly) {
+  CliParseOptions options;
+  options.max_positional = 1;
+  ArgvFixture args({"tool", "first", "second"});
+  Result<CliFlags> flags =
+      CliFlags::Parse(args.argc(), args.argv(), 1, options);
+  ASSERT_FALSE(flags.ok());
+  EXPECT_NE(flags.status().message().find("second"), std::string::npos);
+}
+
+TEST(CliFlagsTest, MissingValueAndMalformedNumbersAreUsageErrors) {
+  ArgvFixture dangling({"tool", "--rate"});
+  EXPECT_FALSE(CliFlags::Parse(dangling.argc(), dangling.argv(), 1).ok());
+
+  ArgvFixture bad({"tool", "--rate", "ten", "--buckets", "many"});
+  Result<CliFlags> flags = CliFlags::Parse(bad.argc(), bad.argv(), 1);
+  ASSERT_TRUE(flags.ok());
+  Result<double> rate = flags->GetDouble("rate", 0.0);
+  ASSERT_FALSE(rate.ok());
+  // The error names the flag so the user knows what to fix.
+  EXPECT_NE(rate.status().message().find("--rate"), std::string::npos);
+  EXPECT_FALSE(flags->GetInt("buckets", 0).ok());
+}
+
+}  // namespace
+}  // namespace sitstats

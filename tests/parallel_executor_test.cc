@@ -3,6 +3,7 @@
 // other SITs share the batch (per-SIT seed streams, ISSUE 4).
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
@@ -120,7 +121,9 @@ Fixture MakeIndependentChains(int num_chains, size_t rows,
     std::vector<std::string> names;
     std::vector<JoinPredicate> joins;
     for (int i = 1; i <= kLen; ++i) {
-      std::string name = "C" + std::to_string(c) + "T" + std::to_string(i);
+      char name_buf[32];
+      std::snprintf(name_buf, sizeof(name_buf), "C%dT%d", c, i);
+      std::string name = name_buf;
       Schema schema;
       if (i > 1) schema.AddColumn("jp", ValueType::kInt64);
       if (i < kLen) schema.AddColumn("jn", ValueType::kInt64);

@@ -3,12 +3,16 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cctype>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/string_util.h"
 #include "datagen/tpch_lite.h"
 #include "server/client.h"
 
@@ -202,6 +206,199 @@ TEST_F(ServerTest, PipelinedRequestsAnswerInOrder) {
   Result<std::string> third = client.ReadResponse();
   ASSERT_TRUE(third.ok());
   EXPECT_NE(third->find("sits="), std::string::npos);
+}
+
+/// The value of the first exposition sample named `metric`, or -1.
+double ScrapeValue(const std::string& exposition, const std::string& metric) {
+  std::istringstream lines(exposition);
+  std::string line;
+  const std::string prefix = metric + " ";
+  while (std::getline(lines, line)) {
+    if (line.rfind(prefix, 0) == 0) {
+      return ParseDouble(line.substr(prefix.size())).ValueOrDie();
+    }
+  }
+  return -1.0;
+}
+
+std::string ReadWholeFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+size_t CountOccurrences(const std::string& haystack,
+                        const std::string& needle) {
+  size_t count = 0;
+  for (size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST_F(ServerTest, MetricsScrapeExposesMonotonicCounters) {
+  StartServer();
+  SitStatsClient client = Connect();
+  ASSERT_TRUE(client.Ping().ok());
+  Result<std::string> first = client.Metrics();
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  // Prometheus text exposition with typed families.
+  EXPECT_NE(first->find("# TYPE sitstats_server_requests_PING counter"),
+            std::string::npos)
+      << *first;
+  const double pings_before =
+      ScrapeValue(*first, "sitstats_server_requests_PING");
+  ASSERT_GE(pings_before, 1.0);
+
+  ASSERT_TRUE(client.Ping().ok());
+  ASSERT_TRUE(client.Ping().ok());
+  Result<std::string> second = client.Metrics();
+  ASSERT_TRUE(second.ok());
+  // The global registry persists across tests, so assert monotonicity
+  // rather than absolute values.
+  EXPECT_GE(ScrapeValue(*second, "sitstats_server_requests_PING"),
+            pings_before + 2.0);
+  // Per-verb latency: lifetime histogram plus rolling-window summary.
+  EXPECT_NE(second->find("# TYPE sitstats_server_request_ms_PING histogram"),
+            std::string::npos)
+      << *second;
+  EXPECT_NE(
+      second->find("# TYPE sitstats_server_request_ms_PING_window summary"),
+      std::string::npos)
+      << *second;
+  EXPECT_NE(second->find("_window{quantile=\"0.99\"}"), std::string::npos)
+      << *second;
+  // The scrape counts itself.
+  EXPECT_GE(ScrapeValue(*second, "sitstats_server_requests_METRICS"), 1.0);
+}
+
+TEST_F(ServerTest, AccuracyFeedbackRoundTripRecordsQError) {
+  StartServer();
+  SitStatsClient client = Connect();
+  ASSERT_TRUE(client.Build(kSpec).status().ok());
+
+  SitStatsClient::EstimateReply est =
+      client.Estimate(kSpec, 0.0, 1e6).ValueOrDie();
+  ASSERT_FALSE(est.estimate_id.empty());
+  ASSERT_FALSE(est.trace_id.empty());
+  for (char c : est.trace_id) {
+    EXPECT_TRUE(std::isxdigit(static_cast<unsigned char>(c)))
+        << est.trace_id;
+  }
+
+  // Feeding back the estimate itself as the truth gives q-error 1.
+  SitStatsClient::AccuracyReply exact =
+      client.Accuracy(est.estimate_id, est.cardinality).ValueOrDie();
+  EXPECT_DOUBLE_EQ(exact.qerror, 1.0);
+  EXPECT_DOUBLE_EQ(exact.estimate, est.cardinality);
+  EXPECT_EQ(exact.provenance, "sit");
+
+  // A cached repeat still mints a fresh ledger slot.
+  SitStatsClient::EstimateReply repeat =
+      client.Estimate(kSpec, 0.0, 1e6).ValueOrDie();
+  EXPECT_TRUE(repeat.cached);
+  EXPECT_NE(repeat.estimate_id, est.estimate_id);
+  SitStatsClient::AccuracyReply off =
+      client.Accuracy(repeat.estimate_id, repeat.cardinality * 4.0)
+          .ValueOrDie();
+  EXPECT_NEAR(off.qerror, 4.0, 1e-9);
+
+  // Feedback consumes the slot: a second report is NotFound, as is an id
+  // the server never issued.
+  EXPECT_EQ(client.Accuracy(repeat.estimate_id, 1.0).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(client.Accuracy("e999999", 1.0).status().code(),
+            StatusCode::kNotFound);
+  // The connection survives the typed errors.
+  EXPECT_TRUE(client.Ping().ok());
+
+  // The q-error landed in the per-estimator histograms.
+  Result<std::string> metrics = client.Metrics();
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_GE(ScrapeValue(*metrics, "sitstats_accuracy_feedback_sit"), 2.0);
+  EXPECT_GE(ScrapeValue(*metrics, "sitstats_accuracy_feedback_all"), 2.0);
+  EXPECT_NE(
+      metrics->find("# TYPE sitstats_accuracy_qerror_sit histogram"),
+      std::string::npos)
+      << *metrics;
+}
+
+TEST_F(ServerTest, TraceSessionSharesOneTraceIdAcrossSpans) {
+  StartServer();
+  SitStatsClient client = Connect();
+  ASSERT_TRUE(client.Build(kSpec).status().ok());
+  ASSERT_EQ(client.TraceCtl("on").ValueOrDie(), "trace=on");
+
+  SitStatsClient::EstimateReply est =
+      client.Estimate(kSpec, 0.0, 1e6).ValueOrDie();
+  ASSERT_FALSE(est.trace_id.empty());
+
+  const std::string trace_path = socket_path_ + ".trace.json";
+  Result<std::string> dumped = client.TraceCtl("dump", trace_path);
+  ASSERT_TRUE(dumped.ok()) << dumped.status().ToString();
+  EXPECT_NE(dumped->find("trace_written=" + trace_path), std::string::npos);
+  EXPECT_EQ(client.TraceCtl("off").ValueOrDie(), "trace=off");
+  EXPECT_EQ(client.TraceCtl("sideways").status().code(),
+            StatusCode::kInvalidArgument);
+
+  std::string trace = ReadWholeFile(trace_path);
+  std::remove(trace_path.c_str());
+  ASSERT_FALSE(trace.empty());
+  // The request's lifecycle is reconstructable: its queue-wait span and
+  // its execution spans (catalog read lock) share the estimate's id.
+  EXPECT_NE(trace.find("server.queue_wait"), std::string::npos) << trace;
+  EXPECT_NE(trace.find("server.catalog.read_lock"), std::string::npos)
+      << trace;
+  EXPECT_GE(CountOccurrences(trace, "\"" + est.trace_id + "\""), 2u)
+      << "estimate trace id " << est.trace_id
+      << " should tag both the queue-wait and execution spans: " << trace;
+}
+
+TEST_F(ServerTest, SlowAndInaccurateRequestsLandInTheStructuredLog) {
+  ServerOptions options;
+  // Sub-microsecond SLO: every request is a violation by construction.
+  options.slo_ms = 1e-6;
+  options.qerror_log_threshold = 4.0;
+  options.slow_log_path =
+      "/tmp/sitstats_server_test_" +
+      std::to_string(reinterpret_cast<uintptr_t>(this)) + ".slow.jsonl";
+  StartServer(options);
+  {
+    SitStatsClient client = Connect();
+    ASSERT_TRUE(client.Ping().ok());
+    SitStatsClient::EstimateReply est =
+        client.Estimate(kSpec, 0.0, 1e6).ValueOrDie();
+    // 100x off: far past the q-error logging threshold.
+    ASSERT_TRUE(
+        client.Accuracy(est.estimate_id, est.cardinality * 100.0).ok());
+    ASSERT_TRUE(client.Sleep(1).ok());
+  }
+  // Snapshot only after the queues drain: Stop() joins every worker, so
+  // the log is complete when read.
+  server_->Stop();
+  EXPECT_TRUE(server_->TakeTransportError().ok());
+  EXPECT_TRUE(server_->ValidateCatalog().ok());
+  server_.reset();
+
+  std::string log = ReadWholeFile(options.slow_log_path);
+  std::remove(options.slow_log_path.c_str());
+  ASSERT_FALSE(log.empty());
+  // Every request blew the SLO; both request classes are logged.
+  EXPECT_GE(CountOccurrences(log, "\"kind\": \"slow_request\""), 4u) << log;
+  EXPECT_NE(log.find("\"verb\": \"PING\""), std::string::npos) << log;
+  EXPECT_NE(log.find("\"verb\": \"SLEEP\""), std::string::npos) << log;
+  EXPECT_NE(log.find("\"trace_id\": \""), std::string::npos) << log;
+  EXPECT_NE(log.find("\"latency_ms\": "), std::string::npos) << log;
+  // The 100x-off feedback produced an inaccurate_estimate record with the
+  // full reproduction context.
+  EXPECT_NE(log.find("\"kind\": \"inaccurate_estimate\""), std::string::npos)
+      << log;
+  EXPECT_NE(log.find("\"qerror\": 100"), std::string::npos) << log;
+  EXPECT_NE(log.find("\"spec\": \"" + std::string(kSpec) + "\""),
+            std::string::npos)
+      << log;
 }
 
 TEST_F(ServerTest, ShutdownRequestStopsTheServer) {

@@ -1,0 +1,135 @@
+#include "telemetry/sliding_window.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace sitstats {
+namespace telemetry {
+namespace {
+
+// All clocks are explicit: the histogram takes caller-supplied
+// microseconds, so rotation is driven deterministically with no sleeps.
+
+TEST(SlidingWindowTest, ClampsConstructionParameters) {
+  SlidingWindowHistogram tiny(0, 1);
+  EXPECT_GE(tiny.window_us(), 1000u);
+  EXPECT_GE(tiny.num_slots(), 2u);
+  SlidingWindowHistogram wide(1'000'000, 500);
+  EXPECT_LE(wide.num_slots(), 64u);
+}
+
+TEST(SlidingWindowTest, RecordsAndSnapshotsWithinOneWindow) {
+  SlidingWindowHistogram hist(1'000'000, 4);  // 1s window, 250ms slots
+  hist.Record(2.0, 100);
+  hist.Record(4.0, 200);
+  hist.Record(8.0, 300);
+  WindowSnapshot snap = hist.Snapshot(400);
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_DOUBLE_EQ(snap.sum, 14.0);
+  EXPECT_DOUBLE_EQ(snap.min, 2.0);
+  EXPECT_DOUBLE_EQ(snap.max, 8.0);
+  EXPECT_DOUBLE_EQ(snap.mean, 14.0 / 3.0);
+  // Log2-bin interpolation: p50 must land inside the data range.
+  EXPECT_GE(snap.p50, 2.0);
+  EXPECT_LE(snap.p99, 16.0);
+}
+
+TEST(SlidingWindowTest, OldSlotsRotateOutOfTheWindow) {
+  SlidingWindowHistogram hist(1'000'000, 4);
+  const uint64_t slot = hist.slot_us();  // 250ms
+  hist.Record(100.0, 0);                 // slot interval 0
+  hist.Record(1.0, slot * 2);            // slot interval 2
+  // At t = slot*2, both records are inside the window.
+  EXPECT_EQ(hist.Snapshot(slot * 2).count, 2u);
+  // One full window later the first record's slot has aged out; the
+  // second is right on the trailing edge.
+  WindowSnapshot later = hist.Snapshot(slot * 4 + 1);
+  EXPECT_EQ(later.count, 1u);
+  EXPECT_DOUBLE_EQ(later.max, 1.0);
+  // Far in the future everything has aged out.
+  EXPECT_EQ(hist.Snapshot(slot * 100).count, 0u);
+}
+
+TEST(SlidingWindowTest, LateRecordReusesStaleSlotWithoutResurrectingIt) {
+  SlidingWindowHistogram hist(1'000'000, 4);
+  const uint64_t slot = hist.slot_us();
+  hist.Record(7.0, 0);
+  // A write one full ring later lands in the same physical slot; the old
+  // contents must be zeroed, not merged.
+  hist.Record(3.0, slot * 4);
+  WindowSnapshot snap = hist.Snapshot(slot * 4);
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_DOUBLE_EQ(snap.sum, 3.0);
+}
+
+TEST(SlidingWindowTest, CoveredMicrosecondsGrowsUntilTheRingWraps) {
+  SlidingWindowHistogram hist(800'000, 4);  // 200ms slots
+  hist.Record(1.0, 0);
+  // Immediately after the first record only one slot exists.
+  EXPECT_LE(hist.Snapshot(0).covered_us, hist.slot_us());
+  hist.Record(1.0, hist.slot_us() * 1);
+  hist.Record(1.0, hist.slot_us() * 2);
+  hist.Record(1.0, hist.slot_us() * 3);
+  WindowSnapshot full = hist.Snapshot(hist.slot_us() * 3);
+  EXPECT_EQ(full.count, 4u);
+  EXPECT_GE(full.covered_us, hist.window_us() - hist.slot_us());
+}
+
+TEST(SlidingWindowTest, PercentilesTrackTheLiveWindowOnly) {
+  SlidingWindowHistogram hist(1'000'000, 4);
+  const uint64_t slot = hist.slot_us();
+  // An early burst of slow requests...
+  for (int i = 0; i < 100; ++i) hist.Record(512.0, 0);
+  // ...followed by fast ones two slots later.
+  for (int i = 0; i < 100; ++i) hist.Record(1.0, slot * 2);
+  // While both populations are live, the p99 reflects the slow burst.
+  EXPECT_GE(hist.Snapshot(slot * 2).p99, 256.0);
+  // Once the burst ages out, the p99 collapses to the fast population.
+  WindowSnapshot after = hist.Snapshot(slot * 5);
+  EXPECT_EQ(after.count, 100u);
+  EXPECT_LE(after.p99, 2.0);
+}
+
+TEST(SlidingWindowTest, NaNRecordsAreIgnored) {
+  SlidingWindowHistogram hist(1'000'000, 4);
+  hist.Record(std::nan(""), 100);
+  hist.Record(5.0, 100);
+  WindowSnapshot snap = hist.Snapshot(100);
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_DOUBLE_EQ(snap.sum, 5.0);
+}
+
+// TSan-oriented: writers on several threads race Record against Snapshot
+// while the clock sweeps across slot boundaries. Counts must be lossless
+// for the final (all-inside-window) snapshot.
+TEST(SlidingWindowTest, ConcurrentWritersAreLosslessWithinTheWindow) {
+  SlidingWindowHistogram hist(10'000'000, 8);  // 10s window: nothing ages out
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5'000;
+  std::atomic<uint64_t> clock{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, &clock, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        // Advance a shared logical clock so writers cross slot boundaries
+        // while staying far inside the 10s window.
+        uint64_t now = clock.fetch_add(7, std::memory_order_relaxed);
+        hist.Record(static_cast<double>((t + i) % 64), now);
+        if (i % 256 == 0) (void)hist.Snapshot(now);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  WindowSnapshot snap = hist.Snapshot(clock.load());
+  EXPECT_EQ(snap.count, static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace telemetry
+}  // namespace sitstats

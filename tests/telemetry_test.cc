@@ -8,6 +8,9 @@
 #include <thread>
 #include <vector>
 
+#include "telemetry/exposition.h"
+#include "telemetry/sliding_window.h"
+
 namespace sitstats {
 namespace telemetry {
 namespace {
@@ -104,6 +107,65 @@ TEST(MetricsRegistryTest, ToJsonContainsEveryMetric) {
   EXPECT_NE(json.find("\"g.cost\": 12.5"), std::string::npos) << json;
   EXPECT_NE(json.find("\"h.ms\""), std::string::npos) << json;
   EXPECT_NE(json.find("\"count\": 1"), std::string::npos) << json;
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition
+// ---------------------------------------------------------------------------
+
+TEST(ExpositionTest, MetricNamesAreSanitizedAndPrefixed) {
+  EXPECT_EQ(PrometheusMetricName("server.queue.estimate.depth"),
+            "sitstats_server_queue_estimate_depth");
+  EXPECT_EQ(PrometheusMetricName("a-b c/d"), "sitstats_a_b_c_d");
+  EXPECT_EQ(PrometheusMetricName("keep:colons_and_123"),
+            "sitstats_keep:colons_and_123");
+}
+
+// Golden-format check on a local registry: exact lines, exact order
+// (counters, gauges, histograms, windows; each sorted by name).
+TEST(ExpositionTest, RendersEveryMetricKindInCanonicalForm) {
+  MetricsRegistry registry;
+  registry.GetCounter("req.total").Increment(42);
+  registry.GetGauge("queue.depth").Set(2.5);
+  LatencyHistogram& hist = registry.GetHistogram("latency.ms");
+  hist.Record(0.5);  // bin 0: [0, 1)
+  hist.Record(3.0);  // bin 2: [2, 4)
+  SlidingWindowHistogram& window =
+      registry.GetWindowHistogram("latency.ms.window", 1'000'000);
+  window.Record(1.0, 100);
+
+  std::string text = ToPrometheusText(registry, 100);
+  const std::string expected_prefix =
+      "# TYPE sitstats_req_total counter\n"
+      "sitstats_req_total 42\n"
+      "# TYPE sitstats_queue_depth gauge\n"
+      "sitstats_queue_depth 2.5\n"
+      "# TYPE sitstats_latency_ms histogram\n"
+      "sitstats_latency_ms_bucket{le=\"1\"} 1\n"
+      "sitstats_latency_ms_bucket{le=\"2\"} 1\n"
+      "sitstats_latency_ms_bucket{le=\"4\"} 2\n"
+      "sitstats_latency_ms_bucket{le=\"+Inf\"} 2\n"
+      "sitstats_latency_ms_sum 3.5\n"
+      "sitstats_latency_ms_count 2\n"
+      "# TYPE sitstats_latency_ms_window summary\n";
+  ASSERT_EQ(text.substr(0, expected_prefix.size()), expected_prefix) << text;
+  EXPECT_NE(text.find("sitstats_latency_ms_window{quantile=\"0.5\"} "),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("sitstats_latency_ms_window_count 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("sitstats_latency_ms_window_covered_seconds "),
+            std::string::npos)
+      << text;
+  // No trailing newline: wire framings add their own terminator.
+  ASSERT_FALSE(text.empty());
+  EXPECT_NE(text.back(), '\n');
+}
+
+TEST(ExpositionTest, EmptyRegistryRendersEmpty) {
+  MetricsRegistry registry;
+  EXPECT_EQ(ToPrometheusText(registry, 0), "");
 }
 
 // ---------------------------------------------------------------------------
@@ -309,6 +371,68 @@ TEST_F(TracerTest, ChromeTraceJsonParsesBackWithRequiredKeys) {
             "with \"quotes\" and \\slashes\\");
   EXPECT_EQ(span.object["args"].object["rows"].text, "128");
   EXPECT_EQ(events.array[1].object["ph"].text, "i");
+}
+
+TEST_F(TracerTest, TraceIdScopePropagatesAndRestores) {
+  EXPECT_EQ(CurrentTraceId(), 0u);
+  const uint64_t outer_id = MintTraceId();
+  const uint64_t inner_id = MintTraceId();
+  ASSERT_NE(outer_id, 0u);
+  ASSERT_NE(outer_id, inner_id);
+  {
+    TraceIdScope outer(outer_id);
+    EXPECT_EQ(CurrentTraceId(), outer_id);
+    { SITSTATS_TRACE_SPAN("with_outer"); }
+    {
+      TraceIdScope inner(inner_id);
+      EXPECT_EQ(CurrentTraceId(), inner_id);
+      { SITSTATS_TRACE_SPAN("with_inner"); }
+    }
+    // Nested scopes restore, not reset.
+    EXPECT_EQ(CurrentTraceId(), outer_id);
+  }
+  EXPECT_EQ(CurrentTraceId(), 0u);
+
+  std::vector<TraceEvent> events = Tracer::Global().Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "with_outer");
+  EXPECT_EQ(events[0].trace_id, outer_id);
+  EXPECT_EQ(events[1].trace_id, inner_id);
+}
+
+TEST_F(TracerTest, ExportedSpansCarryTheTraceIdArg) {
+  const uint64_t id = MintTraceId();
+  {
+    TraceIdScope scope(id);
+    SITSTATS_TRACE_SPAN("traced.work");
+  }
+  { SITSTATS_TRACE_SPAN("untraced.work"); }
+  std::string json = Tracer::Global().ToChromeTraceJson();
+  JsonValue root;
+  ASSERT_TRUE(MiniJsonParser(json).Parse(&root)) << json;
+  JsonValue& events = root.object["traceEvents"];
+  ASSERT_EQ(events.array.size(), 2u);
+  JsonValue& traced = events.array[0];
+  ASSERT_EQ(traced.object["name"].text, "traced.work");
+  ASSERT_TRUE(traced.object["args"].object.contains("trace_id")) << json;
+  EXPECT_EQ(traced.object["args"].object["trace_id"].text, FormatTraceId(id));
+  // Spans recorded with no scope active don't invent an id.
+  EXPECT_FALSE(
+      events.array[1].object["args"].object.contains("trace_id"))
+      << json;
+}
+
+TEST(TraceIdTest, MintedIdsAreUniqueAndFormatIsStableHex) {
+  const uint64_t a = MintTraceId();
+  const uint64_t b = MintTraceId();
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(a, b);
+  std::string hex = FormatTraceId(a);
+  EXPECT_FALSE(hex.empty());
+  for (char c : hex) {
+    EXPECT_TRUE(std::isxdigit(static_cast<unsigned char>(c))) << hex;
+  }
+  EXPECT_EQ(FormatTraceId(a), hex);
 }
 
 TEST(TraceSpanTest, AttributesFormatNumbersCompactly) {

@@ -50,6 +50,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cli_flags.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "datagen/synthetic_db.h"
@@ -75,74 +76,39 @@ int Fail(const std::string& message) {
 
 int FailStatus(const Status& status) { return Fail(status.ToString()); }
 
-/// Minimal flag parser: positional args plus --key value / --key=value
-/// pairs (--join and --sit may repeat).
+/// Command arguments over the shared CliFlags grammar (common/cli_flags.h):
+/// --join and --sit repeat, --exact is a switch, everything else is a
+/// last-one-wins --key value / --key=value pair.
 struct Args {
   std::vector<std::string> positional;
-  std::map<std::string, std::string> flags;
   std::vector<std::string> joins;
   std::vector<std::string> sits;
   bool exact = false;
+  CliFlags flags;
 
   static Result<Args> Parse(int argc, char** argv, int start) {
+    CliParseOptions options;
+    options.repeated_keys = {"join", "sit"};
+    options.boolean_keys = {"exact"};
+    SITSTATS_ASSIGN_OR_RETURN(CliFlags parsed,
+                              CliFlags::Parse(argc, argv, start, options));
     Args args;
-    for (int i = start; i < argc; ++i) {
-      std::string arg = argv[i];
-      if (arg == "--exact") {
-        args.exact = true;
-      } else if (arg.rfind("--", 0) == 0) {
-        std::string key;
-        std::string value;
-        size_t eq = arg.find('=');
-        if (eq != std::string::npos) {
-          key = arg.substr(2, eq - 2);
-          value = arg.substr(eq + 1);
-        } else {
-          key = arg.substr(2);
-          if (i + 1 >= argc) {
-            return Status::InvalidArgument("flag " + arg + " needs a value");
-          }
-          value = argv[++i];
-        }
-        if (key == "join") {
-          args.joins.push_back(value);
-        } else if (key == "sit") {
-          args.sits.push_back(value);
-        } else {
-          args.flags[key] = value;
-        }
-      } else {
-        args.positional.push_back(arg);
-      }
-    }
+    args.positional = parsed.positional();
+    args.joins = parsed.Repeated("join");
+    args.sits = parsed.Repeated("sit");
+    args.exact = parsed.GetBool("exact");
+    args.flags = std::move(parsed);
     return args;
   }
 
   std::string Get(const std::string& key, const std::string& fallback) const {
-    auto it = flags.find(key);
-    return it == flags.end() ? fallback : it->second;
+    return flags.Get(key, fallback);
   }
-  // Malformed numeric flags are usage errors, not silent zeros: atof/atoll
-  // would turn `--rate ten` into 0 and `--rows 1e9` into 1.
   Result<double> GetDouble(const std::string& key, double fallback) const {
-    auto it = flags.find(key);
-    if (it == flags.end()) return fallback;
-    Result<double> parsed = ParseDouble(it->second);
-    if (!parsed.ok()) {
-      return Status::InvalidArgument("flag --" + key + ": " +
-                                     parsed.status().message());
-    }
-    return parsed;
+    return flags.GetDouble(key, fallback);
   }
   Result<int64_t> GetInt(const std::string& key, int64_t fallback) const {
-    auto it = flags.find(key);
-    if (it == flags.end()) return fallback;
-    Result<int64_t> parsed = ParseInt64(it->second);
-    if (!parsed.ok()) {
-      return Status::InvalidArgument("flag --" + key + ": " +
-                                     parsed.status().message());
-    }
-    return parsed;
+    return flags.GetInt(key, fallback);
   }
 };
 
@@ -412,6 +378,12 @@ int RunSchedule(const Args& args) {
 
 /// Thin client for a running sitstats_server: each positional argument is
 /// one raw protocol request line, sent in order over a single connection.
+/// The token `@last_estimate` in a request line is replaced by the
+/// estimate_id of the most recent ESTIMATE response, so one session can
+/// close the accuracy loop without shell plumbing:
+///
+///   sitstats_cli query --socket S "ESTIMATE O.o_total 100 500"
+///       "ACCURACY @last_estimate true_card=1234" "METRICS"
 int RunQuery(const Args& args) {
   std::string socket_path = args.Get("socket", "");
   if (socket_path.empty()) return Fail("query needs --socket PATH");
@@ -422,10 +394,24 @@ int RunQuery(const Args& args) {
   auto client = SitStatsClient::Connect(socket_path);
   if (!client.ok()) return FailStatus(client.status());
   int rc = 0;
-  for (const std::string& request : args.positional) {
+  std::string last_estimate_id;
+  for (const std::string& raw_request : args.positional) {
+    std::string request = raw_request;
+    size_t placeholder = request.find("@last_estimate");
+    if (placeholder != std::string::npos) {
+      if (last_estimate_id.empty()) {
+        return Fail("@last_estimate used before any ESTIMATE response");
+      }
+      request.replace(placeholder, 14, last_estimate_id);
+    }
     Result<std::string> reply = client->CallRaw(request);
     if (reply.ok()) {
       std::printf("OK %s\n", reply->c_str());
+      for (const std::string& token : Split(*reply, ' ')) {
+        if (token.rfind("estimate_id=", 0) == 0) {
+          last_estimate_id = token.substr(12);
+        }
+      }
     } else {
       std::printf("ERR %s\n", reply.status().ToString().c_str());
       rc = 1;

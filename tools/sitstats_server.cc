@@ -9,26 +9,38 @@
 //                   [--build-queue N]         default 4
 //                   [--cache N]               estimate-cache entries, 256
 //                   [--variant V] [--rate R] [--buckets N]   build defaults
+//                   [--slo-ms MS]             latency SLO, default 100
+//                   [--window-seconds S]      rolling-window width, 60
+//                   [--slow-log FILE]         slow/inaccurate JSONL log
+//                   [--qerror-threshold Q]    log q-errors above Q, 4
+//                   [--ledger N]              ACCURACY feedback slots, 1024
+//                   [--trace]                 enable span collection now
+//                   [--trace-out FILE]        Chrome trace JSON on exit
+//                   [--metrics-out FILE]      metrics JSON on exit
 //
 // DIR is a CSV catalog directory written by `sitstats_cli generate-*`.
 // The process runs until a client sends SHUTDOWN or it receives
 // SIGINT/SIGTERM. Drive it with `sitstats_cli query --socket PATH ...`
-// or the SitStatsClient library.
+// or the SitStatsClient library. The exit-time exports are written only
+// after Stop() has joined every worker and drained both queues, so the
+// files are a complete account of the run — no in-flight request can
+// bump a counter after its snapshot.
 
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 
 #include <chrono>
-#include <map>
 #include <string>
 #include <vector>
 
+#include "common/cli_flags.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "server/server.h"
 #include "sit/serialization.h"
 #include "storage/table_io.h"
+#include "telemetry/telemetry.h"
 
 namespace sitstats {
 namespace {
@@ -44,56 +56,37 @@ int Fail(const std::string& message) {
 
 int FailStatus(const Status& status) { return Fail(status.ToString()); }
 
-/// --key value / --key=value flags plus one positional DIR.
+/// Shared grammar (common/cli_flags.h): --key value / --key=value flags
+/// plus exactly one positional DIR.
 struct Flags {
   std::string dir;
-  std::map<std::string, std::string> values;
+  CliFlags flags;
 
   static Result<Flags> Parse(int argc, char** argv) {
-    Flags flags;
-    for (int i = 1; i < argc; ++i) {
-      std::string arg = argv[i];
-      if (arg.rfind("--", 0) == 0) {
-        size_t eq = arg.find('=');
-        std::string key;
-        std::string value;
-        if (eq != std::string::npos) {
-          key = arg.substr(2, eq - 2);
-          value = arg.substr(eq + 1);
-        } else {
-          key = arg.substr(2);
-          if (i + 1 >= argc) {
-            return Status::InvalidArgument("flag " + arg + " needs a value");
-          }
-          value = argv[++i];
-        }
-        flags.values[key] = value;
-      } else if (flags.dir.empty()) {
-        flags.dir = arg;
-      } else {
-        return Status::InvalidArgument("unexpected argument " + arg);
-      }
-    }
-    if (flags.dir.empty()) {
+    CliParseOptions options;
+    options.boolean_keys = {"trace"};
+    options.max_positional = 1;
+    SITSTATS_ASSIGN_OR_RETURN(CliFlags parsed,
+                              CliFlags::Parse(argc, argv, 1, options));
+    if (parsed.positional().empty()) {
       return Status::InvalidArgument("missing catalog DIR argument");
     }
-    return flags;
+    Flags result;
+    result.dir = parsed.positional()[0];
+    result.flags = std::move(parsed);
+    return result;
   }
 
   std::string Get(const std::string& key, const std::string& fallback) const {
-    auto it = values.find(key);
-    return it == values.end() ? fallback : it->second;
+    return flags.Get(key, fallback);
   }
   Result<int64_t> GetInt(const std::string& key, int64_t fallback) const {
-    auto it = values.find(key);
-    if (it == values.end()) return fallback;
-    return ParseInt64(it->second);
+    return flags.GetInt(key, fallback);
   }
   Result<double> GetDouble(const std::string& key, double fallback) const {
-    auto it = values.find(key);
-    if (it == values.end()) return fallback;
-    return ParseDouble(it->second);
+    return flags.GetDouble(key, fallback);
   }
+  bool GetBool(const std::string& key) const { return flags.GetBool(key); }
 };
 
 int Main(int argc, char** argv) {
@@ -142,9 +135,31 @@ int Main(int argc, char** argv) {
       SITSTATS_ASSIGN_OR_RETURN(options.build_defaults.variant,
                                 SweepVariantFromString(variant));
     }
+    SITSTATS_ASSIGN_OR_RETURN(options.slo_ms,
+                              flags->GetDouble("slo-ms", options.slo_ms));
+    if (options.slo_ms <= 0) {
+      return Status::InvalidArgument("--slo-ms must be positive");
+    }
+    SITSTATS_RETURN_IF_ERROR(bind_size("ledger", &options.ledger_capacity));
+    SITSTATS_ASSIGN_OR_RETURN(
+        int64_t window_seconds,
+        flags->GetInt("window-seconds",
+                      static_cast<int64_t>(options.window_seconds)));
+    if (window_seconds <= 0) {
+      return Status::InvalidArgument("--window-seconds must be positive");
+    }
+    options.window_seconds = static_cast<uint64_t>(window_seconds);
+    options.slow_log_path = flags->Get("slow-log", "");
+    SITSTATS_ASSIGN_OR_RETURN(
+        options.qerror_log_threshold,
+        flags->GetDouble("qerror-threshold", options.qerror_log_threshold));
     return Status::OK();
   }();
   if (!bound.ok()) return FailStatus(bound);
+
+  if (flags->GetBool("trace")) {
+    telemetry::Tracer::Global().SetEnabled(true);
+  }
 
   SitStatsServer server(std::move(catalog).ValueOrDie(), options);
 
@@ -174,10 +189,32 @@ int Main(int argc, char** argv) {
     }
   }
   server.Stop();
-  Status transport = server.TakeTransportError();
-  if (!transport.ok()) {
+  for (const Status& transport : server.TakeTransportErrors()) {
     std::fprintf(stderr, "transport warning: %s\n",
                  transport.ToString().c_str());
+  }
+  // Stop() has joined the workers and drained both queues, so these
+  // snapshots are final — nothing can record behind them.
+  std::string metrics_out = flags->Get("metrics-out", "");
+  if (!metrics_out.empty()) {
+    Status written = telemetry::MetricsRegistry::Global().WriteJson(metrics_out);
+    if (!written.ok()) {
+      std::fprintf(stderr, "metrics export warning: %s\n",
+                   written.ToString().c_str());
+    } else {
+      std::printf("metrics written to %s\n", metrics_out.c_str());
+    }
+  }
+  std::string trace_out = flags->Get("trace-out", "");
+  if (!trace_out.empty()) {
+    Status written = telemetry::Tracer::Global().WriteChromeTrace(trace_out);
+    if (!written.ok()) {
+      std::fprintf(stderr, "trace export warning: %s\n",
+                   written.ToString().c_str());
+    } else {
+      std::printf("trace written to %s (%zu events)\n", trace_out.c_str(),
+                  telemetry::Tracer::Global().num_events());
+    }
   }
   std::printf("stopped: %s\n", server.StatsPayload().c_str());
   return 0;
