@@ -1,5 +1,9 @@
 #include "common/cancellation.h"
 
+#include <thread>
+
+#include "common/sync.h"
+
 namespace sitstats {
 
 namespace internal {
@@ -8,10 +12,11 @@ namespace internal {
 /// the mutex guards the callback list and backs the waiter cv.
 struct CancellationState {
   std::atomic<bool> cancelled{false};
-  std::mutex mu;
-  std::condition_variable cv;
-  uint64_t next_id = 1;
-  std::vector<std::pair<uint64_t, std::function<void()>>> callbacks;
+  Mutex mu;
+  CondVar cv;
+  uint64_t next_id GUARDED_BY(mu) = 1;
+  std::vector<std::pair<uint64_t, std::function<void()>>> callbacks
+      GUARDED_BY(mu);
 };
 
 }  // namespace internal
@@ -29,23 +34,25 @@ Status CancellationToken::CheckCancelled(const std::string& what) const {
 bool CancellationToken::WaitForCancellation(
     std::chrono::milliseconds timeout) const {
   if (state_ == nullptr) {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::unique_lock<std::mutex> lock(mu);
-    cv.wait_for(lock, timeout);
+    // Sourceless tokens can never be woken; just sleep out the timeout.
+    std::this_thread::sleep_for(timeout);
     return false;
   }
-  std::unique_lock<std::mutex> lock(state_->mu);
-  return state_->cv.wait_for(lock, timeout, [this] {
-    return state_->cancelled.load(std::memory_order_acquire);
-  });
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  MutexLock lock(state_->mu);
+  while (!state_->cancelled.load(std::memory_order_acquire)) {
+    if (!state_->cv.WaitUntil(state_->mu, deadline)) {
+      return state_->cancelled.load(std::memory_order_acquire);
+    }
+  }
+  return true;
 }
 
 uint64_t CancellationToken::OnCancel(std::function<void()> fn) const {
   if (state_ == nullptr) return 0;
   uint64_t id;
   {
-    std::lock_guard<std::mutex> lock(state_->mu);
+    MutexLock lock(state_->mu);
     id = state_->next_id++;
     state_->callbacks.emplace_back(id, std::move(fn));
   }
@@ -56,7 +63,7 @@ uint64_t CancellationToken::OnCancel(std::function<void()> fn) const {
   if (cancelled()) {
     std::function<void()> to_run;
     {
-      std::lock_guard<std::mutex> lock(state_->mu);
+      MutexLock lock(state_->mu);
       for (auto& [entry_id, entry_fn] : state_->callbacks) {
         if (entry_id == id) {
           to_run = entry_fn;
@@ -71,7 +78,7 @@ uint64_t CancellationToken::OnCancel(std::function<void()> fn) const {
 
 void CancellationToken::RemoveCallback(uint64_t id) const {
   if (state_ == nullptr || id == 0) return;
-  std::lock_guard<std::mutex> lock(state_->mu);
+  MutexLock lock(state_->mu);
   for (auto it = state_->callbacks.begin(); it != state_->callbacks.end();
        ++it) {
     if (it->first == id) {
@@ -88,11 +95,11 @@ namespace {
 void CancelState(internal::CancellationState* state) {
   std::vector<std::pair<uint64_t, std::function<void()>>> callbacks;
   {
-    std::lock_guard<std::mutex> lock(state->mu);
+    MutexLock lock(state->mu);
     if (state->cancelled.exchange(true, std::memory_order_acq_rel)) {
       return;  // idempotent
     }
-    state->cv.notify_all();
+    state->cv.NotifyAll();
     callbacks = state->callbacks;
   }
   for (auto& [id, fn] : callbacks) {

@@ -13,7 +13,7 @@ void FaultInjector::Arm(const std::string& site, uint64_t ordinal,
                         Status status) {
   SITSTATS_CHECK(!status.ok()) << "cannot inject an OK status";
   SITSTATS_CHECK(ordinal > 0) << "fault ordinals are 1-based";
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   counting_ = false;
   armed_ = true;
   fired_ = false;
@@ -25,8 +25,16 @@ void FaultInjector::Arm(const std::string& site, uint64_t ordinal,
   active_.store(true, std::memory_order_release);
 }
 
+void FaultInjector::ArmAllocationFailure(const std::string& site,
+                                         uint64_t ordinal,
+                                         const std::string& detail) {
+  std::string message = "injected allocation failure at " + site;
+  if (!detail.empty()) message += ": " + detail;
+  Arm(site, ordinal, Status::ResourceExhausted(message));
+}
+
 void FaultInjector::Disarm() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   active_.store(false, std::memory_order_release);
   counting_ = false;
   armed_ = false;
@@ -37,7 +45,7 @@ void FaultInjector::Disarm() {
 }
 
 void FaultInjector::StartCounting() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   counting_ = true;
   armed_ = false;
   fired_ = false;
@@ -47,7 +55,7 @@ void FaultInjector::StartCounting() {
 }
 
 FaultInjector::SiteCounts FaultInjector::StopCounting() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   active_.store(false, std::memory_order_release);
   counting_ = false;
   SiteCounts counts = std::move(counts_);
@@ -56,14 +64,11 @@ FaultInjector::SiteCounts FaultInjector::StopCounting() {
 }
 
 bool FaultInjector::armed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return armed_;
 }
 
-Status FaultInjector::MaybeFail(const char* site) {
-  // Idle fast path: one relaxed load, no lock, no allocation.
-  if (!active_.load(std::memory_order_relaxed)) return Status::OK();
-  std::lock_guard<std::mutex> lock(mu_);
+Status FaultInjector::MaybeFailLocked(const char* site) {
   if (counting_) {
     ++counts_[site];
     return Status::OK();
@@ -75,6 +80,27 @@ Status FaultInjector::MaybeFail(const char* site) {
   fired_ = true;
   faults_injected_.fetch_add(1, std::memory_order_acq_rel);
   return injected_status_;
+}
+
+Status FaultInjector::MaybeFail(const char* site) {
+  // Idle fast path: one relaxed load, no lock, no allocation.
+  if (!active_.load(std::memory_order_relaxed)) return Status::OK();
+  MutexLock lock(mu_);
+  return MaybeFailLocked(site);
+}
+
+Status FaultInjector::MaybeFailAlloc(const char* site, uint64_t bytes) {
+  if (!active_.load(std::memory_order_relaxed)) return Status::OK();
+  Status status;
+  {
+    MutexLock lock(mu_);
+    status = MaybeFailLocked(site);
+  }
+  if (status.ok() || status.code() != StatusCode::kResourceExhausted) {
+    return status;
+  }
+  return Status::ResourceExhausted(status.message() + " (requested " +
+                                   std::to_string(bytes) + " bytes)");
 }
 
 }  // namespace sitstats

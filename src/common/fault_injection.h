@@ -4,10 +4,10 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 
 #include "common/status.h"
+#include "common/sync.h"
 
 namespace sitstats {
 
@@ -25,6 +25,14 @@ namespace sitstats {
 /// tests/fault_injection_test.cc) enumerates every reachable site x
 /// ordinal for a workload and proves each injected failure surfaces as a
 /// clean error with no crash, no hang, and no partially-registered state.
+///
+/// Allocation-failure (OOM) mode: sites named "oom.*" are declared with
+/// SITSTATS_OOM_SITE at points that reserve memory proportional to data
+/// size (sample vectors, histogram bucket arrays, cache insertions). Armed
+/// via ArmAllocationFailure, they fail with kResourceExhausted carrying
+/// the requested byte count — modelling the allocator saying no, so the
+/// sweep can prove an out-of-memory surfaces as a clean error rather than
+/// a crash or a half-registered statistic.
 ///
 /// Determinism: sites are hit a fixed number of times for a fixed (seeded)
 /// workload — site ordinals count *occurrences*, not wall-clock events, so
@@ -46,6 +54,14 @@ class FaultInjector {
   /// with `status`. Resets all hit counters and the injected-fault count.
   /// `status` must not be OK.
   void Arm(const std::string& site, uint64_t ordinal, Status status);
+
+  /// Arms an allocation failure: the `ordinal`-th hit of `site` fails with
+  /// kResourceExhausted as if the reservation guarded by the site had been
+  /// refused by the allocator. `detail` (e.g. a sweep marker) is folded
+  /// into the status message; the firing site appends the byte count it
+  /// was about to reserve.
+  void ArmAllocationFailure(const std::string& site, uint64_t ordinal,
+                            const std::string& detail = "");
 
   /// Disarms the injector and stops counting; sites become no-ops again.
   void Disarm();
@@ -69,22 +85,29 @@ class FaultInjector {
   /// this hit is the armed site x ordinal, OK otherwise.
   Status MaybeFail(const char* site);
 
+  /// The hook behind SITSTATS_OOM_SITE: like MaybeFail, but a firing
+  /// kResourceExhausted status reports the `bytes` the caller was about
+  /// to reserve.
+  Status MaybeFailAlloc(const char* site, uint64_t bytes);
+
  private:
   FaultInjector() = default;
+
+  Status MaybeFailLocked(const char* site) REQUIRES(mu_);
 
   /// Fast-path gate: true while armed or counting. Checked with a relaxed
   /// load before anything else so idle sites cost one branch.
   std::atomic<bool> active_{false};
   std::atomic<uint64_t> faults_injected_{0};
 
-  mutable std::mutex mu_;
-  bool counting_ = false;
-  bool armed_ = false;
-  bool fired_ = false;
-  std::string armed_site_;
-  uint64_t armed_ordinal_ = 0;
-  Status injected_status_;
-  SiteCounts counts_;
+  mutable Mutex mu_;
+  bool counting_ GUARDED_BY(mu_) = false;
+  bool armed_ GUARDED_BY(mu_) = false;
+  bool fired_ GUARDED_BY(mu_) = false;
+  std::string armed_site_ GUARDED_BY(mu_);
+  uint64_t armed_ordinal_ GUARDED_BY(mu_) = 0;
+  Status injected_status_ GUARDED_BY(mu_);
+  SiteCounts counts_ GUARDED_BY(mu_);
 };
 
 }  // namespace sitstats
@@ -115,6 +138,26 @@ class FaultInjector {
   ::sitstats::FaultInjector::Global().MaybeFail(site)
 #else
 #define SITSTATS_FAULT_CHECK(site) ::sitstats::Status::OK()
+#endif
+
+/// Declares an allocation-failure (OOM) injection site guarding a memory
+/// reservation of roughly `bytes` bytes, inside a function returning
+/// Status or Result<T>. Site names use the "oom." prefix by convention
+/// (checked by tools/sitstats_lint against the fault-site inventory).
+/// When armed via ArmAllocationFailure, the function returns
+/// kResourceExhausted before the reservation happens.
+#if defined(SITSTATS_FAULT_INJECTION_ENABLED)
+#define SITSTATS_OOM_SITE(site, bytes)                                \
+  do {                                                                \
+    ::sitstats::Status _oom_st =                                      \
+        ::sitstats::FaultInjector::Global().MaybeFailAlloc(           \
+            site, static_cast<uint64_t>(bytes));                      \
+    if (!_oom_st.ok()) return _oom_st;                                \
+  } while (false)
+#else
+#define SITSTATS_OOM_SITE(site, bytes) \
+  do {                                 \
+  } while (false)
 #endif
 
 #endif  // SITSTATS_COMMON_FAULT_INJECTION_H_

@@ -1,15 +1,14 @@
 #ifndef SITSTATS_COMMON_THREAD_POOL_H_
 #define SITSTATS_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/cancellation.h"
+#include "common/sync.h"
 
 namespace sitstats {
 
@@ -41,8 +40,8 @@ class ThreadPool {
 
  private:
   struct WorkerQueue {
-    std::mutex mu;
-    std::deque<std::function<void()>> tasks;
+    Mutex mu;
+    std::deque<std::function<void()>> tasks GUARDED_BY(mu);
   };
 
   void WorkerLoop(size_t index);
@@ -53,10 +52,12 @@ class ThreadPool {
   std::vector<std::thread> workers_;
 
   // Sleep/wake coordination: pending_ counts queued-but-unstarted tasks.
-  std::mutex idle_mu_;
-  std::condition_variable idle_cv_;
-  size_t pending_ = 0;
-  bool stopping_ = false;
+  // Acquisition order: a per-worker queue mu is never held while taking
+  // idle_mu_ (Submit takes them strictly in sequence).
+  Mutex idle_mu_;
+  CondVar idle_cv_;
+  size_t pending_ GUARDED_BY(idle_mu_) = 0;
+  bool stopping_ GUARDED_BY(idle_mu_) = false;
 
   std::atomic<size_t> next_queue_{0};
 };
@@ -83,9 +84,9 @@ class WaitGroup {
   bool Wait(const CancellationToken& token);
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  int64_t count_ = 0;
+  Mutex mu_;
+  CondVar cv_;
+  int64_t count_ GUARDED_BY(mu_) = 0;
 };
 
 /// Resolves a thread-count request: `requested` > 0 wins; otherwise the

@@ -361,6 +361,9 @@ Result<Histogram> BuildHistogram(std::vector<double> values,
     return Status::InvalidArgument("num_buckets must be positive");
   }
   if (values.empty()) return Histogram();
+  // The sort/dedup staging buffer is the build's peak allocation.
+  SITSTATS_OOM_SITE("oom.histogram.value_counts",
+                    values.size() * sizeof(ValueCount));
   BuildTelemetry telemetry(spec, "values");
   std::vector<ValueCount> vc;
   {

@@ -41,6 +41,9 @@ Result<ReservoirSampler> ReservoirSampler::Create(size_t capacity,
   if (rng == nullptr) {
     return Status::InvalidArgument("reservoir sampler needs a random stream");
   }
+  // The constructor reserves the full reservoir up front; model that
+  // reservation failing before committing to it.
+  SITSTATS_OOM_SITE("oom.sampling.reservoir", capacity * sizeof(double));
   return ReservoirSampler(capacity, rng);
 }
 

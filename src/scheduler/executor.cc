@@ -5,10 +5,10 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 
 #include "common/cancellation.h"
+#include "common/sync.h"
 #include "common/fault_injection.h"
 #include "common/thread_pool.h"
 #include "query/join_tree.h"
@@ -262,7 +262,9 @@ Result<ScheduleExecutionResult> ExecuteSitSchedule(
       remaining[i].store(plan[i].num_deps, std::memory_order_relaxed);
     }
     std::atomic<bool> failed{false};
-    std::mutex error_mu;
+    // Guards first_error (GUARDED_BY does not apply to locals; the CAS on
+    // `failed` already serializes writers, the lock orders the read below).
+    Mutex error_mu;
     Status first_error = Status::OK();
     WaitGroup wg;
     wg.Add(plan.size());
@@ -281,7 +283,7 @@ Result<ScheduleExecutionResult> ExecuteSitSchedule(
           if (failed.compare_exchange_strong(expected, true,
                                              std::memory_order_acq_rel)) {
             {
-              std::lock_guard<std::mutex> lock(error_mu);
+              MutexLock lock(error_mu);
               first_error = std::move(status);
             }
             abort.Cancel();

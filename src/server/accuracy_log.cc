@@ -6,7 +6,7 @@
 namespace sitstats {
 
 std::string EstimateLedger::Remember(LedgerEntry entry) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   char id_buf[24];
   std::snprintf(id_buf, sizeof(id_buf), "e%llu",
                 static_cast<unsigned long long>(next_id_++));
@@ -18,7 +18,7 @@ std::string EstimateLedger::Remember(LedgerEntry entry) {
 }
 
 Result<LedgerEntry> EstimateLedger::Take(const std::string& estimate_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto it = entries_.begin(); it != entries_.end(); ++it) {
     if (it->estimate_id == estimate_id) {
       LedgerEntry entry = std::move(*it);
@@ -31,7 +31,7 @@ Result<LedgerEntry> EstimateLedger::Take(const std::string& estimate_id) {
 }
 
 size_t EstimateLedger::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return entries_.size();
 }
 

@@ -3,10 +3,10 @@
 
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 
 #include "common/result.h"
+#include "common/sync.h"
 
 namespace sitstats {
 
@@ -47,9 +47,9 @@ class EstimateLedger {
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  uint64_t next_id_ = 1;
-  std::deque<LedgerEntry> entries_;
+  mutable Mutex mu_;
+  uint64_t next_id_ GUARDED_BY(mu_) = 1;
+  std::deque<LedgerEntry> entries_ GUARDED_BY(mu_);
 };
 
 }  // namespace sitstats

@@ -6,12 +6,12 @@ EstimateCache::EstimateCache(size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity) {}
 
 uint64_t EstimateCache::epoch() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return epoch_;
 }
 
 bool EstimateCache::Lookup(const std::string& key, std::string* payload) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = index_.find(key);
   if (it == index_.end()) {
     ++misses_;
@@ -25,7 +25,7 @@ bool EstimateCache::Lookup(const std::string& key, std::string* payload) {
 
 void EstimateCache::Insert(uint64_t observed_epoch, const std::string& key,
                            std::string payload) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (observed_epoch != epoch_) return;  // raced with an invalidation
   auto it = index_.find(key);
   if (it != index_.end()) {
@@ -35,14 +35,18 @@ void EstimateCache::Insert(uint64_t observed_epoch, const std::string& key,
   }
   lru_.push_front(Entry{key, std::move(payload)});
   index_[key] = lru_.begin();
-  if (lru_.size() > capacity_) {
+  EvictToCapacityLocked();
+}
+
+void EstimateCache::EvictToCapacityLocked() {
+  while (lru_.size() > capacity_) {
     index_.erase(lru_.back().key);
     lru_.pop_back();
   }
 }
 
 void EstimateCache::Invalidate() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++epoch_;
   ++invalidations_;
   lru_.clear();
@@ -50,7 +54,7 @@ void EstimateCache::Invalidate() {
 }
 
 EstimateCache::Stats EstimateCache::GetStats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Stats stats;
   stats.hits = hits_;
   stats.misses = misses_;

@@ -4,9 +4,10 @@
 #include <cstdint>
 
 #include <list>
-#include <mutex>
 #include <string>
 #include <unordered_map>
+
+#include "common/sync.h"
 
 namespace sitstats {
 
@@ -51,16 +52,21 @@ class EstimateCache {
     std::string payload;
   };
 
+  /// Unlinks the least-recently-used entries until the cache fits
+  /// capacity_.
+  void EvictToCapacityLocked() REQUIRES(mu_);
+
   const size_t capacity_;
 
-  mutable std::mutex mu_;
-  uint64_t epoch_ = 0;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t invalidations_ = 0;
+  mutable Mutex mu_;
+  uint64_t epoch_ GUARDED_BY(mu_) = 0;
+  uint64_t hits_ GUARDED_BY(mu_) = 0;
+  uint64_t misses_ GUARDED_BY(mu_) = 0;
+  uint64_t invalidations_ GUARDED_BY(mu_) = 0;
   /// Front = most recently used.
-  std::list<Entry> lru_;
-  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  std::list<Entry> lru_ GUARDED_BY(mu_);
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace sitstats

@@ -1,13 +1,12 @@
 #ifndef SITSTATS_SERVER_REQUEST_QUEUE_H_
 #define SITSTATS_SERVER_REQUEST_QUEUE_H_
 
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <utility>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "telemetry/metrics.h"
 
 namespace sitstats {
@@ -34,7 +33,7 @@ class BoundedQueue {
   /// FailedPrecondition after Close().
   Status TryPush(T item) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (closed_) {
         return Status::FailedPrecondition("queue " + name_ + " is closed");
       }
@@ -46,15 +45,15 @@ class BoundedQueue {
       items_.push_back(std::move(item));
       if (depth_gauge_ != nullptr) depth_gauge_->Add(1.0);
     }
-    cv_.notify_one();
+    cv_.NotifyOne();
     return Status::OK();
   }
 
   /// Blocks for the next item. Returns false when the queue is closed and
   /// drained; remaining items are still delivered after Close().
   bool Pop(T* out) {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    MutexLock lock(mu_);
+    while (!closed_ && items_.empty()) cv_.Wait(mu_);
     if (items_.empty()) return false;
     *out = std::move(items_.front());
     items_.pop_front();
@@ -65,14 +64,14 @@ class BoundedQueue {
   /// Wakes all blocked Pop() calls; subsequent TryPush fails.
   void Close() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       closed_ = true;
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 
   size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return items_.size();
   }
 
@@ -83,10 +82,10 @@ class BoundedQueue {
   const std::string name_;
   telemetry::Gauge* const depth_gauge_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<T> items_ GUARDED_BY(mu_);
+  bool closed_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace sitstats

@@ -193,9 +193,12 @@ void SitStatsServer::RequestStop() {
   if (stop_requested_.exchange(true)) return;
   stop_source_.Cancel();
   {
-    std::lock_guard<std::mutex> lock(deadline_mu_);
+    // Empty critical section: fences the stop flag against DeadlineLoop's
+    // wait so the broadcast below cannot land between its flag check and
+    // its sleep.
+    MutexLock lock(deadline_mu_);
   }
-  deadline_cv_.notify_all();
+  deadline_cv_.NotifyAll();
   if (wake_pipe_[1] >= 0) {
     char byte = 1;
     ssize_t ignored = ::write(wake_pipe_[1], &byte, 1);
@@ -229,12 +232,12 @@ void SitStatsServer::Stop() {
 }
 
 void SitStatsServer::PreloadSits(SitCatalog sits) {
-  std::unique_lock<std::shared_mutex> lock(sit_mu_);
+  WriterLock lock(sit_mu_);
   sits_ = std::move(sits);
 }
 
 Status SitStatsServer::TakeTransportError() {
-  std::lock_guard<std::mutex> lock(transport_mu_);
+  MutexLock lock(transport_mu_);
   Status error =
       transport_errors_.empty() ? Status::OK() : transport_errors_.front();
   transport_errors_.clear();
@@ -242,7 +245,7 @@ Status SitStatsServer::TakeTransportError() {
 }
 
 std::vector<Status> SitStatsServer::TakeTransportErrors() {
-  std::lock_guard<std::mutex> lock(transport_mu_);
+  MutexLock lock(transport_mu_);
   std::vector<Status> errors;
   errors.swap(transport_errors_);
   return errors;
@@ -253,7 +256,7 @@ void SitStatsServer::RecordTransportError(const Status& status) {
   telemetry::MetricsRegistry::Global()
       .GetCounter("server.transport.errors")
       .Increment();
-  std::lock_guard<std::mutex> lock(transport_mu_);
+  MutexLock lock(transport_mu_);
   if (transport_errors_.size() < kMaxTransportErrors) {
     transport_errors_.push_back(status);
   }
@@ -261,12 +264,12 @@ void SitStatsServer::RecordTransportError(const Status& status) {
 
 Status SitStatsServer::ValidateCatalog() const {
   SITSTATS_RETURN_IF_ERROR(catalog_->ValidateConsistency());
-  std::shared_lock<std::shared_mutex> lock(sit_mu_);
+  ReaderLock lock(sit_mu_);
   return sits_.ValidateConsistency();
 }
 
 size_t SitStatsServer::num_sits() const {
-  std::shared_lock<std::shared_mutex> lock(sit_mu_);
+  ReaderLock lock(sit_mu_);
   return sits_.size();
 }
 
@@ -425,7 +428,7 @@ void SitStatsServer::Respond(const WorkItem& item, const Status& status,
 
 void SitStatsServer::DeliverResponse(const std::shared_ptr<Connection>& conn,
                                      uint64_t seq, std::string line) {
-  std::lock_guard<std::mutex> lock(conn->write_mu);
+  MutexLock lock(conn->write_mu);
   conn->pending.emplace(seq, std::move(line));
   while (true) {
     auto it = conn->pending.find(conn->next_response_seq);
@@ -616,7 +619,7 @@ Result<std::string> SitStatsServer::HandleEstimate(const WorkItem& item) {
     // lock and run concurrently with each other and with in-flight builds
     // (which only take the writer lock to register a finished SIT).
     SITSTATS_TRACE_SPAN("server.catalog.read_lock");
-    std::shared_lock<std::shared_mutex> lock(sit_mu_);
+    ReaderLock lock(sit_mu_);
     CardinalityEstimator estimator(catalog_.get(), &base_stats_, &sits_);
     SITSTATS_ASSIGN_OR_RETURN(
         estimate,
@@ -754,7 +757,7 @@ Result<std::string> SitStatsServer::HandleBuild(
   size_t total;
   {
     SITSTATS_TRACE_SPAN("server.catalog.write_lock");
-    std::unique_lock<std::shared_mutex> lock(sit_mu_);
+    WriterLock lock(sit_mu_);
     sits_.Add(std::move(sit));
     total = sits_.size();
   }
@@ -780,20 +783,20 @@ void SitStatsServer::RegisterDeadline(
     std::shared_ptr<std::atomic<bool>> expired) {
   if (timeout_ms == 0) return;
   {
-    std::lock_guard<std::mutex> lock(deadline_mu_);
+    MutexLock lock(deadline_mu_);
     deadlines_.push_back(DeadlineEntry{
         std::chrono::steady_clock::now() +
             std::chrono::milliseconds(timeout_ms),
         std::move(source), std::move(expired)});
   }
-  deadline_cv_.notify_one();
+  deadline_cv_.NotifyOne();
 }
 
 void SitStatsServer::DeadlineLoop() {
-  std::unique_lock<std::mutex> lock(deadline_mu_);
+  MutexLock lock(deadline_mu_);
   while (!stop_requested()) {
     if (deadlines_.empty()) {
-      deadline_cv_.wait(lock);
+      deadline_cv_.Wait(deadline_mu_);
       continue;
     }
     auto next = std::min_element(
@@ -803,15 +806,18 @@ void SitStatsServer::DeadlineLoop() {
         });
     const auto now = std::chrono::steady_clock::now();
     if (next->deadline > now) {
-      deadline_cv_.wait_until(lock, next->deadline);
+      deadline_cv_.WaitUntil(deadline_mu_, next->deadline);
       continue;
     }
     DeadlineEntry entry = std::move(*next);
     deadlines_.erase(next);
-    lock.unlock();
+    // Cancel outside the lock: the callback chain (executor links, queue
+    // broadcasts) takes its own locks and must not nest under
+    // deadline_mu_.
+    lock.Unlock();
     entry.expired->store(true, std::memory_order_release);
     entry.source->Cancel();
-    lock.lock();
+    lock.Lock();
   }
 }
 

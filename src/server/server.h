@@ -3,17 +3,15 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <map>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/cancellation.h"
 #include "common/result.h"
+#include "common/sync.h"
 #include "common/thread_pool.h"
 #include "server/accuracy_log.h"
 #include "server/estimate_cache.h"
@@ -161,10 +159,10 @@ class SitStatsServer {
     std::string input;
     uint64_t next_request_seq = 0;
 
-    std::mutex write_mu;
-    uint64_t next_response_seq = 0;
+    Mutex write_mu;
+    uint64_t next_response_seq GUARDED_BY(write_mu) = 0;
     /// Responses completed out of order, waiting for their turn.
-    std::map<uint64_t, std::string> pending;
+    std::map<uint64_t, std::string> pending GUARDED_BY(write_mu);
     std::atomic<bool> closed{false};
   };
 
@@ -243,8 +241,8 @@ class SitStatsServer {
 
   /// Guards sits_ (readers: estimates + validation; writer: completed
   /// builds and PreloadSits).
-  mutable std::shared_mutex sit_mu_;
-  SitCatalog sits_;
+  mutable SharedMutex sit_mu_;
+  SitCatalog sits_ GUARDED_BY(sit_mu_);
 
   EstimateCache cache_;
 
@@ -268,14 +266,14 @@ class SitStatsServer {
   /// follows options_.
   std::unique_ptr<ThreadPool> build_pool_;
 
-  std::mutex deadline_mu_;
-  std::condition_variable deadline_cv_;
-  std::vector<DeadlineEntry> deadlines_;
+  Mutex deadline_mu_;
+  CondVar deadline_cv_;
+  std::vector<DeadlineEntry> deadlines_ GUARDED_BY(deadline_mu_);
 
-  std::mutex transport_mu_;
+  Mutex transport_mu_;
   /// In-order, bounded (kMaxTransportErrors) record of transport-level
   /// failures since the last TakeTransportError(s) call.
-  std::vector<Status> transport_errors_;
+  std::vector<Status> transport_errors_ GUARDED_BY(transport_mu_);
 
   /// Recent estimates awaiting ACCURACY feedback.
   EstimateLedger ledger_;

@@ -11,7 +11,7 @@ Result<const Histogram*> BaseStatsCache::GetOrBuild(const Catalog& catalog,
                                                     Rng* rng) {
   auto key = std::make_pair(table, column);
   {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    ReaderLock lock(mu_);
     auto it = cache_.find(key);
     if (it != cache_.end()) return &it->second;
   }
@@ -29,6 +29,7 @@ Result<const Histogram*> BaseStatsCache::GetOrBuild(const Catalog& catalog,
     return Status::InvalidArgument("histogram over string column " + table +
                                    "." + column);
   }
+  SITSTATS_OOM_SITE("oom.sampling.values", col->size() * sizeof(double));
   std::vector<double> values = col->ToNumericVector();
   Histogram histogram;
   if (options_.sample && !values.empty()) {
@@ -46,7 +47,9 @@ Result<const Histogram*> BaseStatsCache::GetOrBuild(const Catalog& catalog,
         histogram,
         BuildHistogram(std::move(values), options_.histogram_spec));
   }
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  SITSTATS_OOM_SITE("oom.base_stats.cache_insert",
+                    histogram.buckets().size() * sizeof(Bucket));
+  WriterLock lock(mu_);
   auto [pos, inserted] = cache_.emplace(key, std::move(histogram));
   (void)inserted;
   return &pos->second;

@@ -2,11 +2,11 @@
 #define SITSTATS_SIT_BASE_STATS_H_
 
 #include <map>
-#include <shared_mutex>
 #include <string>
 #include <utility>
 
 #include "common/result.h"
+#include "common/sync.h"
 #include "common/rng.h"
 #include "histogram/builder.h"
 #include "storage/catalog.h"
@@ -39,13 +39,18 @@ class BaseStatsCache {
       : options_(std::move(options)) {}
 
   // Movable (the mutex stays with the object, not the contents); moving
-  // is not thread-safe — callers must quiesce readers first.
+  // is not thread-safe — callers must quiesce readers first. The locks
+  // below keep the guarded-field contract total, nothing more.
   BaseStatsCache(BaseStatsCache&& other) noexcept
-      : options_(std::move(other.options_)),
-        cache_(std::move(other.cache_)) {}
+      : options_(std::move(other.options_)) {
+    WriterLock other_lock(other.mu_);
+    cache_ = std::move(other.cache_);
+  }
   BaseStatsCache& operator=(BaseStatsCache&& other) noexcept {
     if (this != &other) {
       options_ = std::move(other.options_);
+      WriterLock this_lock(mu_);
+      WriterLock other_lock(other.mu_);
       cache_ = std::move(other.cache_);
     }
     return *this;
@@ -59,20 +64,21 @@ class BaseStatsCache {
 
   /// Drops every cached histogram.
   void Clear() {
-    std::unique_lock<std::shared_mutex> lock(mu_);
+    WriterLock lock(mu_);
     cache_.clear();
   }
 
   size_t size() const {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    ReaderLock lock(mu_);
     return cache_.size();
   }
   const BaseStatsOptions& options() const { return options_; }
 
  private:
-  mutable std::shared_mutex mu_;
+  mutable SharedMutex mu_;
   BaseStatsOptions options_;
-  std::map<std::pair<std::string, std::string>, Histogram> cache_;
+  std::map<std::pair<std::string, std::string>, Histogram> cache_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace sitstats

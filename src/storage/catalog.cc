@@ -7,13 +7,22 @@
 
 namespace sitstats {
 
-Catalog::Catalog(Catalog&& other) noexcept
-    : tables_(std::move(other.tables_)),
-      indexes_(std::move(other.indexes_)),
-      io_counters_(std::move(other.io_counters_)) {}
+Catalog::Catalog(Catalog&& other) noexcept {
+  // Moving is documented not-thread-safe, but take the source's writer
+  // lock anyway: it is cheap, and it keeps the lock contract total — no
+  // code path touches the guarded registries without their lock.
+  WriterLock other_lock(other.mu_);
+  tables_ = std::move(other.tables_);
+  indexes_ = std::move(other.indexes_);
+  io_counters_ = std::move(other.io_counters_);
+}
 
 Catalog& Catalog::operator=(Catalog&& other) noexcept {
   if (this != &other) {
+    // Both locks for contract totality (moving stays documented
+    // not-thread-safe; these do not make concurrent moves correct).
+    WriterLock this_lock(mu_);
+    WriterLock other_lock(other.mu_);
     tables_ = std::move(other.tables_);
     indexes_ = std::move(other.indexes_);
     io_counters_ = std::move(other.io_counters_);
@@ -24,7 +33,7 @@ Catalog& Catalog::operator=(Catalog&& other) noexcept {
 Status Catalog::AddTable(std::unique_ptr<Table> table) {
   SITSTATS_FAULT_SITE("storage.catalog.add_table");
   const std::string& name = table->name();
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(mu_);
   if (tables_.contains(name)) {
     return Status::AlreadyExists("table " + name);
   }
@@ -34,7 +43,7 @@ Status Catalog::AddTable(std::unique_ptr<Table> table) {
 
 Result<Table*> Catalog::CreateTable(const std::string& name,
                                     const Schema& schema) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(mu_);
   if (tables_.contains(name)) {
     return Status::AlreadyExists("table " + name);
   }
@@ -45,21 +54,21 @@ Result<Table*> Catalog::CreateTable(const std::string& name,
 }
 
 Result<const Table*> Catalog::GetTable(const std::string& name) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(mu_);
   auto it = tables_.find(name);
   if (it == tables_.end()) return Status::NotFound("table " + name);
   return static_cast<const Table*>(it->second.get());
 }
 
 Result<Table*> Catalog::GetMutableTable(const std::string& name) {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(mu_);
   auto it = tables_.find(name);
   if (it == tables_.end()) return Status::NotFound("table " + name);
   return it->second.get();
 }
 
 std::vector<std::string> Catalog::TableNames() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(tables_.size());
   for (const auto& [name, table] : tables_) names.push_back(name);
@@ -78,7 +87,7 @@ Status Catalog::BuildIndex(const std::string& table_name,
   // failure here must leave the catalog without any trace of the new
   // index (the sweep asserts ValidateConsistency afterwards).
   SITSTATS_FAULT_SITE("storage.catalog.register_index");
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(mu_);
   indexes_.insert_or_assign({table_name, column_name}, std::move(index));
   return Status::OK();
 }
@@ -86,7 +95,7 @@ Status Catalog::BuildIndex(const std::string& table_name,
 Result<const SortedIndex*> Catalog::EnsureIndex(
     const std::string& table_name, const std::string& column_name) {
   {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    ReaderLock lock(mu_);
     auto it = indexes_.find({table_name, column_name});
     if (it != indexes_.end()) return &it->second;
   }
@@ -99,7 +108,7 @@ Result<const SortedIndex*> Catalog::EnsureIndex(
                             SortedIndex::Build(*table, column_name));
   SITSTATS_DCHECK_OK(index.CheckValid(*table));
   SITSTATS_FAULT_SITE("storage.catalog.register_index");
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(mu_);
   auto [it, inserted] =
       indexes_.try_emplace({table_name, column_name}, std::move(index));
   (void)inserted;
@@ -108,7 +117,7 @@ Result<const SortedIndex*> Catalog::EnsureIndex(
 
 Result<const SortedIndex*> Catalog::GetIndex(
     const std::string& table_name, const std::string& column_name) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(mu_);
   auto it = indexes_.find({table_name, column_name});
   if (it == indexes_.end()) {
     return Status::NotFound("index on " + table_name + "." + column_name);
@@ -118,12 +127,12 @@ Result<const SortedIndex*> Catalog::GetIndex(
 
 bool Catalog::HasIndex(const std::string& table_name,
                        const std::string& column_name) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(mu_);
   return indexes_.contains({table_name, column_name});
 }
 
 Status Catalog::ValidateConsistency() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(mu_);
   for (const auto& [name, table] : tables_) {
     if (table == nullptr) {
       return Status::Internal("catalog maps " + name + " to a null table");

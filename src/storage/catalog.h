@@ -3,12 +3,12 @@
 
 #include <map>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "storage/index.h"
 #include "storage/io_stats.h"
 #include "storage/table.h"
@@ -46,13 +46,13 @@ class Catalog {
   Result<const Table*> GetTable(const std::string& name) const;
   Result<Table*> GetMutableTable(const std::string& name);
   bool HasTable(const std::string& name) const {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    ReaderLock lock(mu_);
     return tables_.contains(name);
   }
 
   std::vector<std::string> TableNames() const;
   size_t num_tables() const {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    ReaderLock lock(mu_);
     return tables_.size();
   }
 
@@ -99,9 +99,11 @@ class Catalog {
 
  private:
   /// Guards tables_ and indexes_ (the registries, not table contents).
-  mutable std::shared_mutex mu_;
-  std::map<std::string, std::unique_ptr<Table>> tables_;
-  std::map<std::pair<std::string, std::string>, SortedIndex> indexes_;
+  /// io_counters_ is internally-sharded atomics and needs no lock.
+  mutable SharedMutex mu_;
+  std::map<std::string, std::unique_ptr<Table>> tables_ GUARDED_BY(mu_);
+  std::map<std::pair<std::string, std::string>, SortedIndex> indexes_
+      GUARDED_BY(mu_);
   IoCounters io_counters_;
 };
 

@@ -143,21 +143,21 @@ MetricsRegistry::MetricsRegistry() = default;
 MetricsRegistry::~MetricsRegistry() = default;
 
 Counter& MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return *slot;
 }
 
 LatencyHistogram& MetricsRegistry::GetHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<LatencyHistogram>();
   return *slot;
@@ -165,7 +165,7 @@ LatencyHistogram& MetricsRegistry::GetHistogram(const std::string& name) {
 
 SlidingWindowHistogram& MetricsRegistry::GetWindowHistogram(
     const std::string& name, uint64_t window_us, size_t num_slots) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = windows_[name];
   if (slot == nullptr) {
     slot = std::make_unique<SlidingWindowHistogram>(window_us, num_slots);
@@ -174,7 +174,7 @@ SlidingWindowHistogram& MetricsRegistry::GetWindowHistogram(
 }
 
 std::vector<std::string> MetricsRegistry::WindowHistogramNames() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(windows_.size());
   for (const auto& [name, window] : windows_) names.push_back(name);
@@ -183,14 +183,14 @@ std::vector<std::string> MetricsRegistry::WindowHistogramNames() const {
 
 const SlidingWindowHistogram* MetricsRegistry::FindWindowHistogram(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = windows_.find(name);
   return it == windows_.end() ? nullptr : it->second.get();
 }
 
 std::vector<std::pair<std::string, uint64_t>> MetricsRegistry::CounterValues()
     const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::pair<std::string, uint64_t>> values;
   values.reserve(counters_.size());
   for (const auto& [name, counter] : counters_) {
@@ -201,7 +201,7 @@ std::vector<std::pair<std::string, uint64_t>> MetricsRegistry::CounterValues()
 
 std::vector<std::pair<std::string, double>> MetricsRegistry::GaugeValues()
     const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::pair<std::string, double>> values;
   values.reserve(gauges_.size());
   for (const auto& [name, gauge] : gauges_) {
@@ -211,7 +211,7 @@ std::vector<std::pair<std::string, double>> MetricsRegistry::GaugeValues()
 }
 
 std::vector<std::string> MetricsRegistry::HistogramNames() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(histograms_.size());
   for (const auto& [name, hist] : histograms_) names.push_back(name);
@@ -220,13 +220,13 @@ std::vector<std::string> MetricsRegistry::HistogramNames() const {
 
 const LatencyHistogram* MetricsRegistry::FindHistogram(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : it->second.get();
 }
 
 std::string MetricsRegistry::ToJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out = "{\n  \"counters\": {";
   bool first = true;
   for (const auto& [name, counter] : counters_) {
@@ -289,7 +289,7 @@ Status MetricsRegistry::WriteJson(const std::string& path) const {
 }
 
 void MetricsRegistry::ResetAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, hist] : histograms_) hist->Reset();

@@ -5,11 +5,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 
 namespace sitstats {
 namespace telemetry {
@@ -145,11 +145,16 @@ class MetricsRegistry {
   void ResetAll();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
-  std::map<std::string, std::unique_ptr<SlidingWindowHistogram>> windows_;
+  // mu_ guards the name->metric maps only; the metric objects themselves
+  // are lock-free atomics (SlidingWindowHistogram locks internally) with
+  // stable addresses, so handles returned by Get* outlive the lock.
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_
+      GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<SlidingWindowHistogram>> windows_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace telemetry

@@ -15,7 +15,7 @@ SlidingWindowHistogram::SlidingWindowHistogram(uint64_t window_us,
   slots_.resize(num_slots);
 }
 
-void SlidingWindowHistogram::ResetSlot(Slot* slot, uint64_t interval) {
+void SlidingWindowHistogram::ResetSlot(Slot* slot, uint64_t interval) const {
   slot->interval = interval;
   slot->count = 0;
   slot->sum = 0.0;
@@ -27,7 +27,7 @@ void SlidingWindowHistogram::ResetSlot(Slot* slot, uint64_t interval) {
 void SlidingWindowHistogram::Record(double value, uint64_t now_us) {
   if (std::isnan(value)) return;
   const uint64_t interval = now_us / slot_us_;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Slot* slot = &slots_[interval % slots_.size()];
   if (slot->interval != interval) ResetSlot(slot, interval);
   if (slot->count == 0) {
@@ -49,7 +49,7 @@ WindowSnapshot SlidingWindowHistogram::Snapshot(uint64_t now_us) const {
   uint64_t merged[kNumBins] = {};
   uint64_t live_slots = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (const Slot& slot : slots_) {
       // Live = stamped within the last num_slots slot intervals (the
       // staircase window); anything older is a leftover from a previous

@@ -3,9 +3,9 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
+#include "common/sync.h"
 #include "telemetry/metrics.h"
 
 namespace sitstats {
@@ -76,14 +76,15 @@ class SlidingWindowHistogram {
     uint64_t bins[kNumBins] = {};
   };
 
-  /// Zeroes `slot` and stamps it with `interval`.
-  static void ResetSlot(Slot* slot, uint64_t interval);
+  /// Zeroes `slot` and stamps it with `interval`. `slot` points into
+  /// slots_, hence the lock requirement.
+  void ResetSlot(Slot* slot, uint64_t interval) const REQUIRES(mu_);
 
   uint64_t window_us_;
   uint64_t slot_us_;
 
-  mutable std::mutex mu_;
-  mutable std::vector<Slot> slots_;
+  mutable Mutex mu_;
+  mutable std::vector<Slot> slots_ GUARDED_BY(mu_);
 };
 
 }  // namespace telemetry

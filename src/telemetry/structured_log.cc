@@ -33,7 +33,7 @@ std::string LogRecord::ToJson() const {
 }
 
 StructuredLog::~StructuredLog() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (file_ != nullptr) std::fclose(file_);
 }
 
@@ -41,7 +41,7 @@ Status StructuredLog::Append(const LogRecord& record) {
   if (path_.empty()) return Status::OK();
   std::string line = record.ToJson();
   line += '\n';
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (file_ == nullptr) {
     if (open_failed_) return Status::OK();  // already reported once
     SITSTATS_FAULT_SITE("telemetry.structured_log.open");
@@ -60,7 +60,7 @@ Status StructuredLog::Append(const LogRecord& record) {
 }
 
 uint64_t StructuredLog::lines_written() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return lines_written_;
 }
 

@@ -2,12 +2,12 @@
 #define SITSTATS_TELEMETRY_STRUCTURED_LOG_H_
 
 #include <cstdio>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 
 namespace sitstats {
 namespace telemetry {
@@ -58,11 +58,13 @@ class StructuredLog {
   uint64_t lines_written() const;
 
  private:
-  std::string path_;
-  mutable std::mutex mu_;
-  std::FILE* file_ = nullptr;
-  bool open_failed_ = false;
-  uint64_t lines_written_ = 0;
+  const std::string path_;
+  // mu_ serializes open/write/close; the FILE's buffer is the pointee
+  // state the lock actually protects.
+  mutable Mutex mu_;
+  std::FILE* file_ GUARDED_BY(mu_) PT_GUARDED_BY(mu_) = nullptr;
+  bool open_failed_ GUARDED_BY(mu_) = false;
+  uint64_t lines_written_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace telemetry

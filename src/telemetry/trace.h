@@ -4,12 +4,12 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 
 namespace sitstats {
 namespace telemetry {
@@ -77,9 +77,9 @@ class Tracer {
 
  private:
   std::atomic<bool> enabled_{false};
-  std::chrono::steady_clock::time_point epoch_;
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> events_;
+  std::chrono::steady_clock::time_point epoch_;  // const after construction
+  mutable Mutex mu_;
+  std::vector<TraceEvent> events_ GUARDED_BY(mu_);
 };
 
 /// Scoped RAII span: records one complete ('X') trace event covering its

@@ -357,11 +357,21 @@ Result<FaultSweepReport> RunFaultSweep(const FaultSweepOptions& options) {
     FaultSweepSiteResult result;
     result.site = site;
     result.hits = hits;
+    // Sites under the "oom." prefix are allocation-failure sites: they
+    // arm as kResourceExhausted (the OOM-injection mode) and the sweep
+    // additionally asserts the code survives to the top — an allocation
+    // failure remapped to some other code would defeat callers that
+    // retry-on-ResourceExhausted.
+    const bool oom_site = site.rfind("oom.", 0) == 0;
     for (uint64_t ordinal : SelectOrdinals(hits, options)) {
       const std::string marker =
           "injected fault at " + site + "#" + std::to_string(ordinal);
       if (options.progress) options.progress(marker);
-      injector.Arm(site, ordinal, Status::Internal(marker));
+      if (oom_site) {
+        injector.ArmAllocationFailure(site, ordinal, marker);
+      } else {
+        injector.Arm(site, ordinal, Status::Internal(marker));
+      }
       WorkloadState state;
       Status status = run_once(&state);
       const uint64_t fired = injector.faults_injected();
@@ -378,6 +388,12 @@ Result<FaultSweepReport> RunFaultSweep(const FaultSweepOptions& options) {
       if (status.message().find(marker) == std::string::npos) {
         return Status::Internal(marker + ": injected error was swallowed; "
                                 "workload returned: " + status.ToString());
+      }
+      if (oom_site && status.code() != StatusCode::kResourceExhausted) {
+        return Status::Internal(
+            marker + ": allocation failure surfaced as " +
+            StatusCodeToString(status.code()) +
+            " instead of ResourceExhausted");
       }
       SITSTATS_RETURN_IF_ERROR(ValidateState(state, marker));
       ++result.injections;

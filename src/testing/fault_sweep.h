@@ -64,6 +64,12 @@ struct FaultSweepOptions {
 /// plus server accept / read / dispatch / write) driven over a local
 /// socket, including the ACCURACY feedback and METRICS scrape verbs.
 ///
+/// Sites under the "oom." prefix (sample vectors, histogram staging
+/// buffers, cache inserts) sweep in allocation-failure mode: armed via
+/// FaultInjector::ArmAllocationFailure, with the additional assertion
+/// that the surfaced status code is still kResourceExhausted at the top —
+/// an OOM must reach callers as the retryable code, not be rewrapped.
+///
 /// One counting pass enumerates the reachable sites, then one armed pass
 /// runs per selected site x ordinal (stratified unless
 /// options.exhaustive), asserting after each that

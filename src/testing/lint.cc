@@ -1,0 +1,681 @@
+#include "testing/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sitstats {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct SourceFile {
+  std::string path;  // as reported in findings
+  std::string raw;   // original bytes
+  std::string code;  // comments and string contents blanked, same length
+  std::vector<size_t> line_starts;
+};
+
+int LineAt(const SourceFile& file, size_t offset) {
+  auto it = std::upper_bound(file.line_starts.begin(), file.line_starts.end(),
+                             offset);
+  return static_cast<int>(it - file.line_starts.begin());
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Length-preserving erasure of everything the rules must not match:
+/// comment bodies and string/char literal contents become spaces (newlines
+/// kept so line numbers survive); the quotes themselves stay so literal
+/// extents remain findable. Handles //, /*...*/, escape sequences, raw
+/// strings, and C++14 digit separators (a ' preceded by an identifier
+/// character is not a char literal).
+std::string BlankCommentsAndStrings(const std::string& raw) {
+  std::string out = raw;
+  auto blank = [&out](size_t i) {
+    if (out[i] != '\n') out[i] = ' ';
+  };
+  size_t i = 0;
+  const size_t n = raw.size();
+  while (i < n) {
+    char c = raw[i];
+    if (c == '/' && i + 1 < n && raw[i + 1] == '/') {
+      while (i < n && raw[i] != '\n') blank(i++);
+    } else if (c == '/' && i + 1 < n && raw[i + 1] == '*') {
+      blank(i++);
+      blank(i++);
+      while (i < n && !(raw[i] == '*' && i + 1 < n && raw[i + 1] == '/')) {
+        blank(i++);
+      }
+      if (i < n) {
+        blank(i++);
+        blank(i++);
+      }
+    } else if (c == '"' && i > 0 && raw[i - 1] == 'R') {
+      // Raw string R"delim( ... )delim". Blank everything between the
+      // parentheses; keep the outer quotes.
+      size_t open = raw.find('(', i + 1);
+      if (open == std::string::npos) break;
+      std::string delim = raw.substr(i + 1, open - i - 1);
+      std::string closer = ")" + delim + "\"";
+      size_t close = raw.find(closer, open + 1);
+      size_t end = close == std::string::npos ? n : close + closer.size();
+      for (size_t j = i + 1; j + 1 < end && j + 1 < n; ++j) blank(j);
+      i = end;
+    } else if (c == '"') {
+      ++i;
+      while (i < n && raw[i] != '"') {
+        if (raw[i] == '\\' && i + 1 < n) blank(i++);
+        blank(i++);
+      }
+      if (i < n) ++i;  // closing quote, kept
+    } else if (c == '\'' && (i == 0 || !IsIdentChar(raw[i - 1]))) {
+      ++i;
+      while (i < n && raw[i] != '\'') {
+        if (raw[i] == '\\' && i + 1 < n) blank(i++);
+        blank(i++);
+      }
+      if (i < n) ++i;
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+size_t SkipWhitespace(const std::string& code, size_t i) {
+  while (i < code.size() &&
+         std::isspace(static_cast<unsigned char>(code[i])) != 0) {
+    ++i;
+  }
+  return i;
+}
+
+size_t SkipIdentifier(const std::string& code, size_t i) {
+  while (i < code.size() && IsIdentChar(code[i])) ++i;
+  return i;
+}
+
+/// Occurrences of `ident` in blanked code at identifier boundaries.
+std::vector<size_t> FindIdentifier(const std::string& code,
+                                   const std::string& ident) {
+  std::vector<size_t> hits;
+  size_t pos = 0;
+  while ((pos = code.find(ident, pos)) != std::string::npos) {
+    bool left_ok = pos == 0 || !IsIdentChar(code[pos - 1]);
+    size_t end = pos + ident.size();
+    bool right_ok = end >= code.size() || !IsIdentChar(code[end]);
+    if (left_ok && right_ok) hits.push_back(pos);
+    pos = end;
+  }
+  return hits;
+}
+
+bool LineIsPreprocessor(const SourceFile& file, size_t offset) {
+  size_t start = file.line_starts[LineAt(file, offset) - 1];
+  start = SkipWhitespace(file.code, start);
+  return start < file.code.size() && file.code[start] == '#';
+}
+
+/// Reads the string literal whose opening quote sits at code[quote].
+/// Contents come from raw (code has them blanked). Returns the offset one
+/// past the closing quote via `end`.
+std::string ExtractLiteral(const SourceFile& file, size_t quote,
+                           size_t* end) {
+  size_t close = file.code.find('"', quote + 1);
+  if (close == std::string::npos) {
+    *end = file.code.size();
+    return "";
+  }
+  *end = close + 1;
+  return file.raw.substr(quote + 1, close - quote - 1);
+}
+
+bool EndsWith(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+void AddFinding(std::vector<LintFinding>* findings, const std::string& file,
+                int line, const std::string& rule,
+                const std::string& message) {
+  findings->push_back(LintFinding{file, line, rule, message});
+}
+
+// ---------------------------------------------------------------------------
+// Rule: raw-sync
+// ---------------------------------------------------------------------------
+
+void CheckRawSync(const SourceFile& file, std::vector<LintFinding>* findings) {
+  if (EndsWith(file.path, "common/sync.h")) return;
+  static const char* const kTypes[] = {
+      "std::mutex",          "std::shared_mutex",
+      "std::timed_mutex",    "std::recursive_mutex",
+      "std::shared_timed_mutex",
+      "std::lock_guard",     "std::unique_lock",
+      "std::shared_lock",    "std::scoped_lock",
+      "std::condition_variable", "std::condition_variable_any",
+      "std::call_once",      "std::once_flag",
+  };
+  for (const char* token : kTypes) {
+    for (size_t pos : FindIdentifier(file.code, token)) {
+      AddFinding(findings, file.path, LineAt(file, pos), "raw-sync",
+                 std::string(token) +
+                     " outside common/sync.h; use the annotated "
+                     "Mutex/SharedMutex/CondVar wrappers so the clang "
+                     "thread-safety gate sees the lock");
+    }
+  }
+  static const char* const kHeaders[] = {"<mutex>", "<shared_mutex>",
+                                         "<condition_variable>"};
+  for (const char* header : kHeaders) {
+    size_t pos = 0;
+    while ((pos = file.code.find(header, pos)) != std::string::npos) {
+      if (LineIsPreprocessor(file, pos)) {
+        AddFinding(findings, file.path, LineAt(file, pos), "raw-sync",
+                   std::string("#include ") + header +
+                       " outside common/sync.h; include common/sync.h "
+                       "instead");
+      }
+      pos += std::string(header).size();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: fault-site
+// ---------------------------------------------------------------------------
+
+struct FaultSiteUse {
+  std::string file;
+  int line = 0;
+};
+
+using FaultSiteUses = std::map<std::string, std::vector<FaultSiteUse>>;
+
+void CollectFaultSites(const SourceFile& file, FaultSiteUses* uses,
+                       std::vector<LintFinding>* findings) {
+  if (EndsWith(file.path, "common/fault_injection.h")) return;
+  static const char* const kMacros[] = {
+      "SITSTATS_FAULT_SITE", "SITSTATS_FAULT_CHECK", "SITSTATS_OOM_SITE"};
+  for (const char* macro : kMacros) {
+    const bool oom = std::string(macro) == "SITSTATS_OOM_SITE";
+    for (size_t pos : FindIdentifier(file.code, macro)) {
+      int line = LineAt(file, pos);
+      size_t i = SkipWhitespace(file.code, pos + std::string(macro).size());
+      if (i >= file.code.size() || file.code[i] != '(') continue;
+      i = SkipWhitespace(file.code, i + 1);
+      if (i >= file.code.size() || file.code[i] != '"') {
+        AddFinding(findings, file.path, line, "fault-site",
+                   std::string(macro) +
+                       " takes a non-literal site name; sites must be "
+                       "string literals so the inventory can enumerate "
+                       "them");
+        continue;
+      }
+      size_t end = 0;
+      std::string site = ExtractLiteral(file, i, &end);
+      const bool has_oom_prefix = site.rfind("oom.", 0) == 0;
+      if (oom && !has_oom_prefix) {
+        AddFinding(findings, file.path, line, "fault-site",
+                   "SITSTATS_OOM_SITE '" + site +
+                       "' must use the \"oom.\" site-name prefix");
+      } else if (!oom && has_oom_prefix) {
+        AddFinding(findings, file.path, line, "fault-site",
+                   std::string(macro) + " '" + site +
+                       "' uses the \"oom.\" prefix reserved for "
+                       "SITSTATS_OOM_SITE allocation sites");
+      }
+      (*uses)[site].push_back(FaultSiteUse{file.path, line});
+    }
+  }
+}
+
+struct InventoryEntry {
+  uint64_t count = 0;
+  int line = 0;
+};
+
+Result<std::map<std::string, InventoryEntry>> LoadInventory(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open fault-site inventory " + path);
+  }
+  std::map<std::string, InventoryEntry> inventory;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::istringstream fields(line);
+    std::string site;
+    uint64_t count = 0;
+    if (!(fields >> site)) continue;  // blank / comment-only line
+    if (!(fields >> count) || count == 0) {
+      return Status::InvalidArgument(
+          path + ":" + std::to_string(line_no) +
+          ": expected \"<site> <positive count>\", got: " + line);
+    }
+    if (!inventory.emplace(site, InventoryEntry{count, line_no}).second) {
+      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                     ": duplicate inventory entry " + site);
+    }
+  }
+  return inventory;
+}
+
+void CheckFaultSites(const FaultSiteUses& uses,
+                     const std::map<std::string, InventoryEntry>& inventory,
+                     const std::string& inventory_path, bool whole_tree,
+                     std::vector<LintFinding>* findings) {
+  for (const auto& [site, sites] : uses) {
+    const FaultSiteUse& first = sites.front();
+    auto it = inventory.find(site);
+    if (it == inventory.end()) {
+      AddFinding(findings, first.file, first.line, "fault-site",
+                 "fault site \"" + site +
+                     "\" is not registered in the inventory (" +
+                     inventory_path + ")");
+    } else if (sites.size() != it->second.count) {
+      AddFinding(findings, first.file, first.line, "fault-site",
+                 "fault site \"" + site + "\" has " +
+                     std::to_string(sites.size()) +
+                     " call sites but the inventory registers " +
+                     std::to_string(it->second.count) +
+                     "; update the inventory if the change is deliberate");
+    }
+  }
+  if (!whole_tree) return;  // partial scans cannot judge unused entries
+  for (const auto& [site, entry] : inventory) {
+    if (!uses.contains(site)) {
+      AddFinding(findings, inventory_path, entry.line, "fault-site",
+                 "registered fault site \"" + site +
+                     "\" has no call sites; remove it from the inventory");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: metric-name
+// ---------------------------------------------------------------------------
+
+struct MetricUse {
+  std::string kind;  // counter / gauge / histogram / window_histogram
+  std::string file;
+  int line = 0;
+};
+
+struct MetricNames {
+  std::map<std::string, std::vector<MetricUse>> by_name;  // full literals only
+};
+
+bool ValidMetricChars(const std::string& name, bool prefix) {
+  if (name.empty() || name.front() == '.') return false;
+  if (!prefix && name.back() == '.') return false;
+  if (name.find("..") != std::string::npos) return false;
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_' ||
+              c == '.';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::string SanitizeForExposition(const std::string& name) {
+  std::string out = "sitstats_";
+  for (char c : name) {
+    bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                (c >= '0' && c <= '9');
+    out += keep ? c : '_';
+  }
+  return out;
+}
+
+void CollectMetricNames(const SourceFile& file, MetricNames* names,
+                        std::vector<LintFinding>* findings) {
+  struct Registrar {
+    const char* ident;
+    const char* kind;      // empty => span-like, charset check only
+    bool var_name_allowed;  // `TraceSpan span("x")` declaration form
+  };
+  static const Registrar kRegistrars[] = {
+      {"GetCounter", "counter", false},
+      {"GetGauge", "gauge", false},
+      {"GetHistogram", "histogram", false},
+      {"GetWindowHistogram", "window_histogram", false},
+      {"TraceSpan", "", true},
+      {"SITSTATS_TRACE_SPAN", "", true},
+      {"RecordInstant", "", false},
+  };
+  for (const Registrar& reg : kRegistrars) {
+    for (size_t pos : FindIdentifier(file.code, reg.ident)) {
+      if (LineIsPreprocessor(file, pos)) continue;  // the macro definition
+      size_t i =
+          SkipWhitespace(file.code, pos + std::string(reg.ident).size());
+      if (reg.var_name_allowed && i < file.code.size() &&
+          IsIdentChar(file.code[i])) {
+        i = SkipWhitespace(file.code, SkipIdentifier(file.code, i));
+      }
+      if (i >= file.code.size() || file.code[i] != '(') continue;
+      i = SkipWhitespace(file.code, i + 1);
+      if (i >= file.code.size() || file.code[i] != '"') continue;  // dynamic
+      size_t end = 0;
+      std::string name = ExtractLiteral(file, i, &end);
+      int line = LineAt(file, i);
+      // A literal followed by '+' is a prefix with a runtime suffix:
+      // charset-check it (trailing '.' allowed) but keep it out of the
+      // collision maps — the full name is not statically known.
+      size_t after = SkipWhitespace(file.code, end);
+      bool is_prefix = after < file.code.size() && file.code[after] == '+';
+      if (!ValidMetricChars(name, is_prefix)) {
+        AddFinding(findings, file.path, line, "metric-name",
+                   "name \"" + name +
+                       "\" is not exposition-safe: use lowercase "
+                       "[a-z0-9_] segments joined by single dots");
+        continue;
+      }
+      if (reg.kind[0] != '\0' && !is_prefix) {
+        names->by_name[name].push_back(MetricUse{reg.kind, file.path, line});
+      }
+    }
+  }
+}
+
+void CheckMetricCollisions(const MetricNames& names,
+                           std::vector<LintFinding>* findings) {
+  std::map<std::string, std::pair<std::string, const MetricUse*>> sanitized;
+  for (const auto& [name, uses] : names.by_name) {
+    const MetricUse& first = uses.front();
+    for (const MetricUse& use : uses) {
+      if (use.kind != first.kind) {
+        AddFinding(findings, use.file, use.line, "metric-name",
+                   "metric \"" + name + "\" registered as both " +
+                       first.kind + " (" + first.file + ":" +
+                       std::to_string(first.line) + ") and " + use.kind);
+        break;
+      }
+    }
+    std::string flat = SanitizeForExposition(name);
+    auto [it, inserted] = sanitized.emplace(
+        flat, std::make_pair(name, &first));
+    if (!inserted && it->second.first != name) {
+      AddFinding(findings, first.file, first.line, "metric-name",
+                 "metric \"" + name + "\" collides with \"" +
+                     it->second.first + "\" (" + it->second.second->file +
+                     ":" + std::to_string(it->second.second->line) +
+                     ") after exposition sanitization: both become " + flat);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: unchecked-parse
+// ---------------------------------------------------------------------------
+
+void CheckUncheckedParse(const SourceFile& file,
+                         std::vector<LintFinding>* findings) {
+  struct Banned {
+    const char* ident;
+    const char* replacement;
+  };
+  static const Banned kBanned[] = {
+      {"atof", "ParseDouble"},
+      {"atoi", "ParseInt64"},
+      {"atol", "ParseInt64"},
+      {"atoll", "ParseInt64"},
+  };
+  for (const Banned& banned : kBanned) {
+    for (size_t pos : FindIdentifier(file.code, banned.ident)) {
+      size_t i =
+          SkipWhitespace(file.code, pos + std::string(banned.ident).size());
+      if (i >= file.code.size() || file.code[i] != '(') continue;
+      AddFinding(findings, file.path, LineAt(file, pos), "unchecked-parse",
+                 std::string(banned.ident) +
+                     " parses silently to 0 on garbage; use " +
+                     banned.replacement + " (common/string_util.h)");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: result-api
+// ---------------------------------------------------------------------------
+
+void CheckResultApi(const SourceFile& file,
+                    std::vector<LintFinding>* findings) {
+  // Any definition of a class/struct named Status or Result must be
+  // [[nodiscard]] — ignoring either drops an error on the floor.
+  static const char* const kKeywords[] = {"class", "struct"};
+  for (const char* keyword : kKeywords) {
+    for (size_t pos : FindIdentifier(file.code, keyword)) {
+      size_t i = SkipWhitespace(file.code, pos + std::string(keyword).size());
+      bool nodiscard = false;
+      if (file.code.compare(i, 2, "[[") == 0) {
+        size_t close = file.code.find("]]", i);
+        if (close == std::string::npos) continue;
+        nodiscard =
+            file.code.substr(i, close - i).find("nodiscard") !=
+            std::string::npos;
+        i = SkipWhitespace(file.code, close + 2);
+      }
+      size_t name_end = SkipIdentifier(file.code, i);
+      std::string name = file.code.substr(i, name_end - i);
+      if (name != "Status" && name != "Result") continue;
+      size_t after = SkipWhitespace(file.code, name_end);
+      // Definitions open with '{' or a base-clause ':'; forward
+      // declarations (';') and uses as template args are exempt.
+      if (after >= file.code.size() ||
+          (file.code[after] != '{' && file.code[after] != ':')) {
+        continue;
+      }
+      if (!nodiscard) {
+        AddFinding(findings, file.path, LineAt(file, pos), "result-api",
+                   name +
+                       " definition must be [[nodiscard]] so callers "
+                       "cannot silently drop an error");
+      }
+    }
+  }
+  // Result must not grow an unchecked value() accessor: ValueOrDie is the
+  // only extraction path, and it aborts loudly instead of returning
+  // indeterminate garbage.
+  if (EndsWith(file.path, "common/result.h")) {
+    for (size_t pos : FindIdentifier(file.code, "value")) {
+      size_t i = SkipWhitespace(file.code, pos + 5);
+      if (i < file.code.size() && file.code[i] == '(') {
+        AddFinding(findings, file.path, LineAt(file, pos), "result-api",
+                   "Result must not expose an unchecked value() accessor; "
+                   "use ValueOrDie() after checking ok()");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+bool ShouldSkipDirectory(const std::string& name) {
+  // Both hold deliberate violations: lint goldens and the thread-safety
+  // negative compile test.
+  return name == "lint_fixtures" || name == "static_analysis";
+}
+
+bool IsSourceFile(const fs::path& path) {
+  std::string ext = path.extension().string();
+  return ext == ".cc" || ext == ".h" || ext == ".cpp" || ext == ".hpp";
+}
+
+Result<SourceFile> LoadFile(const std::string& display_path,
+                            const fs::path& disk_path) {
+  std::ifstream in(disk_path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + disk_path.string());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  SourceFile file;
+  file.path = display_path;
+  file.raw = buffer.str();
+  file.code = BlankCommentsAndStrings(file.raw);
+  file.line_starts.push_back(0);
+  for (size_t i = 0; i < file.raw.size(); ++i) {
+    if (file.raw[i] == '\n') file.line_starts.push_back(i + 1);
+  }
+  return file;
+}
+
+Result<std::vector<SourceFile>> CollectFiles(const LintOptions& options) {
+  std::vector<SourceFile> files;
+  if (!options.files.empty()) {
+    for (const std::string& path : options.files) {
+      SITSTATS_ASSIGN_OR_RETURN(SourceFile file,
+                                LoadFile(path, fs::path(path)));
+      files.push_back(std::move(file));
+    }
+    return files;
+  }
+  fs::path root(options.root);
+  if (!fs::is_directory(root)) {
+    return Status::NotFound("lint root is not a directory: " + options.root);
+  }
+  static const char* const kTrees[] = {"src", "tools", "tests", "bench",
+                                       "examples"};
+  std::vector<std::pair<std::string, fs::path>> found;
+  for (const char* tree : kTrees) {
+    fs::path base = root / tree;
+    if (!fs::is_directory(base)) continue;
+    fs::recursive_directory_iterator it(base), end;
+    for (; it != end; ++it) {
+      if (it->is_directory()) {
+        if (ShouldSkipDirectory(it->path().filename().string())) {
+          it.disable_recursion_pending();
+        }
+        continue;
+      }
+      if (!it->is_regular_file() || !IsSourceFile(it->path())) continue;
+      found.emplace_back(fs::relative(it->path(), root).generic_string(),
+                         it->path());
+    }
+  }
+  std::sort(found.begin(), found.end());
+  for (const auto& [display, disk] : found) {
+    SITSTATS_ASSIGN_OR_RETURN(SourceFile file, LoadFile(display, disk));
+    files.push_back(std::move(file));
+  }
+  return files;
+}
+
+std::string InventoryPath(const LintOptions& options) {
+  if (!options.inventory_path.empty()) return options.inventory_path;
+  return (fs::path(options.root) / "src/common/fault_sites.inventory")
+      .generic_string();
+}
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<LintFinding>> RunLint(const LintOptions& options) {
+  SITSTATS_ASSIGN_OR_RETURN(std::vector<SourceFile> files,
+                            CollectFiles(options));
+  const std::string inventory_path = InventoryPath(options);
+  SITSTATS_ASSIGN_OR_RETURN(auto inventory, LoadInventory(inventory_path));
+
+  std::vector<LintFinding> findings;
+  FaultSiteUses fault_sites;
+  MetricNames metric_names;
+  for (const SourceFile& file : files) {
+    CheckRawSync(file, &findings);
+    CollectFaultSites(file, &fault_sites, &findings);
+    CollectMetricNames(file, &metric_names, &findings);
+    CheckUncheckedParse(file, &findings);
+    CheckResultApi(file, &findings);
+  }
+  CheckFaultSites(fault_sites, inventory, inventory_path,
+                  /*whole_tree=*/options.files.empty(), &findings);
+  CheckMetricCollisions(metric_names, &findings);
+
+  std::sort(findings.begin(), findings.end(),
+            [](const LintFinding& a, const LintFinding& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+  return findings;
+}
+
+std::string RenderFindingsText(const std::vector<LintFinding>& findings) {
+  std::ostringstream out;
+  for (const LintFinding& f : findings) {
+    out << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message
+        << "\n";
+  }
+  return out.str();
+}
+
+std::string RenderFindingsJson(const std::vector<LintFinding>& findings) {
+  std::ostringstream out;
+  for (const LintFinding& f : findings) {
+    out << "{\"file\":\"" << JsonEscape(f.file) << "\",\"line\":" << f.line
+        << ",\"rule\":\"" << JsonEscape(f.rule) << "\",\"message\":\""
+        << JsonEscape(f.message) << "\"}\n";
+  }
+  return out.str();
+}
+
+Result<std::string> RenderObservedInventory(const LintOptions& options) {
+  SITSTATS_ASSIGN_OR_RETURN(std::vector<SourceFile> files,
+                            CollectFiles(options));
+  FaultSiteUses fault_sites;
+  std::vector<LintFinding> ignored;
+  for (const SourceFile& file : files) {
+    CollectFaultSites(file, &fault_sites, &ignored);
+  }
+  std::ostringstream out;
+  out << "# Fault-site inventory: every SITSTATS_FAULT_SITE /\n"
+         "# SITSTATS_FAULT_CHECK / SITSTATS_OOM_SITE literal with its exact\n"
+         "# call-site count. tools/sitstats_lint checks the tree against\n"
+         "# this file; regenerate with: sitstats_lint --write-inventory\n";
+  for (const auto& [site, uses] : fault_sites) {
+    out << site << " " << uses.size() << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace sitstats

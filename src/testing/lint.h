@@ -1,0 +1,72 @@
+#ifndef SITSTATS_TESTING_LINT_H_
+#define SITSTATS_TESTING_LINT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace sitstats {
+
+/// One repo-invariant violation found by the lint.
+struct LintFinding {
+  std::string file;  // path as scanned (relative to root in tree mode)
+  int line = 0;      // 1-based
+  std::string rule;  // stable rule id, e.g. "raw-sync"
+  std::string message;
+};
+
+struct LintOptions {
+  /// Repo root. Tree mode walks src/, tools/, tests/, bench/, examples/
+  /// under it (skipping tests/lint_fixtures and tests/static_analysis,
+  /// which hold deliberate violations).
+  std::string root = ".";
+  /// Explicit files to scan instead of walking the tree (fixture tests).
+  /// Checks that need the whole tree (unused inventory entries) are
+  /// skipped in this mode.
+  std::vector<std::string> files;
+  /// Fault-site inventory; default <root>/src/common/fault_sites.inventory.
+  std::string inventory_path;
+};
+
+/// Runs every lint rule over the tree (or the explicit file list) and
+/// returns the findings, sorted by (file, line, rule). An empty vector
+/// means the tree is clean. Errors (unreadable root, missing inventory in
+/// tree mode) surface as a Status, not as findings.
+///
+/// Rules — project invariants the compiler cannot check:
+///
+///   raw-sync          std::mutex / lock_guard / condition_variable and
+///                     friends outside common/sync.h (the annotated
+///                     wrappers are the only lockable types allowed, so
+///                     the clang thread-safety gate sees every lock).
+///   fault-site        SITSTATS_FAULT_SITE / _CHECK / _OOM_SITE string
+///                     literals must be registered in the fault-site
+///                     inventory with their exact call-site count —
+///                     renaming, adding, or duplicating a site forces an
+///                     inventory diff a reviewer sees.
+///   metric-name       metric/span name literals must survive Prometheus
+///                     exposition (lowercase [a-z0-9_.]); one name may
+///                     not be registered as two metric kinds, and two
+///                     names may not collide after sanitization.
+///   unchecked-parse   atof/atoi/atol/atoll (silent-zero parses); use the
+///                     checked ParseInt64/ParseDouble instead.
+///   result-api        Status/Result class definitions must stay
+///                     [[nodiscard]], and Result must not grow an
+///                     unchecked .value() accessor.
+Result<std::vector<LintFinding>> RunLint(const LintOptions& options);
+
+/// "file:line: [rule] message" lines, one per finding.
+std::string RenderFindingsText(const std::vector<LintFinding>& findings);
+
+/// One JSON object per line: {"file":...,"line":N,"rule":...,
+/// "message":...} — the machine-readable format the CI gate consumes.
+std::string RenderFindingsJson(const std::vector<LintFinding>& findings);
+
+/// Renders the observed fault-site usage of the scanned tree in inventory
+/// format (sorted "site count" lines) — what --write-inventory emits.
+Result<std::string> RenderObservedInventory(const LintOptions& options);
+
+}  // namespace sitstats
+
+#endif  // SITSTATS_TESTING_LINT_H_

@@ -1,0 +1,23 @@
+// Lint golden fixture: metric-name hygiene violations. Never compiled;
+// tests/lint_test.cc asserts the charset, kind-collision, and
+// sanitized-collision findings below.
+
+#include "telemetry/metrics.h"
+
+namespace fixture {
+
+void Register(sitstats::telemetry::MetricsRegistry& registry) {
+  // Uppercase segments do not survive Prometheus exposition casing rules.
+  registry.GetCounter("Server.Errors");
+
+  // One name registered as two metric kinds.
+  registry.GetCounter("fixture.requests");
+  registry.GetHistogram("fixture.requests");
+
+  // Distinct names that sanitize to the same exposition name
+  // (sitstats_fixture_queue_depth).
+  registry.GetGauge("fixture.queue.depth");
+  registry.GetGauge("fixture.queue_depth");
+}
+
+}  // namespace fixture

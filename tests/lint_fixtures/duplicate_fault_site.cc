@@ -1,0 +1,31 @@
+// Lint golden fixture: fault-site inventory violations. Never compiled;
+// tests/lint_test.cc feeds it to the lint (against the real inventory)
+// and asserts the expected fault-site findings.
+
+#include "common/fault_injection.h"
+#include "common/status.h"
+
+namespace fixture {
+
+sitstats::Status DuplicateRegisteredSite() {
+  // "storage.scan.open" is registered with count 1; this file alone uses
+  // it twice, so a scan of just this file reports a count mismatch.
+  SITSTATS_FAULT_SITE("storage.scan.open");
+  SITSTATS_FAULT_SITE("storage.scan.open");
+  return sitstats::Status::OK();
+}
+
+sitstats::Status UnregisteredSite() {
+  SITSTATS_FAULT_SITE("fixture.not_in_inventory");
+  return sitstats::Status::OK();
+}
+
+sitstats::Status WrongPrefixes() {
+  // "oom." is reserved for SITSTATS_OOM_SITE, and SITSTATS_OOM_SITE must
+  // use it — both directions are violations.
+  SITSTATS_FAULT_SITE("oom.claimed_by_plain_site");
+  SITSTATS_OOM_SITE("fixture.missing_oom_prefix", 4096);
+  return sitstats::Status::OK();
+}
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Lint golden fixture: raw standard-library sync primitives outside
+// common/sync.h. Never compiled (the test glob is non-recursive) and
+// excluded from the default lint walk; tests/lint_test.cc feeds it to the
+// lint explicitly and asserts every line below is flagged as raw-sync.
+
+#include <mutex>               // line 6: banned include
+#include <condition_variable>  // line 7: banned include
+
+namespace fixture {
+
+std::mutex g_mu;                 // line 11: banned type
+std::condition_variable g_cv;    // line 12: banned type
+
+int Locked(int x) {
+  std::lock_guard<std::mutex> lock(g_mu);  // line 15: banned guard + type
+  return x + 1;
+}
+
+}  // namespace fixture

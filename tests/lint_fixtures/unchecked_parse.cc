@@ -1,0 +1,13 @@
+// Lint golden fixture: silent-zero parses. Never compiled;
+// tests/lint_test.cc asserts both calls below are flagged as
+// unchecked-parse.
+
+#include <cstdlib>
+
+namespace fixture {
+
+double ParsePrice(const char* text) { return std::atof(text); }
+
+int ParseCount(const char* text) { return atoi(text); }
+
+}  // namespace fixture

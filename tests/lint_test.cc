@@ -1,0 +1,155 @@
+#include "testing/lint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace sitstats {
+namespace {
+
+std::string Fixture(const std::string& name) {
+  return std::string(SITSTATS_SOURCE_DIR) + "/tests/lint_fixtures/" + name;
+}
+
+LintOptions TreeOptions() {
+  LintOptions options;
+  options.root = SITSTATS_SOURCE_DIR;
+  return options;
+}
+
+LintOptions FixtureOptions(const std::vector<std::string>& names) {
+  LintOptions options = TreeOptions();
+  for (const std::string& name : names) options.files.push_back(Fixture(name));
+  return options;
+}
+
+std::vector<LintFinding> MustLint(const LintOptions& options) {
+  Result<std::vector<LintFinding>> findings = RunLint(options);
+  EXPECT_TRUE(findings.ok()) << findings.status().ToString();
+  if (!findings.ok()) return {};
+  return findings.ValueOrDie();
+}
+
+int CountRule(const std::vector<LintFinding>& findings,
+              const std::string& rule) {
+  return static_cast<int>(
+      std::count_if(findings.begin(), findings.end(),
+                    [&](const LintFinding& f) { return f.rule == rule; }));
+}
+
+bool HasFinding(const std::vector<LintFinding>& findings,
+                const std::string& rule, const std::string& message_part) {
+  return std::any_of(findings.begin(), findings.end(),
+                     [&](const LintFinding& f) {
+                       return f.rule == rule &&
+                              f.message.find(message_part) !=
+                                  std::string::npos;
+                     });
+}
+
+// The committed tree must be clean — this is the same invariant the CI
+// lint gate enforces, run as a unit test so a violation fails locally too.
+TEST(LintTest, CommittedTreeIsClean) {
+  std::vector<LintFinding> findings = MustLint(TreeOptions());
+  EXPECT_TRUE(findings.empty()) << RenderFindingsText(findings);
+}
+
+TEST(LintTest, RawMutexFixtureFlagsEveryPrimitive) {
+  std::vector<LintFinding> findings =
+      MustLint(FixtureOptions({"raw_mutex.cc"}));
+  EXPECT_EQ(CountRule(findings, "raw-sync"), 6)
+      << RenderFindingsText(findings);
+  EXPECT_TRUE(HasFinding(findings, "raw-sync", "#include <mutex>"));
+  EXPECT_TRUE(HasFinding(findings, "raw-sync", "std::condition_variable "));
+  EXPECT_TRUE(HasFinding(findings, "raw-sync", "std::lock_guard"));
+  // std::mutex on line 11 of the fixture.
+  auto it = std::find_if(findings.begin(), findings.end(),
+                         [](const LintFinding& f) {
+                           return f.message.find("std::mutex ") == 0;
+                         });
+  ASSERT_NE(it, findings.end());
+  EXPECT_EQ(it->line, 11);
+}
+
+TEST(LintTest, DuplicateFaultSiteFixtureFlagsInventoryViolations) {
+  std::vector<LintFinding> findings =
+      MustLint(FixtureOptions({"duplicate_fault_site.cc"}));
+  EXPECT_TRUE(HasFinding(findings, "fault-site",
+                         "\"storage.scan.open\" has 2 call sites but the "
+                         "inventory registers 1"))
+      << RenderFindingsText(findings);
+  EXPECT_TRUE(HasFinding(findings, "fault-site",
+                         "\"fixture.not_in_inventory\" is not registered"));
+  EXPECT_TRUE(HasFinding(findings, "fault-site",
+                         "reserved for SITSTATS_OOM_SITE"));
+  EXPECT_TRUE(HasFinding(findings, "fault-site",
+                         "must use the \"oom.\" site-name prefix"));
+}
+
+TEST(LintTest, UncheckedParseFixtureFlagsAtofFamily) {
+  std::vector<LintFinding> findings =
+      MustLint(FixtureOptions({"unchecked_parse.cc"}));
+  EXPECT_EQ(CountRule(findings, "unchecked-parse"), 2)
+      << RenderFindingsText(findings);
+  EXPECT_TRUE(HasFinding(findings, "unchecked-parse", "ParseDouble"));
+  EXPECT_TRUE(HasFinding(findings, "unchecked-parse", "ParseInt64"));
+}
+
+TEST(LintTest, BadMetricNameFixtureFlagsHygieneViolations) {
+  std::vector<LintFinding> findings =
+      MustLint(FixtureOptions({"bad_metric_name.cc"}));
+  EXPECT_TRUE(HasFinding(findings, "metric-name",
+                         "\"Server.Errors\" is not exposition-safe"))
+      << RenderFindingsText(findings);
+  EXPECT_TRUE(HasFinding(findings, "metric-name",
+                         "registered as both counter"));
+  EXPECT_TRUE(HasFinding(findings, "metric-name",
+                         "after exposition sanitization"));
+}
+
+// Partial scans must not report inventory entries the scanned files do not
+// use — otherwise every fixture run would drown in false positives.
+TEST(LintTest, PartialScanSkipsUnusedInventoryEntries) {
+  std::vector<LintFinding> findings =
+      MustLint(FixtureOptions({"unchecked_parse.cc"}));
+  EXPECT_FALSE(HasFinding(findings, "fault-site", "has no call sites"))
+      << RenderFindingsText(findings);
+}
+
+TEST(LintTest, RendersTextAndJson) {
+  std::vector<LintFinding> findings = {
+      {"src/a.cc", 7, "raw-sync", "std::mutex \"quoted\""}};
+  EXPECT_EQ(RenderFindingsText(findings),
+            "src/a.cc:7: [raw-sync] std::mutex \"quoted\"\n");
+  EXPECT_EQ(RenderFindingsJson(findings),
+            "{\"file\":\"src/a.cc\",\"line\":7,\"rule\":\"raw-sync\","
+            "\"message\":\"std::mutex \\\"quoted\\\"\"}\n");
+}
+
+// The committed inventory must be exactly what --write-inventory would
+// emit: sites and counts in sync, no manual drift.
+TEST(LintTest, CommittedInventoryMatchesObservedTree) {
+  Result<std::string> observed = RenderObservedInventory(TreeOptions());
+  ASSERT_TRUE(observed.ok()) << observed.status().ToString();
+  std::ifstream committed(std::string(SITSTATS_SOURCE_DIR) +
+                          "/src/common/fault_sites.inventory");
+  ASSERT_TRUE(committed.good());
+  std::ostringstream buffer;
+  buffer << committed.rdbuf();
+  EXPECT_EQ(observed.ValueOrDie(), buffer.str());
+}
+
+TEST(LintTest, MissingInventoryIsAnErrorNotAFinding) {
+  LintOptions options = FixtureOptions({"unchecked_parse.cc"});
+  options.inventory_path = Fixture("no_such_inventory");
+  Result<std::vector<LintFinding>> findings = RunLint(options);
+  EXPECT_FALSE(findings.ok());
+  EXPECT_EQ(findings.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace sitstats

@@ -1,0 +1,50 @@
+// Negative compile fixture for the clang thread-safety gate.
+//
+// NEVER part of any build target (the test glob is non-recursive and the
+// directory is excluded from the lint walk and clang-tidy).
+// tools/run_thread_safety.sh compiles this file twice to prove the gate
+// has teeth:
+//
+//   with    -Wthread-safety -Werror=thread-safety  -> MUST fail
+//   with    -Wthread-safety (warnings only)        -> MUST compile
+//
+// Each function below violates the concurrency contract in a distinct
+// way the analysis is expected to catch.
+
+#include "common/sync.h"
+
+namespace sitstats {
+
+class Account {
+ public:
+  // Unguarded write to a GUARDED_BY field: warning/error
+  // "writing variable 'balance_' requires holding mutex 'mu_'".
+  void UnguardedDeposit(int amount) { balance_ += amount; }
+
+  // Correctly guarded — present so the fixture is a realistic class, not
+  // just a pile of violations.
+  void Deposit(int amount) {
+    MutexLock lock(mu_);
+    balance_ += amount;
+  }
+
+  int UnguardedRead() const { return balance_; }
+
+  void AdjustLocked(int amount) REQUIRES(mu_) { balance_ += amount; }
+
+  // Calling a REQUIRES function without the lock held.
+  void CallWithoutLock() { AdjustLocked(1); }
+
+  // Double acquisition of a non-reentrant capability.
+  void DoubleLock() {
+    MutexLock outer(mu_);
+    MutexLock inner(mu_);  // analysis: acquiring mutex already held
+    balance_ = 0;
+  }
+
+ private:
+  mutable Mutex mu_;
+  int balance_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace sitstats

@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/string_util.h"
 #include "telemetry/exposition.h"
 #include "telemetry/sliding_window.h"
 
@@ -332,7 +333,9 @@ class MiniJsonParser {
       ++pos_;
     }
     if (pos_ == start) return false;
-    out->number = std::atof(text_.substr(start, pos_ - start).c_str());
+    Result<double> parsed = ParseDouble(text_.substr(start, pos_ - start));
+    if (!parsed.ok()) return false;
+    out->number = parsed.ValueOrDie();
     return true;
   }
 

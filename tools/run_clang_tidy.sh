@@ -46,7 +46,12 @@ if [[ ! -f "${BUILD_DIR}/compile_commands.json" ]]; then
     -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
 fi
 
+# lint_fixtures/ and static_analysis/ hold deliberate violations for the
+# sitstats_lint goldens and the thread-safety negative compile check; they
+# are not part of any build target.
 mapfile -t SOURCES < <(find src tools tests bench examples -name '*.cc' \
+                         -not -path '*/lint_fixtures/*' \
+                         -not -path '*/static_analysis/*' \
                          | sort)
 echo "run_clang_tidy: ${TIDY} over ${#SOURCES[@]} files" \
      "(${BUILD_DIR}/compile_commands.json)" >&2

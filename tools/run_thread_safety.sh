@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Clang thread-safety gate: builds the whole tree with
+#   -Wthread-safety -Werror=thread-safety
+# (the SITSTATS_THREAD_SAFETY CMake option), proving every GUARDED_BY /
+# REQUIRES / SCOPED_CAPABILITY annotation in src/common/sync.h and its
+# users holds at compile time. Then proves the gate has teeth: the
+# committed negative fixture tests/static_analysis/thread_safety_negative.cc
+# must FAIL under the error flags and compile under warnings-only.
+#
+# Usage:
+#   tools/run_thread_safety.sh [build-dir]
+#
+# The build dir defaults to build-thread-safety. When clang++ is not
+# installed the script skips with exit 0 — the container toolchain is
+# gcc-only; the thread-safety CI job installs clang.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+CXX="${CLANGXX:-}"
+if [[ -z "${CXX}" ]]; then
+  for candidate in clang++ clang++-19 clang++-18 clang++-17 clang++-16 \
+                   clang++-15; do
+    if command -v "${candidate}" > /dev/null 2>&1; then
+      CXX="${candidate}"
+      break
+    fi
+  done
+fi
+if [[ -z "${CXX}" ]]; then
+  echo "run_thread_safety: clang++ not found; skipping (install it or set" \
+       "CLANGXX=...)" >&2
+  exit 0
+fi
+
+BUILD_DIR="${1:-build-thread-safety}"
+
+echo "run_thread_safety: building tree with ${CXX}" \
+     "-Wthread-safety -Werror=thread-safety (${BUILD_DIR})" >&2
+cmake -B "${BUILD_DIR}" -S . -DCMAKE_CXX_COMPILER="${CXX}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSITSTATS_THREAD_SAFETY=ON > /dev/null
+cmake --build "${BUILD_DIR}" -j"$(nproc 2> /dev/null || echo 2)"
+
+NEGATIVE="tests/static_analysis/thread_safety_negative.cc"
+NEG_FLAGS=(-std=c++20 -Isrc -fsyntax-only)
+
+echo "run_thread_safety: negative check: ${NEGATIVE} must fail under" \
+     "-Werror=thread-safety" >&2
+if "${CXX}" "${NEG_FLAGS[@]}" -Wthread-safety -Werror=thread-safety \
+     "${NEGATIVE}" 2> /dev/null; then
+  echo "run_thread_safety: FAIL — the negative fixture compiled cleanly;" \
+       "the analysis is not catching violations" >&2
+  exit 1
+fi
+if ! "${CXX}" "${NEG_FLAGS[@]}" -Wthread-safety "${NEGATIVE}"; then
+  echo "run_thread_safety: FAIL — the negative fixture must be valid C++" \
+       "(only the thread-safety analysis may reject it)" >&2
+  exit 1
+fi
+
+echo "run_thread_safety: clean (tree compiles, negative fixture rejected)" >&2

@@ -1,0 +1,91 @@
+// sitstats_lint — repo-invariant lint over the source tree.
+//
+//   sitstats_lint [--root DIR] [--inventory FILE] [--json]
+//                 [--write-inventory] [FILE...]
+//
+// Enforces project invariants the compiler cannot (see testing/lint.h):
+// no raw std:: sync primitives outside common/sync.h, fault-site literals
+// matching src/common/fault_sites.inventory exactly, metric/span name
+// hygiene, no atof-family parses, and the Status/Result [[nodiscard]]
+// contract. Plain C++ with no clang dependency — the companion clang
+// thread-safety gate is tools/run_thread_safety.sh.
+//
+//   --root DIR         repo root to walk (default .)
+//   --inventory FILE   fault-site inventory (default
+//                      <root>/src/common/fault_sites.inventory)
+//   --json             machine-readable findings, one JSON object per line
+//   --write-inventory  print the observed fault-site inventory to stdout
+//                      (redirect over the inventory file after a
+//                      deliberate site change) and exit 0
+//   FILE...            lint only these files (fixture/golden runs; the
+//                      unused-inventory-entry check is skipped)
+//
+// Exits 0 on a clean tree, 1 with findings, 2 on usage or I/O errors.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "testing/lint.h"
+
+namespace sitstats {
+namespace {
+
+int Main(int argc, char** argv) {
+  LintOptions options;
+  bool json = false;
+  bool write_inventory = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--root") == 0 && i + 1 < argc) {
+      options.root = argv[++i];
+    } else if (std::strcmp(arg, "--inventory") == 0 && i + 1 < argc) {
+      options.inventory_path = argv[++i];
+    } else if (std::strcmp(arg, "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(arg, "--write-inventory") == 0) {
+      write_inventory = true;
+    } else if (arg[0] == '-') {
+      std::fprintf(stderr,
+                   "sitstats_lint: unknown flag %s\n"
+                   "usage: sitstats_lint [--root DIR] [--inventory FILE] "
+                   "[--json] [--write-inventory] [FILE...]\n",
+                   arg);
+      return 2;
+    } else {
+      options.files.push_back(arg);
+    }
+  }
+
+  if (write_inventory) {
+    Result<std::string> inventory = RenderObservedInventory(options);
+    if (!inventory.ok()) {
+      std::fprintf(stderr, "sitstats_lint: %s\n",
+                   inventory.status().ToString().c_str());
+      return 2;
+    }
+    std::fputs(inventory.ValueOrDie().c_str(), stdout);
+    return 0;
+  }
+
+  Result<std::vector<LintFinding>> findings = RunLint(options);
+  if (!findings.ok()) {
+    std::fprintf(stderr, "sitstats_lint: %s\n",
+                 findings.status().ToString().c_str());
+    return 2;
+  }
+  const std::vector<LintFinding>& list = findings.ValueOrDie();
+  std::string rendered =
+      json ? RenderFindingsJson(list) : RenderFindingsText(list);
+  std::fputs(rendered.c_str(), stdout);
+  if (!list.empty()) {
+    std::fprintf(stderr, "sitstats_lint: %zu finding(s)\n", list.size());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace sitstats
+
+int main(int argc, char** argv) { return sitstats::Main(argc, argv); }
