@@ -1,0 +1,197 @@
+// Rows/sec of the storage scan pipelines over a TPC-H-lite catalog,
+// comparing the CSV import path against the binary colfile path:
+//
+//   csv_load      parse the CSV catalog from disk (LoadCatalogCsv)
+//   binary_load   map the colfile catalog from disk (LoadCatalogBinary)
+//   scan_row      row-at-a-time SequentialScan::Next over the mapped catalog
+//   scan_batch    batched SequentialScan::NextBatch over the mapped catalog
+//   end_to_end    load + full lineitem scan, CSV/row vs binary/batch
+//
+// The acceptance bar for the binary format is end_to_end speedup >= 3x.
+// Each phase runs `kReps` times and reports the best run (cold-cache noise
+// only ever slows a run down, so min is the honest estimate).
+//
+// With SITSTATS_BENCH_JSON_DIR set, writes scan_throughput.json alongside
+// the fig* results (see bench_json.h).
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "common/logging.h"
+#include "datagen/tpch_lite.h"
+#include "storage/scan.h"
+#include "storage/table_io.h"
+
+namespace sitstats {
+namespace {
+
+constexpr int kReps = 3;
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+size_t CatalogRows(const Catalog& catalog) {
+  size_t rows = 0;
+  for (const std::string& name : catalog.TableNames()) {
+    rows += catalog.GetTable(name).ValueOrDie()->num_rows();
+  }
+  return rows;
+}
+
+/// Best-of-kReps wall time of `fn`, which must return a checksum-ish
+/// double so the work cannot be optimized away.
+template <typename Fn>
+double BestSeconds(Fn&& fn, double* sink) {
+  double best = 1e300;
+  for (int rep = 0; rep < kReps; ++rep) {
+    double start = Now();
+    *sink += fn();
+    best = std::min(best, Now() - start);
+  }
+  return best;
+}
+
+struct Pipeline {
+  const char* name;
+  size_t rows;
+  double seconds;
+};
+
+void Report(BenchJsonWriter* json, const Pipeline& p) {
+  double rate = static_cast<double>(p.rows) / p.seconds;
+  std::printf("%-22s %10zu rows  %8.4f s  %12.0f rows/s\n", p.name, p.rows,
+              p.seconds, rate);
+  json->BeginRow();
+  json->Add("pipeline", std::string(p.name));
+  json->Add("rows", static_cast<double>(p.rows));
+  json->Add("seconds", p.seconds);
+  json->Add("rows_per_sec", rate);
+}
+
+double ScanRowAtATime(Catalog* catalog) {
+  SequentialScan scan =
+      SequentialScan::Open(catalog, "lineitem",
+                           {"l_quantity", "l_extendedprice"})
+          .ValueOrDie();
+  double sum = 0.0;
+  while (scan.Next()) sum += scan.value(0) + scan.value(1);
+  return sum;
+}
+
+double ScanBatched(Catalog* catalog) {
+  SequentialScan scan =
+      SequentialScan::Open(catalog, "lineitem",
+                           {"l_quantity", "l_extendedprice"})
+          .ValueOrDie();
+  double sum = 0.0;
+  ScanBatch batch;
+  while (scan.NextBatch(&batch)) {
+    std::span<const double> q = batch.column(0);
+    std::span<const double> p = batch.column(1);
+    for (size_t r = 0; r < batch.num_rows; ++r) sum += q[r] + p[r];
+  }
+  return sum;
+}
+
+}  // namespace
+}  // namespace sitstats
+
+int main() {
+  using namespace sitstats;  // NOLINT
+
+  std::string csv_dir =
+      "/tmp/sitstats_bench_scan_csv_" + std::to_string(::getpid());
+  std::string bin_dir =
+      "/tmp/sitstats_bench_scan_bin_" + std::to_string(::getpid());
+  SITSTATS_CHECK(
+      std::system(("mkdir -p " + csv_dir + " " + bin_dir).c_str()) == 0);
+
+  TpchLiteSpec spec;
+  spec.num_customers = 20'000;
+  spec.num_orders = 120'000;
+  std::unique_ptr<Catalog> catalog = MakeTpchLiteDatabase(spec).ValueOrDie();
+  SITSTATS_CHECK_OK(SaveCatalogCsv(*catalog, csv_dir));
+  SITSTATS_CHECK_OK(SaveCatalogBinary(*catalog, bin_dir));
+  const size_t total_rows = CatalogRows(*catalog);
+  const size_t lineitem_rows =
+      catalog->GetTable("lineitem").ValueOrDie()->num_rows();
+  std::printf("=== Scan throughput: CSV vs binary colfiles ===\n");
+  std::printf("catalog: %zu rows total, lineitem: %zu rows\n\n", total_rows,
+              lineitem_rows);
+
+  BenchJsonWriter json("scan_throughput");
+  double sink = 0.0;
+
+  Pipeline csv_load{"csv_load", total_rows,
+                    BestSeconds(
+                        [&] {
+                          auto c = LoadCatalogCsv(csv_dir).ValueOrDie();
+                          return static_cast<double>(CatalogRows(*c));
+                        },
+                        &sink)};
+  Report(&json, csv_load);
+
+  Pipeline binary_load{"binary_load", total_rows,
+                       BestSeconds(
+                           [&] {
+                             auto c = LoadCatalogBinary(bin_dir).ValueOrDie();
+                             return static_cast<double>(CatalogRows(*c));
+                           },
+                           &sink)};
+  Report(&json, binary_load);
+
+  std::unique_ptr<Catalog> mapped = LoadCatalogBinary(bin_dir).ValueOrDie();
+  Pipeline scan_row{"scan_row", lineitem_rows,
+                    BestSeconds([&] { return ScanRowAtATime(mapped.get()); },
+                                &sink)};
+  Report(&json, scan_row);
+
+  Pipeline scan_batch{"scan_batch", lineitem_rows,
+                      BestSeconds([&] { return ScanBatched(mapped.get()); },
+                                  &sink)};
+  Report(&json, scan_batch);
+
+  Pipeline csv_end_to_end{"csv_end_to_end (load+scan)", lineitem_rows,
+                          BestSeconds(
+                              [&] {
+                                auto c =
+                                    LoadCatalogCsv(csv_dir).ValueOrDie();
+                                return ScanRowAtATime(c.get());
+                              },
+                              &sink)};
+  Report(&json, csv_end_to_end);
+
+  Pipeline bin_end_to_end{"binary_end_to_end (load+scan)", lineitem_rows,
+                          BestSeconds(
+                              [&] {
+                                auto c =
+                                    LoadCatalogBinary(bin_dir).ValueOrDie();
+                                return ScanBatched(c.get());
+                              },
+                              &sink)};
+  Report(&json, bin_end_to_end);
+
+  double speedup = csv_end_to_end.seconds / bin_end_to_end.seconds;
+  std::printf("\nend-to-end speedup (binary/batch vs csv/row): %.1fx\n",
+              speedup);
+  json.BeginRow();
+  json.Add("pipeline", std::string("speedup"));
+  json.Add("end_to_end_speedup", speedup);
+
+  (void)std::system(("rm -rf " + csv_dir + " " + bin_dir).c_str());
+  if (sink == 42.0) std::printf("%f\n", sink);  // defeat dead-code elim
+  if (speedup < 3.0) {
+    std::fprintf(stderr,
+                 "FAIL: end-to-end speedup %.2fx below the 3x bar\n",
+                 speedup);
+    return 1;
+  }
+  return 0;
+}

@@ -10,8 +10,18 @@ namespace sitstats {
 /// Row-level Bernoulli sampling: each element of `values` is kept
 /// independently with probability `rate`. Used to build approximate
 /// base-table histograms (the "sampling assumption" context).
+///
+/// Rate boundaries match SampleSize's [0, num_rows] clamp: rate <= 0,
+/// denormals that round to nothing, and NaN keep no elements; rate >= 1
+/// keeps everything (and consumes no randomness).
 std::vector<double> BernoulliSample(const std::vector<double>& values,
                                     double rate, Rng* rng);
+
+/// Batched form over a contiguous span: appends the kept elements of
+/// `values[0..n)` to `out`. Same boundary semantics and, fed the same rng,
+/// the same accept set as BernoulliSample over the concatenated input.
+void BernoulliSampleAppend(const double* values, size_t n, double rate,
+                           Rng* rng, std::vector<double>* out);
 
 /// Draws a uniform sample *without replacement* of exactly
 /// min(k, values.size()) elements via a single reservoir pass.

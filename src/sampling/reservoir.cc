@@ -2,7 +2,9 @@
 
 #include <math.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstddef>
 
 #include "common/fault_injection.h"
 #include "common/logging.h"
@@ -59,6 +61,18 @@ void ReservoirSampler::Add(double value) {
   if (pos < capacity_) {
     sample_[static_cast<size_t>(pos)] = value;
   }
+}
+
+void ReservoirSampler::AddBatch(std::span<const double> values) {
+  size_t i = 0;
+  if (sample_.size() < capacity_) {
+    const size_t take = std::min(values.size(), capacity_ - sample_.size());
+    sample_.insert(sample_.end(), values.begin(),
+                   values.begin() + static_cast<ptrdiff_t>(take));
+    stream_size_ += take;
+    i = take;
+  }
+  for (; i < values.size(); ++i) Add(values[i]);
 }
 
 void ReservoirSampler::AddRepeated(double value, uint64_t count) {

@@ -2,6 +2,7 @@
 #define SITSTATS_SAMPLING_RESERVOIR_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/result.h"
@@ -35,6 +36,12 @@ class ReservoirSampler {
   /// Offers `count` consecutive copies of `value` (equivalent to calling
   /// Add(value) `count` times, with identical distribution).
   void AddRepeated(double value, uint64_t count);
+
+  /// Offers every element of `values` in order. Draw-for-draw identical to
+  /// calling Add per element — the fill phase consumes no randomness, so
+  /// it is bulk-appended — which keeps samples byte-identical between the
+  /// batched and row-at-a-time sweep paths.
+  void AddBatch(std::span<const double> values);
 
   /// Number of stream elements offered so far.
   uint64_t stream_size() const { return stream_size_; }

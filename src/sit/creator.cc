@@ -199,7 +199,10 @@ Result<Sit> CreateSit(Catalog* catalog, BaseStatsCache* base_stats,
         "SIT attribute table is not part of the generating query: " +
         descriptor.ToString());
   }
-  if (options.sampling_rate <= 0.0 || options.sampling_rate > 1.0) {
+  // `!(x > 0)` instead of `x <= 0`: NaN fails both orderings of the
+  // naive spelling and would sail through to the capacity math (where
+  // casting rows * NaN is undefined behavior).
+  if (!(options.sampling_rate > 0.0) || options.sampling_rate > 1.0) {
     return Status::InvalidArgument("sampling_rate must be in (0, 1]");
   }
   if (options.variant == SweepVariant::kHistSit) {

@@ -8,6 +8,22 @@
 
 namespace sitstats {
 
+void MultiplicityOracle::MultiplicityBatch(const double* const* columns,
+                                           size_t num_columns,
+                                           size_t num_rows,
+                                           double* out) const {
+  if (num_columns == 1) {
+    const double* y = columns[0];
+    for (size_t r = 0; r < num_rows; ++r) out[r] = Multiplicity(y[r]);
+    return;
+  }
+  std::vector<double> row(num_columns);
+  for (size_t r = 0; r < num_rows; ++r) {
+    for (size_t c = 0; c < num_columns; ++c) row[c] = columns[c][r];
+    out[r] = MultiplicityN(row.data(), num_columns);
+  }
+}
+
 double HistogramMOracle::Multiplicity(double y) const {
   if (stats_ != nullptr) stats_->AddHistogramLookups();
   int r_idx = other_side_.FindBucket(y);

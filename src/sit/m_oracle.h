@@ -34,6 +34,15 @@ class MultiplicityOracle {
   /// Number of join columns this oracle consumes (1 unless composite).
   virtual size_t num_columns() const { return 1; }
 
+  /// Batched lookup over columnar input: `columns[c][r]` is row r's value
+  /// for predicate column c, and `out[r]` receives that row's multiplicity.
+  /// The base implementation loops MultiplicityN; the batched sweep calls
+  /// this once per ScanBatch so the per-row cost is one (devirtualizable)
+  /// call on the concrete oracle instead of scan-level dispatch per tuple.
+  virtual void MultiplicityBatch(const double* const* columns,
+                                 size_t num_columns, size_t num_rows,
+                                 double* out) const;
+
   virtual std::string Describe() const = 0;
 };
 

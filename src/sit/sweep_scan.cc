@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 
 #include "common/fault_injection.h"
 #include "sampling/reservoir.h"
@@ -31,6 +32,13 @@ Result<std::vector<SweepOutput>> SweepScanTable(Catalog* catalog,
   SITSTATS_FAULT_SITE("sit.sweep.scan");
   if (spec.targets.empty()) {
     return Status::InvalidArgument("sweep scan with no targets");
+  }
+  // `!(x >= 0)` (not `x < 0`): NaN fails every ordering, and a NaN or
+  // negative rate would reach the capacity computation below, where
+  // casting ceil(rows * rate) to size_t is undefined behavior.
+  if (spec.use_sampling && !(spec.sampling_rate >= 0.0)) {
+    return Status::InvalidArgument(
+        "sweep sampling rate must be a finite non-negative number");
   }
   for (const SweepJoin& join : spec.joins) {
     if (join.oracle == nullptr) {
@@ -123,55 +131,102 @@ Result<std::vector<SweepOutput>> SweepScanTable(Catalog* catalog,
   span.AddAttribute("targets", static_cast<double>(spec.targets.size()));
   span.AddAttribute("joins", static_cast<double>(spec.joins.size()));
 
-  // Step 1: the (single, shared) sequential scan.
+  // Step 1: the (single, shared) sequential scan, consumed in batches of
+  // kScanBatchRows contiguous rows.
   SITSTATS_ASSIGN_OR_RETURN(
       SequentialScan scan,
       SequentialScan::Open(catalog, spec.table, projection));
-  std::vector<double> join_multiplicities(spec.joins.size(), 0.0);
-  std::vector<double> join_values;
-  uint64_t rows_since_cancel_check = 0;
-  while (scan.Next()) {
-    // Poll the token once per batch of rows: cheap enough to keep the scan
-    // tight, frequent enough that a timeout or first-error abort lands in
-    // well under a millisecond of extra scanning.
-    if (++rows_since_cancel_check >= 256) {
-      rows_since_cancel_check = 0;
-      SITSTATS_RETURN_IF_ERROR(spec.cancel.CheckCancelled("sweep scan"));
+
+  // In-batch processing order. Target-major (all of a batch's rows for
+  // target 0, then for target 1, ...) keeps each target's work on one
+  // reservoir and one accumulator — the cache-friendly, vectorizable
+  // order — and is draw-for-draw identical to the row-at-a-time path
+  // whenever every drawing target has a *private* Rng: its draw sequence
+  // depends only on its own rows, not on interleaving with other targets.
+  // If two targets share a stream (both fell back to the scan-level rng,
+  // or the caller aliased SweepTarget::rng), the row-at-a-time path
+  // interleaves their draws per row, so we process row-major within the
+  // batch to preserve byte-identity. The no-sampling path draws nothing
+  // and is order-independent per target either way.
+  bool row_major_batches = false;
+  if (spec.use_sampling) {
+    for (size_t a = 0; a < states.size() && !row_major_batches; ++a) {
+      for (size_t b = a + 1; b < states.size(); ++b) {
+        if (states[a].rng == states[b].rng) {
+          row_major_batches = true;
+          break;
+        }
+      }
     }
-    // Step 2: one oracle call per distinct join, shared across targets.
+  }
+
+  // Per-row work for one target, reading the precomputed per-join
+  // multiplicities of the current batch.
+  std::vector<std::vector<double>> batch_multiplicities(spec.joins.size());
+  auto process_row = [&](const SweepTarget& target, TargetState& state,
+                         std::span<const double> attr_values,
+                         size_t r) -> Status {
+    double multiplicity = 1.0;
+    for (size_t idx : target.join_indices) {
+      multiplicity *= batch_multiplicities[idx][r];
+      if (multiplicity == 0.0) break;
+    }
+    if (multiplicity <= 0.0) return Status::OK();
+    double attr_value = attr_values[r];
+    state.fractional_cardinality += multiplicity;
+    if (target.build_exact_map) {
+      state.exact_map[attr_value] += multiplicity;
+    }
+    // Steps 3-4: append `multiplicity` copies of the attribute value to
+    // the conceptual temporary table.
+    if (spec.use_sampling) {
+      // Unbiased randomized rounding of the fractional multiplicity.
+      double floor_m = std::floor(multiplicity);
+      uint64_t copies = static_cast<uint64_t>(floor_m);
+      if (state.rng->Bernoulli(multiplicity - floor_m)) ++copies;
+      if (copies > 0) state.reservoir->AddRepeated(attr_value, copies);
+    } else {
+      SITSTATS_RETURN_IF_ERROR(state.store->Append(attr_value, multiplicity));
+    }
+    return Status::OK();
+  };
+
+  ScanBatch batch;
+  std::vector<const double*> oracle_columns;
+  while (scan.NextBatch(&batch)) {
+    // Poll the token once per batch: a timeout or first-error abort lands
+    // within a few thousand rows of scanning.
+    SITSTATS_RETURN_IF_ERROR(spec.cancel.CheckCancelled("sweep scan"));
+    const size_t n = batch.num_rows;
+    // Step 2, batched: one oracle call per distinct join covers the whole
+    // batch, shared across targets.
     for (size_t j = 0; j < spec.joins.size(); ++j) {
-      join_values.clear();
+      batch_multiplicities[j].resize(n);
+      oracle_columns.clear();
       for (size_t slot : join_slots[j]) {
-        join_values.push_back(scan.value(slot));
+        oracle_columns.push_back(batch.column(slot).data());
       }
-      join_multiplicities[j] = spec.joins[j].oracle->MultiplicityN(
-          join_values.data(), join_values.size());
+      spec.joins[j].oracle->MultiplicityBatch(
+          oracle_columns.data(), oracle_columns.size(), n,
+          batch_multiplicities[j].data());
     }
-    for (size_t t = 0; t < spec.targets.size(); ++t) {
-      const SweepTarget& target = spec.targets[t];
-      TargetState& state = states[t];
-      double multiplicity = 1.0;
-      for (size_t idx : target.join_indices) {
-        multiplicity *= join_multiplicities[idx];
-        if (multiplicity == 0.0) break;
+    if (row_major_batches) {
+      for (size_t r = 0; r < n; ++r) {
+        for (size_t t = 0; t < spec.targets.size(); ++t) {
+          SITSTATS_RETURN_IF_ERROR(
+              process_row(spec.targets[t], states[t],
+                          batch.column(states[t].attribute_slot), r));
+        }
       }
-      if (multiplicity <= 0.0) continue;
-      double attr_value = scan.value(state.attribute_slot);
-      state.fractional_cardinality += multiplicity;
-      if (target.build_exact_map) {
-        state.exact_map[attr_value] += multiplicity;
-      }
-      // Steps 3-4: append `multiplicity` copies of the attribute value to
-      // the conceptual temporary table.
-      if (spec.use_sampling) {
-        // Unbiased randomized rounding of the fractional multiplicity.
-        double floor_m = std::floor(multiplicity);
-        uint64_t copies = static_cast<uint64_t>(floor_m);
-        if (state.rng->Bernoulli(multiplicity - floor_m)) ++copies;
-        if (copies > 0) state.reservoir->AddRepeated(attr_value, copies);
-      } else {
-        SITSTATS_RETURN_IF_ERROR(
-            state.store->Append(attr_value, multiplicity));
+    } else {
+      for (size_t t = 0; t < spec.targets.size(); ++t) {
+        const SweepTarget& target = spec.targets[t];
+        TargetState& state = states[t];
+        std::span<const double> attr_values =
+            batch.column(state.attribute_slot);
+        for (size_t r = 0; r < n; ++r) {
+          SITSTATS_RETURN_IF_ERROR(process_row(target, state, attr_values, r));
+        }
       }
     }
   }

@@ -1,0 +1,216 @@
+#include "storage/column_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include <bit>
+#include <fstream>
+#include <utility>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "common/logging.h"
+
+// The payload is the host representation of the cells, so the format is
+// only portable between little-endian machines; refuse to compile a
+// big-endian build rather than silently writing incompatible files.
+static_assert(std::endian::native == std::endian::little,
+              "colfile payloads are little-endian");
+
+namespace sitstats {
+
+namespace {
+
+Status Corrupt(const std::string& path, const std::string& what) {
+  return Status::InvalidArgument(path + ": corrupt column file: " + what);
+}
+
+}  // namespace
+
+uint64_t ColumnFileChecksum(const void* data, size_t size) {
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  uint64_t hash = 1469598103934665603ULL;  // FNV offset basis
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 1099511628211ULL;  // FNV prime
+  }
+  return hash;
+}
+
+Result<std::shared_ptr<MappedFile>> MappedFile::Map(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    Status status =
+        Status::IOError("cannot stat " + path + ": " + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  size_t size = static_cast<size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    return std::shared_ptr<MappedFile>(new MappedFile(nullptr, 0));
+  }
+  SITSTATS_FAULT_SITE("storage.colfile.mmap");
+  void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  // The mapping survives the descriptor; close unconditionally.
+  ::close(fd);
+  if (addr == MAP_FAILED) {
+    return Status::IOError("cannot mmap " + path + ": " +
+                           std::strerror(errno));
+  }
+  return std::shared_ptr<MappedFile>(
+      new MappedFile(static_cast<const uint8_t*>(addr), size));
+}
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr) {
+    (void)::munmap(const_cast<uint8_t*>(data_), size_);
+  }
+}
+
+Status WriteColumnFile(const Column& column, const std::string& path) {
+  SITSTATS_FAULT_SITE("storage.colfile.write");
+  ColumnFileHeader header{};
+  std::memcpy(header.magic, kColumnFileMagic, sizeof(header.magic));
+  header.version = kColumnFileVersion;
+  header.type = static_cast<uint32_t>(column.type());
+  header.num_rows = column.size();
+
+  // Assemble the payload. Numeric cells are written straight from the
+  // column storage; strings go through an offsets-then-bytes staging
+  // buffer.
+  const uint8_t* payload = nullptr;
+  std::vector<uint8_t> staged;
+  switch (column.type()) {
+    case ValueType::kInt64: {
+      auto span = column.int64_data();
+      payload = reinterpret_cast<const uint8_t*>(span.data());
+      header.payload_bytes = span.size() * sizeof(int64_t);
+      break;
+    }
+    case ValueType::kDouble: {
+      auto span = column.double_data();
+      payload = reinterpret_cast<const uint8_t*>(span.data());
+      header.payload_bytes = span.size() * sizeof(double);
+      break;
+    }
+    case ValueType::kString: {
+      const std::vector<std::string>& strings = column.string_data();
+      uint64_t total_bytes = 0;
+      for (const std::string& s : strings) total_bytes += s.size();
+      staged.resize((strings.size() + 1) * sizeof(uint64_t) + total_bytes);
+      uint64_t* offsets = reinterpret_cast<uint64_t*>(staged.data());
+      uint8_t* bytes = staged.data() + (strings.size() + 1) * sizeof(uint64_t);
+      uint64_t offset = 0;
+      for (size_t i = 0; i < strings.size(); ++i) {
+        offsets[i] = offset;
+        std::memcpy(bytes + offset, strings[i].data(), strings[i].size());
+        offset += strings[i].size();
+      }
+      offsets[strings.size()] = offset;
+      payload = staged.data();
+      header.payload_bytes = staged.size();
+      break;
+    }
+  }
+  header.checksum = ColumnFileChecksum(payload, header.payload_bytes);
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+  if (header.payload_bytes > 0) {
+    out.write(reinterpret_cast<const char*>(payload),
+              static_cast<std::streamsize>(header.payload_bytes));
+  }
+  out.flush();
+  if (!out) return Status::IOError("write to " + path + " failed");
+  return Status::OK();
+}
+
+Result<Column> ReadColumnFile(const std::string& name,
+                              const std::string& path) {
+  SITSTATS_FAULT_SITE("storage.colfile.read");
+  SITSTATS_ASSIGN_OR_RETURN(std::shared_ptr<MappedFile> file,
+                            MappedFile::Map(path));
+  if (file->size() < sizeof(ColumnFileHeader)) {
+    return Corrupt(path, "file shorter than the 64-byte header");
+  }
+  ColumnFileHeader header;
+  std::memcpy(&header, file->data(), sizeof(header));
+  if (std::memcmp(header.magic, kColumnFileMagic, sizeof(header.magic)) !=
+      0) {
+    return Corrupt(path, "bad magic");
+  }
+  if (header.version != kColumnFileVersion) {
+    return Status::InvalidArgument(
+        path + ": column file version " + std::to_string(header.version) +
+        " is not supported (expected " + std::to_string(kColumnFileVersion) +
+        ")");
+  }
+  if (header.type > static_cast<uint32_t>(ValueType::kString)) {
+    return Corrupt(path, "unknown value type " + std::to_string(header.type));
+  }
+  ValueType type = static_cast<ValueType>(header.type);
+  if (file->size() != sizeof(header) + header.payload_bytes) {
+    return Corrupt(path, "payload truncated: header promises " +
+                             std::to_string(header.payload_bytes) +
+                             " bytes, file holds " +
+                             std::to_string(file->size() - sizeof(header)));
+  }
+  const uint8_t* payload = file->data() + sizeof(header);
+  if (ColumnFileChecksum(payload, header.payload_bytes) != header.checksum) {
+    return Corrupt(path, "payload checksum mismatch");
+  }
+
+  switch (type) {
+    case ValueType::kInt64:
+    case ValueType::kDouble: {
+      if (header.payload_bytes != header.num_rows * 8) {
+        return Corrupt(path, "numeric payload size disagrees with row count");
+      }
+      // Zero-copy: the column references the mapping; the shared_ptr
+      // keepalive holds the region for the column's lifetime.
+      return Column::FromMappedNumeric(name, type, payload,
+                                       static_cast<size_t>(header.num_rows),
+                                       file);
+    }
+    case ValueType::kString: {
+      uint64_t offsets_bytes = (header.num_rows + 1) * sizeof(uint64_t);
+      if (header.payload_bytes < offsets_bytes) {
+        return Corrupt(path, "string payload shorter than its offset table");
+      }
+      const uint64_t* offsets = reinterpret_cast<const uint64_t*>(payload);
+      const uint8_t* bytes = payload + offsets_bytes;
+      uint64_t bytes_available = header.payload_bytes - offsets_bytes;
+      if (offsets[header.num_rows] != bytes_available) {
+        return Corrupt(path, "string offsets disagree with payload size");
+      }
+      SITSTATS_OOM_SITE("oom.storage.colfile.strings",
+                        static_cast<size_t>(header.payload_bytes));
+      Column column(name, ValueType::kString);
+      column.Reserve(static_cast<size_t>(header.num_rows));
+      for (uint64_t i = 0; i < header.num_rows; ++i) {
+        if (offsets[i] > offsets[i + 1] || offsets[i + 1] > bytes_available) {
+          return Corrupt(path, "string offsets not monotonic in bounds");
+        }
+        column.AppendString(std::string(
+            reinterpret_cast<const char*>(bytes + offsets[i]),
+            static_cast<size_t>(offsets[i + 1] - offsets[i])));
+      }
+      return column;
+    }
+  }
+  return Corrupt(path, "unreachable type");
+}
+
+}  // namespace sitstats

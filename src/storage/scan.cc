@@ -1,5 +1,7 @@
 #include "storage/scan.h"
 
+#include <algorithm>
+
 #include "common/fault_injection.h"
 #include "telemetry/trace.h"
 
@@ -25,6 +27,7 @@ Result<SequentialScan> SequentialScan::Open(
     scan.columns_.push_back(col);
   }
   scan.current_.resize(scan.columns_.size());
+  scan.staging_.resize(scan.columns_.size());
   scan.io_counters_->AddSequentialScans();
   return scan;
 }
@@ -33,6 +36,7 @@ SequentialScan::SequentialScan(SequentialScan&& other) noexcept
     : table_name_(std::move(other.table_name_)),
       columns_(std::move(other.columns_)),
       current_(std::move(other.current_)),
+      staging_(std::move(other.staging_)),
       num_rows_(other.num_rows_),
       next_row_(other.next_row_),
       unflushed_rows_(other.unflushed_rows_),
@@ -47,6 +51,7 @@ SequentialScan& SequentialScan::operator=(SequentialScan&& other) noexcept {
   table_name_ = std::move(other.table_name_);
   columns_ = std::move(other.columns_);
   current_ = std::move(other.current_);
+  staging_ = std::move(other.staging_);
   num_rows_ = other.num_rows_;
   next_row_ = other.next_row_;
   unflushed_rows_ = other.unflushed_rows_;
@@ -66,6 +71,36 @@ bool SequentialScan::Next() {
   }
   ++next_row_;
   ++unflushed_rows_;
+  return true;
+}
+
+bool SequentialScan::NextBatch(ScanBatch* out, size_t max_rows) {
+  if (next_row_ >= num_rows_ || max_rows == 0) {
+    FlushRowCount();
+    out->num_rows = 0;
+    return false;
+  }
+  const size_t n = std::min(max_rows, num_rows_ - next_row_);
+  out->columns.resize(columns_.size());
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    const Column& col = *columns_[i];
+    if (col.type() == ValueType::kDouble) {
+      out->columns[i] = col.double_data().subspan(next_row_, n);
+      continue;
+    }
+    // Widen int64 cells into the slot's staging buffer. Plain indexed
+    // loop over two restrict-able contiguous arrays: auto-vectorizes.
+    std::span<const int64_t> src = col.int64_data();
+    std::vector<double>& buf = staging_[i];
+    buf.resize(n);
+    const int64_t* in = src.data() + next_row_;
+    double* dst = buf.data();
+    for (size_t r = 0; r < n; ++r) dst[r] = static_cast<double>(in[r]);
+    out->columns[i] = {buf.data(), n};
+  }
+  out->num_rows = n;
+  next_row_ += n;
+  unflushed_rows_ += n;
   return true;
 }
 

@@ -1,6 +1,7 @@
 #ifndef SITSTATS_STORAGE_SCAN_H_
 #define SITSTATS_STORAGE_SCAN_H_
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -10,15 +11,37 @@
 
 namespace sitstats {
 
+/// Default number of rows per ScanBatch: large enough that per-batch
+/// bookkeeping amortizes to nothing, small enough that the working set
+/// (a few slots x 4096 doubles) stays in L2.
+inline constexpr size_t kScanBatchRows = 4096;
+
+/// One batch of scanned rows. Each projected slot exposes a contiguous
+/// span of `num_rows` doubles — double columns point straight into column
+/// storage (zero-copy, mmap-friendly), int64 columns are widened into a
+/// staging buffer owned by the scan. Spans are invalidated by the next
+/// NextBatch call.
+struct ScanBatch {
+  size_t num_rows = 0;
+  std::vector<std::span<const double>> columns;
+
+  std::span<const double> column(size_t i) const { return columns[i]; }
+};
+
 /// Cursor for one sequential scan over a table, restricted to a projection
 /// of numeric columns. This is the physical operation Sweep performs once
 /// per (non-root) table; opening a scan bumps the catalog's I/O counters.
 ///
 ///   SITSTATS_ASSIGN_OR_RETURN(SequentialScan scan,
 ///       SequentialScan::Open(&catalog, "S", {"y", "a"}));
-///   while (scan.Next()) {
-///     double y = scan.value(0), a = scan.value(1);
+///   ScanBatch batch;
+///   while (scan.NextBatch(&batch)) {
+///     std::span<const double> y = batch.column(0), a = batch.column(1);
 ///   }
+///
+/// The row-at-a-time Next()/value() pair remains for callers that want a
+/// cursor; both drive the same position, so a scan should stick to one
+/// style.
 class SequentialScan {
  public:
   /// Opens a scan over `columns` of `table_name`. All projected columns
@@ -36,6 +59,11 @@ class SequentialScan {
 
   /// Advances to the next row; false once the input is exhausted.
   bool Next();
+
+  /// Fills `out` with the next run of up to `max_rows` rows; false (with
+  /// `out->num_rows == 0`) once the input is exhausted. The spans in `out`
+  /// stay valid until the next call on this scan.
+  bool NextBatch(ScanBatch* out, size_t max_rows = kScanBatchRows);
 
   /// Value of the i-th projected column in the current row. Only valid
   /// after Next() returned true.
@@ -58,6 +86,8 @@ class SequentialScan {
   std::string table_name_;
   std::vector<const Column*> columns_;
   std::vector<double> current_;
+  /// Per-slot widening buffers for int64 columns on the batched path.
+  std::vector<std::vector<double>> staging_;
   size_t num_rows_ = 0;
   size_t next_row_ = 0;
   size_t unflushed_rows_ = 0;

@@ -12,6 +12,30 @@ Table::Table(std::string name, const Schema& schema)
   }
 }
 
+Result<Table> Table::FromColumns(std::string name, const Schema& schema,
+                                 std::vector<Column> columns) {
+  if (columns.size() != schema.num_columns()) {
+    std::ostringstream os;
+    os << "FromColumns: got " << columns.size() << " columns, schema of "
+       << name << " has " << schema.num_columns();
+    return Status::InvalidArgument(os.str());
+  }
+  for (size_t i = 0; i < columns.size(); ++i) {
+    const ColumnDef& def = schema.column(i);
+    if (columns[i].name() != def.name || columns[i].type() != def.type) {
+      std::ostringstream os;
+      os << "FromColumns: column " << i << " is " << columns[i].name() << ":"
+         << ValueTypeToString(columns[i].type()) << ", schema of " << name
+         << " expects " << def.name << ":" << ValueTypeToString(def.type);
+      return Status::InvalidArgument(os.str());
+    }
+  }
+  Table table(std::move(name), schema);
+  table.columns_ = std::move(columns);
+  SITSTATS_RETURN_IF_ERROR(table.CheckConsistent());
+  return table;
+}
+
 size_t Table::num_rows() const {
   if (columns_.empty()) return 0;
   return columns_[0].size();

@@ -18,6 +18,12 @@ class Table {
  public:
   Table(std::string name, const Schema& schema);
 
+  /// Bulk-load construction from pre-built columns (the binary catalog
+  /// path hands over mmap-backed columns wholesale). The columns must
+  /// match the schema in order, name, and type, and agree on row count.
+  static Result<Table> FromColumns(std::string name, const Schema& schema,
+                                   std::vector<Column> columns);
+
   const std::string& name() const { return name_; }
   const Schema& schema() const { return schema_; }
   size_t num_rows() const;

@@ -1,16 +1,16 @@
 #include "storage/table_io.h"
 
-#include <cerrno>
-#include <cmath>
 #include <cstdio>
-#include <cstdlib>
 
 #include <fstream>
 #include <sstream>
+#include <utility>
+#include <vector>
 
 #include "common/fault_injection.h"
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "storage/column_file.h"
 
 namespace sitstats {
 
@@ -27,6 +27,24 @@ Result<ValueType> TypeFromName(const std::string& name) {
   if (name == "double") return ValueType::kDouble;
   if (name == "string") return ValueType::kString;
   return Status::InvalidArgument("unknown column type '" + name + "'");
+}
+
+/// Strips one trailing carriage return: CSV files written on Windows (or
+/// shipped over protocols that canonicalize to CRLF) end every line with
+/// "\r\n", and std::getline only consumes the "\n". Without this the '\r'
+/// flows into the last cell of every row and fails the numeric parse.
+void StripTrailingCr(std::string* line) {
+  if (!line->empty() && line->back() == '\r') line->pop_back();
+}
+
+/// One prefixed cell-parse error: file:row plus the column name, wrapping
+/// the checked parser's message (and preserving its code — overflow stays
+/// kOutOfRange).
+Status CellError(const std::string& path, size_t line_number,
+                 const std::string& column, const Status& inner) {
+  return Status(inner.code(), path + ":" + std::to_string(line_number) +
+                                  ": column " + column + ": " +
+                                  inner.message());
 }
 
 }  // namespace
@@ -86,6 +104,7 @@ Result<Table> ReadTableCsv(const std::string& table_name,
   if (!std::getline(in, line)) {
     return Status::InvalidArgument(path + " is empty (no header)");
   }
+  StripTrailingCr(&line);
   Schema schema;
   for (const std::string& field : Split(line, ',')) {
     std::vector<std::string> parts = Split(field, ':');
@@ -100,9 +119,12 @@ Result<Table> ReadTableCsv(const std::string& table_name,
   size_t line_number = 1;
   while (std::getline(in, line)) {
     ++line_number;
+    StripTrailingCr(&line);
     if (line.empty()) continue;
     std::vector<std::string> fields = Split(line, ',');
     if (fields.size() != schema.num_columns()) {
+      // A trailing delimiter lands here too: "1,2," splits into an extra
+      // (empty) field, which is a malformed row, not a cell value.
       return Status::InvalidArgument(
           path + ":" + std::to_string(line_number) + ": expected " +
           std::to_string(schema.num_columns()) + " fields, got " +
@@ -111,47 +133,26 @@ Result<Table> ReadTableCsv(const std::string& table_name,
     std::vector<Value> row;
     row.reserve(fields.size());
     for (size_t c = 0; c < fields.size(); ++c) {
+      // Every numeric cell goes through the one checked parse path
+      // (common/string_util.h) — empty cells, trailing garbage, and
+      // overflow all surface with file:row and column context.
       switch (schema.column(c).type) {
         case ValueType::kInt64: {
-          // strtoll signals overflow only through errno (the return value
-          // clamps to LLONG_MIN/MAX, which the endptr check alone would
-          // accept as a real cell value).
-          char* end = nullptr;
-          errno = 0;
-          long long v = std::strtoll(fields[c].c_str(), &end, 10);
-          if (end == fields[c].c_str() || *end != '\0') {
-            return Status::InvalidArgument(
-                path + ":" + std::to_string(line_number) + ": column " +
-                schema.column(c).name + ": bad int64 '" + fields[c] + "'");
+          Result<int64_t> v = ParseInt64(fields[c]);
+          if (!v.ok()) {
+            return CellError(path, line_number, schema.column(c).name,
+                             v.status());
           }
-          if (errno == ERANGE) {
-            return Status::OutOfRange(
-                path + ":" + std::to_string(line_number) + ": column " +
-                schema.column(c).name + ": int64 overflow '" + fields[c] +
-                "'");
-          }
-          row.emplace_back(static_cast<int64_t>(v));
+          row.emplace_back(*v);
           break;
         }
         case ValueType::kDouble: {
-          char* end = nullptr;
-          errno = 0;
-          double v = std::strtod(fields[c].c_str(), &end);
-          if (end == fields[c].c_str() || *end != '\0') {
-            return Status::InvalidArgument(
-                path + ":" + std::to_string(line_number) + ": column " +
-                schema.column(c).name + ": bad double '" + fields[c] + "'");
+          Result<double> v = ParseDouble(fields[c]);
+          if (!v.ok()) {
+            return CellError(path, line_number, schema.column(c).name,
+                             v.status());
           }
-          // ERANGE covers both overflow (±HUGE_VAL) and underflow
-          // (denormal/zero); only overflow turns a finite-looking cell
-          // into ±inf, so that is the case rejected here.
-          if (errno == ERANGE && (v == HUGE_VAL || v == -HUGE_VAL)) {
-            return Status::OutOfRange(
-                path + ":" + std::to_string(line_number) + ": column " +
-                schema.column(c).name + ": double overflow '" + fields[c] +
-                "'");
-          }
-          row.emplace_back(v);
+          row.emplace_back(*v);
           break;
         }
         case ValueType::kString:
@@ -191,6 +192,7 @@ Result<std::unique_ptr<Catalog>> LoadCatalogCsv(const std::string& dir) {
   auto catalog = std::make_unique<Catalog>();
   std::string name;
   while (std::getline(manifest, name)) {
+    StripTrailingCr(&name);
     if (name.empty()) continue;
     SITSTATS_ASSIGN_OR_RETURN(
         Table table, ReadTableCsv(name, dir + "/" + name + ".csv"));
@@ -201,6 +203,169 @@ Result<std::unique_ptr<Catalog>> LoadCatalogCsv(const std::string& dir) {
   // internally consistent before anything computes statistics over it.
   SITSTATS_DCHECK_OK(catalog->ValidateConsistency());
   return catalog;
+}
+
+namespace {
+
+constexpr const char* kBinaryManifestMagic = "sitstats-binary-catalog";
+constexpr int kBinaryManifestVersion = 1;
+
+std::string ColfileName(const std::string& table, const std::string& column) {
+  return table + "." + column + ".col";
+}
+
+}  // namespace
+
+Status SaveCatalogBinary(const Catalog& catalog, const std::string& dir) {
+  SITSTATS_FAULT_SITE("storage.colfile.manifest.save");
+  std::ostringstream manifest;
+  manifest << kBinaryManifestMagic << " " << kBinaryManifestVersion << "\n";
+  for (const std::string& name : catalog.TableNames()) {
+    if (name.find(' ') != std::string::npos ||
+        name.find('\n') != std::string::npos) {
+      return Status::InvalidArgument("table name '" + name +
+                                     "' cannot be written to a manifest");
+    }
+    SITSTATS_ASSIGN_OR_RETURN(const Table* table, catalog.GetTable(name));
+    manifest << "table " << name << " " << table->num_rows() << " "
+             << table->num_columns() << "\n";
+    for (size_t c = 0; c < table->num_columns(); ++c) {
+      const Column& column = table->column(c);
+      if (column.name().find(' ') != std::string::npos ||
+          column.name().find('\n') != std::string::npos) {
+        return Status::InvalidArgument("column name '" + column.name() +
+                                       "' cannot be written to a manifest");
+      }
+      std::string file = ColfileName(name, column.name());
+      SITSTATS_RETURN_IF_ERROR(WriteColumnFile(column, dir + "/" + file));
+      manifest << "column " << column.name() << " "
+               << ValueTypeToString(column.type()) << " " << file << "\n";
+    }
+  }
+  std::ofstream out(dir + "/" + kBinaryManifestName, std::ios::trunc);
+  if (!out) {
+    return Status::IOError("cannot write " + dir + "/" + kBinaryManifestName +
+                           " (does the directory exist?)");
+  }
+  out << manifest.str();
+  out.flush();
+  if (!out) {
+    return Status::IOError(std::string("write to ") + kBinaryManifestName +
+                           " failed");
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Catalog>> LoadCatalogBinary(const std::string& dir) {
+  SITSTATS_FAULT_SITE("storage.colfile.manifest.load");
+  const std::string manifest_path = dir + "/" + kBinaryManifestName;
+  std::ifstream in(manifest_path);
+  if (!in) return Status::IOError("cannot open " + manifest_path);
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument(manifest_path + " is empty");
+  }
+  StripTrailingCr(&line);
+  {
+    std::vector<std::string> fields = Split(line, ' ');
+    if (fields.size() != 2 || fields[0] != kBinaryManifestMagic) {
+      return Status::InvalidArgument(manifest_path +
+                                     ": not a binary catalog manifest");
+    }
+    // The shared checked parse path again: a corrupt version field is a
+    // clean error, not a silent zero.
+    SITSTATS_ASSIGN_OR_RETURN(int64_t version, ParseInt64(fields[1]));
+    if (version != kBinaryManifestVersion) {
+      return Status::InvalidArgument(
+          manifest_path + ": manifest version " + std::to_string(version) +
+          " is not supported (expected " +
+          std::to_string(kBinaryManifestVersion) + ")");
+    }
+  }
+
+  auto catalog = std::make_unique<Catalog>();
+  size_t line_number = 1;
+  std::string pending_table;
+  uint64_t pending_rows = 0;
+  int64_t pending_columns = 0;
+  Schema schema;
+  std::vector<Column> columns;
+
+  auto flush_table = [&]() -> Status {
+    if (pending_table.empty()) return Status::OK();
+    if (static_cast<int64_t>(columns.size()) != pending_columns) {
+      return Status::InvalidArgument(
+          manifest_path + ": table " + pending_table + " promises " +
+          std::to_string(pending_columns) + " columns, manifest lists " +
+          std::to_string(columns.size()));
+    }
+    SITSTATS_ASSIGN_OR_RETURN(
+        Table table,
+        Table::FromColumns(pending_table, schema, std::move(columns)));
+    if (table.num_rows() != pending_rows) {
+      return Status::InvalidArgument(
+          manifest_path + ": table " + pending_table + " promises " +
+          std::to_string(pending_rows) + " rows, columns hold " +
+          std::to_string(table.num_rows()));
+    }
+    SITSTATS_RETURN_IF_ERROR(
+        catalog->AddTable(std::make_unique<Table>(std::move(table))));
+    pending_table.clear();
+    schema = Schema();
+    columns.clear();
+    return Status::OK();
+  };
+
+  while (std::getline(in, line)) {
+    ++line_number;
+    StripTrailingCr(&line);
+    if (line.empty()) continue;
+    std::vector<std::string> fields = Split(line, ' ');
+    auto bad_line = [&](const std::string& what) {
+      return Status::InvalidArgument(manifest_path + ":" +
+                                     std::to_string(line_number) + ": " +
+                                     what);
+    };
+    if (fields[0] == "table") {
+      if (fields.size() != 4) return bad_line("malformed table record");
+      SITSTATS_RETURN_IF_ERROR(flush_table());
+      pending_table = fields[1];
+      SITSTATS_ASSIGN_OR_RETURN(int64_t rows, ParseInt64(fields[2]));
+      SITSTATS_ASSIGN_OR_RETURN(pending_columns, ParseInt64(fields[3]));
+      if (rows < 0 || pending_columns < 0) {
+        return bad_line("negative table dimensions");
+      }
+      pending_rows = static_cast<uint64_t>(rows);
+    } else if (fields[0] == "column") {
+      if (fields.size() != 4) return bad_line("malformed column record");
+      if (pending_table.empty()) {
+        return bad_line("column record before any table record");
+      }
+      SITSTATS_ASSIGN_OR_RETURN(ValueType type, TypeFromName(fields[2]));
+      SITSTATS_ASSIGN_OR_RETURN(
+          Column column, ReadColumnFile(fields[1], dir + "/" + fields[3]));
+      if (column.type() != type) {
+        return bad_line("column " + fields[1] + " file type " +
+                        ValueTypeToString(column.type()) +
+                        " disagrees with manifest type " + fields[2]);
+      }
+      schema.AddColumn(fields[1], type);
+      columns.push_back(std::move(column));
+    } else {
+      return bad_line("unknown record '" + fields[0] + "'");
+    }
+  }
+  SITSTATS_RETURN_IF_ERROR(flush_table());
+  // Bulk-load boundary, as on the CSV path.
+  SITSTATS_DCHECK_OK(catalog->ValidateConsistency());
+  return catalog;
+}
+
+Result<std::unique_ptr<Catalog>> LoadCatalog(const std::string& dir) {
+  if (std::ifstream(dir + "/" + kBinaryManifestName).good()) {
+    return LoadCatalogBinary(dir);
+  }
+  return LoadCatalogCsv(dir);
 }
 
 }  // namespace sitstats

@@ -71,6 +71,33 @@ Result<std::vector<SitDescriptor>> MakeScheduleDescriptors() {
   return sits;
 }
 
+/// Binary storage layer: colfile round trip over the freshly loaded
+/// catalog plus a small string table (TPC-H-lite has none), covering the
+/// storage.colfile.* manifest/write/read/mmap sites and the string-payload
+/// allocation site (oom.storage.colfile.strings). The mmap-backed reload
+/// replaces the CSV catalog, so every later stage — sweeps, schedules, the
+/// spill path — runs against mapped columns.
+Status RunBinaryStorageStage(const std::string& dir, WorkloadState* state) {
+  {
+    Schema schema;
+    schema.AddColumn("tag", ValueType::kString);
+    auto tags = std::make_unique<Table>("tags", schema);
+    SITSTATS_RETURN_IF_ERROR(
+        tags->AppendRow({Value(std::string("alpha"))}));
+    SITSTATS_RETURN_IF_ERROR(tags->AppendRow({Value(std::string("beta"))}));
+    SITSTATS_RETURN_IF_ERROR(state->loaded->AddTable(std::move(tags)));
+  }
+  const std::string bin_dir = dir + "/binary";
+  if (std::system(("mkdir -p " + bin_dir).c_str()) != 0) {
+    return Status::IOError("cannot create scratch dir " + bin_dir);
+  }
+  SITSTATS_RETURN_IF_ERROR(SaveCatalogBinary(*state->loaded, bin_dir));
+  SITSTATS_ASSIGN_OR_RETURN(std::unique_ptr<Catalog> mapped,
+                            LoadCatalogBinary(bin_dir));
+  state->loaded = std::move(mapped);
+  return Status::OK();
+}
+
 /// Serialization layer: the built SITs round-trip through the text
 /// statistics format (sit.serialize.save / sit.serialize.load sites).
 Status RunSerializationStage(const std::string& dir, WorkloadState* state) {
@@ -200,6 +227,10 @@ Status RunWorkload(const FaultSweepOptions& options, const std::string& dir,
   // runs against the re-loaded catalog.
   SITSTATS_RETURN_IF_ERROR(SaveCatalogCsv(*state->generated, dir));
   SITSTATS_ASSIGN_OR_RETURN(state->loaded, LoadCatalogCsv(dir));
+
+  // Binary storage layer: replaces state->loaded with the mmap-backed
+  // colfile reload of the same data.
+  SITSTATS_RETURN_IF_ERROR(RunBinaryStorageStage(dir, state));
   Catalog* catalog = state->loaded.get();
 
   // Sampling layer: base statistics from a Bernoulli row sample.

@@ -1,0 +1,386 @@
+#include "storage/column_file.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "scheduler/executor.h"
+#include "scheduler/solver.h"
+#include "sit/serialization.h"
+#include "storage/scan.h"
+#include "storage/table_io.h"
+
+namespace sitstats {
+namespace {
+
+class ColumnFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = "/tmp/sitstats_column_file_test_" +
+           std::to_string(reinterpret_cast<uintptr_t>(this));
+    std::string cmd = "mkdir -p " + dir_;
+    ASSERT_EQ(std::system(cmd.c_str()), 0);
+  }
+  void TearDown() override {
+    FaultInjector::Global().Disarm();
+    std::string cmd = "rm -rf " + dir_;
+    (void)std::system(cmd.c_str());
+  }
+  std::string dir_;
+};
+
+TEST_F(ColumnFileTest, Int64RoundTripIsZeroCopy) {
+  Column col("k", ValueType::kInt64);
+  for (int64_t v : {int64_t{-1}, int64_t{0}, int64_t{42},
+                    std::numeric_limits<int64_t>::min(),
+                    std::numeric_limits<int64_t>::max()}) {
+    col.AppendInt64(v);
+  }
+  std::string path = dir_ + "/k.col";
+  ASSERT_TRUE(WriteColumnFile(col, path).ok());
+  Column back = ReadColumnFile("k", path).ValueOrDie();
+  EXPECT_TRUE(back.is_mapped());
+  ASSERT_EQ(back.size(), col.size());
+  for (size_t r = 0; r < col.size(); ++r) {
+    EXPECT_EQ(back.int64_data()[r], col.int64_data()[r]) << "row " << r;
+  }
+}
+
+TEST_F(ColumnFileTest, DoubleRoundTripIsBitExact) {
+  Column col("x", ValueType::kDouble);
+  for (double v : {0.0, -0.0, 1.5, -3e100, 0.1234567890123456789,
+                   std::numeric_limits<double>::infinity(),
+                   std::numeric_limits<double>::denorm_min()}) {
+    col.AppendDouble(v);
+  }
+  std::string path = dir_ + "/x.col";
+  ASSERT_TRUE(WriteColumnFile(col, path).ok());
+  Column back = ReadColumnFile("x", path).ValueOrDie();
+  EXPECT_TRUE(back.is_mapped());
+  ASSERT_EQ(back.size(), col.size());
+  for (size_t r = 0; r < col.size(); ++r) {
+    // Bit equality, not value equality: -0.0 and NaN payloads must
+    // survive the trip unchanged.
+    int64_t a, b;
+    std::memcpy(&a, &back.double_data()[r], sizeof(a));
+    std::memcpy(&b, &col.double_data()[r], sizeof(b));
+    EXPECT_EQ(a, b) << "row " << r;
+  }
+}
+
+TEST_F(ColumnFileTest, StringRoundTripAllowsSeparators) {
+  Column col("s", ValueType::kString);
+  // Binary storage has no separator restrictions — commas, newlines, and
+  // embedded NULs are all legal, unlike the CSV path.
+  col.AppendString("alpha");
+  col.AppendString("");
+  col.AppendString("a,b\nc");
+  col.AppendString(std::string("nul\0byte", 8));
+  std::string path = dir_ + "/s.col";
+  ASSERT_TRUE(WriteColumnFile(col, path).ok());
+  Column back = ReadColumnFile("s", path).ValueOrDie();
+  EXPECT_FALSE(back.is_mapped());  // strings are materialized
+  ASSERT_EQ(back.size(), col.size());
+  for (size_t r = 0; r < col.size(); ++r) {
+    EXPECT_EQ(back.string_data()[r], col.string_data()[r]) << "row " << r;
+  }
+}
+
+TEST_F(ColumnFileTest, EmptyColumnRoundTrips) {
+  Column col("e", ValueType::kDouble);
+  std::string path = dir_ + "/e.col";
+  ASSERT_TRUE(WriteColumnFile(col, path).ok());
+  Column back = ReadColumnFile("e", path).ValueOrDie();
+  EXPECT_EQ(back.size(), 0u);
+  EXPECT_EQ(back.type(), ValueType::kDouble);
+}
+
+TEST_F(ColumnFileTest, CorruptPayloadIsRejected) {
+  Column col("k", ValueType::kInt64);
+  for (int64_t v = 0; v < 100; ++v) col.AppendInt64(v);
+  std::string path = dir_ + "/k.col";
+  ASSERT_TRUE(WriteColumnFile(col, path).ok());
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(64 + 40);  // a byte in the middle of the payload
+    char byte = 0x5a;
+    f.write(&byte, 1);
+  }
+  Result<Column> result = ReadColumnFile("k", path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("checksum"), std::string::npos)
+      << result.status().message();
+}
+
+TEST_F(ColumnFileTest, TruncatedFileIsRejected) {
+  Column col("k", ValueType::kInt64);
+  for (int64_t v = 0; v < 100; ++v) col.AppendInt64(v);
+  std::string path = dir_ + "/k.col";
+  ASSERT_TRUE(WriteColumnFile(col, path).ok());
+  // Drop the tail of the payload.
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_EQ(bytes.size(), 64u + 800u);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() - 33));
+  }
+  EXPECT_FALSE(ReadColumnFile("k", path).ok());
+  // Shorter than even the header.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), 17);
+  }
+  EXPECT_FALSE(ReadColumnFile("k", path).ok());
+}
+
+TEST_F(ColumnFileTest, VersionMismatchIsRejected) {
+  Column col("k", ValueType::kInt64);
+  col.AppendInt64(7);
+  std::string path = dir_ + "/k.col";
+  ASSERT_TRUE(WriteColumnFile(col, path).ok());
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(8);  // version field follows the 8-byte magic
+    char version = 99;
+    f.write(&version, 1);
+  }
+  Result<Column> result = ReadColumnFile("k", path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("version"), std::string::npos)
+      << result.status().message();
+}
+
+TEST_F(ColumnFileTest, BadMagicIsRejected) {
+  std::string path = dir_ + "/notacol.col";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << std::string(128, 'x');
+  }
+  Result<Column> result = ReadColumnFile("k", path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ColumnFileTest, MmapFailureSurfacesAsStatus) {
+  Column col("k", ValueType::kInt64);
+  col.AppendInt64(1);
+  std::string path = dir_ + "/k.col";
+  ASSERT_TRUE(WriteColumnFile(col, path).ok());
+  FaultInjector::Global().Arm("storage.colfile.mmap", 1,
+                              Status::IOError("injected mmap failure"));
+  Result<Column> result = ReadColumnFile("k", path);
+  FaultInjector::Global().Disarm();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+  EXPECT_NE(result.status().message().find("injected"), std::string::npos);
+}
+
+Table MixedTable() {
+  Schema schema;
+  schema.AddColumn("k", ValueType::kInt64);
+  schema.AddColumn("x", ValueType::kDouble);
+  schema.AddColumn("s", ValueType::kString);
+  Table t("M", schema);
+  Rng rng(99);
+  for (int i = 0; i < 500; ++i) {
+    SITSTATS_CHECK_OK(t.AppendRow({Value(rng.UniformInt(-1000, 1000)),
+                                   Value(rng.NextDouble() * 1e6),
+                                   Value(std::string(i % 7, 'z'))}));
+  }
+  return t;
+}
+
+TEST_F(ColumnFileTest, BinaryCatalogRoundTripsEveryColumnType) {
+  Catalog catalog;
+  {
+    Table t = MixedTable();
+    SITSTATS_CHECK_OK(
+        catalog.AddTable(std::make_unique<Table>(std::move(t))));
+  }
+  ASSERT_TRUE(SaveCatalogBinary(catalog, dir_).ok());
+  std::unique_ptr<Catalog> back = LoadCatalogBinary(dir_).ValueOrDie();
+  const Table* a = catalog.GetTable("M").ValueOrDie();
+  const Table* b = back->GetTable("M").ValueOrDie();
+  ASSERT_EQ(a->num_rows(), b->num_rows());
+  ASSERT_EQ(a->num_columns(), b->num_columns());
+  EXPECT_TRUE(b->column(0).is_mapped());
+  EXPECT_TRUE(b->column(1).is_mapped());
+  EXPECT_FALSE(b->column(2).is_mapped());
+  for (size_t c = 0; c < a->num_columns(); ++c) {
+    for (size_t r = 0; r < a->num_rows(); ++r) {
+      ASSERT_EQ(a->column(c).Get(r), b->column(c).Get(r))
+          << "col " << c << " row " << r;
+    }
+  }
+}
+
+TEST_F(ColumnFileTest, LoadCatalogPrefersBinaryManifest) {
+  Catalog catalog;
+  {
+    Table t = MixedTable();
+    SITSTATS_CHECK_OK(
+        catalog.AddTable(std::make_unique<Table>(std::move(t))));
+  }
+  // Both formats present in one directory: auto-detect must pick binary.
+  ASSERT_TRUE(SaveCatalogCsv(catalog, dir_).ok())
+      << "string cells without separators should save as CSV";
+  ASSERT_TRUE(SaveCatalogBinary(catalog, dir_).ok());
+  std::unique_ptr<Catalog> loaded = LoadCatalog(dir_).ValueOrDie();
+  EXPECT_TRUE(
+      loaded->GetTable("M").ValueOrDie()->column(0).is_mapped());
+  // Without the binary manifest, the CSV path loads (owned columns).
+  ASSERT_EQ(std::remove((dir_ + "/" + kBinaryManifestName).c_str()), 0);
+  std::unique_ptr<Catalog> csv = LoadCatalog(dir_).ValueOrDie();
+  EXPECT_FALSE(csv->GetTable("M").ValueOrDie()->column(0).is_mapped());
+}
+
+TEST_F(ColumnFileTest, BatchedScanMatchesRowAtATimeOnMappedColumns) {
+  Catalog catalog;
+  {
+    Schema schema;
+    schema.AddColumn("k", ValueType::kInt64);
+    schema.AddColumn("x", ValueType::kDouble);
+    Table t("N", schema);
+    Rng rng(7);
+    for (int i = 0; i < 10'000; ++i) {
+      SITSTATS_CHECK_OK(t.AppendRow(
+          {Value(rng.UniformInt(0, 1 << 20)), Value(rng.NextDouble())}));
+    }
+    SITSTATS_CHECK_OK(
+        catalog.AddTable(std::make_unique<Table>(std::move(t))));
+  }
+  ASSERT_TRUE(SaveCatalogBinary(catalog, dir_).ok());
+  std::unique_ptr<Catalog> mapped = LoadCatalogBinary(dir_).ValueOrDie();
+
+  SequentialScan row_scan =
+      SequentialScan::Open(&catalog, "N", {"k", "x"}).ValueOrDie();
+  SequentialScan batch_scan =
+      SequentialScan::Open(mapped.get(), "N", {"k", "x"}).ValueOrDie();
+  // An odd batch size exercises a ragged final batch.
+  ScanBatch batch;
+  size_t rows_seen = 0;
+  while (batch_scan.NextBatch(&batch, 997)) {
+    for (size_t r = 0; r < batch.num_rows; ++r) {
+      ASSERT_TRUE(row_scan.Next());
+      ASSERT_EQ(batch.column(0)[r], row_scan.value(0)) << rows_seen;
+      ASSERT_EQ(batch.column(1)[r], row_scan.value(1)) << rows_seen;
+      ++rows_seen;
+    }
+  }
+  EXPECT_FALSE(row_scan.Next());
+  EXPECT_EQ(rows_seen, 10'000u);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end byte identity: SITs built from a binary (mmap + batched)
+// catalog must serialize identically to SITs built from the same data
+// loaded via CSV, at every thread count.
+// ---------------------------------------------------------------------------
+
+JoinPredicate Join(const std::string& lt, const std::string& lc,
+                   const std::string& rt, const std::string& rc) {
+  return JoinPredicate{ColumnRef{lt, lc}, ColumnRef{rt, rc}};
+}
+
+/// Example 3's schema: two SITs sharing a scan of S.
+void MakeSharedScanDb(Catalog* catalog, std::vector<SitDescriptor>* sits) {
+  Rng rng(3);
+  Schema rs;
+  rs.AddColumn("r1", ValueType::kInt64);
+  rs.AddColumn("r2", ValueType::kInt64);
+  Table* r = catalog->CreateTable("R", rs).ValueOrDie();
+  Schema ss;
+  ss.AddColumn("s1", ValueType::kInt64);
+  ss.AddColumn("s2", ValueType::kInt64);
+  ss.AddColumn("s3", ValueType::kInt64);
+  ss.AddColumn("b", ValueType::kDouble);
+  Table* s = catalog->CreateTable("S", ss).ValueOrDie();
+  Schema ts;
+  ts.AddColumn("t3", ValueType::kInt64);
+  ts.AddColumn("a", ValueType::kInt64);
+  Table* t = catalog->CreateTable("T", ts).ValueOrDie();
+  const int64_t domain = 50;
+  for (size_t i = 0; i < 2'000; ++i) {
+    SITSTATS_CHECK_OK(r->AppendRow(
+        {Value(rng.UniformInt(1, domain)), Value(rng.UniformInt(1, domain))}));
+    int64_t s1 = rng.UniformInt(1, domain);
+    SITSTATS_CHECK_OK(s->AppendRow({Value(s1),
+                                    Value(rng.UniformInt(1, domain)),
+                                    Value((s1 * 3) % domain + 1),
+                                    Value(rng.NextDouble() * 100.0)}));
+    int64_t t3 = rng.UniformInt(1, domain);
+    SITSTATS_CHECK_OK(
+        t->AppendRow({Value(t3), Value((t3 * 7) % domain + 1)}));
+  }
+  auto q1 = GeneratingQuery::Create(
+      {"R", "S", "T"},
+      {Join("R", "r1", "S", "s1"), Join("S", "s3", "T", "t3")});
+  auto q2 = GeneratingQuery::Create({"R", "S"}, {Join("R", "r2", "S", "s2")});
+  sits->emplace_back(ColumnRef{"T", "a"}, q1.ValueOrDie());
+  sits->emplace_back(ColumnRef{"S", "b"}, q2.ValueOrDie());
+}
+
+std::string BuildAndSerializeSits(Catalog* catalog,
+                                  const std::vector<SitDescriptor>& sits,
+                                  int num_threads) {
+  SitProblemOptions poptions;
+  SitSchedulingProblem problem =
+      BuildSitSchedulingProblem(*catalog, sits, poptions).ValueOrDie();
+  SolverOptions soptions;
+  soptions.kind = SolverKind::kOptimal;
+  SolverResult solved = SolveSchedule(problem.problem, soptions).ValueOrDie();
+  BaseStatsCache stats;
+  ScheduleExecutionOptions eoptions;
+  eoptions.num_threads = num_threads;
+  ScheduleExecutionResult result =
+      ExecuteSitSchedule(catalog, &stats, sits, problem, solved.schedule,
+                         eoptions)
+          .ValueOrDie();
+  std::string serialized;
+  for (const Sit& sit : result.sits) serialized += SerializeSit(sit);
+  return serialized;
+}
+
+TEST_F(ColumnFileTest, SitsAreByteIdenticalAcrossFormatAndThreadCount) {
+  Catalog original;
+  std::vector<SitDescriptor> sits;
+  MakeSharedScanDb(&original, &sits);
+  ASSERT_TRUE(SaveCatalogCsv(original, dir_).ok());
+  ASSERT_TRUE(SaveCatalogBinary(original, dir_).ok());
+
+  std::string reference;
+  for (bool binary : {false, true}) {
+    for (int threads : {1, 2, 8}) {
+      std::unique_ptr<Catalog> catalog =
+          (binary ? LoadCatalogBinary(dir_) : LoadCatalogCsv(dir_))
+              .ValueOrDie();
+      std::string serialized =
+          BuildAndSerializeSits(catalog.get(), sits, threads);
+      EXPECT_FALSE(serialized.empty());
+      if (reference.empty()) {
+        reference = serialized;
+      } else {
+        EXPECT_EQ(serialized, reference)
+            << "format=" << (binary ? "binary" : "csv")
+            << " threads=" << threads;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sitstats

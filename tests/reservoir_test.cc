@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
 #include <map>
 #include <numeric>
+#include <span>
 
 #include "sampling/bernoulli.h"
 
@@ -144,11 +148,119 @@ TEST(ReservoirTest, StreamCountsPastUint32StayExact) {
   EXPECT_GT(late, 0);
 }
 
+TEST(ReservoirTest, CapacityEqualToStreamLengthKeepsEverything) {
+  // Boundary: the fill phase exactly consumes the stream. No replacement
+  // draw may fire, so the sample is the stream verbatim and the rng is
+  // untouched (checked by comparing against a fresh rng's next draw).
+  Rng rng(41);
+  Rng control(41);
+  const size_t kLen = 256;
+  ReservoirSampler sampler(kLen, &rng);
+  for (size_t i = 0; i < kLen; ++i) sampler.Add(static_cast<double>(i));
+  ASSERT_EQ(sampler.sample().size(), kLen);
+  EXPECT_EQ(sampler.stream_size(), kLen);
+  for (size_t i = 0; i < kLen; ++i) {
+    EXPECT_EQ(sampler.sample()[i], static_cast<double>(i));
+  }
+  EXPECT_EQ(rng.NextDouble(), control.NextDouble());
+}
+
+TEST(ReservoirTest, CapacityOneLessThanStreamLengthDrawsExactlyOnce) {
+  // Boundary: stream_length == capacity + 1 — exactly one replacement
+  // decision happens, for the final element.
+  Rng rng(43);
+  Rng control(43);
+  const size_t kCap = 255;
+  ReservoirSampler sampler(kCap, &rng);
+  for (size_t i = 0; i < kCap + 1; ++i) sampler.Add(static_cast<double>(i));
+  EXPECT_EQ(sampler.sample().size(), kCap);
+  EXPECT_EQ(sampler.stream_size(), kCap + 1);
+  // The one decision consumed exactly one draw.
+  (void)control.UniformInt(0, static_cast<int64_t>(kCap + 1) - 1);
+  EXPECT_EQ(rng.NextDouble(), control.NextDouble());
+}
+
+TEST(ReservoirTest, AddRepeatedAtCapacityBoundaries) {
+  // AddRepeated runs hitting exactly capacity and capacity - 1: the
+  // sample must never report more elements than were offered, and the
+  // accept set must match per-element Add exactly (same seed).
+  for (uint64_t delta : {uint64_t{0}, uint64_t{1}}) {
+    const uint64_t kCap = 128;
+    const uint64_t len = kCap - delta;
+    Rng rng_run(47);
+    Rng rng_single(47);
+    ReservoirSampler via_run(kCap, &rng_run);
+    ReservoirSampler via_add(kCap, &rng_single);
+    via_run.AddRepeated(7.5, len);
+    for (uint64_t i = 0; i < len; ++i) via_add.Add(7.5);
+    EXPECT_EQ(via_run.stream_size(), len);
+    EXPECT_EQ(via_run.sample().size(), len);
+    EXPECT_EQ(via_run.sample(), via_add.sample());
+    EXPECT_EQ(rng_run.NextDouble(), rng_single.NextDouble());
+  }
+}
+
+TEST(ReservoirTest, AddBatchMatchesPerElementAddExactly) {
+  // The batched sweep path feeds the reservoir whole spans; the accept
+  // set (and hence the built SIT) must be byte-identical to per-element
+  // offers with the same seed — including when the batch straddles the
+  // fill/replace boundary.
+  std::vector<double> stream;
+  for (int i = 0; i < 5'000; ++i) stream.push_back(i * 0.5);
+  for (size_t batch_size : {1ul, 7ul, 100ul, 4'096ul, 5'000ul}) {
+    Rng rng_batch(53);
+    Rng rng_single(53);
+    ReservoirSampler batched(100, &rng_batch);
+    ReservoirSampler single(100, &rng_single);
+    for (size_t begin = 0; begin < stream.size(); begin += batch_size) {
+      size_t n = std::min(batch_size, stream.size() - begin);
+      batched.AddBatch(std::span<const double>(stream.data() + begin, n));
+    }
+    for (double v : stream) single.Add(v);
+    EXPECT_EQ(batched.stream_size(), single.stream_size());
+    EXPECT_EQ(batched.sample(), single.sample()) << "batch " << batch_size;
+  }
+}
+
 TEST(BernoulliSampleTest, RateZeroAndOne) {
   Rng rng(19);
   std::vector<double> values(100, 1.0);
   EXPECT_TRUE(BernoulliSample(values, 0.0, &rng).empty());
   EXPECT_EQ(BernoulliSample(values, 1.0, &rng).size(), 100u);
+}
+
+TEST(BernoulliSampleTest, BoundaryRatesAgreeWithSampleSizeClamp) {
+  // The sampler's boundary semantics mirror CostModel::SampleSize's
+  // [0, num_rows] clamp: nothing kept at rate <= 0 or NaN, everything at
+  // rate >= 1 (without consuming randomness).
+  Rng rng(59);
+  std::vector<double> values(1'000, 1.0);
+  EXPECT_TRUE(BernoulliSample(values, -0.5, &rng).empty());
+  EXPECT_TRUE(
+      BernoulliSample(values, std::numeric_limits<double>::quiet_NaN(), &rng)
+          .empty());
+  EXPECT_EQ(BernoulliSample(values, 1.0 + 1e-9, &rng).size(), 1'000u);
+  // A denormal rate is a legal (0, 1) probability: each element keeps
+  // with probability ~5e-324, so nothing survives here — but the call
+  // must not trip the reserve-size cast or treat the rate as zero-or-one.
+  std::vector<double> denormal_sample = BernoulliSample(
+      values, std::numeric_limits<double>::denorm_min(), &rng);
+  EXPECT_LE(denormal_sample.size(), values.size());
+}
+
+TEST(BernoulliSampleTest, AppendFormMatchesWholeVectorAcceptSet) {
+  std::vector<double> values;
+  for (int i = 0; i < 10'000; ++i) values.push_back(i);
+  Rng rng_whole(61);
+  Rng rng_chunks(61);
+  std::vector<double> whole = BernoulliSample(values, 0.3, &rng_whole);
+  std::vector<double> chunked;
+  for (size_t begin = 0; begin < values.size(); begin += 997) {
+    size_t n = std::min<size_t>(997, values.size() - begin);
+    BernoulliSampleAppend(values.data() + begin, n, 0.3, &rng_chunks,
+                          &chunked);
+  }
+  EXPECT_EQ(chunked, whole);
 }
 
 TEST(BernoulliSampleTest, ApproximatesRate) {

@@ -172,6 +172,69 @@ TEST_F(TableIoTest, TrailingGarbageNamesTheColumn) {
       << result.status().message();
 }
 
+TEST_F(TableIoTest, CrlfLineEndingsAreTolerated) {
+  // A CSV written on Windows terminates every line with "\r\n"; getline
+  // leaves the '\r' on the line, and before the explicit strip the last
+  // cell of every row ("1.5\r") failed the numeric parse.
+  std::string path = dir_ + "/crlf.csv";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "k:int64,x:double\r\n1,1.5\r\n-2,2.5\r\n";
+  }
+  Table table = ReadTableCsv("T", path).ValueOrDie();
+  ASSERT_EQ(table.num_rows(), 2u);
+  EXPECT_EQ(table.column(0).int64_data()[0], 1);
+  EXPECT_EQ(table.column(1).double_data()[0], 1.5);
+  EXPECT_EQ(table.column(0).int64_data()[1], -2);
+  EXPECT_EQ(table.column(1).double_data()[1], 2.5);
+}
+
+TEST_F(TableIoTest, CrlfOnStringColumnDoesNotLeakIntoCells) {
+  std::string path = dir_ + "/crlf_str.csv";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "s:string\r\nalpha\r\n";
+  }
+  Table table = ReadTableCsv("T", path).ValueOrDie();
+  ASSERT_EQ(table.num_rows(), 1u);
+  EXPECT_EQ(table.column(0).string_data()[0], "alpha");
+}
+
+TEST_F(TableIoTest, TrailingDelimiterIsARowArityError) {
+  // "1,2.5," splits into three fields (the last empty) against a
+  // two-column schema: a malformed row with row context, not a silently
+  // dropped or misparsed cell.
+  std::string path = dir_ + "/trailing.csv";
+  {
+    std::ofstream out(path);
+    out << "k:int64,x:double\n1,2.5,\n";
+  }
+  Result<Table> result = ReadTableCsv("T", path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find(":2:"), std::string::npos)
+      << result.status().message();
+  EXPECT_NE(result.status().message().find("got 3"), std::string::npos)
+      << result.status().message();
+}
+
+TEST_F(TableIoTest, EmptyTrailingCellNamesTheColumn) {
+  // Same shape but the arity matches — the empty final cell must fail the
+  // checked numeric parse with row and column context.
+  std::string path = dir_ + "/empty_cell.csv";
+  {
+    std::ofstream out(path);
+    out << "k:int64,x:double\n1,\n";
+  }
+  Result<Table> result = ReadTableCsv("T", path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find(":2:"), std::string::npos)
+      << result.status().message();
+  EXPECT_NE(result.status().message().find("column x"), std::string::npos)
+      << result.status().message();
+}
+
 TEST_F(TableIoTest, SaveToMissingDirectoryFails) {
   Catalog catalog;
   EXPECT_EQ(SaveCatalogCsv(catalog, "/nonexistent/dir").code(),

@@ -250,8 +250,7 @@ TEST(CatalogValidateTest, IndexCheckValidCatchesCellDisagreement) {
   // Rewrite a key cell underneath the index: same row count, wrong cells.
   Table* table = catalog.GetMutableTable("T").ValueOrDie();
   Column* column = table->GetMutableColumn("k").ValueOrDie();
-  std::vector<int64_t>& data =
-      const_cast<std::vector<int64_t>&>(column->int64_data());
+  int64_t* data = const_cast<int64_t*>(column->int64_data().data());
   data[0] += 1000;
   EXPECT_FALSE(index->CheckValid(*table).ok());
   EXPECT_FALSE(catalog.ValidateConsistency().ok());

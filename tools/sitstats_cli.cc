@@ -4,6 +4,7 @@
 //   sitstats_cli generate-chain DIR [--tables N] [--rows N] [--domain N]
 //                                   [--zipf Z] [--seed S]
 //   sitstats_cli generate-tpch  DIR [--customers N] [--orders N] [--seed S]
+//   sitstats_cli import         SRCDIR DSTDIR
 //   sitstats_cli inspect        DIR
 //   sitstats_cli build-sit      DIR --attr T.col --join A.x=B.y [--join ...]
 //                                   [--variant Sweep|SweepIndex|SweepFull|
@@ -37,13 +38,18 @@
 // worker threads (0 or unset defers to $SITSTATS_THREADS, default serial);
 // built SITs are identical at any thread count.
 //
-// Data directories are the CSV catalogs written by generate-* (one CSV per
-// table plus a MANIFEST); statistics files are the text SIT catalogs of
-// sit/serialization.h.
+// Data directories come in two formats, auto-detected on load: the CSV
+// catalogs written by generate-* (one CSV per table plus a MANIFEST), and
+// the binary colfile catalogs written by `import` (one mmap-able .col per
+// column plus a MANIFEST.bin, which wins when both are present). `import`
+// converts a CSV directory to binary — CSV stays the one parse path, the
+// serving path scans the binary zero-copy. Statistics files are the text
+// SIT catalogs of sit/serialization.h.
 
 #include <cstdio>
 #include <cstdlib>
 
+#include <filesystem>
 #include <limits>
 #include <map>
 #include <optional>
@@ -186,10 +192,31 @@ int GenerateTpch(const Args& args) {
   return 0;
 }
 
+int Import(const Args& args) {
+  if (args.positional.size() < 2) {
+    return Fail("import needs SRCDIR DSTDIR");
+  }
+  const std::string& src = args.positional[0];
+  const std::string& dst = args.positional[1];
+  Result<std::unique_ptr<Catalog>> catalog = LoadCatalog(src);
+  if (!catalog.ok()) return FailStatus(catalog.status());
+  std::error_code ec;
+  std::filesystem::create_directories(dst, ec);
+  if (ec) return Fail("cannot create " + dst + ": " + ec.message());
+  Status saved = SaveCatalogBinary(**catalog, dst);
+  if (!saved.ok()) return FailStatus(saved);
+  size_t columns = 0;
+  for (const std::string& name : (*catalog)->TableNames()) {
+    columns += (*catalog)->GetTable(name).ValueOrDie()->num_columns();
+  }
+  std::printf("imported %zu tables (%zu colfiles) from %s to %s\n",
+              (*catalog)->num_tables(), columns, src.c_str(), dst.c_str());
+  return 0;
+}
+
 int Inspect(const Args& args) {
   if (args.positional.empty()) return Fail("inspect needs DIR");
-  Result<std::unique_ptr<Catalog>> catalog =
-      LoadCatalogCsv(args.positional[0]);
+  Result<std::unique_ptr<Catalog>> catalog = LoadCatalog(args.positional[0]);
   if (!catalog.ok()) return FailStatus(catalog.status());
   for (const std::string& name : (*catalog)->TableNames()) {
     const Table* table = (*catalog)->GetTable(name).ValueOrDie();
@@ -201,7 +228,7 @@ int Inspect(const Args& args) {
 
 int BuildSit(const Args& args) {
   if (args.positional.empty()) return Fail("build-sit needs DIR");
-  auto catalog_result = LoadCatalogCsv(args.positional[0]);
+  auto catalog_result = LoadCatalog(args.positional[0]);
   if (!catalog_result.ok()) return FailStatus(catalog_result.status());
   std::unique_ptr<Catalog> catalog = std::move(catalog_result).ValueOrDie();
 
@@ -245,7 +272,7 @@ int BuildSit(const Args& args) {
 
 int Estimate(const Args& args) {
   if (args.positional.empty()) return Fail("estimate needs DIR");
-  auto catalog_result = LoadCatalogCsv(args.positional[0]);
+  auto catalog_result = LoadCatalog(args.positional[0]);
   if (!catalog_result.ok()) return FailStatus(catalog_result.status());
   std::unique_ptr<Catalog> catalog = std::move(catalog_result).ValueOrDie();
 
@@ -288,7 +315,7 @@ int RunSchedule(const Args& args) {
   if (args.sits.empty()) {
     return Fail("schedule needs at least one --sit \"T.col:A.x=B.y;...\"");
   }
-  auto catalog_result = LoadCatalogCsv(args.positional[0]);
+  auto catalog_result = LoadCatalog(args.positional[0]);
   if (!catalog_result.ok()) return FailStatus(catalog_result.status());
   std::unique_ptr<Catalog> catalog = std::move(catalog_result).ValueOrDie();
 
@@ -423,8 +450,8 @@ int RunQuery(const Args& args) {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: sitstats_cli <generate-chain|generate-tpch|inspect|build-sit|"
-      "estimate|schedule|query> ...\n"
+      "usage: sitstats_cli <generate-chain|generate-tpch|import|inspect|"
+      "build-sit|estimate|schedule|query> ...\n"
       "global flags: --trace-out FILE --metrics-out FILE --log-level LVL\n"
       "(see the header comment of tools/sitstats_cli.cc)\n");
   return 2;
@@ -433,6 +460,7 @@ int Usage() {
 int Dispatch(const std::string& command, const Args& args) {
   if (command == "generate-chain") return GenerateChain(args);
   if (command == "generate-tpch") return GenerateTpch(args);
+  if (command == "import") return Import(args);
   if (command == "inspect") return Inspect(args);
   if (command == "build-sit") return BuildSit(args);
   if (command == "estimate") return Estimate(args);

@@ -96,7 +96,7 @@ int Main(int argc, char** argv) {
   std::string socket_path = flags->Get("socket", "");
   if (socket_path.empty()) return Fail("--socket PATH is required");
 
-  Result<std::unique_ptr<Catalog>> catalog = LoadCatalogCsv(flags->dir);
+  Result<std::unique_ptr<Catalog>> catalog = LoadCatalog(flags->dir);
   if (!catalog.ok()) return FailStatus(catalog.status());
 
   ServerOptions options;
