@@ -1,0 +1,205 @@
+#include "scheduler/bnb_solver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "common/timer.h"
+#include "scheduler/reduction.h"
+#include "scheduler/scs_internal.h"
+#include "telemetry/telemetry.h"
+
+namespace sitstats {
+
+namespace {
+
+/// Depth-first branch-and-bound over the (already reduced) SCS graph.
+/// Children of a node are ordered by f = g + h, so the first descent is
+/// the heuristic's best guess and the incumbent tightens early; bounds
+/// are re-checked against the incumbent before every descent.
+class BranchAndBound {
+ public:
+  BranchAndBound(const SchedulingProblem& problem,
+                 const SolverOptions& options, Schedule incumbent)
+      : problem_(problem),
+        options_(options),
+        occ_(scs::SuffixOccurrences(problem)),
+        caps_(scs::PerScanCaps(problem)),
+        best_(std::move(incumbent)) {}
+
+  Result<Schedule> Run(uint64_t* nodes_expanded) {
+    scs::ScsState start(problem_.num_sequences(), 0);
+    Status status = Dfs(start, 0.0);
+    *nodes_expanded = nodes_;
+    SITSTATS_RETURN_IF_ERROR(status);
+    return std::move(best_);
+  }
+
+ private:
+  bool IsGoal(const scs::ScsState& state) const {
+    for (size_t i = 0; i < state.size(); ++i) {
+      if (state[i] != problem_.sequence(i).size()) return false;
+    }
+    return true;
+  }
+
+  Status Dfs(const scs::ScsState& state, double g) {
+    SITSTATS_FAULT_SITE("scheduler.bnb.node");
+    ++nodes_;
+    if (options_.max_expansions > 0 && nodes_ > options_.max_expansions) {
+      return Status::ResourceExhausted(
+          "branch-and-bound exceeded max_expansions = " +
+          std::to_string(options_.max_expansions));
+    }
+    if (IsGoal(state)) {
+      if (g < best_.cost - 1e-9) {
+        best_.cost = g;
+        best_.steps = path_;
+      }
+      return Status::OK();
+    }
+    if (g + scs::Heuristic(problem_, occ_, caps_, state) >=
+        best_.cost - 1e-9) {
+      return Status::OK();  // bound: cannot beat the incumbent
+    }
+    // Dominance over interned states: a revisit at no-better g explores a
+    // subtree of what the first visit already explored under a bound at
+    // least as tight.
+    auto [it, inserted] = seen_.emplace(state, g);
+    if (!inserted) {
+      if (it->second <= g + 1e-12) return Status::OK();
+      it->second = g;
+    }
+
+    struct Child {
+      double f = 0.0;
+      double g = 0.0;
+      ScheduleStep step;
+      scs::ScsState next;
+    };
+    std::vector<Child> children;
+    std::map<int, std::vector<size_t>> candidates;
+    for (size_t i = 0; i < state.size(); ++i) {
+      const std::vector<int>& seq = problem_.sequence(i);
+      if (state[i] < seq.size()) {
+        candidates[seq[state[i]]].push_back(i);
+      }
+    }
+    for (const auto& [table, cand] : candidates) {
+      size_t k = cand.size();
+      double cap = caps_[static_cast<size_t>(table)];
+      if (std::isfinite(cap)) {
+        k = std::min(k, static_cast<size_t>(cap));
+      }
+      if (k == 0) continue;  // cannot scan this table at all
+      if (scs::CombinationCount(cand.size(), k,
+                                scs::kMaxSuccessorsPerTable) >=
+          scs::kMaxSuccessorsPerTable) {
+        return Status::ResourceExhausted(
+            "branch-and-bound advancing-set fan-out C(" +
+            std::to_string(cand.size()) + ", " + std::to_string(k) +
+            ") exceeds the successor limit");
+      }
+      double g_child = g + problem_.scan_cost(table);
+      // Enumerate all size-k subsets of cand (maximum-cardinality sets
+      // dominate their subsets at equal cost).
+      std::vector<size_t> pick(k);
+      for (size_t i = 0; i < k; ++i) pick[i] = i;
+      while (true) {
+        Child child;
+        child.next = state;
+        child.step.table = table;
+        for (size_t idx : pick) {
+          child.next[cand[idx]] += 1;
+          child.step.advanced.push_back(cand[idx]);
+        }
+        child.g = g_child;
+        child.f =
+            g_child + scs::Heuristic(problem_, occ_, caps_, child.next);
+        if (child.f < best_.cost - 1e-9) {
+          children.push_back(std::move(child));
+        }
+        // Next combination.
+        size_t j = k;
+        while (j > 0) {
+          --j;
+          if (pick[j] != j + cand.size() - k) break;
+          if (j == 0) {
+            j = SIZE_MAX;
+            break;
+          }
+        }
+        if (j == SIZE_MAX) break;
+        ++pick[j];
+        for (size_t l = j + 1; l < k; ++l) pick[l] = pick[l - 1] + 1;
+      }
+    }
+    // Candidates were generated in (table, combination) order, so a
+    // stable sort on f keeps the whole search deterministic.
+    std::stable_sort(children.begin(), children.end(),
+                     [](const Child& a, const Child& b) { return a.f < b.f; });
+    for (Child& child : children) {
+      if (child.f >= best_.cost - 1e-9) continue;  // incumbent improved
+      path_.push_back(child.step);
+      Status status = Dfs(child.next, child.g);
+      path_.pop_back();
+      SITSTATS_RETURN_IF_ERROR(status);
+    }
+    return Status::OK();
+  }
+
+  const SchedulingProblem& problem_;
+  const SolverOptions& options_;
+  std::vector<std::vector<std::vector<uint16_t>>> occ_;
+  std::vector<double> caps_;
+  Schedule best_;
+  std::vector<ScheduleStep> path_;
+  std::unordered_map<scs::ScsState, double, scs::ScsStateHash> seen_;
+  uint64_t nodes_ = 0;
+};
+
+}  // namespace
+
+Result<SolverResult> SolveExactSchedule(const SchedulingProblem& problem,
+                                        const SolverOptions& options) {
+  Timer timer;
+  SITSTATS_ASSIGN_OR_RETURN(ReducedInstance reduced,
+                            ReduceInstance(problem));
+  const ReductionStats& rstats = reduced.stats();
+  telemetry::MetricsRegistry::Global()
+      .GetCounter("scheduler.exact.rules_fired")
+      .Increment(rstats.rules_fired());
+  telemetry::MetricsRegistry::Global()
+      .GetGauge("scheduler.exact.reduction_ratio")
+      .Set(rstats.ReductionRatio());
+
+  SolverResult result;
+  Schedule core;
+  if (reduced.problem().num_sequences() > 0) {
+    // Greedy on the reduced instance acquires the incumbent upper bound;
+    // when the heuristic already matches its cost, the root is pruned
+    // immediately and the incumbent is returned as proved optimal.
+    SolverOptions greedy_options;
+    greedy_options.kind = SolverKind::kGreedy;
+    SITSTATS_ASSIGN_OR_RETURN(
+        SolverResult incumbent,
+        SolveSchedule(reduced.problem(), greedy_options));
+    BranchAndBound bnb(reduced.problem(), options,
+                       std::move(incumbent.schedule));
+    SITSTATS_ASSIGN_OR_RETURN(core, bnb.Run(&result.nodes_expanded));
+  }
+  SITSTATS_ASSIGN_OR_RETURN(result.schedule, reduced.Expand(core));
+  result.proved_optimal = true;
+  result.optimization_seconds = timer.ElapsedSeconds();
+  telemetry::MetricsRegistry::Global()
+      .GetCounter("scheduler.exact.nodes")
+      .Increment(result.nodes_expanded);
+  return result;
+}
+
+}  // namespace sitstats

@@ -1,0 +1,27 @@
+#ifndef SITSTATS_SCHEDULER_BNB_SOLVER_H_
+#define SITSTATS_SCHEDULER_BNB_SOLVER_H_
+
+#include "common/result.h"
+#include "scheduler/problem.h"
+#include "scheduler/solver.h"
+
+namespace sitstats {
+
+/// The SolverKind::kExact backend: optimality-preserving instance
+/// reductions (scheduler/reduction.h) followed by depth-first
+/// branch-and-bound on the reduced instance — Greedy supplies the
+/// incumbent upper bound, the suffix-occurrence heuristic the admissible
+/// lower bound, branching respects the per-table advancing capacities of
+/// the memory budget, and a transposition table over interned states
+/// prunes dominated revisits. Fully deterministic: no wall-clock
+/// condition influences the search. Returns a proved-optimal schedule,
+/// or kResourceExhausted once options.max_expansions nodes were expanded.
+///
+/// Called through SolveSchedule(problem, {.kind = SolverKind::kExact});
+/// calling it directly skips the entry validation and telemetry there.
+Result<SolverResult> SolveExactSchedule(const SchedulingProblem& problem,
+                                        const SolverOptions& options);
+
+}  // namespace sitstats
+
+#endif  // SITSTATS_SCHEDULER_BNB_SOLVER_H_

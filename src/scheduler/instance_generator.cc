@@ -51,6 +51,32 @@ Result<SchedulingProblem> MakeRandomInstance(const InstanceSpec& spec,
   return problem;
 }
 
+Result<SchedulingProblem> MakeTemplateInstance(const InstanceSpec& spec,
+                                               int num_templates,
+                                               Rng* rng) {
+  if (num_templates < 1) {
+    return Status::InvalidArgument("template pool must be non-empty");
+  }
+  InstanceSpec pool_spec = spec;
+  pool_spec.num_sits = num_templates;
+  SITSTATS_ASSIGN_OR_RETURN(SchedulingProblem pool,
+                            MakeRandomInstance(pool_spec, rng));
+  SchedulingProblem problem;
+  for (size_t t = 0; t < pool.num_tables(); ++t) {
+    int id = static_cast<int>(t);
+    problem.AddTable(pool.table_name(id), pool.scan_cost(id),
+                     pool.sample_size(id));
+  }
+  problem.set_memory_limit(pool.memory_limit());
+  for (int i = 0; i < spec.num_sits; ++i) {
+    size_t pick = static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(num_templates) - 1));
+    SITSTATS_RETURN_IF_ERROR(
+        problem.AddSequenceIds(pool.sequence(pick)).status());
+  }
+  return problem;
+}
+
 double LargestSampleSize(const SchedulingProblem& problem) {
   double largest = 0.0;
   for (size_t t = 0; t < problem.num_tables(); ++t) {

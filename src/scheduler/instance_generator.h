@@ -32,6 +32,16 @@ struct InstanceSpec {
 Result<SchedulingProblem> MakeRandomInstance(const InstanceSpec& spec,
                                              Rng* rng);
 
+/// Template workload: real SIT batches repeat a few query shapes, so
+/// their dependency sequences cluster around a small pool of templates.
+/// Draws the pool (`num_templates` sequences) per `spec`, then fills the
+/// instance with spec.num_sits sequences sampled uniformly from the pool
+/// — the regime where the reduction rules of scheduler/reduction.h
+/// collapse the instance while plain search still pays for every
+/// duplicate.
+Result<SchedulingProblem> MakeTemplateInstance(const InstanceSpec& spec,
+                                               int num_templates, Rng* rng);
+
 /// Sample size of the largest table in `problem` — the minimum feasible
 /// memory limit of any strategy (used as the low end of the Figure 10
 /// sweep).

@@ -56,17 +56,25 @@ Result<size_t> SchedulingProblem::AddSequenceIds(std::vector<int> ids) {
 }
 
 Status SchedulingProblem::Validate() const {
+  // NaN passes every ordered comparison below, so it must be rejected
+  // explicitly: a NaN limit would silently behave as "unbounded" and NaN
+  // costs/samples would corrupt every cap and cost computation downstream.
+  if (std::isnan(memory_limit_)) {
+    return Status::InvalidArgument("memory limit must not be NaN");
+  }
   if (memory_limit_ <= 0.0) {
     return Status::InvalidArgument("memory limit must be positive");
   }
   for (size_t t = 0; t < table_names_.size(); ++t) {
-    if (scan_cost_[t] < 0.0) {
-      return Status::InvalidArgument("negative scan cost for table " +
-                                     table_names_[t]);
+    if (!std::isfinite(scan_cost_[t]) || scan_cost_[t] < 0.0) {
+      return Status::InvalidArgument(
+          "scan cost for table " + table_names_[t] +
+          " must be finite and non-negative");
     }
-    if (sample_size_[t] < 0.0) {
-      return Status::InvalidArgument("negative sample size for table " +
-                                     table_names_[t]);
+    if (!std::isfinite(sample_size_[t]) || sample_size_[t] < 0.0) {
+      return Status::InvalidArgument(
+          "sample size for table " + table_names_[t] +
+          " must be finite and non-negative");
     }
   }
   std::set<int> used;

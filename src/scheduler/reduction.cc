@@ -1,0 +1,358 @@
+#include "scheduler/reduction.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+#include <utility>
+
+#include "common/fault_injection.h"
+#include "common/logging.h"
+#include "scheduler/scs_internal.h"
+
+namespace sitstats {
+
+namespace {
+
+/// Greedy leftmost embedding of `small` into `big`; empty result when
+/// `small` is not a subsequence of `big` (never the case for small empty).
+bool EmbedSubsequence(const std::vector<int>& small,
+                      const std::vector<int>& big,
+                      std::vector<size_t>* embedding) {
+  embedding->clear();
+  size_t p = 0;
+  for (int value : small) {
+    while (p < big.size() && big[p] != value) ++p;
+    if (p == big.size()) return false;
+    embedding->push_back(p);
+    ++p;
+  }
+  return true;
+}
+
+std::vector<size_t> IdentityMapping(size_t n) {
+  std::vector<size_t> map(n);
+  for (size_t i = 0; i < n; ++i) map[i] = i;
+  return map;
+}
+
+std::vector<size_t> MappingDropping(size_t parent_count, size_t dropped) {
+  std::vector<size_t> map;
+  map.reserve(parent_count - 1);
+  for (size_t i = 0; i < parent_count; ++i) {
+    if (i != dropped) map.push_back(i);
+  }
+  return map;
+}
+
+}  // namespace
+
+// The Transform type is private to ReducedInstance; the reducer runs as a
+// member-style free function through the friend declaration, so all the
+// rule passes live here as lambdas over the working sequence list.
+Result<ReducedInstance> ReduceInstance(const SchedulingProblem& problem,
+                                       const ReductionOptions& options) {
+  SITSTATS_RETURN_IF_ERROR(problem.Validate());
+  SITSTATS_FAULT_SITE("scheduler.reduce");
+
+  using Transform = ReducedInstance::Transform;
+  ReducedInstance out;
+  out.original_ = problem;
+  std::vector<std::vector<int>> seqs = problem.sequences();
+
+  out.stats_.original_sequences = seqs.size();
+  for (const std::vector<int>& s : seqs) {
+    out.stats_.original_elements += s.size();
+  }
+
+  const std::vector<double> caps = scs::PerScanCaps(problem);
+  // Sharing demand per table, counted over the ORIGINAL sequences: every
+  // sequence a subsumption drop can ever add back to a scan of t contains
+  // t originally, so cap_t >= demand_t guarantees the expanded advancing
+  // sets fit in memory at every level of the log.
+  std::vector<size_t> demand(problem.num_tables(), 0);
+  for (const std::vector<int>& s : seqs) {
+    std::set<int> distinct(s.begin(), s.end());
+    for (int t : distinct) ++demand[static_cast<size_t>(t)];
+  }
+
+  // Rule 1: unshareable-table hoisting. A scan of t can serve at most
+  // cap_t sequences, and only sequences containing t. With cap_t == 1 or
+  // t confined to one sequence, every scan of t advances exactly one
+  // sequence, so an exchange argument lets the scans of t be pulled out
+  // of any schedule as singleton steps without touching the rest:
+  // OPT(parent) = OPT(child) + occurrences(t) * Cost(t). Removal only
+  // shrinks containment counts, so the unshareable set computed at pass
+  // entry stays unshareable for every transform the pass emits.
+  auto hoist_pass = [&]() -> bool {
+    std::vector<size_t> contains(problem.num_tables(), 0);
+    for (const std::vector<int>& s : seqs) {
+      std::set<int> distinct(s.begin(), s.end());
+      for (int t : distinct) ++contains[static_cast<size_t>(t)];
+    }
+    std::vector<bool> unshareable(problem.num_tables(), false);
+    bool any_rule = false;
+    for (size_t t = 0; t < problem.num_tables(); ++t) {
+      if (contains[t] == 0) continue;
+      unshareable[t] = caps[t] < 2.0 || contains[t] <= 1;
+      any_rule = any_rule || unshareable[t];
+    }
+    if (!any_rule) return false;
+    bool changed = false;
+    for (size_t s = 0; s < seqs.size();) {
+      Transform tr;
+      tr.kind = Transform::Kind::kHoist;
+      tr.seq = s;
+      std::vector<int> kept;
+      for (size_t p = 0; p < seqs[s].size(); ++p) {
+        if (unshareable[static_cast<size_t>(seqs[s][p])]) {
+          tr.removed_positions.push_back(p);
+          tr.removed_tables.push_back(seqs[s][p]);
+        } else {
+          tr.kept_positions.push_back(p);
+          kept.push_back(seqs[s][p]);
+        }
+      }
+      if (tr.removed_positions.empty()) {
+        ++s;
+        continue;
+      }
+      out.stats_.elements_hoisted += tr.removed_positions.size();
+      changed = true;
+      if (kept.empty()) {
+        tr.child_to_parent = MappingDropping(seqs.size(), s);
+        seqs.erase(seqs.begin() + static_cast<ptrdiff_t>(s));
+      } else {
+        tr.child_to_parent = IdentityMapping(seqs.size());
+        seqs[s] = std::move(kept);
+        ++s;
+      }
+      out.log_.push_back(std::move(tr));
+    }
+    return changed;
+  };
+
+  // Rule 2: subsumed-sequence pruning. If sequence r is a subsequence of
+  // keeper k, any schedule completing k can complete r for free by adding
+  // r to the keeper scans at an embedding of r into k — provided memory
+  // allows the larger advancing sets, which cap_t >= demand_t guarantees
+  // for every table t of r. Conversely dropping r from a schedule never
+  // raises its cost. Hence OPT(parent) = OPT(child) and the expansion is
+  // cost-preserving. Identical sequences keep the lower index.
+  auto subsume_pass = [&]() -> bool {
+    bool changed = false;
+    for (size_t r = 0; r < seqs.size();) {
+      bool dropped = false;
+      for (size_t k = 0; k < seqs.size(); ++k) {
+        if (k == r || seqs[r].size() > seqs[k].size()) continue;
+        if (seqs[r].size() == seqs[k].size() &&
+            (seqs[r] != seqs[k] || k > r)) {
+          continue;
+        }
+        bool rides_free = true;
+        for (int t : std::set<int>(seqs[r].begin(), seqs[r].end())) {
+          if (caps[static_cast<size_t>(t)] <
+              static_cast<double>(demand[static_cast<size_t>(t)])) {
+            rides_free = false;
+            break;
+          }
+        }
+        if (!rides_free) continue;
+        Transform tr;
+        tr.kind = Transform::Kind::kDropSubsumed;
+        tr.seq = r;
+        tr.keeper = k;
+        if (!EmbedSubsequence(seqs[r], seqs[k], &tr.embedding)) continue;
+        tr.child_to_parent = MappingDropping(seqs.size(), r);
+        out.log_.push_back(std::move(tr));
+        seqs.erase(seqs.begin() + static_cast<ptrdiff_t>(r));
+        ++out.stats_.sequences_pruned;
+        changed = true;
+        dropped = true;
+        break;
+      }
+      if (!dropped) ++r;
+    }
+    return changed;
+  };
+
+  // Rule 3: forced-merge factoring. When every remaining sequence is
+  // about to scan the same table t and they all fit in one scan
+  // (count <= cap_t), some optimal schedule starts with exactly that
+  // step: the first scan of t in any optimal schedule can be moved to the
+  // front and widened to advance every sequence (advancing position-0
+  // elements earlier never invalidates later steps, and the widened set
+  // fits by assumption). Commit it, strip the fronts, recurse. The same
+  // argument applied to the reversed instance commits forced suffixes —
+  // the SCS objective and the per-step memory model are both
+  // reversal-symmetric.
+  auto commit_pass = [&](bool front) -> bool {
+    bool changed = false;
+    while (!seqs.empty()) {
+      int table = front ? seqs[0].front() : seqs[0].back();
+      bool aligned = true;
+      for (const std::vector<int>& s : seqs) {
+        if ((front ? s.front() : s.back()) != table) {
+          aligned = false;
+          break;
+        }
+      }
+      if (!aligned ||
+          static_cast<double>(seqs.size()) >
+              caps[static_cast<size_t>(table)]) {
+        break;
+      }
+      Transform tr;
+      tr.kind = front ? Transform::Kind::kCommitFront
+                      : Transform::Kind::kCommitBack;
+      tr.step_table = table;
+      tr.step_advanced = IdentityMapping(seqs.size());
+      std::vector<size_t> survivors;
+      for (size_t i = 0; i < seqs.size(); ++i) {
+        if (front) {
+          seqs[i].erase(seqs[i].begin());
+        } else {
+          seqs[i].pop_back();
+        }
+        if (!seqs[i].empty()) survivors.push_back(i);
+      }
+      tr.child_to_parent = survivors;
+      std::vector<std::vector<int>> next;
+      next.reserve(survivors.size());
+      for (size_t i : survivors) next.push_back(std::move(seqs[i]));
+      seqs = std::move(next);
+      out.log_.push_back(std::move(tr));
+      ++out.stats_.steps_committed;
+      changed = true;
+    }
+    return changed;
+  };
+
+  bool changed = true;
+  for (size_t round = 0; changed && round < options.max_rounds; ++round) {
+    changed = false;
+    if (options.hoist_unshareable) changed = hoist_pass() || changed;
+    if (options.prune_subsumed) changed = subsume_pass() || changed;
+    if (options.commit_forced) {
+      changed = commit_pass(/*front=*/true) || changed;
+      changed = commit_pass(/*front=*/false) || changed;
+    }
+  }
+
+  // Materialize the reduced problem over the same table ids.
+  for (size_t t = 0; t < problem.num_tables(); ++t) {
+    out.reduced_.AddTable(problem.table_name(static_cast<int>(t)),
+                          problem.scan_cost(static_cast<int>(t)),
+                          problem.sample_size(static_cast<int>(t)));
+  }
+  out.reduced_.set_memory_limit(problem.memory_limit());
+  for (std::vector<int>& s : seqs) {
+    SITSTATS_RETURN_IF_ERROR(
+        out.reduced_.AddSequenceIds(std::move(s)).status());
+  }
+  out.stats_.reduced_sequences = out.reduced_.num_sequences();
+  for (const std::vector<int>& s : out.reduced_.sequences()) {
+    out.stats_.reduced_elements += s.size();
+  }
+  return out;
+}
+
+Result<Schedule> ReducedInstance::Expand(
+    const Schedule& reduced_schedule) const {
+  // Catch misuse (a schedule for some other instance) at the boundary.
+  SITSTATS_RETURN_IF_ERROR(ValidateSchedule(reduced_, reduced_schedule));
+
+  std::vector<ScheduleStep> steps = reduced_schedule.steps;
+  for (auto it = log_.rbegin(); it != log_.rend(); ++it) {
+    const Transform& tr = *it;
+    // Lift the advancing sets from child to parent sequence indices.
+    for (ScheduleStep& step : steps) {
+      for (size_t& i : step.advanced) i = tr.child_to_parent[i];
+    }
+    switch (tr.kind) {
+      case Transform::Kind::kCommitFront:
+      case Transform::Kind::kCommitBack: {
+        ScheduleStep step;
+        step.table = tr.step_table;
+        step.advanced = tr.step_advanced;
+        if (tr.kind == Transform::Kind::kCommitFront) {
+          steps.insert(steps.begin(), std::move(step));
+        } else {
+          steps.push_back(std::move(step));
+        }
+        break;
+      }
+      case Transform::Kind::kDropSubsumed: {
+        // Re-add the dropped sequence to the keeper scans named by the
+        // embedding. p counts keeper advances == keeper positions.
+        size_t p = 0;
+        size_t q = 0;
+        for (ScheduleStep& step : steps) {
+          if (std::find(step.advanced.begin(), step.advanced.end(),
+                        tr.keeper) == step.advanced.end()) {
+            continue;
+          }
+          if (q < tr.embedding.size() && p == tr.embedding[q]) {
+            step.advanced.push_back(tr.seq);
+            ++q;
+          }
+          ++p;
+        }
+        if (q != tr.embedding.size()) {
+          return Status::Internal(
+              "reduction expansion failed to re-embed a subsumed sequence");
+        }
+        break;
+      }
+      case Transform::Kind::kHoist: {
+        // Reinsert the removed occurrences as singleton steps, in parent
+        // position order, around the surviving advances of tr.seq.
+        std::vector<ScheduleStep> rebuilt;
+        rebuilt.reserve(steps.size() + tr.removed_positions.size());
+        size_t kept = 0;
+        size_t q = 0;
+        for (ScheduleStep& step : steps) {
+          bool advances =
+              std::find(step.advanced.begin(), step.advanced.end(),
+                        tr.seq) != step.advanced.end();
+          if (advances) {
+            if (kept >= tr.kept_positions.size()) {
+              return Status::Internal(
+                  "reduction expansion advanced a hoisted sequence too "
+                  "often");
+            }
+            while (q < tr.removed_positions.size() &&
+                   tr.removed_positions[q] < tr.kept_positions[kept]) {
+              ScheduleStep singleton;
+              singleton.table = tr.removed_tables[q];
+              singleton.advanced = {tr.seq};
+              rebuilt.push_back(std::move(singleton));
+              ++q;
+            }
+            ++kept;
+          }
+          rebuilt.push_back(std::move(step));
+        }
+        while (q < tr.removed_positions.size()) {
+          ScheduleStep singleton;
+          singleton.table = tr.removed_tables[q];
+          singleton.advanced = {tr.seq};
+          rebuilt.push_back(std::move(singleton));
+          ++q;
+        }
+        steps = std::move(rebuilt);
+        break;
+      }
+    }
+  }
+
+  Schedule full;
+  full.steps = std::move(steps);
+  for (const ScheduleStep& step : full.steps) {
+    full.cost += original_.scan_cost(step.table);
+  }
+  SITSTATS_RETURN_IF_ERROR(ValidateSchedule(original_, full));
+  return full;
+}
+
+}  // namespace sitstats

@@ -1,0 +1,118 @@
+#ifndef SITSTATS_SCHEDULER_REDUCTION_H_
+#define SITSTATS_SCHEDULER_REDUCTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "scheduler/problem.h"
+
+namespace sitstats {
+
+/// Which reduction rules run. Every rule is optimality-preserving
+/// (OPT(original) = OPT(reduced) + cost of the committed/hoisted scans,
+/// see DESIGN.md "Exact scheduling"), so disabling one is purely a
+/// debugging aid.
+struct ReductionOptions {
+  /// Drop a sequence that is a subsequence of another whenever the memory
+  /// budget lets it ride along on the keeper's scans.
+  bool prune_subsumed = true;
+  /// Remove every occurrence of a table whose scans can never be shared
+  /// (advancing capacity 1, or the table appears in a single sequence);
+  /// the expansion reinserts them as singleton steps.
+  bool hoist_unshareable = true;
+  /// When every sequence's next (or last) pending table coincides and the
+  /// advancing set fits in memory, commit that step up front and strip the
+  /// elements — common-prefix/suffix factoring.
+  bool commit_forced = true;
+  /// Safety cap on fixpoint rounds (each round applies every enabled rule
+  /// until it stops firing); reduction strictly shrinks the instance, so
+  /// the cap is never reached in practice.
+  size_t max_rounds = 64;
+};
+
+struct ReductionStats {
+  size_t original_sequences = 0;
+  size_t original_elements = 0;
+  size_t reduced_sequences = 0;
+  size_t reduced_elements = 0;
+  /// Subsumed or duplicate sequences dropped.
+  uint64_t sequences_pruned = 0;
+  /// Unshareable-table occurrences removed (to return as singleton steps).
+  uint64_t elements_hoisted = 0;
+  /// Forced prefix/suffix steps committed.
+  uint64_t steps_committed = 0;
+
+  uint64_t rules_fired() const {
+    return sequences_pruned + elements_hoisted + steps_committed;
+  }
+  /// Fraction of sequence elements the rules removed: 0 = nothing fired,
+  /// 1 = the rules solved the whole instance.
+  double ReductionRatio() const {
+    if (original_elements == 0) return 0.0;
+    return 1.0 - static_cast<double>(reduced_elements) /
+                     static_cast<double>(original_elements);
+  }
+};
+
+/// A reduced SCS instance plus the replayable transformation log needed to
+/// expand a schedule for the reduced instance back into one for the
+/// original. Produced by ReduceInstance; self-contained (it keeps a copy
+/// of the original problem).
+class ReducedInstance {
+ public:
+  const SchedulingProblem& problem() const { return reduced_; }
+  const ReductionStats& stats() const { return stats_; }
+
+  /// Expands `reduced_schedule` — a complete schedule for problem() — into
+  /// a schedule for the original problem by replaying the transformation
+  /// log in reverse. The result is validated against the original problem
+  /// before being returned, so a bug in any rule surfaces here rather than
+  /// in the executor.
+  Result<Schedule> Expand(const Schedule& reduced_schedule) const;
+
+ private:
+  friend Result<ReducedInstance> ReduceInstance(const SchedulingProblem&,
+                                                const ReductionOptions&);
+
+  /// One log entry, recorded relative to the instance it was applied to
+  /// (its "parent"); applying a transform yields the next, smaller
+  /// instance (its "child"). Expansion walks the log backwards, each entry
+  /// lifting a child schedule to a parent schedule.
+  struct Transform {
+    enum class Kind { kHoist, kDropSubsumed, kCommitFront, kCommitBack };
+    Kind kind = Kind::kHoist;
+    /// child sequence index -> parent sequence index (identity except
+    /// where the transform dropped sequences).
+    std::vector<size_t> child_to_parent;
+    /// kHoist / kDropSubsumed: the parent sequence acted on.
+    size_t seq = 0;
+    /// kHoist: removed (position, table) pairs and the surviving parent
+    /// positions, all ascending.
+    std::vector<size_t> removed_positions;
+    std::vector<int> removed_tables;
+    std::vector<size_t> kept_positions;
+    /// kDropSubsumed: covering parent sequence, and embedding[q] = the
+    /// keeper position whose advance also advances element q of `seq`.
+    size_t keeper = 0;
+    std::vector<size_t> embedding;
+    /// kCommitFront / kCommitBack: the committed step (parent indices).
+    int step_table = -1;
+    std::vector<size_t> step_advanced;
+  };
+
+  SchedulingProblem original_;
+  SchedulingProblem reduced_;
+  ReductionStats stats_;
+  std::vector<Transform> log_;
+};
+
+/// Applies the optimality-preserving reduction rules to `problem` until
+/// none fires. `problem` must pass Validate(). Fault site:
+/// scheduler.reduce.
+Result<ReducedInstance> ReduceInstance(const SchedulingProblem& problem,
+                                       const ReductionOptions& options = {});
+
+}  // namespace sitstats
+
+#endif  // SITSTATS_SCHEDULER_REDUCTION_H_

@@ -2,14 +2,19 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <limits>
 #include <map>
 #include <queue>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/logging.h"
+#include "common/string_util.h"
 #include "common/timer.h"
+#include "scheduler/bnb_solver.h"
+#include "scheduler/scs_internal.h"
 #include "telemetry/telemetry.h"
 
 namespace sitstats {
@@ -24,13 +29,15 @@ const char* SolverKindToString(SolverKind kind) {
       return "Greedy";
     case SolverKind::kHybrid:
       return "Hybrid";
+    case SolverKind::kExact:
+      return "Exact";
   }
   return "?";
 }
 
 namespace {
 
-using State = std::vector<uint16_t>;
+using State = scs::ScsState;
 
 /// The Naive strategy: create each SIT separately, scanning its
 /// dependency sequence front to back.
@@ -52,42 +59,22 @@ Result<SolverResult> SolveNaive(const SchedulingProblem& problem) {
   return result;
 }
 
-/// Precomputed occurrence counts: occ[i][p][t] = how many times table t
-/// appears in sequence i from position p on. Drives the admissible
-/// heuristic h(u) = sum_t Cost(t) * max_i occ[i][u_i][t].
-std::vector<std::vector<std::vector<uint16_t>>> SuffixOccurrences(
-    const SchedulingProblem& problem) {
-  const size_t num_tables = problem.num_tables();
-  std::vector<std::vector<std::vector<uint16_t>>> occ(
-      problem.num_sequences());
-  for (size_t i = 0; i < problem.num_sequences(); ++i) {
-    const std::vector<int>& seq = problem.sequence(i);
-    occ[i].assign(seq.size() + 1,
-                  std::vector<uint16_t>(num_tables, 0));
-    for (size_t p = seq.size(); p-- > 0;) {
-      occ[i][p] = occ[i][p + 1];
-      occ[i][p][static_cast<size_t>(seq[p])] += 1;
-    }
-  }
-  return occ;
-}
-
 class AStarSolver {
  public:
   AStarSolver(const SchedulingProblem& problem, const SolverOptions& options)
       : problem_(problem),
         options_(options),
-        occ_(SuffixOccurrences(problem)) {
-    // Per-scan advancing capacity of each table under the memory limit
-    // (how many sequences one scan of t can serve).
-    caps_.resize(problem_.num_tables(),
-                 std::numeric_limits<double>::infinity());
-    if (std::isfinite(problem_.memory_limit())) {
-      for (size_t t = 0; t < problem_.num_tables(); ++t) {
-        double sample = problem_.sample_size(static_cast<int>(t));
-        if (sample > 0.0) {
-          caps_[t] = std::floor(problem_.memory_limit() / sample + 1e-9);
-        }
+        occ_(scs::SuffixOccurrences(problem)),
+        caps_(scs::PerScanCaps(problem)) {
+    // Remaining scan cost of each sequence suffix; ranks candidates when
+    // greedy mode picks one advancing set instead of enumerating them.
+    suffix_cost_.resize(problem_.num_sequences());
+    for (size_t i = 0; i < problem_.num_sequences(); ++i) {
+      const std::vector<int>& seq = problem_.sequence(i);
+      suffix_cost_[i].assign(seq.size() + 1, 0.0);
+      for (size_t p = seq.size(); p-- > 0;) {
+        suffix_cost_[i][p] =
+            suffix_cost_[i][p + 1] + problem_.scan_cost(seq[p]);
       }
     }
   }
@@ -102,13 +89,11 @@ class AStarSolver {
     }
 
     greedy_mode_ = options_.kind == SolverKind::kGreedy;
-    bool switched = false;
 
     int start_id = Intern(start);
     int goal_id = -1;  // resolved lazily when first generated
     g_[static_cast<size_t>(start_id)] = 0.0;
     open_.push(Entry{h_[static_cast<size_t>(start_id)], 0.0, start_id});
-    uint64_t expanded = 0;
 
     while (!open_.empty()) {
       Entry best = open_.top();
@@ -122,43 +107,39 @@ class AStarSolver {
         SolverResult result;
         result.schedule = Reconstruct(goal_id, start_id);
         result.optimization_seconds = timer.ElapsedSeconds();
-        result.nodes_expanded = expanded;
+        result.nodes_expanded = expanded_;
         result.proved_optimal =
             options_.kind == SolverKind::kOptimal ||
-            (options_.kind == SolverKind::kHybrid && !switched);
+            (options_.kind == SolverKind::kHybrid && !switched_);
         return result;
       }
-      ++expanded;
+      ++expanded_;
       if (options_.max_expansions > 0 &&
-          expanded > options_.max_expansions) {
+          expanded_ > options_.max_expansions) {
         return Status::ResourceExhausted(
             "A* exceeded max_expansions = " +
             std::to_string(options_.max_expansions));
       }
       if (options_.kind == SolverKind::kHybrid && !greedy_mode_) {
+        // The node budget is checked first: it is the only condition that
+        // fires at the same point on every run, so when several fire at
+        // once the recorded reason stays deterministic too.
+        bool nodes_up = options_.hybrid_switch_expansions > 0 &&
+                        expanded_ >= options_.hybrid_switch_expansions;
         bool time_up =
             timer.ElapsedSeconds() > options_.hybrid_switch_seconds;
         bool memory_up = options_.hybrid_switch_states > 0 &&
                          states_.size() > options_.hybrid_switch_states;
-        if (time_up || memory_up) {
-          greedy_mode_ = true;
-          switched = true;
-          static telemetry::Counter& hybrid_switches =
-              telemetry::MetricsRegistry::Global().GetCounter(
-                  "scheduler.hybrid_switches");
-          hybrid_switches.Increment();
-          telemetry::Tracer::Global().RecordInstant(
-              "scheduler.hybrid_switch",
-              {{"expanded", std::to_string(expanded)},
-               {"states", std::to_string(states_.size())},
-               {"reason", time_up ? "time" : "memory"}});
+        if (nodes_up || time_up || memory_up) {
+          SwitchToGreedy(nodes_up ? "expansions"
+                                  : time_up ? "time" : "memory");
         }
       }
       if (greedy_mode_) {
         // Greedy keeps only the successors of the node just expanded.
         open_ = {};
       }
-      ExpandNode(best.state_id, g_[best_idx]);
+      SITSTATS_RETURN_IF_ERROR(ExpandNode(best.state_id, g_[best_idx]));
     }
     return Status::Internal("A* exhausted the search space without a goal");
   }
@@ -174,18 +155,6 @@ class AStarSolver {
     }
   };
 
-  struct StateHash {
-    size_t operator()(const State& s) const {
-      // FNV-1a over the position bytes.
-      size_t h = 1469598103934665603ull;
-      for (uint16_t v : s) {
-        h ^= v;
-        h *= 1099511628211ull;
-      }
-      return h;
-    }
-  };
-
   /// Returns the dense id of `state`, creating it if new (g = +inf).
   /// The heuristic depends only on the state, so it is computed once here.
   int Intern(const State& state) {
@@ -194,45 +163,35 @@ class AStarSolver {
     if (inserted) {
       states_.push_back(state);
       g_.push_back(std::numeric_limits<double>::infinity());
-      h_.push_back(Heuristic(state));
+      h_.push_back(scs::Heuristic(problem_, occ_, caps_, state));
       came_from_.push_back({-1, ScheduleStep{}});
     }
     return it->second;
   }
 
-  /// Admissible lower bound on the remaining cost. Every common
-  /// supersequence of the remaining suffixes must scan table t at least
-  ///   max( max_i occ_i(t),                  -- some sequence needs it
-  ///        ceil( sum_i occ_i(t) / cap_t ) ) -- one scan serves <= cap_t
-  /// times; both bounds are exact counts of mandatory scans, so their max
-  /// weighted by Cost(t) never overestimates.
-  double Heuristic(const State& state) const {
-    const size_t num_tables = problem_.num_tables();
-    std::vector<uint16_t> needed(num_tables, 0);
-    std::vector<double> total(num_tables, 0.0);
-    for (size_t i = 0; i < state.size(); ++i) {
-      const std::vector<uint16_t>& counts = occ_[i][state[i]];
-      for (size_t t = 0; t < num_tables; ++t) {
-        needed[t] = std::max(needed[t], counts[t]);
-        total[t] += counts[t];
-      }
-    }
-    double h = 0.0;
-    for (size_t t = 0; t < num_tables; ++t) {
-      double scans = needed[t];
-      if (std::isfinite(caps_[t]) && caps_[t] >= 1.0) {
-        scans = std::max(scans, std::ceil(total[t] / caps_[t] - 1e-9));
-      }
-      h += scans * problem_.scan_cost(static_cast<int>(t));
-    }
-    return h;
+  void SwitchToGreedy(const char* reason) {
+    greedy_mode_ = true;
+    switched_ = true;
+    static telemetry::Counter& hybrid_switches =
+        telemetry::MetricsRegistry::Global().GetCounter(
+            "scheduler.hybrid_switches");
+    hybrid_switches.Increment();
+    telemetry::Tracer::Global().RecordInstant(
+        "scheduler.hybrid_switch",
+        {{"expanded", std::to_string(expanded_)},
+         {"states", std::to_string(states_.size())},
+         {"reason", reason}});
   }
 
   /// generateSuccessors (Section 4.3.1): for each scannable table, try
   /// every feasible advancing set. Advancing a superset dominates a
   /// subset at equal cost, so only maximum-cardinality subsets under the
-  /// memory limit are generated.
-  void ExpandNode(int state_id, double g) {
+  /// memory limit are generated. At C(n, k) beyond the enumeration budget
+  /// the exact search cannot continue (ResourceExhausted for kOptimal, a
+  /// forced greedy switch for kHybrid), while greedy mode — which keeps
+  /// only the best successor anyway — falls back to one deterministic
+  /// advancing set per table.
+  Status ExpandNode(int state_id, double g) {
     const State state = states_[static_cast<size_t>(state_id)];
     std::map<int, std::vector<size_t>> candidates;
     for (size_t i = 0; i < state.size(); ++i) {
@@ -242,15 +201,50 @@ class AStarSolver {
       }
     }
     for (const auto& [table, cand] : candidates) {
-      double sample = problem_.sample_size(table);
-      size_t cap = cand.size();
-      if (sample > 0.0 && std::isfinite(problem_.memory_limit())) {
-        cap = static_cast<size_t>(
-            std::floor(problem_.memory_limit() / sample + 1e-9));
-      }
-      size_t k = std::min(cand.size(), cap);
+      size_t k = cand.size();
+      double cap = caps_[static_cast<size_t>(table)];
+      if (std::isfinite(cap)) k = std::min(k, static_cast<size_t>(cap));
       if (k == 0) continue;  // cannot scan this table at all
       double g_new = g + problem_.scan_cost(table);
+      bool fan_out_exceeded =
+          scs::CombinationCount(cand.size(), k,
+                                scs::kMaxSuccessorsPerTable) >=
+          scs::kMaxSuccessorsPerTable;
+      if (fan_out_exceeded && !greedy_mode_) {
+        if (options_.kind == SolverKind::kHybrid) {
+          // A successor blow-up is the memory condition in disguise;
+          // finish this node greedily (OPEN drains stale A* entries over
+          // the next pops).
+          SwitchToGreedy("successors");
+        } else {
+          return Status::ResourceExhausted(
+              "A* advancing-set fan-out C(" + std::to_string(cand.size()) +
+              ", " + std::to_string(k) + ") exceeds the successor limit");
+        }
+      }
+      if (fan_out_exceeded && greedy_mode_) {
+        // One deterministic advancing set: the k sequences with the most
+        // expensive remaining suffixes (ties to the lower index) — the
+        // candidates the heuristic would rank first.
+        std::vector<size_t> order = cand;
+        std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+          double ca = suffix_cost_[a][state[a]];
+          double cb = suffix_cost_[b][state[b]];
+          if (ca != cb) return ca > cb;
+          return a < b;
+        });
+        order.resize(k);
+        std::sort(order.begin(), order.end());
+        State next = state;
+        ScheduleStep step;
+        step.table = table;
+        for (size_t i : order) {
+          next[i] += 1;
+          step.advanced.push_back(i);
+        }
+        Relax(state_id, next, g_new, std::move(step));
+        continue;
+      }
       // Enumerate all size-k subsets of cand.
       std::vector<size_t> pick(k);
       for (size_t i = 0; i < k; ++i) pick[i] = i;
@@ -278,6 +272,7 @@ class AStarSolver {
         for (size_t l = j + 1; l < k; ++l) pick[l] = pick[l - 1] + 1;
       }
     }
+    return Status::OK();
   }
 
   void Relax(int from_id, const State& next, double g_new,
@@ -315,9 +310,12 @@ class AStarSolver {
   const SchedulingProblem& problem_;
   const SolverOptions& options_;
   bool greedy_mode_ = false;
+  bool switched_ = false;
+  uint64_t expanded_ = 0;
   std::vector<std::vector<std::vector<uint16_t>>> occ_;
   std::vector<double> caps_;
-  std::unordered_map<State, int, StateHash> ids_;
+  std::vector<std::vector<double>> suffix_cost_;
+  std::unordered_map<State, int, scs::ScsStateHash> ids_;
   std::vector<State> states_;
   std::vector<double> g_;
   std::vector<double> h_;
@@ -335,9 +333,22 @@ Result<SolverResult> SolveSchedule(const SchedulingProblem& problem,
     empty.proved_optimal = true;
     return empty;
   }
-  for (size_t i = 0; i < problem.num_sequences(); ++i) {
-    if (problem.sequence(i).size() > 65'000) {
-      return Status::InvalidArgument("dependency sequence too long");
+  // Size/degeneracy checks the validator cannot make (they are solver
+  // representation limits, not problem invariants): kOutOfRange for
+  // sequences past the uint16 state limit, kInvalidArgument for a memory
+  // budget whose advancing capacity would degenerate the search.
+  SITSTATS_RETURN_IF_ERROR(scs::CheckInstanceForSearch(problem));
+  SolverOptions effective = options;
+  if (effective.hybrid_switch_expansions == 0) {
+    if (const char* env = std::getenv("SITSTATS_HYBRID_EXPANSIONS");
+        env != nullptr && *env != '\0') {
+      Result<int64_t> parsed = ParseInt64(env);
+      if (!parsed.ok() || *parsed < 0) {
+        return Status::InvalidArgument(
+            std::string("invalid SITSTATS_HYBRID_EXPANSIONS value \"") +
+            env + "\"");
+      }
+      effective.hybrid_switch_expansions = static_cast<uint64_t>(*parsed);
     }
   }
   const char* kind_name = SolverKindToString(options.kind);
@@ -348,7 +359,9 @@ Result<SolverResult> SolveSchedule(const SchedulingProblem& problem,
   Result<SolverResult> result =
       options.kind == SolverKind::kNaive
           ? SolveNaive(problem)
-          : AStarSolver(problem, options).Run();
+          : options.kind == SolverKind::kExact
+                ? SolveExactSchedule(problem, effective)
+                : AStarSolver(problem, effective).Run();
   if (!result.ok()) return result.status();
   SITSTATS_RETURN_IF_ERROR(ValidateSchedule(problem, result->schedule));
   // Debug builds additionally prove the cost is not below the single-scan

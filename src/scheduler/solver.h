@@ -21,6 +21,12 @@ enum class SolverKind {
   /// Starts as A*, switches to Greedy after a time budget
   /// (Section 4.3.2; the paper switches after one second).
   kHybrid,
+  /// Reduction rules + branch-and-bound (scheduler/reduction.h,
+  /// scheduler/bnb_solver.h): optimality-preserving instance shrinking,
+  /// then exact depth-first search bounded by a Greedy incumbent.
+  /// Guaranteed optimal, deterministic, and scales far past kOptimal on
+  /// instances the reductions can shrink.
+  kExact,
 };
 
 const char* SolverKindToString(SolverKind kind);
@@ -35,8 +41,15 @@ struct SolverOptions {
   /// memory"). 0 disables the state-count condition; whichever condition
   /// fires first wins.
   uint64_t hybrid_switch_states = 0;
-  /// Safety valve for kOptimal: abort with ResourceExhausted after this
-  /// many node expansions (0 = unlimited).
+  /// Deterministic switch condition: go greedy after this many node
+  /// expansions. Unlike the wall-clock budget this yields the same
+  /// schedule on every run, whatever the machine load — CI and the fault
+  /// sweep want that. 0 disables it; when 0, the environment variable
+  /// SITSTATS_HYBRID_EXPANSIONS supplies the value. Whichever enabled
+  /// condition fires first wins.
+  uint64_t hybrid_switch_expansions = 0;
+  /// Safety valve for kOptimal and kExact: abort with ResourceExhausted
+  /// after this many node expansions (0 = unlimited).
   uint64_t max_expansions = 0;
 };
 
@@ -45,8 +58,8 @@ struct SolverResult {
   /// Wall-clock optimization time.
   double optimization_seconds = 0.0;
   uint64_t nodes_expanded = 0;
-  /// True when the result is provably optimal (kOptimal, or kHybrid that
-  /// finished before switching).
+  /// True when the result is provably optimal (kOptimal, kExact, or
+  /// kHybrid that finished before switching).
   bool proved_optimal = false;
 };
 

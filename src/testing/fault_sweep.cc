@@ -297,6 +297,39 @@ Status RunWorkload(const FaultSweepOptions& options, const std::string& dir,
                          eopts));
   for (Sit& sit : executed.sits) state->sits.Add(std::move(sit));
 
+  // Exact scheduling layer: reductions + branch-and-bound over a small
+  // synthetic instance built to survive full reduction (two interleaved
+  // sequences with shareable scans), so both scheduler.reduce and
+  // scheduler.bnb.node are reachable and the search genuinely branches.
+  {
+    SchedulingProblem bnb_problem;
+    int a = bnb_problem.AddTable("bnb_a", 2.0, 10.0);
+    int b = bnb_problem.AddTable("bnb_b", 3.0, 10.0);
+    int c = bnb_problem.AddTable("bnb_c", 1.0, 10.0);
+    SITSTATS_RETURN_IF_ERROR(
+        bnb_problem.AddSequenceIds({a, b}).status());
+    SITSTATS_RETURN_IF_ERROR(
+        bnb_problem.AddSequenceIds({b, a}).status());
+    SITSTATS_RETURN_IF_ERROR(
+        bnb_problem.AddSequenceIds({a, c}).status());
+    bnb_problem.set_memory_limit(30.0);
+    SolverOptions xopts;
+    xopts.kind = SolverKind::kExact;
+    xopts.max_expansions = 100'000;
+    SITSTATS_ASSIGN_OR_RETURN(SolverResult exact,
+                              SolveSchedule(bnb_problem, xopts));
+    SolverOptions gopts;
+    gopts.kind = SolverKind::kGreedy;
+    SITSTATS_ASSIGN_OR_RETURN(SolverResult greedy,
+                              SolveSchedule(bnb_problem, gopts));
+    if (exact.schedule.cost > greedy.schedule.cost + 1e-9 ||
+        !exact.proved_optimal) {
+      return Status::Internal("exact scheduler lost to greedy: " +
+                              std::to_string(exact.schedule.cost) + " vs " +
+                              std::to_string(greedy.schedule.cost));
+    }
+  }
+
   SITSTATS_RETURN_IF_ERROR(RunSerializationStage(dir, state));
   SITSTATS_RETURN_IF_ERROR(RunTelemetryStage(dir));
   return RunServerStage(options, dir);

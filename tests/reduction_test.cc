@@ -1,0 +1,212 @@
+// Unit tests for the optimality-preserving instance reductions
+// (scheduler/reduction.h): each rule in isolation, the transformation-log
+// expansion back to full schedules, the memory gates that keep unsound
+// applications off, and the reduction statistics.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/logging.h"
+#include "scheduler/instance_generator.h"
+#include "scheduler/reduction.h"
+#include "scheduler/solver.h"
+
+namespace sitstats {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(ReductionTest, FullyReducesTrivialInstance) {
+  // x appears in one sequence only, and after hoisting it seq0 == seq1,
+  // which a subsumption drop plus one more hoist turns into nothing.
+  SchedulingProblem p;
+  int a = p.AddTable("a", 5.0, 10.0);
+  int x = p.AddTable("x", 3.0, 10.0);
+  SITSTATS_CHECK_OK(p.AddSequenceIds({a, x}).status());
+  SITSTATS_CHECK_OK(p.AddSequenceIds({a}).status());
+
+  ReducedInstance reduced = ReduceInstance(p).ValueOrDie();
+  EXPECT_EQ(reduced.problem().num_sequences(), 0u);
+  EXPECT_DOUBLE_EQ(reduced.stats().ReductionRatio(), 1.0);
+  EXPECT_GT(reduced.stats().rules_fired(), 0u);
+
+  // Expanding the (empty) core schedule rebuilds the full one: a shared
+  // once, x once = 8, which is the optimum.
+  Schedule expanded = reduced.Expand(Schedule{}).ValueOrDie();
+  SITSTATS_CHECK_OK(expanded.Validate(p));
+  EXPECT_DOUBLE_EQ(expanded.cost, 8.0);
+
+  SolverOptions opt;
+  opt.kind = SolverKind::kOptimal;
+  EXPECT_DOUBLE_EQ(SolveSchedule(p, opt).ValueOrDie().schedule.cost, 8.0);
+}
+
+TEST(ReductionTest, CapOneTableIsHoistedAndPaysPerSequence) {
+  // cap(a) == 1, so scans of a can never be shared: both occurrences are
+  // hoisted and the rest of the instance collapses.
+  SchedulingProblem p;
+  int a = p.AddTable("a", 5.0, 50.0);
+  int b = p.AddTable("b", 2.0, 10.0);
+  SITSTATS_CHECK_OK(p.AddSequenceIds({a, b}).status());
+  SITSTATS_CHECK_OK(p.AddSequenceIds({a, b}).status());
+  p.set_memory_limit(50.0);
+
+  ReducedInstance reduced = ReduceInstance(p).ValueOrDie();
+  EXPECT_EQ(reduced.problem().num_sequences(), 0u);
+  EXPECT_GE(reduced.stats().elements_hoisted, 2u);
+
+  Schedule expanded = reduced.Expand(Schedule{}).ValueOrDie();
+  SITSTATS_CHECK_OK(expanded.Validate(p));
+  // Two unshared scans of a plus one shared scan of b.
+  EXPECT_DOUBLE_EQ(expanded.cost, 12.0);
+
+  SolverOptions opt;
+  opt.kind = SolverKind::kOptimal;
+  EXPECT_DOUBLE_EQ(SolveSchedule(p, opt).ValueOrDie().schedule.cost, 12.0);
+}
+
+TEST(ReductionTest, SubsumedSequencePrunedWhenMemoryAllows) {
+  SchedulingProblem p;
+  int a = p.AddTable("a", 4.0, 10.0);
+  int b = p.AddTable("b", 3.0, 10.0);
+  int c = p.AddTable("c", 2.0, 10.0);
+  SITSTATS_CHECK_OK(p.AddSequenceIds({a, b, c}).status());
+  SITSTATS_CHECK_OK(p.AddSequenceIds({a, c}).status());
+  p.set_memory_limit(kInf);
+
+  ReductionOptions only_subsume;
+  only_subsume.hoist_unshareable = false;
+  only_subsume.commit_forced = false;
+  ReducedInstance reduced = ReduceInstance(p, only_subsume).ValueOrDie();
+  ASSERT_EQ(reduced.problem().num_sequences(), 1u);
+  EXPECT_EQ(reduced.stats().sequences_pruned, 1u);
+  EXPECT_EQ(reduced.problem().sequence(0), p.sequence(0));
+
+  // Solve the reduced instance and expand: the subsumed sequence rides
+  // along on the keeper's a and c scans.
+  SolverOptions greedy;
+  greedy.kind = SolverKind::kGreedy;
+  Schedule core =
+      SolveSchedule(reduced.problem(), greedy).ValueOrDie().schedule;
+  Schedule expanded = reduced.Expand(core).ValueOrDie();
+  SITSTATS_CHECK_OK(expanded.Validate(p));
+  EXPECT_DOUBLE_EQ(expanded.cost, 9.0);  // one scan each of a, b, c
+}
+
+TEST(ReductionTest, SubsumptionGatedByMemorySlack) {
+  // seq1 is a subsequence of seq0, but cap(a) == 1 cannot carry both
+  // sequences on one scan, so the drop must not fire.
+  SchedulingProblem p;
+  int a = p.AddTable("a", 4.0, 50.0);
+  int b = p.AddTable("b", 3.0, 10.0);
+  SITSTATS_CHECK_OK(p.AddSequenceIds({a, b}).status());
+  SITSTATS_CHECK_OK(p.AddSequenceIds({a}).status());
+  p.set_memory_limit(50.0);
+
+  ReductionOptions only_subsume;
+  only_subsume.hoist_unshareable = false;
+  only_subsume.commit_forced = false;
+  ReducedInstance reduced = ReduceInstance(p, only_subsume).ValueOrDie();
+  EXPECT_EQ(reduced.problem().num_sequences(), 2u);
+  EXPECT_EQ(reduced.stats().sequences_pruned, 0u);
+}
+
+TEST(ReductionTest, ForcedPrefixAndSuffixCommit) {
+  SchedulingProblem p;
+  int x = p.AddTable("x", 7.0, 10.0);
+  int a = p.AddTable("a", 4.0, 10.0);
+  int b = p.AddTable("b", 3.0, 10.0);
+  int y = p.AddTable("y", 2.0, 10.0);
+  SITSTATS_CHECK_OK(p.AddSequenceIds({x, a, y}).status());
+  SITSTATS_CHECK_OK(p.AddSequenceIds({x, b, y}).status());
+  p.set_memory_limit(kInf);
+
+  ReductionOptions only_commit;
+  only_commit.hoist_unshareable = false;
+  only_commit.prune_subsumed = false;
+  ReducedInstance reduced = ReduceInstance(p, only_commit).ValueOrDie();
+  ASSERT_EQ(reduced.problem().num_sequences(), 2u);
+  EXPECT_EQ(reduced.stats().steps_committed, 2u);
+  EXPECT_EQ(reduced.problem().sequence(0), std::vector<int>{a});
+  EXPECT_EQ(reduced.problem().sequence(1), std::vector<int>{b});
+
+  SolverOptions greedy;
+  greedy.kind = SolverKind::kGreedy;
+  Schedule core =
+      SolveSchedule(reduced.problem(), greedy).ValueOrDie().schedule;
+  Schedule expanded = reduced.Expand(core).ValueOrDie();
+  SITSTATS_CHECK_OK(expanded.Validate(p));
+  // x and y shared once each, a and b separate.
+  EXPECT_DOUBLE_EQ(expanded.cost, 16.0);
+  ASSERT_FALSE(expanded.steps.empty());
+  EXPECT_EQ(expanded.steps.front().table, x);
+  EXPECT_EQ(expanded.steps.front().advanced.size(), 2u);
+  EXPECT_EQ(expanded.steps.back().table, y);
+  EXPECT_EQ(expanded.steps.back().advanced.size(), 2u);
+}
+
+TEST(ReductionTest, ForcedCommitGatedByMemory) {
+  // Both sequences start with x but one scan of x can only carry one of
+  // them — committing would build an infeasible step, so it must not.
+  SchedulingProblem p;
+  int x = p.AddTable("x", 7.0, 50.0);
+  int a = p.AddTable("a", 4.0, 10.0);
+  int b = p.AddTable("b", 3.0, 10.0);
+  SITSTATS_CHECK_OK(p.AddSequenceIds({x, a}).status());
+  SITSTATS_CHECK_OK(p.AddSequenceIds({x, b}).status());
+  p.set_memory_limit(50.0);
+
+  ReductionOptions only_commit;
+  only_commit.hoist_unshareable = false;
+  only_commit.prune_subsumed = false;
+  ReducedInstance reduced = ReduceInstance(p, only_commit).ValueOrDie();
+  EXPECT_EQ(reduced.stats().steps_committed, 0u);
+  EXPECT_EQ(reduced.problem().num_sequences(), 2u);
+}
+
+TEST(ReductionTest, ExpandRejectsSchedulesForeignToReducedInstance) {
+  SchedulingProblem p;
+  int a = p.AddTable("a", 4.0, 10.0);
+  int b = p.AddTable("b", 3.0, 10.0);
+  SITSTATS_CHECK_OK(p.AddSequenceIds({a, b}).status());
+  SITSTATS_CHECK_OK(p.AddSequenceIds({b, a}).status());
+  p.set_memory_limit(kInf);
+
+  ReducedInstance reduced = ReduceInstance(p).ValueOrDie();
+  ASSERT_EQ(reduced.problem().num_sequences(), 2u);
+  // An empty schedule completes nothing for a non-empty reduced instance.
+  Result<Schedule> expanded = reduced.Expand(Schedule{});
+  ASSERT_FALSE(expanded.ok());
+  EXPECT_EQ(expanded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ReductionTest, RandomInstancesExpandToValidSchedules) {
+  // Property check across generator seeds: whatever fired, solving the
+  // reduced instance and expanding must yield a schedule that validates
+  // against the original problem.
+  for (int seed = 1; seed <= 40; ++seed) {
+    Rng rng(static_cast<uint64_t>(seed) * 104729);
+    InstanceSpec spec;
+    spec.num_tables = 6;
+    spec.num_sits = 8;
+    spec.max_seq_len = 4;
+    SchedulingProblem problem =
+        MakeRandomInstance(spec, &rng).ValueOrDie();
+    ReducedInstance reduced = ReduceInstance(problem).ValueOrDie();
+    Schedule core;
+    if (reduced.problem().num_sequences() > 0) {
+      SolverOptions greedy;
+      greedy.kind = SolverKind::kGreedy;
+      core = SolveSchedule(reduced.problem(), greedy).ValueOrDie().schedule;
+    }
+    Schedule expanded = reduced.Expand(core).ValueOrDie();
+    SITSTATS_CHECK_OK(expanded.Validate(problem));
+    EXPECT_LE(reduced.stats().reduced_elements,
+              reduced.stats().original_elements)
+        << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace sitstats

@@ -104,6 +104,28 @@ TEST_P(BruteForceCrossCheck, AStarMatchesExhaustiveOptimum) {
   EXPECT_NEAR(astar, brute, 1e-9) << "M = 1 largest sample";
 }
 
+TEST_P(BruteForceCrossCheck, ExactMatchesExhaustiveOptimum) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7919);
+  InstanceSpec spec;
+  spec.num_tables = 4;
+  spec.num_sits = 4;
+  spec.max_seq_len = 3;
+  SchedulingProblem problem = MakeRandomInstance(spec, &rng).ValueOrDie();
+
+  SolverOptions options;
+  options.kind = SolverKind::kExact;
+  const double memories[] = {std::numeric_limits<double>::infinity(),
+                             2.0 * LargestSampleSize(problem),
+                             LargestSampleSize(problem)};
+  for (double memory : memories) {
+    problem.set_memory_limit(memory);
+    SolverResult exact = SolveSchedule(problem, options).ValueOrDie();
+    double brute = BruteForce(problem).Optimum();
+    EXPECT_NEAR(exact.schedule.cost, brute, 1e-9) << "M = " << memory;
+    EXPECT_TRUE(exact.proved_optimal) << "M = " << memory;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, BruteForceCrossCheck,
                          ::testing::Range(1, 16));
 

@@ -15,6 +15,8 @@
 //   sitstats_cli schedule       DIR --sit "T.col:A.x=B.y;B.y=C.z" [--sit ...]
 //                                   [--variant ...] [--rate R] [--buckets N]
 //                                   [--memory M] [--threads N] [--out FILE]
+//                                   [--max-expansions N]
+//                                   [--hybrid-expansions N]
 //   sitstats_cli query          --socket PATH "REQUEST LINE" ...
 //
 // `query` talks to a running sitstats_server (tools/sitstats_server.cc):
@@ -31,10 +33,13 @@
 //   --log-level LVL     debug|info|warning|error (or 0-3)
 //
 // `schedule` builds a batch of SITs with scan sharing: it derives the
-// weighted supersequence instance, solves it with all four strategies
-// (Naive/Opt/Greedy/Hybrid), prints the comparison, and executes the
-// cheapest schedule. Each --sit is "attr" or "attr:join1;join2;..." with
-// joins in A.x=B.y form. --threads N runs independent schedule steps on N
+// weighted supersequence instance, solves it with all five strategies
+// (Exact/Opt/Greedy/Hybrid/Naive), prints the comparison, and executes
+// the cheapest schedule. Each --sit is "attr" or "attr:join1;join2;..."
+// with joins in A.x=B.y form. --hybrid-expansions N makes Hybrid's
+// A*->Greedy switch fire deterministically after N node expansions
+// (0 defers to $SITSTATS_HYBRID_EXPANSIONS, else pure wall-clock).
+// --threads N runs independent schedule steps on N
 // worker threads (0 or unset defers to $SITSTATS_THREADS, default serial);
 // built SITs are identical at any thread count.
 //
@@ -334,6 +339,11 @@ int RunSchedule(const Args& args) {
                                   std::numeric_limits<double>::infinity()));
   CLI_FLAG_OR_FAIL(int64_t, max_expansions,
                    args.GetInt("max-expansions", 2'000'000));
+  CLI_FLAG_OR_FAIL(int64_t, hybrid_expansions,
+                   args.GetInt("hybrid-expansions", 0));
+  if (hybrid_expansions < 0) {
+    return Fail("--hybrid-expansions must be >= 0");
+  }
   CLI_FLAG_OR_FAIL(int64_t, buckets, args.GetInt("buckets", 100));
   CLI_FLAG_OR_FAIL(int64_t, threads, args.GetInt("threads", 0));
   SitProblemOptions problem_options;
@@ -345,8 +355,9 @@ int RunSchedule(const Args& args) {
 
   // Solve with every strategy so one run compares them; execute the
   // cheapest schedule (ties go to the earlier, stronger strategy).
-  const SolverKind kinds[] = {SolverKind::kOptimal, SolverKind::kHybrid,
-                              SolverKind::kGreedy, SolverKind::kNaive};
+  const SolverKind kinds[] = {SolverKind::kExact, SolverKind::kOptimal,
+                              SolverKind::kHybrid, SolverKind::kGreedy,
+                              SolverKind::kNaive};
   std::optional<SolverResult> best;
   std::printf("%-8s %12s %12s %10s %8s\n", "solver", "cost", "elapsed_ms",
               "expanded", "optimal");
@@ -354,6 +365,8 @@ int RunSchedule(const Args& args) {
     SolverOptions solver_options;
     solver_options.kind = kind;
     solver_options.max_expansions = static_cast<uint64_t>(max_expansions);
+    solver_options.hybrid_switch_expansions =
+        static_cast<uint64_t>(hybrid_expansions);
     auto solved = SolveSchedule(mapping->problem, solver_options);
     if (!solved.ok()) {
       std::printf("%-8s %12s\n", SolverKindToString(kind),
